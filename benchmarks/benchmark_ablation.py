@@ -1,0 +1,89 @@
+"""Ablations called out in DESIGN.md (not in the paper).
+
+* Wrapper FIFO depth: how much buffering the wrappers need before
+  back-pressure stops costing throughput (the paper reasons with
+  semi-infinite FIFOs made finite).
+* Uniform pipelining depth: throughput of "All k" as k grows, for both
+  wrapper flavours — the scaling trend that motivates wire pipelining
+  methodology work in the first place.
+* Floorplan/clock methodology sweep: the end-to-end flow from a floorplan and
+  a clock target to relay-station counts and sustained throughput; the
+  effective performance (clock x throughput) exposes the optimum operating
+  point that the methodology is meant to find.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_fifo_depth_ablation(benchmark, capsys):
+    """WP1/WP2 throughput versus wrapper FIFO depth."""
+    from repro.cpu.workloads import make_extraction_sort
+    from repro.experiments import queue_capacity_sweep
+
+    workload = make_extraction_sort(length=10, seed=2005)
+    result = benchmark.pedantic(
+        lambda: queue_capacity_sweep(workload=workload, capacities=(2, 3, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    wp2 = result.wp2_series()
+    # Depth 4 is enough: deeper FIFOs change throughput only marginally.
+    assert wp2[-1] - wp2[2] < 0.05
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+
+def test_uniform_depth_ablation(benchmark, capsys):
+    """Throughput of "All k" configurations for k = 0..3."""
+    from repro.cpu.workloads import make_extraction_sort
+    from repro.experiments import uniform_depth_sweep
+
+    workload = make_extraction_sort(length=10, seed=2005)
+    result = benchmark.pedantic(
+        lambda: uniform_depth_sweep(workload=workload, depths=(0, 1, 2, 3)),
+        rounds=1,
+        iterations=1,
+    )
+    wp1 = result.wp1_series()
+    wp2 = result.wp2_series()
+    assert wp1[0] == pytest.approx(1.0, abs=0.02)
+    assert all(a >= b - 1e-9 for a, b in zip(wp1, wp1[1:]))  # WP1 degrades with depth
+    assert all(w2 >= w1 - 1e-9 for w1, w2 in zip(wp1, wp2))  # WP2 always at least as good
+    with capsys.disabled():
+        print()
+        print(result.format())
+
+
+def test_clock_frequency_methodology_sweep(benchmark, capsys):
+    """Floorplan + clock target -> relay stations -> sustained throughput."""
+    from repro.cpu.workloads import make_extraction_sort
+    from repro.experiments import clock_frequency_sweep
+
+    workload = make_extraction_sort(length=10, seed=2005)
+    result = benchmark.pedantic(
+        lambda: clock_frequency_sweep(
+            workload=workload, frequencies_ghz=(0.4, 0.8, 1.2, 1.6, 2.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Raising the clock eventually forces relay stations onto the links and
+    # the sustained throughput (per cycle) drops.
+    first, last = result.points[0], result.points[-1]
+    assert last.detail["total_relay_stations"] >= first.detail["total_relay_stations"]
+    assert last.wp2_throughput <= first.wp2_throughput + 1e-9
+    # WP2 dominates WP1 at every operating point.
+    assert all(p.wp2_throughput >= p.wp1_throughput - 1e-9 for p in result.points)
+    with capsys.disabled():
+        print()
+        print(result.format())
+        print("effective performance (GHz x Th):")
+        for point in result.points:
+            print(
+                f"  {point.parameter:.1f} GHz: WP1 {point.detail['effective_wp1_ghz']:.2f}, "
+                f"WP2 {point.detail['effective_wp2_ghz']:.2f}, "
+                f"RS total {int(point.detail['total_relay_stations'])}"
+            )

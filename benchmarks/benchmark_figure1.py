@@ -1,0 +1,36 @@
+"""Figure 1: the case-study topology and its netlist loops.
+
+Figure 1 is structural (five blocks, their channels, and the loops that are
+"the responsible of performance pitfalls"), so its regeneration is a report:
+block list, channel list, every simple loop with its m/(m+n) bound, and the
+throughput bound each link imposes when it alone is pipelined.  The shape
+assertions pin the structural facts the paper relies on.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+
+def test_figure1_topology_report(benchmark, capsys):
+    """Enumerate the Figure 1 loops and per-link bounds, and print the report."""
+    from repro.experiments import run_figure1
+
+    report = benchmark(run_figure1)
+
+    assert sorted(report.blocks) == ["ALU", "CU", "DC", "IC", "RF"]
+    assert len(report.channels) == 11
+    assert report.loop_count == 7
+    # Four two-block loops: CU<->IC, CU<->ALU, RF<->ALU, RF<->DC.
+    assert len(report.shortest_loops()) == 4
+    # The fetch link is the most throughput-critical one (both directions are
+    # pipelined together), exactly the 0.5 the paper's Table 1 shows.
+    assert report.per_link_bound["CU-IC"] == Fraction(1, 2)
+    assert min(report.per_link_bound.values()) == Fraction(1, 2)
+    assert report.per_link_bound["CU-DC"] == max(report.per_link_bound.values())
+
+    with capsys.disabled():
+        print()
+        print(report.format())

@@ -1,0 +1,61 @@
+"""Ablation: relay-station configuration optimiser strategies.
+
+The "Optimal k (no CU-IC)" rows of Table 1 rely on a configuration search.
+This benchmark compares the three strategies (exhaustive, greedy, simulated
+annealing) on the Figure 1 netlist under the same budget used by the table
+rows, checking that the cheap strategies stay close to the exact optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _setup():
+    from repro.core import SearchSpace
+    from repro.core.static_analysis import make_link_bound_evaluator
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+
+    netlist = build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+    links = netlist.link_names()
+    space = SearchSpace.bounded(
+        links, maximum=2, minimum=0, total=len(links) - 1, fixed={"CU-IC": 0}
+    )
+    return netlist, space, make_link_bound_evaluator(netlist)
+
+
+def test_exhaustive_search(benchmark):
+    """Exact search over the Optimal-1 space (the Table 1 row generator)."""
+    from repro.core import exhaustive_search
+
+    _, space, evaluator = _setup()
+    result = benchmark.pedantic(
+        lambda: exhaustive_search(space, evaluator), rounds=1, iterations=1
+    )
+    assert result.score == pytest.approx(0.6)
+
+
+def test_greedy_search(benchmark):
+    """Greedy construction under the same budget."""
+    from repro.core import exhaustive_search, greedy_search
+
+    _, space, evaluator = _setup()
+    exact = exhaustive_search(space, evaluator).score
+    result = benchmark(lambda: greedy_search(space, evaluator))
+    assert result.score >= 0.5 * exact
+
+
+def test_annealing_search(benchmark):
+    """Simulated annealing under the same budget (deterministic seed)."""
+    from repro.core import annealing_search, exhaustive_search
+
+    _, space, evaluator = _setup()
+    exact = exhaustive_search(space, evaluator).score
+    result = benchmark.pedantic(
+        lambda: annealing_search(space, evaluator, iterations=2000, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    # Annealing should land on (or very near) the exact optimum.
+    assert result.score >= exact - 0.05

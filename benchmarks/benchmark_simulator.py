@@ -1,0 +1,52 @@
+"""Engineering benchmark: raw speed of the simulators.
+
+Not a paper experiment — it tracks the cost of regenerating Table 1 by
+measuring simulated cycles per second for the golden and latency-insensitive
+simulators on the Figure 1 processor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _cpu():
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+
+    return build_pipelined_cpu(make_extraction_sort(length=8, seed=2005).program)
+
+
+def test_golden_simulator_speed(benchmark):
+    """Golden simulator: cycles for one 8-element sort run."""
+    cpu = _cpu()
+    result = benchmark(lambda: cpu.run_golden(record_trace=False))
+    assert result.halted
+
+
+def test_lid_simulator_speed_wp1(benchmark):
+    """WP1 simulator under 'All 1 (no CU-IC)'."""
+    from repro.core import RSConfiguration
+
+    cpu = _cpu()
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+    result = benchmark(
+        lambda: cpu.run_wire_pipelined(
+            configuration=config, relaxed=False, record_trace=False
+        )
+    )
+    assert result.halted
+
+
+def test_lid_simulator_speed_wp2(benchmark):
+    """WP2 simulator under 'All 1 (no CU-IC)'."""
+    from repro.core import RSConfiguration
+
+    cpu = _cpu()
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+    result = benchmark(
+        lambda: cpu.run_wire_pipelined(
+            configuration=config, relaxed=True, record_trace=False
+        )
+    )
+    assert result.halted

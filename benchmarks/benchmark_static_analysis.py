@@ -1,0 +1,74 @@
+"""Section 2's throughput formula: Th = m / (m + n), statically and by simulation.
+
+Regenerates the structural claim behind the WP1 column of Table 1: the
+throughput of the strict latency-insensitive system equals the worst loop's
+m/(m+n).  Also cross-checks the two static analyses (explicit loop
+enumeration and the maximum-cycle-ratio formulation) and benchmarks their
+cost, since the methodology uses them inside optimisation loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _cpu_netlist():
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+
+    return build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+
+
+def test_loop_bound_by_enumeration(benchmark):
+    """Static bound via simple-cycle enumeration on the Figure 1 netlist."""
+    from repro.core import RSConfiguration, throughput_bound
+
+    netlist = _cpu_netlist()
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+
+    report = benchmark(lambda: throughput_bound(netlist, configuration=config))
+    assert float(report.bound) == pytest.approx(0.5)
+
+
+def test_loop_bound_by_cycle_ratio(benchmark):
+    """Static bound via the maximum-cycle-ratio formulation (no enumeration)."""
+    from repro.core import RSConfiguration, throughput_bound_mcm
+
+    netlist = _cpu_netlist()
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+
+    bound = benchmark(lambda: throughput_bound_mcm(netlist, configuration=config))
+    assert bound == pytest.approx(0.5, abs=1e-6)
+
+
+def test_formula_matches_simulation_on_rings(benchmark, capsys):
+    """Simulated WP1 throughput of synthetic rings matches m / (m + n)."""
+    from repro.core import ring_netlist, run_lid
+
+    cases = [(2, 1), (3, 1), (3, 2), (4, 2), (5, 3)]
+
+    def measure():
+        rows = []
+        for stages, rs_total in cases:
+            netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
+            result = run_lid(
+                netlist,
+                rs_counts=rs_counts,
+                target_firings={"stage0": 200},
+                max_cycles=50_000,
+            )
+            rows.append(
+                (stages, rs_total, result.firings["stage0"] / result.cycles,
+                 stages / (stages + rs_total))
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for stages, rs_total, measured, expected in rows:
+        assert measured == pytest.approx(expected, rel=0.03)
+
+    with capsys.disabled():
+        print()
+        print("ring throughput: m processes, n relay stations, measured vs m/(m+n)")
+        for stages, rs_total, measured, expected in rows:
+            print(f"  m={stages} n={rs_total}  measured={measured:.3f} expected={expected:.3f}")

@@ -1,0 +1,57 @@
+"""Table 1, Matrix Multiply section (rows 1-25).
+
+Regenerates the full Matrix Multiply row set: the ideal configuration, ten
+single-link rows, "All 1 (no CU-IC)", the ten "All 1 and 2 <link>" rows,
+"Optimal 2 (no CU-IC)", "All 2 (no CU-IC)" and "All 2 and 1 CU-RF" — the same
+configurations as the paper — and prints them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import MATMUL_SIZE, SEED
+
+
+def _shape_checks(result):
+    assert len(result.rows) == 25
+    for row in result.rows:
+        assert row.wp2_throughput >= row.wp1_throughput - 1e-9
+        assert row.wp1_throughput <= row.static_bound + 0.03
+    # Deeper uniform pipelining costs WP1 more (All 2 below All 1), and the
+    # deepened fetch loop ("All 1 and 2 CU-IC") is the worst row of the
+    # incremental family, exactly as in the paper.
+    all_one = result.row("All 1 (no CU-IC)")
+    all_two = result.row("All 2 (no CU-IC)")
+    assert all_two.wp1_throughput < all_one.wp1_throughput
+    incremental = [row for row in result.rows if row.label.startswith("All 1 and 2 ")]
+    worst = min(incremental, key=lambda row: row.wp2_throughput)
+    assert worst.label == "All 1 and 2 CU-IC"
+    # The optimal redistribution beats the uniform "All 2" placement.
+    optimal = result.row("Optimal 2 (no CU-IC)")
+    assert optimal.wp1_throughput > all_two.wp1_throughput - 1e-9
+
+
+def test_table1_matrix_multiply(benchmark, table1_matmul_result, capsys):
+    """Regenerate and print the Matrix Multiply rows of Table 1."""
+
+    def run_single_row():
+        from repro.core import RSConfiguration
+        from repro.cpu import build_pipelined_cpu
+        from repro.cpu.workloads import make_matrix_multiply
+        from repro.experiments.table1 import evaluate_configuration
+
+        workload = make_matrix_multiply(size=MATMUL_SIZE, seed=SEED)
+        cpu = build_pipelined_cpu(workload.program)
+        golden = cpu.run_golden(record_trace=False)
+        return evaluate_configuration(
+            cpu, RSConfiguration.uniform_plus(1, {"RF-DC": 2}, label="All 1 and 2 RF-DC"), golden
+        )
+
+    row = benchmark.pedantic(run_single_row, rounds=1, iterations=1)
+    assert row.wp2_throughput >= row.wp1_throughput
+
+    _shape_checks(table1_matmul_result)
+    with capsys.disabled():
+        print()
+        print(table1_matmul_result.format())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate Table 1 of the paper from the command line.
+
+Runs the Extraction Sort section (13 rows) and, optionally, the Matrix
+Multiply section (25 rows) of Table 1 on the pipelined Figure 1 processor and
+prints them in the paper's layout.  Every row runs the golden system, the WP1
+(strict wrapper) system and the WP2 (oracle wrapper) system, so expect a
+couple of minutes for the full table at the default sizes.
+
+Usage::
+
+    python examples/reproduce_table1.py                 # sort section only
+    python examples/reproduce_table1.py --matmul        # both sections
+    python examples/reproduce_table1.py --sort-length 12 --matmul --matmul-size 4
+    python examples/reproduce_table1.py --multicycle    # multicycle control style
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import run_table1_matmul, run_table1_sort
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sort-length", type=int, default=16,
+                        help="array length for the extraction-sort workload")
+    parser.add_argument("--matmul", action="store_true",
+                        help="also run the 25 Matrix Multiply rows")
+    parser.add_argument("--matmul-size", type=int, default=5,
+                        help="matrix dimension for the matrix-multiply workload")
+    parser.add_argument("--seed", type=int, default=2005, help="workload data seed")
+    parser.add_argument("--multicycle", action="store_true",
+                        help="use the multicycle control style instead of the pipelined one")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="also run the N-equivalence check on every row (slower)")
+    return parser.parse_args(argv)
+
+
+def progress(message: str) -> None:
+    print(f"  ... {message}", file=sys.stderr)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    pipelined = not args.multicycle
+
+    started = time.time()
+    sort_result = run_table1_sort(
+        length=args.sort_length,
+        seed=args.seed,
+        pipelined=pipelined,
+        check_equivalence=args.check_equivalence,
+        progress=progress,
+    )
+    print(sort_result.format())
+    print()
+
+    if args.matmul:
+        matmul_result = run_table1_matmul(
+            size=args.matmul_size,
+            seed=args.seed,
+            pipelined=pipelined,
+            check_equivalence=args.check_equivalence,
+            progress=progress,
+        )
+        print(matmul_result.format())
+        print()
+
+    print(f"done in {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Figure 1 report: blocks, channels, netlist loops and link sensitivity.
+
+Prints the structural view of the case-study processor that Figure 1 of the
+paper shows: the five blocks, the point-to-point channels between them, every
+netlist loop with its m/(m+n) throughput bound, and — as a bridge to Table 1
+— the throughput bound each link imposes when it alone is wire-pipelined.
+
+Usage::
+
+    python examples/topology_report.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RSConfiguration, throughput_bound
+from repro.experiments import build_figure1_netlist, run_figure1
+
+
+def main() -> None:
+    report = run_figure1()
+    print(report.format())
+    print()
+
+    # The same information viewed through the static analysis module:
+    # the critical loops of the "All 1 (no CU-IC)" configuration, which is the
+    # configuration an architect would get by naively pipelining every long
+    # link once.
+    netlist = build_figure1_netlist()
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+    analysis = throughput_bound(netlist, configuration=config)
+    print(f"loop analysis for configuration {config.label!r}:")
+    print(analysis.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so the package can be installed in environments without the ``wheel``
+package (offline machines where PEP 517 editable installs are unavailable):
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

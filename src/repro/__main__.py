@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``     regenerate Table 1 (sort section by default, ``--matmul`` for both)
+``figure1``    print the Figure 1 topology / loop report
+``multicycle`` print the multicycle-vs-pipelined WP2 gain comparison
+``area``       print the wrapper area-overhead report
+``sweep``      run one of the ablation sweeps (fifo / depth / clock)
+
+Every command accepts ``--format text|markdown|csv|json`` where it makes
+sense; the default is the plain-text layout used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_table1(subparsers) -> None:
+    parser = subparsers.add_parser("table1", help="regenerate Table 1")
+    parser.add_argument("--sort-length", type=int, default=16)
+    parser.add_argument("--matmul", action="store_true", help="also run the matmul section")
+    parser.add_argument("--matmul-size", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=2005)
+    parser.add_argument("--multicycle", action="store_true")
+    parser.add_argument("--format", choices=("text", "markdown", "csv", "json"), default="text")
+
+
+def _add_simple(subparsers, name: str, help_text: str) -> None:
+    subparsers.add_parser(name, help=help_text)
+
+
+def _add_sweep(subparsers) -> None:
+    parser = subparsers.add_parser("sweep", help="run an ablation sweep")
+    parser.add_argument("kind", choices=("fifo", "depth", "clock"))
+    parser.add_argument("--sort-length", type=int, default=10)
+    parser.add_argument("--format", choices=("text", "markdown", "csv"), default="text")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Wire-pipelined SoC reproduction experiment runner"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_table1(subparsers)
+    _add_simple(subparsers, "figure1", "print the Figure 1 topology report")
+    _add_simple(subparsers, "multicycle", "multicycle vs pipelined WP2 gains")
+    _add_simple(subparsers, "area", "wrapper area overhead report")
+    _add_sweep(subparsers)
+    return parser
+
+
+def _run_table1(args) -> int:
+    from .experiments import run_table1_matmul, run_table1_sort
+    from .experiments.report import table1_to_csv, table1_to_json, table1_to_markdown
+
+    results = {
+        "sort": run_table1_sort(
+            length=args.sort_length, seed=args.seed, pipelined=not args.multicycle
+        )
+    }
+    if args.matmul:
+        results["matmul"] = run_table1_matmul(
+            size=args.matmul_size, seed=args.seed, pipelined=not args.multicycle
+        )
+    if args.format == "json":
+        print(table1_to_json(results))
+        return 0
+    for result in results.values():
+        if args.format == "markdown":
+            print(table1_to_markdown(result))
+        elif args.format == "csv":
+            print(table1_to_csv(result), end="")
+        else:
+            print(result.format())
+        print()
+    return 0
+
+
+def _run_sweep(args) -> int:
+    from .cpu.workloads import make_extraction_sort
+    from .experiments import clock_frequency_sweep, queue_capacity_sweep, uniform_depth_sweep
+    from .experiments.report import sweep_to_csv, sweep_to_markdown
+
+    workload = make_extraction_sort(length=args.sort_length, seed=2005)
+    if args.kind == "fifo":
+        result = queue_capacity_sweep(workload=workload)
+    elif args.kind == "depth":
+        result = uniform_depth_sweep(workload=workload)
+    else:
+        result = clock_frequency_sweep(workload=workload)
+    if args.format == "markdown":
+        print(sweep_to_markdown(result))
+    elif args.format == "csv":
+        print(sweep_to_csv(result), end="")
+    else:
+        print(result.format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _run_table1(args)
+    if args.command == "figure1":
+        from .experiments import run_figure1
+
+        print(run_figure1().format())
+        return 0
+    if args.command == "multicycle":
+        from .experiments import run_multicycle_study
+
+        print(run_multicycle_study().format())
+        return 0
+    if args.command == "area":
+        from .experiments import reference_wrapper_overhead_percent, run_area_overhead
+
+        print(
+            "reference wrapper overhead: "
+            f"WP1 {reference_wrapper_overhead_percent(relaxed=False):.3f} %, "
+            f"WP2 {reference_wrapper_overhead_percent(relaxed=True):.3f} % "
+            "of a 100 kgate IP"
+        )
+        print(run_area_overhead().format())
+        return 0
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

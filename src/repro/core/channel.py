@@ -1,0 +1,112 @@
+"""Point-to-point channels between processes.
+
+A :class:`Channel` is a directed, point-to-point connection from one output
+port of a source process to one input port of a destination process.  In the
+golden system the channel is a plain registered wire: the value produced by
+the source at cycle *t* is consumed by the destination at cycle *t + 1*.  In
+the wire-pipelined system the channel additionally hosts ``n`` relay stations
+(set per experiment by an :class:`~repro.core.config.RSConfiguration`).
+
+Channels carry an *initial value*: the reset content of the output register of
+the source block, consumed by the destination's very first firing.  The CPU
+case study uses "bubble" messages as initial values so that reset behaves like
+an empty pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .exceptions import NetlistError
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed point-to-point channel.
+
+    Attributes
+    ----------
+    name:
+        Unique channel name (e.g. ``"rf_alu"``).
+    source, source_port:
+        Producing process name and output port.
+    dest, dest_port:
+        Consuming process name and input port.
+    initial:
+        The reset value present on the channel before the first firing of the
+        source.  Consumed by firing 0 of the destination.
+    width:
+        Nominal bit width of the physical wire bundle; used only by the area
+        and timing models, not by the simulators.
+    link:
+        Optional label of the physical block-to-block link this channel
+        belongs to (e.g. ``"CU-IC"``).  Relay-station configurations may be
+        expressed per link instead of per channel; when ``link`` is empty the
+        channel name itself is used.
+    """
+
+    name: str
+    source: str
+    source_port: str
+    dest: str
+    dest_port: str
+    initial: Any = None
+    width: int = 32
+    link: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise NetlistError("channel name must be a non-empty string")
+        if not self.source or not self.dest:
+            raise NetlistError(f"channel {self.name!r} must have a source and a dest")
+        if self.width <= 0:
+            raise NetlistError(f"channel {self.name!r} width must be positive")
+
+    @property
+    def link_name(self) -> str:
+        """The physical link label, defaulting to the channel name."""
+        return self.link or self.name
+
+    @property
+    def endpoints(self) -> tuple:
+        """(source process, destination process) pair."""
+        return (self.source, self.dest)
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (
+            f"{self.name}: {self.source}.{self.source_port} -> "
+            f"{self.dest}.{self.dest_port} (link {self.link_name}, {self.width} bits)"
+        )
+
+
+def channel(
+    name: str,
+    source: str,
+    dest: str,
+    source_port: Optional[str] = None,
+    dest_port: Optional[str] = None,
+    initial: Any = None,
+    width: int = 32,
+    link: str = "",
+) -> Channel:
+    """Convenience constructor defaulting port names to the channel name.
+
+    Most blocks in the case study name their ports after the channel they are
+    attached to, which keeps netlist construction terse:
+
+    >>> ch = channel("rf_alu", "RF", "ALU")
+    >>> (ch.source_port, ch.dest_port)
+    ('rf_alu', 'rf_alu')
+    """
+    return Channel(
+        name=name,
+        source=source,
+        source_port=source_port if source_port is not None else name,
+        dest=dest,
+        dest_port=dest_port if dest_port is not None else name,
+        initial=initial,
+        width=width,
+        link=link,
+    )

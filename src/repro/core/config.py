@@ -1,0 +1,147 @@
+"""Relay-station configurations.
+
+Table 1 of the paper labels each experiment row with a relay-station
+configuration expressed over the *physical links* of Figure 1 ("Only CU-RF",
+"All 1 (no CU-IC)", "All 1 and 2 RF-DC", ...).  :class:`RSConfiguration`
+captures such a configuration as a mapping from link label to relay-station
+count and knows how to expand itself to per-channel counts for a given
+netlist (every channel of a link receives the link's count — pipelining a
+long physical link pipelines every wire in the bundle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from .exceptions import ConfigurationError
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class RSConfiguration:
+    """A relay-station count per physical link.
+
+    Attributes
+    ----------
+    label:
+        Human-readable label, typically matching the paper's row label.
+    default:
+        Count applied to every link not explicitly listed in *overrides*.
+    overrides:
+        Mapping from link label to relay-station count, overriding *default*.
+    """
+
+    label: str
+    default: int = 0
+    overrides: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default < 0:
+            raise ConfigurationError("default relay-station count must be >= 0")
+        for link, count in self.overrides.items():
+            if count < 0:
+                raise ConfigurationError(
+                    f"relay-station count for link {link!r} must be >= 0, got {count}"
+                )
+
+    # -- constructors mirroring the table's row labels -------------------------
+    @classmethod
+    def ideal(cls, label: str = "All 0 (ideal)") -> "RSConfiguration":
+        """No relay station anywhere (the golden configuration)."""
+        return cls(label=label, default=0)
+
+    @classmethod
+    def only(cls, link: str, count: int = 1, label: Optional[str] = None) -> "RSConfiguration":
+        """Relay stations only on one link ("Only CU-RF" style rows)."""
+        return cls(
+            label=label if label is not None else f"Only {link}",
+            default=0,
+            overrides={link: count},
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        count: int,
+        exclude: Iterable[str] = (),
+        label: Optional[str] = None,
+    ) -> "RSConfiguration":
+        """The same count on every link, optionally excluding some links.
+
+        ``uniform(1, exclude=("CU-IC",))`` is the paper's "All 1 (no CU-IC)".
+        Excluded links get zero relay stations.
+        """
+        excluded = {link: 0 for link in exclude}
+        if label is None:
+            label = f"All {count}"
+            if excluded:
+                label += " (no " + ", ".join(sorted(excluded)) + ")"
+        return cls(label=label, default=count, overrides=excluded)
+
+    @classmethod
+    def uniform_plus(
+        cls,
+        base: int,
+        extra: Mapping[str, int],
+        exclude: Iterable[str] = (),
+        label: Optional[str] = None,
+    ) -> "RSConfiguration":
+        """*base* everywhere, specific links raised to the counts in *extra*.
+
+        ``uniform_plus(1, {"RF-DC": 2})`` is the paper's "All 1 and 2 RF-DC".
+        """
+        overrides: Dict[str, int] = {link: 0 for link in exclude}
+        overrides.update({link: count for link, count in extra.items()})
+        if label is None:
+            extras = ", ".join(f"{count} {link}" for link, count in sorted(extra.items()))
+            label = f"All {base} and {extras}" if extras else f"All {base}"
+        return cls(label=label, default=base, overrides=overrides)
+
+    @classmethod
+    def from_mapping(
+        cls, counts: Mapping[str, int], label: str = "custom"
+    ) -> "RSConfiguration":
+        """Explicit per-link counts; links not listed get zero."""
+        return cls(label=label, default=0, overrides=dict(counts))
+
+    # -- queries -------------------------------------------------------------------
+    def count_for_link(self, link: str) -> int:
+        """Relay-station count applied to *link*."""
+        return int(self.overrides.get(link, self.default))
+
+    def per_link(self, links: Iterable[str]) -> Dict[str, int]:
+        """Expand to an explicit per-link mapping over *links*."""
+        return {link: self.count_for_link(link) for link in links}
+
+    def per_channel(self, netlist: Netlist) -> Dict[str, int]:
+        """Expand to per-channel counts for *netlist*.
+
+        Every channel receives the count of the physical link it belongs to.
+        Unknown override links raise :class:`ConfigurationError` to catch
+        typos in experiment definitions early.
+        """
+        known_links = set(netlist.link_names())
+        unknown = [link for link in self.overrides if link not in known_links]
+        if unknown:
+            raise ConfigurationError(
+                f"configuration {self.label!r} references unknown links {sorted(unknown)}; "
+                f"netlist links are {sorted(known_links)}"
+            )
+        return {
+            name: self.count_for_link(chan.link_name)
+            for name, chan in netlist.channels.items()
+        }
+
+    def total_relay_stations(self, netlist: Netlist) -> int:
+        """Total number of relay stations instantiated in *netlist*."""
+        return sum(self.per_channel(netlist).values())
+
+    def with_label(self, label: str) -> "RSConfiguration":
+        """A copy of this configuration under a different label."""
+        return RSConfiguration(label=label, default=self.default, overrides=dict(self.overrides))
+
+    def describe(self, links: Iterable[str]) -> str:
+        """One-line description listing the count of every link."""
+        parts = [f"{link}={self.count_for_link(link)}" for link in links]
+        return f"{self.label}: " + ", ".join(parts)

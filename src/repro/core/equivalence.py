@@ -1,0 +1,167 @@
+"""N-equivalence and equivalence between system realizations.
+
+Definitions follow Section 1 of the paper:
+
+* Filter out the void symbols τ from every channel realization.
+* Find the maximum ``N`` such that every channel has at least ``N`` valid
+  values.
+* The two systems are *N-equivalent* if the τ-filtered sequences agree on the
+  first ``N`` positions of every channel, and *equivalent* if they are
+  N-equivalent for every N (i.e. the τ-filtered sequences of the shorter run
+  are a prefix of the longer run's on every channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import EquivalenceError
+from .traces import ChannelTrace, SystemTrace
+
+
+@dataclass
+class Mismatch:
+    """A single point of disagreement between two realizations."""
+
+    channel: str
+    position: int
+    reference_value: Any
+    candidate_value: Any
+
+    def __str__(self) -> str:
+        return (
+            f"channel {self.channel!r}, valid token #{self.position}: "
+            f"reference={self.reference_value!r} candidate={self.candidate_value!r}"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an equivalence comparison."""
+
+    equivalent: bool
+    compared_depth: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+    missing_channels: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`EquivalenceError` with details if the check failed."""
+        if self.equivalent:
+            return
+        lines = [f"systems are not {self.compared_depth}-equivalent"]
+        lines.extend(f"  missing channel: {name}" for name in self.missing_channels)
+        lines.extend(f"  mismatch: {mismatch}" for mismatch in self.mismatches[:20])
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more mismatches")
+        raise EquivalenceError("\n".join(lines))
+
+
+def _value_sequences(trace: Mapping[str, ChannelTrace]) -> Dict[str, List[Any]]:
+    return {name: trace[name].values() for name in trace}
+
+
+def compare_value_sequences(
+    reference: Mapping[str, Sequence[Any]],
+    candidate: Mapping[str, Sequence[Any]],
+    depth: Optional[int] = None,
+    channels: Optional[Sequence[str]] = None,
+) -> EquivalenceReport:
+    """Compare τ-filtered value sequences channel by channel.
+
+    Parameters
+    ----------
+    reference, candidate:
+        Mappings from channel name to the sequence of valid values observed.
+    depth:
+        Compare only the first *depth* values of every channel (N-equivalence
+        at N = depth).  When omitted, the depth is the largest N available on
+        every channel in **both** systems, which is the paper's definition.
+    channels:
+        Restrict the comparison to this subset of channels.  By default every
+        channel of the reference is compared.
+    """
+    names = list(channels) if channels is not None else sorted(reference)
+    missing = [name for name in names if name not in candidate]
+
+    if depth is None:
+        usable = [name for name in names if name not in missing]
+        if usable:
+            depth = min(
+                min(len(reference[name]), len(candidate[name])) for name in usable
+            )
+        else:
+            depth = 0
+
+    mismatches: List[Mismatch] = []
+    for name in names:
+        if name in missing:
+            continue
+        ref_seq = reference[name]
+        cand_seq = candidate[name]
+        limit = min(depth, len(ref_seq), len(cand_seq))
+        for position in range(limit):
+            if ref_seq[position] != cand_seq[position]:
+                mismatches.append(
+                    Mismatch(
+                        channel=name,
+                        position=position,
+                        reference_value=ref_seq[position],
+                        candidate_value=cand_seq[position],
+                    )
+                )
+
+    return EquivalenceReport(
+        equivalent=not mismatches and not missing,
+        compared_depth=depth,
+        mismatches=mismatches,
+        missing_channels=missing,
+    )
+
+
+def n_equivalent(
+    reference: SystemTrace,
+    candidate: SystemTrace,
+    depth: Optional[int] = None,
+    channels: Optional[Sequence[str]] = None,
+) -> EquivalenceReport:
+    """Check N-equivalence between two recorded system traces.
+
+    ``reference`` is typically the golden (zero relay station) run and
+    ``candidate`` the wire-pipelined run.  Both are compared after filtering
+    the void symbols, exactly as in the paper.
+    """
+    return compare_value_sequences(
+        _value_sequences(reference),
+        _value_sequences(candidate),
+        depth=depth,
+        channels=channels,
+    )
+
+
+def assert_equivalent(
+    reference: SystemTrace,
+    candidate: SystemTrace,
+    depth: Optional[int] = None,
+    channels: Optional[Sequence[str]] = None,
+) -> EquivalenceReport:
+    """Like :func:`n_equivalent` but raises on failure, returning the report."""
+    report = n_equivalent(reference, candidate, depth=depth, channels=channels)
+    report.raise_if_failed()
+    return report
+
+
+def latency_profile(
+    reference: SystemTrace, candidate: SystemTrace
+) -> Dict[str, Tuple[int, int]]:
+    """Per-channel (reference valid count, candidate valid count) pairs.
+
+    Handy for diagnosing where a wire-pipelined system fell behind: channels
+    with a much smaller candidate count sit behind the critical loop.
+    """
+    profile: Dict[str, Tuple[int, int]] = {}
+    for name in reference:
+        ref_count = reference[name].valid_count()
+        cand_count = candidate[name].valid_count() if name in candidate else 0
+        profile[name] = (ref_count, cand_count)
+    return profile

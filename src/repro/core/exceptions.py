@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """The netlist is malformed (dangling channel, duplicate name, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """A relay-station configuration or experiment parameter is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator detected an inconsistent state at run time."""
+
+
+class ProtocolError(SimulationError):
+    """A latency-insensitive protocol invariant was violated.
+
+    Examples: a token was pushed into a full queue, a shell consumed a token
+    with the wrong tag, or a relay station overflowed.  These indicate a bug
+    in the library itself (the protocol is supposed to make them impossible),
+    so they are kept separate from user-facing configuration errors.
+    """
+
+
+class EquivalenceError(ReproError):
+    """Two systems that were expected to be equivalent are not."""
+
+
+class DeadlockError(SimulationError):
+    """The latency-insensitive system made no progress for too many cycles."""
+
+
+class AssemblerError(ReproError):
+    """An assembly program could not be parsed or encoded."""
+
+
+class ProgramError(ReproError):
+    """A program image is inconsistent (bad entry point, size overflow, ...)."""
+
+
+class OptimizationError(ReproError):
+    """The relay-station optimiser could not find a feasible configuration."""

@@ -1,0 +1,185 @@
+"""Simple block floorplans for wire-length estimation.
+
+The system design methodology the paper targets is: floorplan the SoC, derive
+per-link wire lengths, derive the relay-station count each link needs at the
+target clock, and only then evaluate (statically or by simulation) the
+throughput the wrapped system will sustain.  This module provides the minimal
+floorplan machinery needed for that flow:
+
+* rectangular blocks placed on a die, with overlap checking;
+* centre-to-centre Manhattan wire lengths per link;
+* a tiny deterministic placer (row packing) and a perturbation helper used by
+  the floorplan-aware benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import ConfigurationError
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular block placed on the die (dimensions in millimetres)."""
+
+    name: str
+    width_mm: float
+    height_mm: float
+    x_mm: float = 0.0
+    y_mm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise ConfigurationError(
+                f"block {self.name!r} must have positive dimensions"
+            )
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Geometric centre of the block."""
+        return (self.x_mm + self.width_mm / 2.0, self.y_mm + self.height_mm / 2.0)
+
+    @property
+    def area_mm2(self) -> float:
+        return self.width_mm * self.height_mm
+
+    def moved_to(self, x_mm: float, y_mm: float) -> "Block":
+        """A copy of this block at a new lower-left corner."""
+        return Block(self.name, self.width_mm, self.height_mm, x_mm, y_mm)
+
+    def overlaps(self, other: "Block") -> bool:
+        """Axis-aligned rectangle overlap test (shared edges do not count)."""
+        return not (
+            self.x_mm + self.width_mm <= other.x_mm
+            or other.x_mm + other.width_mm <= self.x_mm
+            or self.y_mm + self.height_mm <= other.y_mm
+            or other.y_mm + other.height_mm <= self.y_mm
+        )
+
+
+class Floorplan:
+    """A set of placed, non-overlapping blocks."""
+
+    def __init__(self, blocks: Iterable[Block]) -> None:
+        self._blocks: Dict[str, Block] = {}
+        for block in blocks:
+            if block.name in self._blocks:
+                raise ConfigurationError(f"duplicate block {block.name!r}")
+            self._blocks[block.name] = block
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        names = sorted(self._blocks)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if self._blocks[a].overlaps(self._blocks[b]):
+                    raise ConfigurationError(f"blocks {a!r} and {b!r} overlap")
+
+    @property
+    def blocks(self) -> Mapping[str, Block]:
+        return dict(self._blocks)
+
+    def block(self, name: str) -> Block:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise ConfigurationError(f"no block named {name!r}") from None
+
+    def wire_length_mm(self, source: str, dest: str) -> float:
+        """Centre-to-centre Manhattan distance between two blocks."""
+        sx, sy = self.block(source).center
+        dx, dy = self.block(dest).center
+        return abs(sx - dx) + abs(sy - dy)
+
+    def bounding_box_mm(self) -> Tuple[float, float]:
+        """Width and height of the bounding box enclosing all blocks."""
+        if not self._blocks:
+            return (0.0, 0.0)
+        max_x = max(b.x_mm + b.width_mm for b in self._blocks.values())
+        max_y = max(b.y_mm + b.height_mm for b in self._blocks.values())
+        min_x = min(b.x_mm for b in self._blocks.values())
+        min_y = min(b.y_mm for b in self._blocks.values())
+        return (max_x - min_x, max_y - min_y)
+
+    def total_area_mm2(self) -> float:
+        """Sum of block areas (not the bounding-box area)."""
+        return sum(block.area_mm2 for block in self._blocks.values())
+
+    def link_lengths(self, netlist: Netlist) -> Dict[str, float]:
+        """Wire length per physical link of *netlist*.
+
+        Each link's length is the distance between the two blocks it connects;
+        every block of the netlist must be placed.
+        """
+        lengths: Dict[str, float] = {}
+        for link, channels in netlist.links().items():
+            chan = channels[0]
+            for name in (chan.source, chan.dest):
+                if name not in self._blocks:
+                    raise ConfigurationError(
+                        f"process {name!r} has no placed block in the floorplan"
+                    )
+            lengths[link] = self.wire_length_mm(chan.source, chan.dest)
+        return lengths
+
+    def describe(self) -> str:
+        """Multi-line placement listing."""
+        lines = ["floorplan:"]
+        for name in sorted(self._blocks):
+            block = self._blocks[name]
+            lines.append(
+                f"  {name}: {block.width_mm:.2f} x {block.height_mm:.2f} mm at "
+                f"({block.x_mm:.2f}, {block.y_mm:.2f})"
+            )
+        width, height = self.bounding_box_mm()
+        lines.append(f"  bounding box: {width:.2f} x {height:.2f} mm")
+        return "\n".join(lines)
+
+
+def row_pack(
+    sizes: Mapping[str, Tuple[float, float]],
+    row_width_mm: float,
+    spacing_mm: float = 0.2,
+) -> Floorplan:
+    """Deterministic row-packing placer.
+
+    Blocks are placed left to right in rows of at most *row_width_mm*,
+    tallest-first, separated by *spacing_mm*.  Not a good placer — just a
+    reproducible starting point for the floorplan-driven experiments.
+    """
+    if row_width_mm <= 0:
+        raise ConfigurationError("row width must be positive")
+    ordered = sorted(sizes.items(), key=lambda item: (-item[1][1], item[0]))
+    blocks: List[Block] = []
+    cursor_x = 0.0
+    cursor_y = 0.0
+    row_height = 0.0
+    for name, (width, height) in ordered:
+        if cursor_x > 0 and cursor_x + width > row_width_mm:
+            cursor_x = 0.0
+            cursor_y += row_height + spacing_mm
+            row_height = 0.0
+        blocks.append(Block(name, width, height, cursor_x, cursor_y))
+        cursor_x += width + spacing_mm
+        row_height = max(row_height, height)
+    return Floorplan(blocks)
+
+
+def spread_floorplan(floorplan: Floorplan, factor: float) -> Floorplan:
+    """Scale all block positions away from the origin by *factor* (>= 1).
+
+    Models a die that grows (or IPs that are placed further apart), which
+    lengthens every wire without changing the topology — the knob the
+    wire-pipelining methodology reacts to.
+    """
+    if factor <= 0:
+        raise ConfigurationError("spread factor must be positive")
+    blocks = [
+        block.moved_to(block.x_mm * factor, block.y_mm * factor)
+        for block in floorplan.blocks.values()
+    ]
+    return Floorplan(blocks)

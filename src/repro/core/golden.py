@@ -1,0 +1,146 @@
+"""Golden (reference) simulator: the synchronous system with zero relay stations.
+
+Every process fires exactly once per clock cycle.  The value produced by the
+driver of a channel during cycle ``t`` is consumed by the destination during
+cycle ``t + 1``; at reset the channel holds its declared initial value.  The
+golden run provides (a) the reference cycle count used to normalise the
+throughput of the wire-pipelined systems (the paper's "the throughput without
+WP is of course 1.0"), and (b) the reference τ-filtered traces for the
+N-equivalence checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .exceptions import SimulationError
+from .netlist import Netlist
+from .tokens import Token
+from .traces import SystemTrace
+
+
+@dataclass
+class GoldenResult:
+    """Outcome of a golden simulation run."""
+
+    cycles: int
+    firings: Dict[str, int]
+    trace: SystemTrace
+    halted: bool
+    final_values: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Always 1.0 by construction (kept for report symmetry)."""
+        return 1.0 if self.cycles else 0.0
+
+
+class GoldenSimulator:
+    """Cycle-accurate simulator of the un-pipelined synchronous netlist."""
+
+    def __init__(self, netlist: Netlist, record_trace: bool = True) -> None:
+        self.netlist = netlist
+        self.record_trace = record_trace
+
+    def run(
+        self,
+        max_cycles: int = 1_000_000,
+        stop_process: Optional[str] = None,
+        extra_cycles: int = 0,
+    ) -> GoldenResult:
+        """Simulate until the stop process reports done (or *max_cycles*).
+
+        Parameters
+        ----------
+        max_cycles:
+            Hard bound on the number of simulated cycles.
+        stop_process:
+            Name of the process whose :meth:`~repro.core.process.Process.is_done`
+            flag terminates the run.  When omitted, the first process that
+            reports done stops the simulation; if none ever does, the run ends
+            at *max_cycles*.
+        extra_cycles:
+            Additional cycles simulated after the stop condition fires (lets
+            in-flight results drain, e.g. a final store reaching memory).
+        """
+        netlist = self.netlist
+        netlist.reset()
+        if stop_process is not None and stop_process not in netlist.processes:
+            raise SimulationError(f"unknown stop process {stop_process!r}")
+
+        # Current registered value of every channel (what the destination
+        # will consume next cycle).
+        channel_values: Dict[str, Any] = {
+            name: chan.initial for name, chan in netlist.channels.items()
+        }
+        trace = SystemTrace(netlist.channels)
+        input_map = {
+            name: netlist.input_channels(name) for name in netlist.processes
+        }
+        output_map = {
+            name: netlist.output_channels(name) for name in netlist.processes
+        }
+
+        cycles = 0
+        halted = False
+        drain_remaining: Optional[int] = None
+        while cycles < max_cycles:
+            # Gather inputs for every process from the channel registers.
+            next_values: Dict[str, Any] = {}
+            for name, process in netlist.processes.items():
+                inputs = {
+                    port: channel_values[chan.name]
+                    for port, chan in input_map[name].items()
+                }
+                outputs = process.step(inputs)
+                for port, value in outputs.items():
+                    for chan in output_map[name].get(port, []):
+                        next_values[chan.name] = value
+                        if self.record_trace:
+                            trace.record(chan.name, Token(value=value, tag=cycles + 1))
+
+            # Channels not driven this cycle (dangling outputs never happen,
+            # but undriven source ports of processes with no outputs do not
+            # appear) keep their previous value.
+            for chan_name, value in next_values.items():
+                channel_values[chan_name] = value
+            cycles += 1
+
+            if drain_remaining is None:
+                done = self._stop_condition(stop_process)
+                if done:
+                    halted = True
+                    drain_remaining = extra_cycles
+            if drain_remaining is not None:
+                if drain_remaining == 0:
+                    break
+                drain_remaining -= 1
+
+        firings = {name: process.firings for name, process in netlist.processes.items()}
+        return GoldenResult(
+            cycles=cycles,
+            firings=firings,
+            trace=trace,
+            halted=halted,
+            final_values=dict(channel_values),
+        )
+
+    def _stop_condition(self, stop_process: Optional[str]) -> bool:
+        if stop_process is not None:
+            return self.netlist.process(stop_process).is_done()
+        return any(process.is_done() for process in self.netlist)
+
+
+def run_golden(
+    netlist: Netlist,
+    max_cycles: int = 1_000_000,
+    stop_process: Optional[str] = None,
+    extra_cycles: int = 0,
+    record_trace: bool = True,
+) -> GoldenResult:
+    """Convenience wrapper around :class:`GoldenSimulator`."""
+    simulator = GoldenSimulator(netlist, record_trace=record_trace)
+    return simulator.run(
+        max_cycles=max_cycles, stop_process=stop_process, extra_cycles=extra_cycles
+    )

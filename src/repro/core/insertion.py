@@ -1,0 +1,115 @@
+"""Relay-station insertion policies.
+
+Bridges the physical side of the methodology (floorplan, wire model, clock
+target) and the architectural side (relay-station configurations evaluated by
+the simulators and the static analysis).  Three policies are provided:
+
+* :func:`uniform_insertion` — the paper's "All k" rows (optionally excluding
+  some links, e.g. "All 1 (no CU-IC)");
+* :func:`single_link_insertion` — the "Only <link>" rows;
+* :func:`floorplan_insertion` — the methodology flow: derive the minimum
+  relay-station count per link from a floorplan and a clock target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .config import RSConfiguration
+from .exceptions import ConfigurationError
+from .floorplan import Floorplan
+from .netlist import Netlist
+from .timing import ClockPlan, WireModel, relay_stations_for_lengths
+
+
+def uniform_insertion(
+    netlist: Netlist,
+    count: int,
+    exclude: Iterable[str] = (),
+    label: Optional[str] = None,
+) -> RSConfiguration:
+    """The same relay-station count on every link (optionally excluding some)."""
+    unknown = [link for link in exclude if link not in netlist.link_names()]
+    if unknown:
+        raise ConfigurationError(f"unknown links in exclude list: {sorted(unknown)}")
+    return RSConfiguration.uniform(count, exclude=exclude, label=label)
+
+
+def single_link_insertion(
+    netlist: Netlist, link: str, count: int = 1, label: Optional[str] = None
+) -> RSConfiguration:
+    """Relay stations only on one link ("Only <link>")."""
+    if link not in netlist.link_names():
+        raise ConfigurationError(
+            f"unknown link {link!r}; netlist links are {netlist.link_names()}"
+        )
+    return RSConfiguration.only(link, count=count, label=label)
+
+
+def all_single_link_insertions(netlist: Netlist, count: int = 1) -> List[RSConfiguration]:
+    """One "Only <link>" configuration per link of the netlist.
+
+    Rows 2-11 of Table 1 are exactly this family for ``count = 1``.
+    """
+    return [
+        single_link_insertion(netlist, link, count=count)
+        for link in netlist.link_names()
+    ]
+
+
+def floorplan_insertion(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    clock: ClockPlan,
+    wire_model: Optional[WireModel] = None,
+    label: Optional[str] = None,
+) -> RSConfiguration:
+    """Minimum relay-station counts dictated by a floorplan and a clock target.
+
+    This is the methodology's forward path: the architect does not choose the
+    counts — geometry and frequency do.  The returned configuration can then
+    be fed to the simulators, to the static analysis or used as a lower bound
+    by the optimiser.
+    """
+    lengths = floorplan.link_lengths(netlist)
+    counts = relay_stations_for_lengths(lengths, clock, wire_model)
+    if label is None:
+        label = f"floorplan @ {clock.frequency_ghz:.2f} GHz"
+    return RSConfiguration.from_mapping(counts, label=label)
+
+
+def incremental_insertions(
+    base: RSConfiguration,
+    netlist: Netlist,
+    extra: int = 1,
+) -> List[RSConfiguration]:
+    """All configurations obtained by adding *extra* RS to one link of *base*.
+
+    Rows 13-22 of the Matrix Multiply part of Table 1 ("All 1 and 2 <link>")
+    are ``incremental_insertions(uniform_insertion(netlist, 1), netlist)``.
+    """
+    configurations: List[RSConfiguration] = []
+    for link in netlist.link_names():
+        counts = base.per_link(netlist.link_names())
+        counts[link] = counts[link] + extra
+        configurations.append(
+            RSConfiguration.from_mapping(
+                counts, label=f"{base.label} and {counts[link]} {link}"
+            )
+        )
+    return configurations
+
+
+def merge_minimum(
+    required: Mapping[str, int],
+    chosen: Mapping[str, int],
+) -> Dict[str, int]:
+    """Combine physical lower bounds with an optimiser's choice (per link).
+
+    The optimiser may add slack relay stations (never remove required ones);
+    this helper enforces the lower bound link by link.
+    """
+    merged = dict(required)
+    for link, count in chosen.items():
+        merged[link] = max(merged.get(link, 0), count)
+    return merged

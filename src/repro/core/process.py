@@ -1,0 +1,251 @@
+"""Synchronous processes ("pearls") and the oracle interface.
+
+A :class:`Process` models one IP block of the SoC.  In the reference (golden)
+system every process fires exactly once per clock cycle: it consumes one value
+from each input port (the value produced by the driver during the previous
+cycle) and produces one value on each output port.  All process outputs are
+registered, so a value produced at cycle *t* is consumed at cycle *t + 1* —
+this is the standard synchronous block-level netlist that latency-insensitive
+design takes as its specification.
+
+When the process is enclosed in a wrapper (shell) and the wires are pipelined
+with relay stations, firings no longer happen every cycle, but firing number
+``k`` still consumes the ``k``-th valid token of every input channel and
+produces the ``k``-th valid token on every output channel.  Equivalence with
+the golden system follows.
+
+The WP2 wrapper additionally consults the process' *oracle*
+(:meth:`Process.required_ports`) before each firing: the oracle returns the
+set of input ports whose current-tag token is actually needed for the next
+computation.  Ports not in the set may be fed a stale or missing token — the
+process must not let them influence its next state or outputs.  Returning
+``None`` means "all ports are needed" and makes the WP2 wrapper behave exactly
+like the strict WP1 wrapper for that firing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .exceptions import NetlistError
+
+
+class Process(ABC):
+    """A synchronous block with named input and output ports.
+
+    Subclasses must define :attr:`input_ports`, :attr:`output_ports`,
+    :meth:`reset` and :meth:`fire`.  They may override
+    :meth:`required_ports` to expose a WP2 oracle and :meth:`is_done` to let
+    simulations terminate on a block-level condition (e.g. the control unit
+    reaching its HALT state).
+    """
+
+    #: Names of the input ports, in a stable order.
+    input_ports: Tuple[str, ...] = ()
+    #: Names of the output ports, in a stable order.
+    output_ports: Tuple[str, ...] = ()
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("process name must be a non-empty string")
+        self.name = name
+        self.firings = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Return the process to its initial state.
+
+        Subclasses overriding this method must call ``super().reset()`` so the
+        firing counter is cleared as well.
+        """
+        self.firings = 0
+
+    @abstractmethod
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        """Perform one synchronous step.
+
+        Parameters
+        ----------
+        inputs:
+            One value per input port.  For ports the oracle declared as not
+            required, the wrapper passes whatever it has (possibly ``None``);
+            the computation must not depend on those entries.
+
+        Returns
+        -------
+        dict
+            One value per output port.
+        """
+
+    # -- WP2 oracle -----------------------------------------------------------
+    def required_ports(self) -> Optional[FrozenSet[str]]:
+        """Ports whose next-tag token is needed for the next firing.
+
+        The default (``None``) requires every input port, which reduces the
+        relaxed wrapper to the strict one.  Overrides must only use the
+        process' *current* state (never the pending input values): the oracle
+        is consulted while inputs may still be in flight.
+        """
+        return None
+
+    # -- termination hook -----------------------------------------------------
+    def is_done(self) -> bool:
+        """Whether this process reached a terminal state (e.g. executed HALT)."""
+        return False
+
+    # -- bookkeeping used by the simulators -----------------------------------
+    def step(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fire once and keep the firing counter up to date.
+
+        Simulators call :meth:`step` instead of :meth:`fire` directly so the
+        number of valid firings is tracked uniformly.  The output dictionary
+        is validated against :attr:`output_ports`.
+        """
+        outputs = self.fire(inputs)
+        missing = [port for port in self.output_ports if port not in outputs]
+        if missing:
+            raise NetlistError(
+                f"process {self.name!r} did not drive output ports {missing}"
+            )
+        unexpected = [port for port in outputs if port not in self.output_ports]
+        if unexpected:
+            raise NetlistError(
+                f"process {self.name!r} drove undeclared output ports {unexpected}"
+            )
+        self.firings += 1
+        return dict(outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"inputs={list(self.input_ports)}, outputs={list(self.output_ports)})"
+        )
+
+
+class FunctionProcess(Process):
+    """A process defined by a plain function over its inputs and a state.
+
+    The function receives ``(state, inputs)`` and returns
+    ``(new_state, outputs)``.  This is the quickest way to build small test
+    systems and the synthetic netlists used by the property tests.
+
+    Parameters
+    ----------
+    name:
+        Process name (must be unique within a netlist).
+    inputs, outputs:
+        Port name sequences.
+    transition:
+        The ``(state, inputs) -> (new_state, outputs)`` function.
+    initial_state:
+        State restored by :meth:`reset`.
+    oracle:
+        Optional ``state -> frozenset of required ports`` function, exposing a
+        WP2 oracle for the function process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        transition: Callable[[Any, Mapping[str, Any]], Tuple[Any, Dict[str, Any]]],
+        initial_state: Any = None,
+        oracle: Optional[Callable[[Any], Optional[Iterable[str]]]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.input_ports = tuple(inputs)
+        self.output_ports = tuple(outputs)
+        self._transition = transition
+        self._initial_state = initial_state
+        self._oracle = oracle
+        self.state = initial_state
+
+    def reset(self) -> None:
+        super().reset()
+        self.state = self._initial_state
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        self.state, outputs = self._transition(self.state, inputs)
+        return outputs
+
+    def required_ports(self) -> Optional[FrozenSet[str]]:
+        if self._oracle is None:
+            return None
+        required = self._oracle(self.state)
+        if required is None:
+            return None
+        return frozenset(required)
+
+
+class PassthroughProcess(Process):
+    """A single-input, single-output process that forwards its input.
+
+    Used as a building block for synthetic ring netlists in tests and
+    benchmarks: a ring of pass-throughs with one injector exposes the
+    ``m/(m+n)`` loop-throughput behaviour in its purest form.
+    """
+
+    def __init__(self, name: str, in_port: str = "in", out_port: str = "out") -> None:
+        super().__init__(name)
+        self.input_ports = (in_port,)
+        self.output_ports = (out_port,)
+        self._in = in_port
+        self._out = out_port
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        return {self._out: inputs[self._in]}
+
+
+class CounterSource(Process):
+    """A source with no inputs producing 0, 1, 2, ... on its output port."""
+
+    def __init__(self, name: str, out_port: str = "out", limit: Optional[int] = None) -> None:
+        super().__init__(name)
+        self.input_ports = ()
+        self.output_ports = (out_port,)
+        self._out = out_port
+        self._limit = limit
+        self._next = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._next = 0
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        value = self._next
+        self._next += 1
+        return {self._out: value}
+
+    def is_done(self) -> bool:
+        return self._limit is not None and self._next >= self._limit
+
+
+class SinkProcess(Process):
+    """A sink that records every value it consumes (single input port)."""
+
+    def __init__(self, name: str, in_port: str = "in") -> None:
+        super().__init__(name)
+        self.input_ports = (in_port,)
+        self.output_ports = ()
+        self._in = in_port
+        self.received: list = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.received = []
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        self.received.append(inputs[self._in])
+        return {}

@@ -1,0 +1,171 @@
+"""Relay stations and bounded token queues.
+
+A relay station (Carloni's RS, reference [2] of the paper) is the element
+inserted on a long wire to pipeline it: a pipeline register plus one auxiliary
+register and a small FSM implementing back-pressure (*stop*).  When the
+downstream element asserts stop, the relay station parks the incoming datum in
+its auxiliary register; when both registers are full it propagates stop
+upstream, all the way back to the source process if needed.
+
+In this library relay stations and shell input FIFOs share a common bounded
+queue abstraction (:class:`TokenQueue`).  All back-pressure is *registered*:
+``stop`` is a function of the occupancy at the beginning of the cycle only.
+This mirrors RS implementations with two storage slots and avoids
+combinational stop cycles around netlist loops; the capacity argument
+guaranteeing no token is ever dropped is spelled out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .exceptions import ProtocolError
+from .tokens import Token
+
+
+class TokenQueue:
+    """A bounded FIFO of valid tokens with registered back-pressure.
+
+    The queue exposes two views of its occupancy:
+
+    * :attr:`occupancy` — the live occupancy, updated as soon as tokens are
+      pushed or popped;
+    * :meth:`stop` — the back-pressure signal, computed from the occupancy
+      *registered at the last call to* :meth:`latch`.
+
+    The simulator calls :meth:`latch` once per cycle (at the cycle boundary),
+    then makes every forwarding/firing decision against the latched values,
+    and finally commits the moves.  Because a producer only sends when
+    ``stop()`` was False (latched occupancy ≤ capacity − 1) and at most one
+    token arrives per cycle, the live occupancy can never exceed the capacity.
+    """
+
+    def __init__(self, name: str, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise ProtocolError(f"queue {name!r} capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Token] = deque()
+        self._latched_occupancy = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.max_occupancy = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset(self) -> None:
+        """Empty the queue and clear the statistics."""
+        self._items.clear()
+        self._latched_occupancy = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.max_occupancy = 0
+
+    def latch(self) -> None:
+        """Register the current occupancy for this cycle's stop computation."""
+        self._latched_occupancy = len(self._items)
+
+    # -- protocol ------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Live number of tokens currently stored."""
+        return len(self._items)
+
+    @property
+    def latched_occupancy(self) -> int:
+        """Occupancy as registered at the last :meth:`latch` call."""
+        return self._latched_occupancy
+
+    def stop(self) -> bool:
+        """Back-pressure towards the upstream element (registered)."""
+        return self._latched_occupancy >= self.capacity
+
+    def is_empty(self) -> bool:
+        """True when no token is stored (live view)."""
+        return not self._items
+
+    def has_data(self) -> bool:
+        """True when at least one token is stored (live view)."""
+        return bool(self._items)
+
+    def peek(self) -> Token:
+        """Return the oldest stored token without removing it."""
+        if not self._items:
+            raise ProtocolError(f"peek on empty queue {self.name!r}")
+        return self._items[0]
+
+    def pop(self) -> Token:
+        """Remove and return the oldest stored token."""
+        if not self._items:
+            raise ProtocolError(f"pop on empty queue {self.name!r}")
+        self.total_popped += 1
+        return self._items.popleft()
+
+    def push(self, token: Token) -> None:
+        """Append *token*; raises :class:`ProtocolError` on overflow."""
+        if not isinstance(token, Token):
+            raise ProtocolError(
+                f"queue {self.name!r} only stores valid tokens, got {token!r}"
+            )
+        if len(self._items) >= self.capacity:
+            raise ProtocolError(
+                f"overflow on queue {self.name!r} (capacity {self.capacity}); "
+                "the back-pressure protocol should have prevented this"
+            )
+        self._items.append(token)
+        self.total_pushed += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, occupancy={len(self._items)}, "
+            f"capacity={self.capacity})"
+        )
+
+
+class RelayStation(TokenQueue):
+    """A wire-pipelining relay station.
+
+    Semantically a :class:`TokenQueue` with two storage slots (the pipeline
+    register and the auxiliary register of Carloni's FSM).  The forwarding
+    decision is made by the simulator — a relay station forwards its oldest
+    token each cycle unless the next element downstream asserts stop — so the
+    class itself only adds the conventional capacity and a couple of
+    convenience views matching the FSM terminology used in the paper.
+    """
+
+    #: The two registers of the relay station FSM: main + auxiliary.
+    RS_CAPACITY = 2
+
+    def __init__(self, name: str, capacity: int = RS_CAPACITY) -> None:
+        super().__init__(name, capacity=capacity)
+
+    @property
+    def main_register(self) -> Optional[Token]:
+        """Content of the pipeline (main) register, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    @property
+    def aux_register(self) -> Optional[Token]:
+        """Content of the auxiliary register, or ``None`` when empty."""
+        return self._items[1] if len(self._items) > 1 else None
+
+    @property
+    def state(self) -> str:
+        """FSM state name: ``empty``, ``half`` (one datum) or ``full``."""
+        if not self._items:
+            return "empty"
+        if len(self._items) < self.capacity:
+            return "half"
+        return "full"
+
+
+def build_relay_chain(channel_name: str, count: int, capacity: int = RelayStation.RS_CAPACITY):
+    """Create *count* relay stations for one channel, ordered source → dest."""
+    return [
+        RelayStation(f"{channel_name}.rs{index}", capacity=capacity)
+        for index in range(count)
+    ]

@@ -1,0 +1,303 @@
+"""Wrappers ("shells") enclosing processes in the latency-insensitive system.
+
+Two wrapper flavours are provided, matching the paper:
+
+* :class:`StrictShell` (**WP1**) — the classical latency-insensitive wrapper:
+  the process fires only when *every* input FIFO holds the token with the
+  current tag and no output channel is back-pressured; otherwise the process
+  is stalled and τ is emitted on every output.
+
+* :class:`RelaxedShell` (**WP2**) — the paper's wrapper with an *oracle*: the
+  process fires as soon as the inputs the oracle declares *required* are
+  available (and outputs are not back-pressured).  Tokens on non-required
+  channels whose tag falls behind the firing counter are discarded ("the
+  synchronizer discards all inputs whose tag is smaller than the counter"),
+  which both frees FIFO space and keeps the per-channel lag counters
+  consistent.
+
+Both shells keep per-cycle statistics (valid firings, stall causes, discarded
+tokens) used by the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from .exceptions import ProtocolError
+from .process import Process
+from .relay_station import TokenQueue
+from .tokens import Token
+
+
+#: Default depth of the wrapper input FIFOs.  The paper first reasons with
+#: semi-infinite FIFOs and then makes them finite with back-pressure; a depth
+#: of a few entries is enough to decouple neighbouring blocks.
+DEFAULT_QUEUE_CAPACITY = 4
+
+
+@dataclass
+class FiringPlan:
+    """What a shell intends to do this cycle."""
+
+    fire: bool
+    #: Ports whose head token will be consumed when firing.
+    consume_ports: Tuple[str, ...] = ()
+    #: Why the shell stalls (only meaningful when ``fire`` is False).
+    stall_reason: str = ""
+    #: Ports that were required but had no current-tag token available.
+    missing_ports: Tuple[str, ...] = ()
+
+
+@dataclass
+class ShellStats:
+    """Per-shell counters accumulated over a simulation run."""
+
+    cycles: int = 0
+    firings: int = 0
+    stalls_missing_input: int = 0
+    stalls_output_blocked: int = 0
+    stalls_done: int = 0
+    discarded_tokens: int = 0
+    discarded_by_port: Dict[str, int] = field(default_factory=dict)
+    missing_by_port: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stalls(self) -> int:
+        """Total number of stalled cycles."""
+        return self.stalls_missing_input + self.stalls_output_blocked + self.stalls_done
+
+    @property
+    def throughput(self) -> float:
+        """Valid firings per cycle (the paper's Th for this block)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.firings / self.cycles
+
+
+class Shell:
+    """Common machinery of both wrapper flavours.
+
+    Parameters
+    ----------
+    process:
+        The wrapped pearl.
+    queue_capacity:
+        Depth of each input FIFO.
+    """
+
+    #: Set by subclasses; used in reports.
+    kind = "base"
+
+    def __init__(self, process: Process, queue_capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        self.process = process
+        self.queue_capacity = queue_capacity
+        self.queues: Dict[str, TokenQueue] = {
+            port: TokenQueue(f"{process.name}.{port}", capacity=queue_capacity)
+            for port in process.input_ports
+        }
+        self.stats = ShellStats()
+
+    # -- identity ----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Name of the wrapped process."""
+        return self.process.name
+
+    @property
+    def current_tag(self) -> int:
+        """Tag of the next firing (equals the number of completed firings)."""
+        return self.process.firings
+
+    @property
+    def output_tag(self) -> int:
+        """Tag carried by the tokens produced by the next firing.
+
+        The initial channel value holds tag 0, so the ``k``-th firing of the
+        producer emits tokens with tag ``k + 1``.
+        """
+        return self.process.firings + 1
+
+    # -- lifecycle -----------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset the process, empty the FIFOs and clear the statistics."""
+        self.process.reset()
+        for queue in self.queues.values():
+            queue.reset()
+        self.stats = ShellStats()
+
+    def latch(self) -> None:
+        """Latch FIFO occupancies for this cycle's back-pressure computation."""
+        for queue in self.queues.values():
+            queue.latch()
+
+    def accept(self, port: str, token: Token) -> None:
+        """Deliver *token* into the FIFO of *port* (called at cycle commit)."""
+        try:
+            queue = self.queues[port]
+        except KeyError:
+            raise ProtocolError(
+                f"shell {self.name!r} has no input port {port!r}"
+            ) from None
+        queue.push(token)
+
+    def input_stop(self, port: str) -> bool:
+        """Back-pressure of the FIFO attached to *port* (registered)."""
+        return self.queues[port].stop()
+
+    # -- per-cycle hooks -------------------------------------------------------------
+    def begin_cycle(self) -> None:
+        """Hook executed at the start of every cycle (before planning)."""
+        self.stats.cycles += 1
+
+    def plan(self, outputs_blocked: bool) -> FiringPlan:
+        """Decide whether to fire this cycle.  Implemented by subclasses."""
+        raise NotImplementedError
+
+    def execute(self, plan: FiringPlan) -> Optional[Dict[str, Token]]:
+        """Carry out *plan*: consume tokens, fire the process, emit outputs.
+
+        Returns a mapping ``output port -> Token`` when the process fired, or
+        ``None`` when it stalled (the simulator then records τ on every output
+        channel).
+        """
+        if not plan.fire:
+            if plan.stall_reason == "missing_input":
+                self.stats.stalls_missing_input += 1
+                for port in plan.missing_ports:
+                    self.stats.missing_by_port[port] = (
+                        self.stats.missing_by_port.get(port, 0) + 1
+                    )
+            elif plan.stall_reason == "output_blocked":
+                self.stats.stalls_output_blocked += 1
+            else:
+                self.stats.stalls_done += 1
+            return None
+
+        tag = self.current_tag
+        inputs: Dict[str, object] = {}
+        for port in self.process.input_ports:
+            if port in plan.consume_ports:
+                token = self.queues[port].pop()
+                if token.tag != tag:
+                    raise ProtocolError(
+                        f"shell {self.name!r} consumed tag {token.tag} on port "
+                        f"{port!r} while firing tag {tag}"
+                    )
+                inputs[port] = token.value
+            else:
+                inputs[port] = None
+
+        output_tag = self.output_tag
+        outputs = self.process.step(inputs)
+        self.stats.firings += 1
+        return {
+            port: Token(value=value, tag=output_tag) for port, value in outputs.items()
+        }
+
+    # -- helpers ------------------------------------------------------------------------
+    def _head_ready(self, port: str) -> bool:
+        """True when the FIFO of *port* holds the token with the current tag."""
+        queue = self.queues[port]
+        if queue.is_empty():
+            return False
+        head = queue.peek()
+        if head.tag > self.current_tag:
+            raise ProtocolError(
+                f"shell {self.name!r}: head token on port {port!r} has future tag "
+                f"{head.tag} (current {self.current_tag}); a token was lost"
+            )
+        return head.tag == self.current_tag
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.process.name!r})"
+
+
+class StrictShell(Shell):
+    """The WP1 wrapper: fire only when all inputs are present."""
+
+    kind = "WP1"
+
+    def plan(self, outputs_blocked: bool) -> FiringPlan:
+        if self.process.is_done():
+            return FiringPlan(fire=False, stall_reason="done")
+        missing = tuple(
+            port for port in self.process.input_ports if not self._head_ready(port)
+        )
+        if missing:
+            return FiringPlan(
+                fire=False, stall_reason="missing_input", missing_ports=missing
+            )
+        if outputs_blocked:
+            return FiringPlan(fire=False, stall_reason="output_blocked")
+        return FiringPlan(fire=True, consume_ports=tuple(self.process.input_ports))
+
+
+class RelaxedShell(Shell):
+    """The WP2 wrapper: fire as soon as the oracle-required inputs are present."""
+
+    kind = "WP2"
+
+    def begin_cycle(self) -> None:
+        super().begin_cycle()
+        self.discard_stale()
+
+    def discard_stale(self) -> None:
+        """Drop queued tokens whose tag is older than the firing counter.
+
+        These are tokens the process skipped in earlier firings because the
+        oracle declared them unnecessary; the paper's simplified wrapper drops
+        them by comparing per-channel lag counters.
+        """
+        tag = self.current_tag
+        for port, queue in self.queues.items():
+            while queue.has_data() and queue.peek().tag < tag:
+                queue.pop()
+                self.stats.discarded_tokens += 1
+                self.stats.discarded_by_port[port] = (
+                    self.stats.discarded_by_port.get(port, 0) + 1
+                )
+
+    def required_ports(self) -> FrozenSet[str]:
+        """The oracle's answer for the next firing (all ports when undeclared)."""
+        required = self.process.required_ports()
+        if required is None:
+            return frozenset(self.process.input_ports)
+        unknown = required - frozenset(self.process.input_ports)
+        if unknown:
+            raise ProtocolError(
+                f"oracle of process {self.name!r} required unknown ports {sorted(unknown)}"
+            )
+        return frozenset(required)
+
+    def plan(self, outputs_blocked: bool) -> FiringPlan:
+        if self.process.is_done():
+            return FiringPlan(fire=False, stall_reason="done")
+        required = self.required_ports()
+        missing = tuple(port for port in required if not self._head_ready(port))
+        if missing:
+            return FiringPlan(
+                fire=False, stall_reason="missing_input", missing_ports=missing
+            )
+        if outputs_blocked:
+            return FiringPlan(fire=False, stall_reason="output_blocked")
+        # Consume required ports, plus any non-required port whose current-tag
+        # token already arrived (consuming it now is equivalent to discarding
+        # it later and keeps the FIFO shallow).
+        consume = set(required)
+        for port in self.process.input_ports:
+            if port not in consume and self._head_ready(port):
+                consume.add(port)
+        ordered = tuple(port for port in self.process.input_ports if port in consume)
+        return FiringPlan(fire=True, consume_ports=ordered)
+
+
+def make_shell(
+    process: Process,
+    relaxed: bool,
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+) -> Shell:
+    """Factory returning a WP2 shell when *relaxed* else a WP1 shell."""
+    if relaxed:
+        return RelaxedShell(process, queue_capacity=queue_capacity)
+    return StrictShell(process, queue_capacity=queue_capacity)

@@ -1,0 +1,123 @@
+"""Wire delay model and relay-station budgeting.
+
+The methodology motivation of the paper is that in deep-submicron SoCs the
+delay of a long global wire exceeds the clock period, so the wire has to be
+pipelined — the number of relay stations on a link is dictated by physical
+length and the target clock, not by the architect.  This module provides a
+compact, well-documented first-order model:
+
+* buffered global wires have a delay that grows linearly with length (optimal
+  repeater insertion makes the delay linear rather than quadratic);
+* a link of length ``L`` at clock period ``T`` needs
+  ``ceil(delay(L) / T) - 1`` relay stations (one register every clock period
+  of flight time).
+
+Numbers default to values representative of a 130 nm technology (the node
+used in the paper's synthesis experiments) but every parameter is explicit so
+experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """First-order delay model for repeated global wires.
+
+    Attributes
+    ----------
+    delay_per_mm_ps:
+        Signal propagation delay per millimetre of optimally repeated wire,
+        in picoseconds.  ~100-200 ps/mm is representative of 130 nm metal.
+    fixed_overhead_ps:
+        Launch + capture overhead added once per wire (flop clk-to-q, setup).
+    """
+
+    delay_per_mm_ps: float = 150.0
+    fixed_overhead_ps: float = 50.0
+
+    def delay_ps(self, length_mm: float) -> float:
+        """Total wire delay in picoseconds for a wire of *length_mm*."""
+        if length_mm < 0:
+            raise ValueError("wire length must be non-negative")
+        if length_mm == 0:
+            return 0.0
+        return self.fixed_overhead_ps + self.delay_per_mm_ps * length_mm
+
+    def max_unpipelined_length_mm(self, clock_period_ps: float) -> float:
+        """Longest wire that still fits in one clock period."""
+        if clock_period_ps <= self.fixed_overhead_ps:
+            return 0.0
+        return (clock_period_ps - self.fixed_overhead_ps) / self.delay_per_mm_ps
+
+    def relay_stations_needed(self, length_mm: float, clock_period_ps: float) -> int:
+        """Minimum number of relay stations for a wire of *length_mm*.
+
+        A wire whose delay fits within one clock period needs none; otherwise
+        one relay station is needed for every additional clock period of
+        flight time.
+        """
+        if clock_period_ps <= 0:
+            raise ValueError("clock period must be positive")
+        delay = self.delay_ps(length_mm)
+        if delay <= clock_period_ps:
+            return 0
+        return int(math.ceil(delay / clock_period_ps)) - 1
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """A target clock frequency expressed both ways for convenience."""
+
+    period_ps: float
+
+    @classmethod
+    def from_frequency_ghz(cls, frequency_ghz: float) -> "ClockPlan":
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        return cls(period_ps=1000.0 / frequency_ghz)
+
+    @property
+    def frequency_ghz(self) -> float:
+        return 1000.0 / self.period_ps
+
+
+def relay_stations_for_lengths(
+    lengths_mm: Mapping[str, float],
+    clock: ClockPlan,
+    wire_model: WireModel | None = None,
+) -> Dict[str, int]:
+    """Relay stations needed per link given physical link lengths.
+
+    This is the methodology's entry point: the floorplan fixes the lengths,
+    the clock target fixes the budget, and the result is the minimum
+    relay-station count per link that the latency-insensitive system must
+    tolerate.
+    """
+    model = wire_model if wire_model is not None else WireModel()
+    return {
+        link: model.relay_stations_needed(length, clock.period_ps)
+        for link, length in lengths_mm.items()
+    }
+
+
+def clock_scaling_sweep(
+    lengths_mm: Mapping[str, float],
+    frequencies_ghz: Iterable[float],
+    wire_model: WireModel | None = None,
+) -> Dict[float, Dict[str, int]]:
+    """Relay-station requirements across a sweep of clock frequencies.
+
+    Useful to show when each link of the Figure 1 processor starts requiring
+    one, two, ... relay stations as the clock is pushed up.
+    """
+    model = wire_model if wire_model is not None else WireModel()
+    sweep: Dict[float, Dict[str, int]] = {}
+    for frequency in frequencies_ghz:
+        clock = ClockPlan.from_frequency_ghz(frequency)
+        sweep[frequency] = relay_stations_for_lengths(lengths_mm, clock, model)
+    return sweep

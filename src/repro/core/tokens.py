@@ -1,0 +1,88 @@
+"""Tagged-signal model primitives.
+
+The paper describes signals as sets of events ``e = (v, t)`` where ``v`` is a
+value and ``t`` a tag (a clock tick).  When relay stations are inserted, the
+sequences of valid events are interleaved with *void* symbols (τ).  This
+module provides the two event kinds used throughout the library:
+
+* :class:`Token` — a valid event carrying a value and a tag.
+* :data:`VOID` — the unique void symbol τ emitted by stalled shells and empty
+  relay stations.
+
+Tags are logical indices into the τ-filtered sequence of a channel: the
+``k``-th valid token ever produced on a channel has tag ``k`` (0-based).
+Because the latency-insensitive protocol preserves ordering, tags never need
+to be transmitted on wires; they are reconstructed by counters.  They are kept
+on the Python objects anyway because they make equivalence checking and
+debugging direct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class _Void:
+    """The void symbol τ.
+
+    A single instance (:data:`VOID`) is used everywhere; identity comparison
+    (``x is VOID``) is the idiomatic check, but ``==`` also works because the
+    class has exactly one instance.
+    """
+
+    _instance: "_Void | None" = None
+
+    def __new__(cls) -> "_Void":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "τ"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_Void, ())
+
+
+#: The void symbol emitted on every output of a stalled shell.
+VOID = _Void()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A valid event on a channel.
+
+    Attributes
+    ----------
+    value:
+        The payload carried by the event.  The library places no constraint
+        on the type; the CPU case study uses small dataclasses and ints.
+    tag:
+        The 0-based index of this event in the τ-filtered sequence of its
+        channel.  Token ``k`` on a channel is consumed by the destination
+        process' firing number ``k``.
+    """
+
+    value: Any
+    tag: int
+
+    def __post_init__(self) -> None:
+        if self.tag < 0:
+            raise ValueError(f"token tag must be non-negative, got {self.tag}")
+
+    def __repr__(self) -> str:
+        return f"Token(tag={self.tag}, value={self.value!r})"
+
+
+def is_void(item: Any) -> bool:
+    """Return True if *item* is the void symbol τ."""
+    return item is VOID or isinstance(item, _Void)
+
+
+def is_token(item: Any) -> bool:
+    """Return True if *item* is a valid (non-void) token."""
+    return isinstance(item, Token)

@@ -1,0 +1,184 @@
+"""Channel traces: recorded realizations of signals.
+
+A *realization* of a channel over a time window is the per-cycle sequence of
+items observed on it — valid :class:`~repro.core.tokens.Token` objects
+interleaved with τ (:data:`~repro.core.tokens.VOID`).  The paper's equivalence
+definition works on the τ-filtered sequences, so this module provides both the
+raw per-cycle view and the filtered view, plus containers that hold one trace
+per channel for a whole system run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from .tokens import VOID, Token, is_token, is_void
+
+
+@dataclass
+class ChannelTrace:
+    """The realization of a single channel.
+
+    ``items[t]`` is what the channel's source emitted during cycle ``t``:
+    either a :class:`Token` or :data:`VOID`.
+    """
+
+    channel: str
+    items: List[Any] = field(default_factory=list)
+
+    def append(self, item: Any) -> None:
+        """Record the item emitted during the next cycle."""
+        if not (is_token(item) or is_void(item)):
+            raise TypeError(
+                f"trace items must be Token or VOID, got {type(item).__name__}"
+            )
+        self.items.append(item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.items[index]
+
+    @property
+    def cycles(self) -> int:
+        """Number of cycles recorded."""
+        return len(self.items)
+
+    def filtered(self) -> List[Token]:
+        """Return the τ-filtered sequence of valid tokens, in order."""
+        return [item for item in self.items if is_token(item)]
+
+    def values(self) -> List[Any]:
+        """Return the values of the τ-filtered sequence."""
+        return [token.value for token in self.filtered()]
+
+    def valid_count(self) -> int:
+        """Number of valid tokens in the realization."""
+        return sum(1 for item in self.items if is_token(item))
+
+    def void_count(self) -> int:
+        """Number of void symbols in the realization."""
+        return len(self.items) - self.valid_count()
+
+    def throughput(self) -> float:
+        """Average number of valid tokens per cycle (paper's Th metric)."""
+        if not self.items:
+            return 0.0
+        return self.valid_count() / len(self.items)
+
+    def tags_are_consistent(self) -> bool:
+        """Check that valid tokens carry consecutive tags starting at 0."""
+        return all(
+            token.tag == position
+            for position, token in enumerate(self.filtered())
+        )
+
+
+class SystemTrace(Mapping[str, ChannelTrace]):
+    """A set of channel traces recorded during one system run.
+
+    Behaves like a read-only mapping ``channel name -> ChannelTrace`` and adds
+    aggregate helpers (overall throughput, τ-filtering across channels).
+    """
+
+    def __init__(self, channels: Iterable[str] = ()) -> None:
+        self._traces: Dict[str, ChannelTrace] = {
+            name: ChannelTrace(name) for name in channels
+        }
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, key: str) -> ChannelTrace:
+        return self._traces[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._traces)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    # -- recording ---------------------------------------------------------
+    def ensure_channel(self, name: str) -> ChannelTrace:
+        """Create (if needed) and return the trace for *name*."""
+        if name not in self._traces:
+            self._traces[name] = ChannelTrace(name)
+        return self._traces[name]
+
+    def record(self, channel: str, item: Any) -> None:
+        """Append *item* (Token or VOID) to *channel*'s trace."""
+        self.ensure_channel(channel).append(item)
+
+    def record_cycle(self, emissions: Mapping[str, Any]) -> None:
+        """Record one cycle worth of emissions, one item per channel."""
+        for channel, item in emissions.items():
+            self.record(channel, item)
+
+    # -- queries -----------------------------------------------------------
+    def filtered(self) -> Dict[str, List[Token]]:
+        """Return the τ-filtered sequence of every channel."""
+        return {name: trace.filtered() for name, trace in self._traces.items()}
+
+    def values(self) -> Dict[str, List[Any]]:
+        """Return the τ-filtered value sequences of every channel."""
+        return {name: trace.values() for name, trace in self._traces.items()}
+
+    def cycles(self) -> int:
+        """Length (in cycles) of the longest channel trace."""
+        if not self._traces:
+            return 0
+        return max(trace.cycles for trace in self._traces.values())
+
+    def min_valid_count(self) -> int:
+        """The largest N such that every channel has at least N valid tokens.
+
+        This is the N of the paper's N-equivalence definition ("find the
+        maximum tag N such that every signal has a sequence of at least N
+        values").
+        """
+        if not self._traces:
+            return 0
+        return min(trace.valid_count() for trace in self._traces.values())
+
+    def throughput(self) -> float:
+        """Minimum per-channel throughput (the worst channel dominates)."""
+        if not self._traces:
+            return 0.0
+        return min(trace.throughput() for trace in self._traces.values())
+
+    def mean_throughput(self) -> float:
+        """Average per-channel throughput across all channels."""
+        if not self._traces:
+            return 0.0
+        values = [trace.throughput() for trace in self._traces.values()]
+        return sum(values) / len(values)
+
+
+def trace_from_values(channel: str, values: Sequence[Any]) -> ChannelTrace:
+    """Build a fully-valid trace (no τ) from a sequence of values.
+
+    Useful in tests to describe a golden realization compactly.
+    """
+    trace = ChannelTrace(channel)
+    for tag, value in enumerate(values):
+        trace.append(Token(value=value, tag=tag))
+    return trace
+
+
+def interleave_voids(trace: ChannelTrace, period: int) -> ChannelTrace:
+    """Return a new trace with a τ inserted after every *period* tokens.
+
+    This models (for testing) the effect of a relay station that stalls the
+    channel periodically, and is used by the equivalence property tests.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    stretched = ChannelTrace(trace.channel)
+    for index, item in enumerate(trace.items):
+        stretched.append(item)
+        if (index + 1) % period == 0:
+            stretched.append(VOID)
+    return stretched

@@ -1,0 +1,198 @@
+"""End-to-end verification: golden vs wire-pipelined runs.
+
+This module packages the flow every experiment (and many tests) needs:
+
+1. run the golden system and record its τ-filtered traces and cycle count;
+2. run the WP1 and/or WP2 system under a relay-station configuration;
+3. check N-equivalence of the filtered traces (the formal property the paper
+   proves);
+4. report throughput both as valid-firings-per-cycle and as the cycle ratio
+   golden/WP used by Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from .config import RSConfiguration
+from .equivalence import EquivalenceReport, n_equivalent
+from .exceptions import EquivalenceError
+from .golden import GoldenResult, run_golden
+from .netlist import Netlist
+from .shell import DEFAULT_QUEUE_CAPACITY
+from .simulator import LidResult, run_lid
+
+
+@dataclass
+class VerificationResult:
+    """Golden vs wire-pipelined comparison for one wrapper flavour."""
+
+    golden: GoldenResult
+    pipelined: LidResult
+    equivalence: EquivalenceReport
+
+    @property
+    def throughput(self) -> float:
+        """Table 1's Th: golden cycles divided by wire-pipelined cycles."""
+        if self.pipelined.cycles == 0:
+            return 0.0
+        return self.golden.cycles / self.pipelined.cycles
+
+    @property
+    def slowdown(self) -> float:
+        """Cycle inflation factor of the wire-pipelined system (>= 1)."""
+        if self.golden.cycles == 0:
+            return 0.0
+        return self.pipelined.cycles / self.golden.cycles
+
+    def require_equivalent(self) -> "VerificationResult":
+        """Raise :class:`EquivalenceError` if the equivalence check failed."""
+        self.equivalence.raise_if_failed()
+        return self
+
+
+def verify_configuration(
+    netlist: Netlist,
+    configuration: Optional[RSConfiguration] = None,
+    rs_counts: Optional[Mapping[str, int]] = None,
+    relaxed: bool = False,
+    stop_process: Optional[str] = None,
+    golden: Optional[GoldenResult] = None,
+    max_cycles: int = 5_000_000,
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    equivalence_channels: Optional[Sequence[str]] = None,
+    check_equivalence: bool = True,
+) -> VerificationResult:
+    """Run golden and wire-pipelined systems and compare them.
+
+    Parameters
+    ----------
+    netlist:
+        The block-level netlist.  It is reset before each run, so the same
+        instance can be reused across configurations.
+    configuration / rs_counts:
+        The relay-station placement (per link or per channel).
+    relaxed:
+        ``True`` selects the WP2 wrapper, ``False`` the strict WP1 wrapper.
+    stop_process:
+        Process whose ``is_done()`` terminates both runs.
+    golden:
+        A previously computed golden result to reuse (it is re-run otherwise).
+    equivalence_channels:
+        Restrict the equivalence check to these channels (all by default).
+    check_equivalence:
+        Skip the trace comparison (useful for pure performance sweeps where
+        traces are not recorded).
+    """
+    if golden is None:
+        golden = run_golden(
+            netlist,
+            max_cycles=max_cycles,
+            stop_process=stop_process,
+            record_trace=check_equivalence,
+        )
+
+    # When no stop process is designated (e.g. free-running synthetic rings),
+    # the wire-pipelined run targets the same number of valid firings the
+    # golden run performed, which is the natural "same work" stopping point.
+    # The cycle budget is widened because the wire-pipelined system needs more
+    # cycles than the golden one to perform the same work.
+    target_firings = None if stop_process is not None else dict(golden.firings)
+    rs_total = 0
+    if configuration is not None:
+        rs_total = configuration.total_relay_stations(netlist)
+    elif rs_counts is not None:
+        rs_total = sum(int(count) for count in rs_counts.values())
+    pipelined_budget = max(max_cycles, golden.cycles * (3 + rs_total))
+    pipelined = run_lid(
+        netlist,
+        rs_counts=rs_counts,
+        configuration=configuration,
+        relaxed=relaxed,
+        queue_capacity=queue_capacity,
+        record_trace=check_equivalence,
+        max_cycles=pipelined_budget,
+        stop_process=stop_process,
+        target_firings=target_firings,
+    )
+
+    if check_equivalence:
+        equivalence = n_equivalent(
+            golden.trace, pipelined.trace, channels=equivalence_channels
+        )
+    else:
+        equivalence = EquivalenceReport(equivalent=True, compared_depth=0)
+
+    return VerificationResult(golden=golden, pipelined=pipelined, equivalence=equivalence)
+
+
+@dataclass
+class ComparisonRow:
+    """One Table-1-style row: a configuration evaluated under WP1 and WP2."""
+
+    configuration: RSConfiguration
+    golden_cycles: int
+    wp1: VerificationResult
+    wp2: VerificationResult
+
+    @property
+    def wp1_throughput(self) -> float:
+        return self.wp1.throughput
+
+    @property
+    def wp2_throughput(self) -> float:
+        return self.wp2.throughput
+
+    @property
+    def wp2_cycles(self) -> int:
+        return self.wp2.pipelined.cycles
+
+    @property
+    def improvement_percent(self) -> float:
+        """WP2 vs WP1 percentage gain, as printed in the table's last column."""
+        if self.wp1_throughput == 0:
+            return 0.0
+        return 100.0 * (self.wp2_throughput - self.wp1_throughput) / self.wp1_throughput
+
+
+def compare_wrappers(
+    netlist: Netlist,
+    configuration: RSConfiguration,
+    stop_process: Optional[str] = None,
+    golden: Optional[GoldenResult] = None,
+    max_cycles: int = 5_000_000,
+    check_equivalence: bool = True,
+) -> ComparisonRow:
+    """Evaluate one configuration under both wrappers (one table row)."""
+    if golden is None:
+        golden = run_golden(
+            netlist,
+            max_cycles=max_cycles,
+            stop_process=stop_process,
+            record_trace=check_equivalence,
+        )
+    wp1 = verify_configuration(
+        netlist,
+        configuration=configuration,
+        relaxed=False,
+        stop_process=stop_process,
+        golden=golden,
+        max_cycles=max_cycles,
+        check_equivalence=check_equivalence,
+    )
+    wp2 = verify_configuration(
+        netlist,
+        configuration=configuration,
+        relaxed=True,
+        stop_process=stop_process,
+        golden=golden,
+        max_cycles=max_cycles,
+        check_equivalence=check_equivalence,
+    )
+    return ComparisonRow(
+        configuration=configuration,
+        golden_cycles=golden.cycles,
+        wp1=wp1,
+        wp2=wp2,
+    )

@@ -1,0 +1,65 @@
+"""The paper's case study: a five-block processor wrapped for wire pipelining.
+
+The processor of Figure 1 is built from five blocks — control unit (CU),
+instruction cache (IC), register file (RF), ALU and data cache (DC) —
+communicating exclusively over the point-to-point channels shown in the
+figure.  Two control styles are provided (pipelined and multicycle) and two
+workloads (extraction sort and matrix multiply), matching the paper's
+experimental setup.
+"""
+
+from . import isa
+from .assembler import AssemblyResult, assemble, disassemble
+from .isa import Instruction, Opcode, decode, encode
+from .machine import (
+    CaseStudyCpu,
+    DRAIN_CYCLES,
+    build_multicycle_cpu,
+    build_pipelined_cpu,
+)
+from .program import Program, data_from_list
+from .topology import (
+    BLOCKS,
+    CHANNEL_WIDTHS,
+    DEFAULT_BLOCK_GATES,
+    DEFAULT_BLOCK_SIZES_MM,
+    TABLE1_LINK_ORDER,
+    build_channels,
+)
+from .units import Alu, ControlUnit, DataCache, InstructionCache, RegisterFile
+from .workloads import (
+    Workload,
+    make_extraction_sort,
+    make_matrix_multiply,
+)
+
+__all__ = [
+    "isa",
+    "Instruction",
+    "Opcode",
+    "encode",
+    "decode",
+    "assemble",
+    "disassemble",
+    "AssemblyResult",
+    "Program",
+    "data_from_list",
+    "CaseStudyCpu",
+    "DRAIN_CYCLES",
+    "build_pipelined_cpu",
+    "build_multicycle_cpu",
+    "BLOCKS",
+    "TABLE1_LINK_ORDER",
+    "CHANNEL_WIDTHS",
+    "DEFAULT_BLOCK_SIZES_MM",
+    "DEFAULT_BLOCK_GATES",
+    "build_channels",
+    "Alu",
+    "ControlUnit",
+    "DataCache",
+    "InstructionCache",
+    "RegisterFile",
+    "Workload",
+    "make_extraction_sort",
+    "make_matrix_multiply",
+]

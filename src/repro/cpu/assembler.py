@@ -1,0 +1,226 @@
+"""Two-pass assembler for the minimal ISA.
+
+The workload generators build instruction lists programmatically, but writing
+the benchmark kernels in assembly text keeps them readable and lets tests and
+examples assemble their own programs.  Syntax::
+
+    ; comment (also '#' and '//')
+    label:
+        LI   r1, 10
+        LI   r2, data        ; labels can be used as immediates
+    loop:
+        LD   r3, 0(r1)
+        ADD  r4, r4, r3
+        ADDI r1, r1, 1
+        BNE  r1, r2, loop
+        ST   r4, 0(r0)
+        HALT
+
+* Registers are written ``r0`` … ``r15`` (case-insensitive).
+* Branch and jump targets are labels or absolute addresses.
+* Memory operands are written ``imm(rN)`` or just ``(rN)`` (offset 0).
+* ``.word`` is not supported — data memory images are built separately by the
+  :mod:`repro.cpu.program` helpers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.exceptions import AssemblerError
+from . import isa
+from .isa import Instruction, Opcode
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_OPERAND_RE = re.compile(r"^(?P<offset>[^()]*)\(\s*(?P<reg>[A-Za-z0-9_]+)\s*\)$")
+
+
+@dataclass
+class AssemblyResult:
+    """Output of the assembler: instructions plus the resolved symbol table."""
+
+    instructions: List[Instruction]
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def words(self) -> List[int]:
+        """Encoded 32-bit machine words, in address order."""
+        return [isa.encode(instruction) for instruction in self.instructions]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#", "//"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_register(text: str, line_number: int) -> int:
+    text = text.strip().lower()
+    if not text.startswith("r"):
+        raise AssemblerError(f"line {line_number}: expected a register, got {text!r}")
+    try:
+        number = int(text[1:])
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_number}: invalid register {text!r}"
+        ) from None
+    if not 0 <= number < isa.NUM_REGISTERS:
+        raise AssemblerError(f"line {line_number}: register {text!r} out of range")
+    return number
+
+
+def _parse_value(
+    text: str, symbols: Mapping[str, int], line_number: int
+) -> int:
+    text = text.strip()
+    if not text:
+        return 0
+    if _LABEL_RE.match(text) and not re.match(r"^[rR]\d+$", text):
+        if text not in symbols:
+            raise AssemblerError(f"line {line_number}: unknown label {text!r}")
+        return symbols[text]
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_number}: expected an integer or label, got {text!r}"
+        ) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    if not rest.strip():
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+@dataclass
+class _SourceLine:
+    number: int
+    mnemonic: str
+    operands: List[str]
+
+
+def _first_pass(text: str) -> Tuple[List[_SourceLine], Dict[str, int]]:
+    lines: List[_SourceLine] = []
+    symbols: Dict[str, int] = {}
+    address = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"line {number}: invalid label {label!r}")
+            if label in symbols:
+                raise AssemblerError(f"line {number}: duplicate label {label!r}")
+            symbols[label] = address
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].upper()
+        rest = parts[1] if len(parts) > 1 else ""
+        lines.append(_SourceLine(number=number, mnemonic=mnemonic, operands=_split_operands(rest)))
+        address += 1
+    return lines, symbols
+
+
+def _expect_operands(line: _SourceLine, count: int) -> None:
+    if len(line.operands) != count:
+        raise AssemblerError(
+            f"line {line.number}: {line.mnemonic} expects {count} operand(s), "
+            f"got {len(line.operands)}"
+        )
+
+
+def _parse_memory_operand(
+    text: str, symbols: Mapping[str, int], line_number: int
+) -> Tuple[int, int]:
+    """Parse ``imm(rN)`` / ``(rN)`` / bare ``imm`` into (offset, base register)."""
+    match = _MEM_OPERAND_RE.match(text.strip())
+    if match:
+        offset = _parse_value(match.group("offset"), symbols, line_number)
+        base = _parse_register(match.group("reg"), line_number)
+        return offset, base
+    return _parse_value(text, symbols, line_number), 0
+
+
+def _second_pass(
+    lines: Sequence[_SourceLine], symbols: Mapping[str, int]
+) -> List[Instruction]:
+    instructions: List[Instruction] = []
+    for line in lines:
+        mnemonic = line.mnemonic
+        try:
+            opcode = Opcode[mnemonic]
+        except KeyError:
+            raise AssemblerError(
+                f"line {line.number}: unknown mnemonic {mnemonic!r}"
+            ) from None
+
+        if opcode in (Opcode.NOP, Opcode.HALT):
+            _expect_operands(line, 0)
+            instructions.append(Instruction(opcode))
+        elif opcode is Opcode.JMP:
+            _expect_operands(line, 1)
+            target = _parse_value(line.operands[0], symbols, line.number)
+            instructions.append(Instruction(opcode, imm=target))
+        elif opcode is Opcode.LI:
+            _expect_operands(line, 2)
+            rd = _parse_register(line.operands[0], line.number)
+            imm = _parse_value(line.operands[1], symbols, line.number)
+            instructions.append(Instruction(opcode, rd=rd, imm=imm))
+        elif opcode in isa.IMMEDIATE_OPS:
+            _expect_operands(line, 3)
+            rd = _parse_register(line.operands[0], line.number)
+            ra = _parse_register(line.operands[1], line.number)
+            imm = _parse_value(line.operands[2], symbols, line.number)
+            instructions.append(Instruction(opcode, rd=rd, ra=ra, imm=imm))
+        elif opcode is Opcode.LD:
+            _expect_operands(line, 2)
+            rd = _parse_register(line.operands[0], line.number)
+            offset, base = _parse_memory_operand(line.operands[1], symbols, line.number)
+            instructions.append(Instruction(opcode, rd=rd, ra=base, imm=offset))
+        elif opcode is Opcode.ST:
+            _expect_operands(line, 2)
+            rb = _parse_register(line.operands[0], line.number)
+            offset, base = _parse_memory_operand(line.operands[1], symbols, line.number)
+            instructions.append(Instruction(opcode, rb=rb, ra=base, imm=offset))
+        elif opcode in isa.BRANCH_OPS:
+            _expect_operands(line, 3)
+            ra = _parse_register(line.operands[0], line.number)
+            rb = _parse_register(line.operands[1], line.number)
+            target = _parse_value(line.operands[2], symbols, line.number)
+            instructions.append(Instruction(opcode, ra=ra, rb=rb, imm=target))
+        else:
+            # register-register ALU operations
+            _expect_operands(line, 3)
+            rd = _parse_register(line.operands[0], line.number)
+            ra = _parse_register(line.operands[1], line.number)
+            rb = _parse_register(line.operands[2], line.number)
+            instructions.append(Instruction(opcode, rd=rd, ra=ra, rb=rb))
+    return instructions
+
+
+def assemble(text: str) -> AssemblyResult:
+    """Assemble *text* and return the instructions plus the symbol table."""
+    lines, symbols = _first_pass(text)
+    instructions = _second_pass(lines, symbols)
+    return AssemblyResult(instructions=instructions, symbols=symbols)
+
+
+def disassemble(instructions: Sequence[Instruction]) -> str:
+    """Render instructions back into readable assembly (one per line)."""
+    return "\n".join(
+        f"{address:4d}: {instruction.describe()}"
+        for address, instruction in enumerate(instructions)
+    )

@@ -1,0 +1,354 @@
+"""Minimal instruction set of the Figure 1 case-study processor.
+
+The paper only states that the processor has "a minimal instruction set"; we
+define a small word-addressed RISC ISA that is sufficient to express the two
+benchmark programs (extraction sort and matrix multiply) and exercises every
+channel of the Figure 1 topology:
+
+* 16 general-purpose registers ``r0``–``r15`` with ``r0`` hard-wired to zero;
+* register-register and register-immediate ALU operations;
+* loads and stores with base + immediate-offset addressing;
+* conditional branches (resolved in the ALU) and an unconditional jump
+  (resolved at decode);
+* ``HALT`` to terminate the program and ``NOP``.
+
+Instructions are encoded into 32-bit words (the instruction cache stores the
+encoded words; the control unit decodes them), with the layout::
+
+    [31:26] opcode | [25:22] rd | [21:18] ra | [17:14] rb | [13:0] imm (signed)
+
+The 14-bit signed immediate is ample for the benchmark programs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..core.exceptions import AssemblerError
+
+
+#: Number of architectural registers.
+NUM_REGISTERS = 16
+#: Bit width of the immediate field.
+IMM_BITS = 14
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+#: Machine word width (values are wrapped to this width by the ALU).
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Opcode(enum.Enum):
+    """Operation codes of the minimal ISA."""
+
+    NOP = 0
+    HALT = 1
+    # register-register ALU
+    ADD = 2
+    SUB = 3
+    MUL = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    SLT = 8
+    # register-immediate ALU
+    ADDI = 16
+    SUBI = 17
+    MULI = 18
+    ANDI = 19
+    ORI = 20
+    XORI = 21
+    SLTI = 22
+    LI = 23
+    # memory
+    LD = 32
+    ST = 33
+    # control
+    BEQ = 48
+    BNE = 49
+    BLT = 50
+    BGE = 51
+    JMP = 52
+
+
+#: Opcodes whose result is written to a destination register by the ALU.
+ALU_WRITEBACK_OPS: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SLT, Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.ANDI,
+        Opcode.ORI, Opcode.XORI, Opcode.SLTI, Opcode.LI,
+    }
+)
+#: Register-immediate ALU opcodes.
+IMMEDIATE_OPS: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.ANDI, Opcode.ORI,
+        Opcode.XORI, Opcode.SLTI, Opcode.LI,
+    }
+)
+#: Conditional branch opcodes (resolved in the ALU).
+BRANCH_OPS: FrozenSet[Opcode] = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+#: Mapping from immediate opcode to the underlying ALU function.
+IMMEDIATE_TO_ALU: Dict[Opcode, Opcode] = {
+    Opcode.ADDI: Opcode.ADD,
+    Opcode.SUBI: Opcode.SUB,
+    Opcode.MULI: Opcode.MUL,
+    Opcode.ANDI: Opcode.AND,
+    Opcode.ORI: Opcode.OR,
+    Opcode.XORI: Opcode.XOR,
+    Opcode.SLTI: Opcode.SLT,
+    Opcode.LI: Opcode.ADD,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    ``rd`` is the destination register, ``ra``/``rb`` the source registers and
+    ``imm`` the signed immediate; fields that an opcode does not use are kept
+    at zero.  For branches ``ra``/``rb`` are the compared registers and
+    ``imm`` is the *absolute* target address; for ``JMP`` only ``imm`` is
+    used; for ``LD``/``ST`` the effective address is ``regs[ra] + imm`` and
+    ``rb`` holds the store-data register for ``ST``.
+    """
+
+    op: Opcode
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("rd", "ra", "rb"):
+            value = getattr(self, field_name)
+            if not 0 <= value < NUM_REGISTERS:
+                raise AssemblerError(
+                    f"{self.op.name}: register field {field_name}={value} out of range"
+                )
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise AssemblerError(
+                f"{self.op.name}: immediate {self.imm} outside "
+                f"[{IMM_MIN}, {IMM_MAX}]"
+            )
+
+    # -- classification -------------------------------------------------------
+    @property
+    def is_alu_writeback(self) -> bool:
+        """True when the ALU result is written to ``rd``."""
+        return self.op in ALU_WRITEBACK_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.ST
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (Opcode.LD, Opcode.ST)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op is Opcode.JMP
+
+    @property
+    def is_halt(self) -> bool:
+        return self.op is Opcode.HALT
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is Opcode.NOP
+
+    @property
+    def uses_immediate_operand(self) -> bool:
+        """True when the second ALU operand is the immediate."""
+        return self.op in IMMEDIATE_OPS or self.is_memory
+
+    @property
+    def writes_register(self) -> Optional[int]:
+        """The destination register written by this instruction, or ``None``.
+
+        Writes to ``r0`` are discarded by the register file, but the register
+        is still reported here; the control unit's scoreboard ignores ``r0``.
+        """
+        if self.is_alu_writeback or self.is_load:
+            return self.rd
+        return None
+
+    @property
+    def source_registers(self) -> Tuple[int, ...]:
+        """Registers read by this instruction (possibly empty)."""
+        if self.op in (Opcode.NOP, Opcode.HALT, Opcode.JMP):
+            return ()
+        if self.op is Opcode.LI:
+            return ()
+        if self.op in IMMEDIATE_OPS:
+            return (self.ra,)
+        if self.is_load:
+            return (self.ra,)
+        if self.is_store:
+            return (self.ra, self.rb)
+        if self.is_branch:
+            return (self.ra, self.rb)
+        # register-register ALU
+        return (self.ra, self.rb)
+
+    @property
+    def alu_function(self) -> Opcode:
+        """The ALU-level function executed for this instruction.
+
+        Loads/stores use ``ADD`` for the effective-address computation;
+        branches use ``SUB`` (the comparison); everything else maps to itself
+        or to its register-register equivalent.
+        """
+        if self.op in IMMEDIATE_TO_ALU:
+            return IMMEDIATE_TO_ALU[self.op]
+        if self.is_memory:
+            return Opcode.ADD
+        if self.is_branch:
+            return Opcode.SUB
+        return self.op
+
+    def describe(self) -> str:
+        """Assembly-like rendering, e.g. ``ADD r3, r1, r2``."""
+        op = self.op
+        if op in (Opcode.NOP, Opcode.HALT):
+            return op.name
+        if op is Opcode.JMP:
+            return f"JMP {self.imm}"
+        if op is Opcode.LI:
+            return f"LI r{self.rd}, {self.imm}"
+        if op in IMMEDIATE_OPS:
+            return f"{op.name} r{self.rd}, r{self.ra}, {self.imm}"
+        if op is Opcode.LD:
+            return f"LD r{self.rd}, {self.imm}(r{self.ra})"
+        if op is Opcode.ST:
+            return f"ST r{self.rb}, {self.imm}(r{self.ra})"
+        if op in BRANCH_OPS:
+            return f"{op.name} r{self.ra}, r{self.rb}, {self.imm}"
+        return f"{op.name} r{self.rd}, r{self.ra}, r{self.rb}"
+
+
+# ---------------------------------------------------------------------------
+# Binary encoding
+# ---------------------------------------------------------------------------
+
+_OPCODE_SHIFT = 26
+_RD_SHIFT = 22
+_RA_SHIFT = 18
+_RB_SHIFT = 14
+_IMM_MASK = (1 << IMM_BITS) - 1
+_REG_MASK = 0xF
+_OPCODE_BY_VALUE: Dict[int, Opcode] = {op.value: op for op in Opcode}
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode an instruction into its 32-bit machine word."""
+    imm = instruction.imm & _IMM_MASK
+    return (
+        (instruction.op.value << _OPCODE_SHIFT)
+        | ((instruction.rd & _REG_MASK) << _RD_SHIFT)
+        | ((instruction.ra & _REG_MASK) << _RA_SHIFT)
+        | ((instruction.rb & _REG_MASK) << _RB_SHIFT)
+        | imm
+    )
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit machine word into an :class:`Instruction`."""
+    if not 0 <= word <= WORD_MASK:
+        raise AssemblerError(f"machine word {word:#x} does not fit in 32 bits")
+    opcode_value = (word >> _OPCODE_SHIFT) & 0x3F
+    if opcode_value not in _OPCODE_BY_VALUE:
+        raise AssemblerError(f"unknown opcode value {opcode_value} in word {word:#x}")
+    imm = word & _IMM_MASK
+    if imm > IMM_MAX:
+        imm -= 1 << IMM_BITS
+    return Instruction(
+        op=_OPCODE_BY_VALUE[opcode_value],
+        rd=(word >> _RD_SHIFT) & _REG_MASK,
+        ra=(word >> _RA_SHIFT) & _REG_MASK,
+        rb=(word >> _RB_SHIFT) & _REG_MASK,
+        imm=imm,
+    )
+
+
+def to_signed_word(value: int) -> int:
+    """Wrap an arbitrary integer to a signed 32-bit machine word."""
+    value &= WORD_MASK
+    if value >= 1 << (WORD_BITS - 1):
+        value -= 1 << WORD_BITS
+    return value
+
+
+# -- terse construction helpers used by the workload generators ----------------
+
+def add(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction(Opcode.ADD, rd=rd, ra=ra, rb=rb)
+
+
+def sub(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction(Opcode.SUB, rd=rd, ra=ra, rb=rb)
+
+
+def mul(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction(Opcode.MUL, rd=rd, ra=ra, rb=rb)
+
+
+def slt(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction(Opcode.SLT, rd=rd, ra=ra, rb=rb)
+
+
+def addi(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction(Opcode.ADDI, rd=rd, ra=ra, imm=imm)
+
+
+def li(rd: int, imm: int) -> Instruction:
+    return Instruction(Opcode.LI, rd=rd, imm=imm)
+
+
+def ld(rd: int, ra: int, imm: int = 0) -> Instruction:
+    return Instruction(Opcode.LD, rd=rd, ra=ra, imm=imm)
+
+
+def st(rb: int, ra: int, imm: int = 0) -> Instruction:
+    return Instruction(Opcode.ST, rb=rb, ra=ra, imm=imm)
+
+
+def beq(ra: int, rb: int, target: int) -> Instruction:
+    return Instruction(Opcode.BEQ, ra=ra, rb=rb, imm=target)
+
+
+def bne(ra: int, rb: int, target: int) -> Instruction:
+    return Instruction(Opcode.BNE, ra=ra, rb=rb, imm=target)
+
+
+def blt(ra: int, rb: int, target: int) -> Instruction:
+    return Instruction(Opcode.BLT, ra=ra, rb=rb, imm=target)
+
+
+def bge(ra: int, rb: int, target: int) -> Instruction:
+    return Instruction(Opcode.BGE, ra=ra, rb=rb, imm=target)
+
+
+def jmp(target: int) -> Instruction:
+    return Instruction(Opcode.JMP, imm=target)
+
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    return Instruction(Opcode.HALT)

@@ -1,0 +1,128 @@
+"""Program containers: instruction memory plus initial data memory image.
+
+A :class:`Program` bundles everything needed to load the Figure 1 processor:
+the encoded instruction words, the initial contents of the data memory and a
+human-readable name.  Workload generators (:mod:`repro.cpu.workloads`) produce
+``Program`` objects along with the memory locations to check after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.exceptions import ProgramError
+from . import isa
+from .assembler import AssemblyResult, assemble
+from .isa import Instruction
+
+
+#: Default sizes of the two memories (words).  Large enough for the paper's
+#: benchmark kernels while keeping simulation state small.
+DEFAULT_IMEM_WORDS = 1024
+DEFAULT_DMEM_WORDS = 4096
+
+
+@dataclass
+class Program:
+    """A runnable program image for the case-study processor."""
+
+    name: str
+    instructions: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    imem_size: int = DEFAULT_IMEM_WORDS
+    dmem_size: int = DEFAULT_DMEM_WORDS
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ProgramError(f"program {self.name!r} has no instructions")
+        if len(self.instructions) > self.imem_size:
+            raise ProgramError(
+                f"program {self.name!r} has {len(self.instructions)} instructions, "
+                f"instruction memory holds only {self.imem_size}"
+            )
+        for address, value in self.data.items():
+            if not 0 <= address < self.dmem_size:
+                raise ProgramError(
+                    f"program {self.name!r}: data address {address} outside the "
+                    f"{self.dmem_size}-word data memory"
+                )
+            if not isinstance(value, int):
+                raise ProgramError(
+                    f"program {self.name!r}: data value at {address} is not an int"
+                )
+
+    # -- memory images -----------------------------------------------------------
+    def instruction_words(self) -> List[int]:
+        """Encoded instruction memory image (padded with NOPs to *imem_size*)."""
+        words = [isa.encode(instruction) for instruction in self.instructions]
+        padding = self.imem_size - len(words)
+        words.extend([isa.encode(isa.nop())] * padding)
+        return words
+
+    def data_image(self) -> List[int]:
+        """Initial data memory image as a dense list of *dmem_size* words."""
+        image = [0] * self.dmem_size
+        for address, value in self.data.items():
+            image[address] = isa.to_signed_word(value)
+        return image
+
+    @property
+    def length(self) -> int:
+        """Number of instructions (excluding padding)."""
+        return len(self.instructions)
+
+    def describe(self) -> str:
+        """Readable listing of the program."""
+        from .assembler import disassemble
+
+        header = (
+            f"program {self.name!r}: {self.length} instructions, "
+            f"{len(self.data)} initialised data words"
+        )
+        return header + "\n" + disassemble(self.instructions)
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def from_assembly(
+        cls,
+        name: str,
+        text: str,
+        data: Optional[Mapping[int, int]] = None,
+        imem_size: int = DEFAULT_IMEM_WORDS,
+        dmem_size: int = DEFAULT_DMEM_WORDS,
+    ) -> "Program":
+        """Assemble *text* and wrap it into a program."""
+        result: AssemblyResult = assemble(text)
+        return cls(
+            name=name,
+            instructions=list(result.instructions),
+            data=dict(data or {}),
+            imem_size=imem_size,
+            dmem_size=dmem_size,
+            symbols=dict(result.symbols),
+        )
+
+    @classmethod
+    def from_instructions(
+        cls,
+        name: str,
+        instructions: Sequence[Instruction],
+        data: Optional[Mapping[int, int]] = None,
+        imem_size: int = DEFAULT_IMEM_WORDS,
+        dmem_size: int = DEFAULT_DMEM_WORDS,
+    ) -> "Program":
+        """Wrap an instruction list built programmatically."""
+        return cls(
+            name=name,
+            instructions=list(instructions),
+            data=dict(data or {}),
+            imem_size=imem_size,
+            dmem_size=dmem_size,
+        )
+
+
+def data_from_list(values: Iterable[int], base: int = 0) -> Dict[int, int]:
+    """Lay out consecutive words starting at *base* (helper for workloads)."""
+    return {base + offset: int(value) for offset, value in enumerate(values)}

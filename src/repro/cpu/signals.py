@@ -1,0 +1,131 @@
+"""Channel payload types of the Figure 1 processor.
+
+Every channel of the case-study netlist carries either ``None`` (a *bubble*:
+the producing unit had nothing to say at that tag — distinct from the τ void
+symbol of the latency-insensitive protocol, which means the producer did not
+fire at all) or one of the small frozen dataclasses below.
+
+The payloads are deliberately minimal: each unit learns only what the paper's
+"minimal knowledge of the IP's communication profile" requires.  In
+particular the ALU never learns destination registers (the register file
+remembers them from the command it received from the control unit), which is
+what makes the WP2 oracles of RF and DC pure functions of their own state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .isa import Opcode
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """CU → IC: read request for one instruction word."""
+
+    address: int
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """IC → CU: the instruction word read from the instruction memory."""
+
+    address: int
+    word: int
+
+
+@dataclass(frozen=True)
+class RegCommand:
+    """CU → RF: per-instruction register-file plan.
+
+    ``read_a`` / ``read_b`` are the registers to read this tag (``None`` when
+    the instruction does not need that operand).  ``alu_writeback`` /
+    ``mem_writeback`` name the destination register whose value will arrive on
+    the ``alu_rf`` (two tags later) and ``dc_rf`` (three tags later) channels
+    respectively.  ``store_data`` names the register whose value must be
+    forwarded to the data cache on ``rf_dc``.
+    """
+
+    read_a: Optional[int] = None
+    read_b: Optional[int] = None
+    alu_writeback: Optional[int] = None
+    mem_writeback: Optional[int] = None
+    store_data: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AluCommand:
+    """CU → ALU: operation to perform on the operands arriving the same tag."""
+
+    function: Opcode
+    use_immediate: bool = False
+    immediate: int = 0
+    branch: Optional[Opcode] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch is not None
+
+
+@dataclass(frozen=True)
+class MemCommand:
+    """CU → DC: announces a memory operation two tags ahead of its address.
+
+    ``read``/``write`` select the operation.  The data cache uses the command
+    to schedule which of its other inputs (store data on ``rf_dc``, effective
+    address on ``alu_dc``) it will need at the following tags — this schedule
+    *is* the DC oracle.
+    """
+
+    read: bool = False
+    write: bool = False
+
+    @property
+    def is_access(self) -> bool:
+        return self.read or self.write
+
+
+@dataclass(frozen=True)
+class Operands:
+    """RF → ALU: the two source operand values."""
+
+    a: int = 0
+    b: int = 0
+
+
+@dataclass(frozen=True)
+class StoreData:
+    """RF → DC: the register value to be written to memory by a store."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class AluStatus:
+    """ALU → CU: branch outcome and condition flags."""
+
+    taken: bool = False
+    zero: bool = False
+    negative: bool = False
+
+
+@dataclass(frozen=True)
+class AluResult:
+    """ALU → RF: the computed result value (destination kept by RF)."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class MemAddress:
+    """ALU → DC: the effective address of a load or store."""
+
+    address: int = 0
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """DC → RF: the value read from memory (destination kept by RF)."""
+
+    value: int = 0

@@ -1,0 +1,125 @@
+"""Figure 1 topology: the channels connecting the five processor blocks.
+
+The paper's case study is a processor made of five components enclosed in
+wrappers, with pipelined connections between them (Figure 1).  The table's
+relay-station configurations are expressed per *physical link* (``CU-RF``,
+``CU-IC``, ``RF-ALU``, ...), so every channel below is tagged with the link it
+belongs to.  The ``CU-IC`` link is bidirectional (fetch address out,
+instruction word back) and both of its channels are pipelined together when
+the link receives relay stations, which is why the paper's "Only CU-IC" row
+shows a throughput of 1/2 rather than 2/3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.channel import Channel, channel
+
+
+# Block (process) names, as in Figure 1.
+CU = "CU"
+IC = "IC"
+RF = "RF"
+ALU = "ALU"
+DC = "DC"
+
+BLOCKS: Tuple[str, ...] = (CU, IC, RF, ALU, DC)
+
+# Physical link labels used by Table 1's row descriptions.
+LINK_CU_IC = "CU-IC"
+LINK_CU_RF = "CU-RF"
+LINK_CU_AL = "CU-AL"
+LINK_CU_DC = "CU-DC"
+LINK_RF_ALU = "RF-ALU"
+LINK_RF_DC = "RF-DC"
+LINK_ALU_CU = "ALU-CU"
+LINK_ALU_RF = "ALU-RF"
+LINK_ALU_DC = "ALU-DC"
+LINK_DC_RF = "DC-RF"
+
+#: All link labels, in the order Table 1 lists its single-link rows.
+TABLE1_LINK_ORDER: Tuple[str, ...] = (
+    LINK_CU_RF,
+    LINK_CU_AL,
+    LINK_CU_DC,
+    LINK_CU_IC,
+    LINK_RF_ALU,
+    LINK_RF_DC,
+    LINK_ALU_CU,
+    LINK_ALU_RF,
+    LINK_ALU_DC,
+    LINK_DC_RF,
+)
+
+#: Approximate wire-bundle widths (bits) per channel, used by the area and
+#: timing models: address/data buses are 32 bits, command bundles are narrower.
+CHANNEL_WIDTHS: Dict[str, int] = {
+    "cu_ic": 33,   # fetch address + enable
+    "ic_cu": 64,   # instruction word + address echo
+    "cu_rf": 28,   # register indices + enables
+    "cu_alu": 24,  # ALU function + immediate (truncated) + controls
+    "cu_dc": 3,    # read / write / valid
+    "rf_alu": 64,  # two 32-bit operands
+    "rf_dc": 32,   # store data
+    "alu_cu": 4,   # taken / zero / negative / valid
+    "alu_rf": 33,  # result + valid
+    "alu_dc": 33,  # effective address + valid
+    "dc_rf": 33,   # load data + valid
+}
+
+
+def build_channels() -> List[Channel]:
+    """The eleven channels of the Figure 1 netlist.
+
+    Channel names follow the ``<source>_<dest>`` convention in lower case;
+    the initial value of every channel is ``None`` (an architectural bubble),
+    matching a processor coming out of reset with an empty pipeline.
+    """
+
+    def make(name: str, source: str, dest: str, link: str) -> Channel:
+        return channel(
+            name,
+            source,
+            dest,
+            initial=None,
+            width=CHANNEL_WIDTHS[name],
+            link=link,
+        )
+
+    return [
+        make("cu_ic", CU, IC, LINK_CU_IC),
+        make("ic_cu", IC, CU, LINK_CU_IC),
+        make("cu_rf", CU, RF, LINK_CU_RF),
+        make("cu_alu", CU, ALU, LINK_CU_AL),
+        make("cu_dc", CU, DC, LINK_CU_DC),
+        make("rf_alu", RF, ALU, LINK_RF_ALU),
+        make("rf_dc", RF, DC, LINK_RF_DC),
+        make("alu_cu", ALU, CU, LINK_ALU_CU),
+        make("alu_rf", ALU, RF, LINK_ALU_RF),
+        make("alu_dc", ALU, DC, LINK_ALU_DC),
+        make("dc_rf", DC, RF, LINK_DC_RF),
+    ]
+
+
+#: Block dimensions (mm) used by the floorplan-driven methodology examples.
+#: Sizes are loosely representative of a small 130 nm embedded core: the
+#: caches dominate, the register file and ALU are small.
+DEFAULT_BLOCK_SIZES_MM: Dict[str, Tuple[float, float]] = {
+    CU: (1.2, 1.0),
+    IC: (2.4, 2.0),
+    RF: (0.8, 0.8),
+    ALU: (1.0, 0.9),
+    DC: (2.4, 2.0),
+}
+
+#: Representative synthesised gate counts per block (gate equivalents), used
+#: by the wrapper-overhead experiment.  The paper quotes a 100 kgate IP as the
+#: reference size; the caches are modelled as macro-dominated blocks.
+DEFAULT_BLOCK_GATES: Dict[str, float] = {
+    CU: 40_000.0,
+    IC: 150_000.0,
+    RF: 30_000.0,
+    ALU: 60_000.0,
+    DC: 150_000.0,
+}

@@ -1,0 +1,16 @@
+"""The five blocks of the Figure 1 case-study processor."""
+
+from .alu import Alu
+from .control_unit import ControlUnit, ControlUnitStats
+from .data_cache import DataCache
+from .instruction_cache import InstructionCache
+from .register_file import RegisterFile
+
+__all__ = [
+    "Alu",
+    "ControlUnit",
+    "ControlUnitStats",
+    "DataCache",
+    "InstructionCache",
+    "RegisterFile",
+]

@@ -1,0 +1,331 @@
+"""Control unit (CU) of the Figure 1 processor.
+
+The CU is the sequencer of the distributed machine: it fetches instruction
+words from the instruction cache (over the bidirectional ``CU-IC`` link),
+decodes them, checks data hazards with a small scoreboard, and issues one
+instruction per cycle by sending *commands* to the register file
+(``cu_rf``), the ALU (``cu_alu``, one tag later so it aligns with the
+operands) and the data cache (``cu_dc``).  Conditional branches are resolved
+by the ALU and reported back on ``alu_cu`` three tags after issue; the CU
+stalls issue (but keeps fetching the fall-through path) until the outcome
+arrives.
+
+Two control styles are supported, matching the paper's case study:
+
+* **pipelined** (default): the CU fetches continuously and issues a new
+  instruction every cycle when no hazard blocks it;
+* **multicycle** (``pipelined=False``): one instruction at a time — the next
+  fetch starts only after the previous instruction has completed all of its
+  phases, which reproduces the paper's "the CU-IC loop is excited only every
+  few cycles" observation.
+
+The WP2 oracle of the CU is a pure function of its bookkeeping state: the
+``ic_cu`` input is needed only at tags where a non-squashed fetch response is
+due, and the ``alu_cu`` input only at tags where a branch resolves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ...core.exceptions import SimulationError
+from ...core.process import Process
+from ..isa import Instruction, Opcode, decode
+from ..signals import AluCommand, FetchRequest, FetchResponse, MemCommand, RegCommand
+
+
+@dataclass
+class _FetchSlot:
+    """Bookkeeping for one in-flight fetch (one entry per CU firing)."""
+
+    valid: bool
+    address: int = 0
+    squashed: bool = False
+
+
+@dataclass
+class _BranchWait:
+    """An issued branch waiting for its outcome on ``alu_cu``."""
+
+    resolve_at: int
+    target: int
+
+
+@dataclass
+class ControlUnitStats:
+    """Issue statistics accumulated by the control unit."""
+
+    issued: int = 0
+    bubbles_raw_hazard: int = 0
+    bubbles_branch_wait: int = 0
+    bubbles_empty_ibuf: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    fetches: int = 0
+    squashed_fetches: int = 0
+
+
+class ControlUnit(Process):
+    """The CU block: fetch, decode, hazard tracking, issue, branch handling."""
+
+    input_ports = ("ic_cu", "alu_cu")
+    output_ports = ("cu_ic", "cu_rf", "cu_alu", "cu_dc")
+
+    #: Latency (in CU firings) between issuing a fetch request and receiving
+    #: the corresponding instruction word back: request -> IC -> response.
+    FETCH_ROUNDTRIP = 2
+    #: Latency between issuing an instruction and consuming its branch outcome.
+    BRANCH_RESOLUTION = 3
+    #: Scoreboard delays: a dependent instruction may issue this many firings
+    #: after the producer (RF applies writes before reads within a firing).
+    ALU_RESULT_DELAY = 2
+    LOAD_RESULT_DELAY = 3
+    #: Completion delay used by the multicycle (serialised) control style.
+    COMPLETION_DELAY = 4
+
+    def __init__(
+        self,
+        name: str = "CU",
+        pipelined: bool = True,
+        fetch_buffer: int = 4,
+    ) -> None:
+        super().__init__(name)
+        if fetch_buffer < 1:
+            raise SimulationError("fetch buffer must hold at least one entry")
+        self.pipelined = pipelined
+        self.fetch_buffer = fetch_buffer
+        self._reset_state()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self.pc = 0
+        self.halted = False
+        # One slot per firing; the response to the request emitted at firing d
+        # arrives at firing d + FETCH_ROUNDTRIP, so the queue is primed with
+        # FETCH_ROUNDTRIP invalid entries covering the reset values.
+        self.fetch_slots: Deque[_FetchSlot] = deque(
+            _FetchSlot(valid=False) for _ in range(self.FETCH_ROUNDTRIP)
+        )
+        self.ibuf: Deque[Tuple[int, Instruction]] = deque()
+        self.branch_wait: Optional[_BranchWait] = None
+        self.scoreboard: Dict[int, int] = {}
+        self.alu_command_register: Optional[AluCommand] = None
+        self.busy_until = 0
+        self.stats = ControlUnitStats()
+
+    def reset(self) -> None:
+        super().reset()
+        self._reset_state()
+
+    def is_done(self) -> bool:
+        return self.halted
+
+    # -- WP2 oracle ----------------------------------------------------------------
+    def required_ports(self) -> Optional[FrozenSet[str]]:
+        required = set()
+        if self.halted:
+            return frozenset()
+        head = self.fetch_slots[0]
+        if head.valid and not head.squashed:
+            required.add("ic_cu")
+        if self.branch_wait is not None and self.branch_wait.resolve_at == self.firings:
+            required.add("alu_cu")
+        return frozenset(required)
+
+    # -- firing ---------------------------------------------------------------------
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        tag = self.firings
+
+        self._receive_fetch(inputs)
+        self._resolve_branch(tag, inputs)
+
+        reg_command, mem_command, next_alu_command = self._issue(tag)
+        fetch_request = self._fetch(tag)
+
+        outputs = {
+            "cu_ic": fetch_request,
+            "cu_rf": reg_command,
+            "cu_dc": mem_command,
+            "cu_alu": self.alu_command_register,
+        }
+        self.alu_command_register = next_alu_command
+        return outputs
+
+    # -- fetch side -------------------------------------------------------------------
+    def _receive_fetch(self, inputs: Mapping[str, object]) -> None:
+        slot = self.fetch_slots.popleft()
+        if self.halted or not slot.valid or slot.squashed:
+            return
+        response = inputs["ic_cu"]
+        if not isinstance(response, FetchResponse):
+            raise SimulationError(
+                f"{self.name}: expected a fetch response for address {slot.address}, "
+                f"got {response!r}"
+            )
+        self.ibuf.append((response.address, decode(response.word)))
+
+    def _outstanding_fetches(self) -> int:
+        return sum(
+            1 for slot in self.fetch_slots if slot.valid and not slot.squashed
+        )
+
+    def _fetch(self, tag: int) -> Optional[FetchRequest]:
+        want_fetch = not self.halted
+        if want_fetch and not self.pipelined:
+            # Multicycle control: strictly one instruction in flight.
+            want_fetch = (
+                tag >= self.busy_until
+                and not self.ibuf
+                and self._outstanding_fetches() == 0
+                and self.branch_wait is None
+            )
+        if want_fetch:
+            occupancy = len(self.ibuf) + self._outstanding_fetches()
+            want_fetch = occupancy < self.fetch_buffer
+        if not want_fetch:
+            self.fetch_slots.append(_FetchSlot(valid=False))
+            return None
+        request = FetchRequest(address=self.pc)
+        self.fetch_slots.append(_FetchSlot(valid=True, address=self.pc))
+        self.pc += 1
+        self.stats.fetches += 1
+        return request
+
+    def _squash_wrong_path(self) -> None:
+        """Drop buffered and in-flight instructions after a redirect."""
+        self.ibuf.clear()
+        for slot in self.fetch_slots:
+            if slot.valid and not slot.squashed:
+                slot.squashed = True
+                self.stats.squashed_fetches += 1
+
+    # -- branch handling ----------------------------------------------------------------
+    def _resolve_branch(self, tag: int, inputs: Mapping[str, object]) -> None:
+        if self.branch_wait is None or self.branch_wait.resolve_at != tag:
+            return
+        status = inputs["alu_cu"]
+        taken = bool(getattr(status, "taken", False))
+        if taken:
+            self.pc = self.branch_wait.target
+            self._squash_wrong_path()
+            self.stats.taken_branches += 1
+        self.branch_wait = None
+
+    # -- issue side -----------------------------------------------------------------------
+    def _issue(
+        self, tag: int
+    ) -> Tuple[Optional[RegCommand], Optional[MemCommand], Optional[AluCommand]]:
+        if self.halted:
+            return None, None, None
+        if self.branch_wait is not None:
+            self.stats.bubbles_branch_wait += 1
+            return None, None, None
+        if not self.pipelined and tag < self.busy_until:
+            self.stats.bubbles_empty_ibuf += 1
+            return None, None, None
+        if not self.ibuf:
+            self.stats.bubbles_empty_ibuf += 1
+            return None, None, None
+
+        address, instruction = self.ibuf[0]
+        if not self._sources_ready(instruction, tag):
+            self.stats.bubbles_raw_hazard += 1
+            return None, None, None
+
+        self.ibuf.popleft()
+        self.stats.issued += 1
+        self._update_scoreboard(instruction, tag)
+        self.busy_until = tag + self.COMPLETION_DELAY
+
+        if instruction.is_halt:
+            self.halted = True
+            return None, None, None
+        if instruction.is_nop:
+            return None, None, None
+        if instruction.is_jump:
+            self.pc = instruction.imm
+            self._squash_wrong_path()
+            return None, None, None
+
+        reg_command = self._build_reg_command(instruction)
+        alu_command = self._build_alu_command(instruction)
+        mem_command = self._build_mem_command(instruction)
+
+        if instruction.is_branch:
+            self.stats.branches += 1
+            self.branch_wait = _BranchWait(
+                resolve_at=tag + self.BRANCH_RESOLUTION, target=instruction.imm
+            )
+        if instruction.is_load:
+            self.stats.loads += 1
+        if instruction.is_store:
+            self.stats.stores += 1
+        return reg_command, mem_command, alu_command
+
+    def _sources_ready(self, instruction: Instruction, tag: int) -> bool:
+        return all(
+            self.scoreboard.get(register, 0) <= tag
+            for register in instruction.source_registers
+            if register != 0
+        )
+
+    def _update_scoreboard(self, instruction: Instruction, tag: int) -> None:
+        destination = instruction.writes_register
+        if destination is None or destination == 0:
+            return
+        delay = self.LOAD_RESULT_DELAY if instruction.is_load else self.ALU_RESULT_DELAY
+        self.scoreboard[destination] = tag + delay
+
+    # -- command builders -----------------------------------------------------------------
+    @staticmethod
+    def _build_reg_command(instruction: Instruction) -> RegCommand:
+        read_a: Optional[int] = None
+        read_b: Optional[int] = None
+        alu_writeback: Optional[int] = None
+        mem_writeback: Optional[int] = None
+        store_data: Optional[int] = None
+
+        if instruction.is_branch:
+            read_a, read_b = instruction.ra, instruction.rb
+        elif instruction.is_load:
+            read_a = instruction.ra
+            mem_writeback = instruction.rd
+        elif instruction.is_store:
+            read_a = instruction.ra
+            store_data = instruction.rb
+        elif instruction.op is Opcode.LI:
+            alu_writeback = instruction.rd
+        elif instruction.uses_immediate_operand:
+            read_a = instruction.ra
+            alu_writeback = instruction.rd
+        else:
+            read_a, read_b = instruction.ra, instruction.rb
+            alu_writeback = instruction.rd
+        return RegCommand(
+            read_a=read_a,
+            read_b=read_b,
+            alu_writeback=alu_writeback,
+            mem_writeback=mem_writeback,
+            store_data=store_data,
+        )
+
+    @staticmethod
+    def _build_alu_command(instruction: Instruction) -> AluCommand:
+        return AluCommand(
+            function=instruction.alu_function,
+            use_immediate=instruction.uses_immediate_operand,
+            immediate=instruction.imm,
+            branch=instruction.op if instruction.is_branch else None,
+        )
+
+    @staticmethod
+    def _build_mem_command(instruction: Instruction) -> Optional[MemCommand]:
+        if instruction.is_load:
+            return MemCommand(read=True)
+        if instruction.is_store:
+            return MemCommand(write=True)
+        return None

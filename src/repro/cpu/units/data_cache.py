@@ -1,0 +1,119 @@
+"""Data cache (DC) of the Figure 1 processor.
+
+Modelled as a single-cycle data memory.  The control unit announces each
+memory operation on ``cu_dc`` two tags before the effective address arrives
+(computed by the ALU, delivered on ``alu_dc``); for stores, the data to write
+arrives from the register file on ``rf_dc`` one tag after the announcement.
+The DC therefore keeps a small schedule of pending operations:
+
+=====================  =========================================
+tag (relative to cmd)  activity
+=====================  =========================================
+``t``                  consume ``cu_dc`` announcement
+``t + 1``              latch store data from ``rf_dc`` (stores)
+``t + 2``              consume address from ``alu_dc``, access the
+                       memory, emit the load result on ``dc_rf``
+=====================  =========================================
+
+The schedule doubles as the WP2 oracle: ``rf_dc`` is required only at tags
+where a store's data is due and ``alu_dc`` only at tags where an access is
+due, while ``cu_dc`` is always required (the DC cannot predict the CU).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from ...core.exceptions import SimulationError
+from ...core.process import Process
+from ..isa import to_signed_word
+from ..signals import LoadResult, MemAddress, MemCommand, StoreData
+
+
+class DataCache(Process):
+    """Single-cycle data memory with a two-stage internal schedule."""
+
+    input_ports = ("cu_dc", "rf_dc", "alu_dc")
+    output_ports = ("dc_rf",)
+
+    #: Firings between the command and the store data / the memory access.
+    STORE_DATA_DELAY = 1
+    ACCESS_DELAY = 2
+
+    def __init__(self, image: Sequence[int], name: str = "DC") -> None:
+        super().__init__(name)
+        self._image: List[int] = [int(word) for word in image]
+        self.memory: List[int] = list(self._image)
+        # tag -> "read" / "write"
+        self.pending_access: Dict[int, str] = {}
+        # tag at which store data arrives -> tag of the matching access
+        self.pending_store_data: Dict[int, int] = {}
+        # access tag -> value to write
+        self.store_values: Dict[int, int] = {}
+        self.loads = 0
+        self.stores = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.memory = list(self._image)
+        self.pending_access = {}
+        self.pending_store_data = {}
+        self.store_values = {}
+        self.loads = 0
+        self.stores = 0
+
+    # -- WP2 oracle ----------------------------------------------------------------
+    def required_ports(self) -> Optional[FrozenSet[str]]:
+        required = {"cu_dc"}
+        if self.firings in self.pending_store_data:
+            required.add("rf_dc")
+        if self.firings in self.pending_access:
+            required.add("alu_dc")
+        return frozenset(required)
+
+    # -- firing ---------------------------------------------------------------------
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        tag = self.firings
+
+        # 1. New announcement from the control unit.
+        command = inputs["cu_dc"]
+        if isinstance(command, MemCommand) and command.is_access:
+            access_tag = tag + self.ACCESS_DELAY
+            self.pending_access[access_tag] = "write" if command.write else "read"
+            if command.write:
+                self.pending_store_data[tag + self.STORE_DATA_DELAY] = access_tag
+
+        # 2. Store data due this tag.
+        if tag in self.pending_store_data:
+            access_tag = self.pending_store_data.pop(tag)
+            data = inputs["rf_dc"]
+            if not isinstance(data, StoreData):
+                raise SimulationError(
+                    f"{self.name}: expected store data at tag {tag}, got {data!r}"
+                )
+            self.store_values[access_tag] = data.value
+
+        # 3. Memory access due this tag.
+        result: Optional[LoadResult] = None
+        if tag in self.pending_access:
+            kind = self.pending_access.pop(tag)
+            address_message = inputs["alu_dc"]
+            if not isinstance(address_message, MemAddress):
+                raise SimulationError(
+                    f"{self.name}: expected an effective address at tag {tag}, "
+                    f"got {address_message!r}"
+                )
+            address = address_message.address
+            if not 0 <= address < len(self.memory):
+                raise SimulationError(
+                    f"{self.name}: {kind} address {address} outside data memory of "
+                    f"{len(self.memory)} words"
+                )
+            if kind == "read":
+                result = LoadResult(value=self.memory[address])
+                self.loads += 1
+            else:
+                self.memory[address] = to_signed_word(self.store_values.pop(tag))
+                self.stores += 1
+
+        return {"dc_rf": result}

@@ -1,0 +1,115 @@
+"""Register file (RF) of the Figure 1 processor.
+
+The RF owns the sixteen architectural registers.  Each firing it:
+
+1. applies the load writeback scheduled for this tag (value on ``dc_rf``);
+2. applies the ALU writeback scheduled for this tag (value on ``alu_rf``);
+3. executes the register command received on ``cu_rf``: reads the requested
+   operands (after the writes — the RF forwards internally within a firing),
+   sends them to the ALU on ``rf_alu``, sends store data to the data cache on
+   ``rf_dc`` and records the future writebacks the command announces.
+
+The destinations of pending writebacks are remembered locally (the ALU and DC
+only ship values), so the WP2 oracle of the RF is a pure function of its own
+pending-writeback schedule: ``alu_rf`` and ``dc_rf`` are required only at tags
+where a writeback is actually due, which is what unlocks the large WP2 gains
+on the ``ALU-RF``, ``DC-RF`` and ``RF-DC`` links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from ...core.exceptions import SimulationError
+from ...core.process import Process
+from ..isa import NUM_REGISTERS, to_signed_word
+from ..signals import AluResult, LoadResult, Operands, RegCommand, StoreData
+
+
+class RegisterFile(Process):
+    """Sixteen general-purpose registers with two writeback ports."""
+
+    input_ports = ("cu_rf", "alu_rf", "dc_rf")
+    output_ports = ("rf_alu", "rf_dc")
+
+    #: Firings between receiving a command and receiving the matching
+    #: ALU / load writeback values.
+    ALU_WRITEBACK_DELAY = 2
+    MEM_WRITEBACK_DELAY = 3
+
+    def __init__(self, name: str = "RF") -> None:
+        super().__init__(name)
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.pending_alu_writeback: Dict[int, int] = {}
+        self.pending_mem_writeback: Dict[int, int] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self.registers = [0] * NUM_REGISTERS
+        self.pending_alu_writeback = {}
+        self.pending_mem_writeback = {}
+        self.writes = 0
+        self.reads = 0
+
+    # -- WP2 oracle ---------------------------------------------------------------
+    def required_ports(self) -> Optional[FrozenSet[str]]:
+        required = {"cu_rf"}
+        if self.firings in self.pending_alu_writeback:
+            required.add("alu_rf")
+        if self.firings in self.pending_mem_writeback:
+            required.add("dc_rf")
+        return frozenset(required)
+
+    # -- helpers -------------------------------------------------------------------
+    def _write(self, register: int, value: int) -> None:
+        if register == 0:
+            return
+        self.registers[register] = to_signed_word(value)
+        self.writes += 1
+
+    def _read(self, register: Optional[int]) -> int:
+        if register is None:
+            return 0
+        self.reads += 1
+        return self.registers[register]
+
+    # -- firing --------------------------------------------------------------------
+    def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        tag = self.firings
+
+        # 1. Load writeback scheduled for this tag (older than the ALU one).
+        if tag in self.pending_mem_writeback:
+            destination = self.pending_mem_writeback.pop(tag)
+            result = inputs["dc_rf"]
+            if not isinstance(result, LoadResult):
+                raise SimulationError(
+                    f"{self.name}: expected load data at tag {tag}, got {result!r}"
+                )
+            self._write(destination, result.value)
+
+        # 2. ALU writeback scheduled for this tag.
+        if tag in self.pending_alu_writeback:
+            destination = self.pending_alu_writeback.pop(tag)
+            result = inputs["alu_rf"]
+            if not isinstance(result, AluResult):
+                raise SimulationError(
+                    f"{self.name}: expected an ALU result at tag {tag}, got {result!r}"
+                )
+            self._write(destination, result.value)
+
+        # 3. Register command for the instruction issued one tag ago.
+        command = inputs["cu_rf"]
+        if not isinstance(command, RegCommand):
+            return {"rf_alu": None, "rf_dc": None}
+
+        operands = Operands(a=self._read(command.read_a), b=self._read(command.read_b))
+        store: Optional[StoreData] = None
+        if command.store_data is not None:
+            store = StoreData(value=self._read(command.store_data))
+        if command.alu_writeback is not None:
+            self.pending_alu_writeback[tag + self.ALU_WRITEBACK_DELAY] = command.alu_writeback
+        if command.mem_writeback is not None:
+            self.pending_mem_writeback[tag + self.MEM_WRITEBACK_DELAY] = command.mem_writeback
+        return {"rf_alu": operands, "rf_dc": store}

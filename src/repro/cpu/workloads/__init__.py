@@ -1,0 +1,19 @@
+"""Benchmark workloads of the paper's case study."""
+
+from .common import Workload, deterministic_values
+from .extraction_sort import make_extraction_sort, sort_assembly
+from .matrix_multiply import (
+    make_matrix_multiply,
+    matrix_multiply_assembly,
+    reference_product,
+)
+
+__all__ = [
+    "Workload",
+    "deterministic_values",
+    "make_extraction_sort",
+    "sort_assembly",
+    "make_matrix_multiply",
+    "matrix_multiply_assembly",
+    "reference_product",
+]

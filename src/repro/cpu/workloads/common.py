@@ -1,0 +1,42 @@
+"""Workload containers shared by the two benchmark programs.
+
+A :class:`Workload` couples a :class:`~repro.cpu.program.Program` with the
+memory locations whose final contents define functional correctness.  The
+experiments use workloads both to measure throughput (Table 1) and to check,
+via the golden/WP equivalence machinery plus an architectural memory check,
+that the wrapped systems still compute the right answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..program import Program
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark with its expected architectural results."""
+
+    name: str
+    program: Program
+    expected_memory: Dict[int, int] = field(default_factory=dict)
+    description: str = ""
+    parameters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def instruction_count(self) -> int:
+        """Static instruction count of the program."""
+        return self.program.length
+
+    def describe(self) -> str:
+        params = ", ".join(f"{key}={value}" for key, value in sorted(self.parameters.items()))
+        return f"{self.name} ({params}): {self.description}"
+
+
+def deterministic_values(count: int, seed: int, low: int = 0, high: int = 999) -> List[int]:
+    """Reproducible pseudo-random input data for the workload generators."""
+    generator = random.Random(seed)
+    return [generator.randint(low, high) for _ in range(count)]

@@ -1,0 +1,91 @@
+"""Extraction (selection) sort — the paper's "strictly data dependent problem".
+
+The kernel repeatedly extracts the minimum of the unsorted suffix and swaps it
+into place.  Control flow is dominated by data-dependent branches, so the
+branch-resolution loop (ALU → CU) and the load-use dependencies (DC → RF) are
+exercised heavily — which is exactly why the paper picked it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..program import Program, data_from_list
+from .common import Workload, deterministic_values
+
+
+#: Base address of the array in data memory.
+ARRAY_BASE = 0
+
+
+def sort_assembly(length: int, base: int = ARRAY_BASE) -> str:
+    """Assembly text of the selection-sort kernel for an array of *length* words."""
+    return f"""
+; extraction (selection) sort of {length} words at address {base}
+; r1 = i, r2 = n, r3 = j, r4 = min value, r5 = min index, r6 = a[j], r7 = scratch
+        LI   r1, 0
+        LI   r2, {length}
+outer:
+        ADDI r7, r2, -1
+        BGE  r1, r7, done
+        ADD  r5, r1, r0
+        LD   r4, {base}(r1)
+        ADDI r3, r1, 1
+inner:
+        BGE  r3, r2, swap
+        LD   r6, {base}(r3)
+        BGE  r6, r4, skip
+        ADD  r4, r6, r0
+        ADD  r5, r3, r0
+skip:
+        ADDI r3, r3, 1
+        JMP  inner
+swap:
+        LD   r7, {base}(r1)
+        ST   r4, {base}(r1)
+        ST   r7, {base}(r5)
+        ADDI r1, r1, 1
+        JMP  outer
+done:
+        HALT
+"""
+
+
+def make_extraction_sort(
+    length: int = 16,
+    seed: int = 2005,
+    values: Optional[Sequence[int]] = None,
+    base: int = ARRAY_BASE,
+) -> Workload:
+    """Build the extraction-sort workload.
+
+    Parameters
+    ----------
+    length:
+        Number of array elements.  The default keeps the golden run in the
+        same range as the paper's reported cycle counts (a few thousand).
+    seed:
+        Seed of the reproducible input data (ignored when *values* is given).
+    values:
+        Explicit input data (overrides the generated values).
+    base:
+        Base address of the array in data memory.
+    """
+    data: List[int] = list(values) if values is not None else deterministic_values(length, seed)
+    if len(data) != length:
+        raise ValueError(f"expected {length} values, got {len(data)}")
+    program = Program.from_assembly(
+        name=f"extraction-sort-{length}",
+        text=sort_assembly(length, base),
+        data=data_from_list(data, base=base),
+    )
+    expected: Dict[int, int] = {
+        base + offset: value for offset, value in enumerate(sorted(data))
+    }
+    return Workload(
+        name="Extraction Sort",
+        program=program,
+        expected_memory=expected,
+        description=f"selection sort of {length} words (data-dependent control flow)",
+        parameters={"length": length, "seed": seed},
+    )

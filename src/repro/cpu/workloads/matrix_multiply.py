@@ -1,0 +1,109 @@
+"""Dense matrix multiplication — the paper's regular, compute-bound workload.
+
+``C = A × B`` with square integer matrices laid out row-major in data memory.
+Compared to the sort, the control flow is highly regular (counted loops), the
+load traffic is heavy and branches are mostly loop back-edges, which shifts
+the communication profile towards the RF/ALU/DC channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..program import Program, data_from_list
+from .common import Workload, deterministic_values
+
+
+def matrix_multiply_assembly(
+    size: int, a_base: int, b_base: int, c_base: int
+) -> str:
+    """Assembly text of the triple-loop matrix-multiply kernel."""
+    return f"""
+; C = A x B for {size}x{size} matrices (row-major)
+; A at {a_base}, B at {b_base}, C at {c_base}
+; r1 = i, r2 = j, r3 = k, r4 = N, r5 = sum, r6 = A[i,k], r7 = B[k,j]
+; r8 = i*N, r9 = address scratch, r10 = product
+        LI   r4, {size}
+        LI   r1, 0
+loop_i:
+        BGE  r1, r4, done
+        LI   r2, 0
+loop_j:
+        BGE  r2, r4, next_i
+        LI   r5, 0
+        LI   r3, 0
+        MUL  r8, r1, r4
+loop_k:
+        BGE  r3, r4, store_c
+        ADD  r9, r8, r3
+        LD   r6, {a_base}(r9)
+        MUL  r9, r3, r4
+        ADD  r9, r9, r2
+        LD   r7, {b_base}(r9)
+        MUL  r10, r6, r7
+        ADD  r5, r5, r10
+        ADDI r3, r3, 1
+        JMP  loop_k
+store_c:
+        ADD  r9, r8, r2
+        ST   r5, {c_base}(r9)
+        ADDI r2, r2, 1
+        JMP  loop_j
+next_i:
+        ADDI r1, r1, 1
+        JMP  loop_i
+done:
+        HALT
+"""
+
+
+def reference_product(a: Sequence[int], b: Sequence[int], size: int) -> List[int]:
+    """Row-major reference product used to build the expected memory image."""
+    product = [0] * (size * size)
+    for i in range(size):
+        for j in range(size):
+            total = 0
+            for k in range(size):
+                total += a[i * size + k] * b[k * size + j]
+            product[i * size + j] = total
+    return product
+
+
+def make_matrix_multiply(
+    size: int = 5,
+    seed: int = 2005,
+    a_values: Optional[Sequence[int]] = None,
+    b_values: Optional[Sequence[int]] = None,
+    a_base: int = 0,
+    b_base: Optional[int] = None,
+    c_base: Optional[int] = None,
+) -> Workload:
+    """Build the matrix-multiply workload for *size* × *size* matrices."""
+    elements = size * size
+    if b_base is None:
+        b_base = a_base + elements
+    if c_base is None:
+        c_base = b_base + elements
+    a = list(a_values) if a_values is not None else deterministic_values(elements, seed, 0, 20)
+    b = list(b_values) if b_values is not None else deterministic_values(elements, seed + 1, 0, 20)
+    if len(a) != elements or len(b) != elements:
+        raise ValueError(f"matrices must each have {elements} elements")
+
+    data = dict(data_from_list(a, base=a_base))
+    data.update(data_from_list(b, base=b_base))
+    program = Program.from_assembly(
+        name=f"matrix-multiply-{size}x{size}",
+        text=matrix_multiply_assembly(size, a_base, b_base, c_base),
+        data=data,
+    )
+    expected = {
+        c_base + offset: value
+        for offset, value in enumerate(reference_product(a, b, size))
+    }
+    return Workload(
+        name="Matrix Multiply",
+        program=program,
+        expected_memory=expected,
+        description=f"{size}x{size} integer matrix product (regular control flow)",
+        parameters={"size": size, "seed": seed},
+    )

@@ -1,0 +1,52 @@
+"""Experiment harnesses regenerating every table, figure and numeric claim.
+
+* :mod:`repro.experiments.table1` — Table 1 (Extraction Sort and Matrix
+  Multiply sections) for the pipelined (and optionally multicycle) processor.
+* :mod:`repro.experiments.figure1` — the Figure 1 topology/loop report.
+* :mod:`repro.experiments.multicycle_study` — the multicycle-vs-pipelined
+  per-link WP2 gain comparison stated in the text.
+* :mod:`repro.experiments.area_overhead` — the wrapper area overhead claim.
+* :mod:`repro.experiments.sweeps` — ablations and the floorplan/clock
+  methodology sweep (not in the paper; see DESIGN.md).
+"""
+
+from .area_overhead import (
+    AreaOverheadResult,
+    reference_wrapper_overhead_percent,
+    run_area_overhead,
+)
+from .figure1 import Figure1Report, build_figure1_netlist, run_figure1
+from .multicycle_study import MulticycleStudyResult, StyleResult, run_multicycle_study
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    clock_frequency_sweep,
+    default_floorplan,
+    queue_capacity_sweep,
+    uniform_depth_sweep,
+)
+from .table1 import (
+    Table1Result,
+    Table1Row,
+    evaluate_configuration,
+    evaluate_rows,
+    matmul_row_configurations,
+    optimal_configuration,
+    run_table1,
+    run_table1_matmul,
+    run_table1_sort,
+    single_link_rows,
+    sort_row_configurations,
+)
+
+__all__ = [
+    "Table1Result", "Table1Row", "run_table1", "run_table1_sort",
+    "run_table1_matmul", "evaluate_rows", "evaluate_configuration",
+    "single_link_rows", "sort_row_configurations", "matmul_row_configurations",
+    "optimal_configuration",
+    "Figure1Report", "run_figure1", "build_figure1_netlist",
+    "MulticycleStudyResult", "StyleResult", "run_multicycle_study",
+    "AreaOverheadResult", "run_area_overhead", "reference_wrapper_overhead_percent",
+    "SweepResult", "SweepPoint", "queue_capacity_sweep", "uniform_depth_sweep",
+    "clock_frequency_sweep", "default_floorplan",
+]

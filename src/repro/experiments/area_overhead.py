@@ -1,0 +1,116 @@
+"""Wrapper area-overhead claim (Section 1, last paragraph).
+
+"We evaluated the wrappers' area with several synthesis experiments on a
+130 nm technology.  The overhead was always less than 1 % with respect to an
+IP of 100 kgates."  The authors' RTL and library are not available, so this
+experiment substitutes the analytical gate-equivalent model of
+:mod:`repro.core.area` applied to the Figure 1 channel widths — the quantity
+being checked is the *ratio* between wrapper logic and IP logic, which is the
+paper's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..core.area import OverheadReport, estimate_overhead, wrapper_area
+from ..core.config import RSConfiguration
+from ..core.netlist import Netlist
+from ..cpu.machine import build_pipelined_cpu
+from ..cpu.topology import DEFAULT_BLOCK_GATES
+from ..cpu.workloads import make_extraction_sort
+
+
+@dataclass
+class AreaOverheadResult:
+    """Per-block wrapper overheads plus the system-level report."""
+
+    wp1: OverheadReport
+    wp2: OverheadReport
+    per_block_wp1_percent: Dict[str, float] = field(default_factory=dict)
+    per_block_wp2_percent: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def worst_block_overhead_percent(self) -> float:
+        """Largest per-block WP2 wrapper overhead (the paper's <1 % figure)."""
+        if not self.per_block_wp2_percent:
+            return 0.0
+        return max(self.per_block_wp2_percent.values())
+
+    def format(self) -> str:
+        lines = ["Wrapper area overhead (gate-equivalent model)"]
+        lines.append(f"{'block':<6} {'WP1 %':>8} {'WP2 %':>8}")
+        for block in sorted(self.per_block_wp1_percent):
+            lines.append(
+                f"{block:<6} {self.per_block_wp1_percent[block]:>7.3f}% "
+                f"{self.per_block_wp2_percent[block]:>7.3f}%"
+            )
+        lines.append(
+            f"system: WP1 {100 * self.wp1.wrapper_overhead_fraction:.3f} %, "
+            f"WP2 {100 * self.wp2.wrapper_overhead_fraction:.3f} % of total IP area"
+        )
+        return "\n".join(lines)
+
+
+def run_area_overhead(
+    netlist: Optional[Netlist] = None,
+    configuration: Optional[RSConfiguration] = None,
+    block_gates: Optional[Mapping[str, float]] = None,
+    queue_depth: int = 2,
+    reference_ip_gates: float = 100_000.0,
+) -> AreaOverheadResult:
+    """Estimate wrapper and relay-station overhead for the Figure 1 processor."""
+    if netlist is None:
+        netlist = build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+    if configuration is None:
+        configuration = RSConfiguration.uniform(1)
+    gates = dict(block_gates or DEFAULT_BLOCK_GATES)
+    rs_counts = configuration.per_channel(netlist)
+
+    wp1 = estimate_overhead(
+        netlist, rs_counts, gates, queue_depth=queue_depth, relaxed=False,
+        default_ip_ge=reference_ip_gates,
+    )
+    wp2 = estimate_overhead(
+        netlist, rs_counts, gates, queue_depth=queue_depth, relaxed=True,
+        default_ip_ge=reference_ip_gates,
+    )
+
+    per_block_wp1: Dict[str, float] = {}
+    per_block_wp2: Dict[str, float] = {}
+    for block in netlist.process_names():
+        widths = [chan.width for chan in netlist.input_channels(block).values()]
+        ip = gates.get(block, reference_ip_gates)
+        per_block_wp1[block] = 100.0 * wrapper_area(
+            widths, queue_depth=queue_depth, relaxed=False
+        ).total_ge / ip
+        per_block_wp2[block] = 100.0 * wrapper_area(
+            widths, queue_depth=queue_depth, relaxed=True
+        ).total_ge / ip
+    return AreaOverheadResult(
+        wp1=wp1,
+        wp2=wp2,
+        per_block_wp1_percent=per_block_wp1,
+        per_block_wp2_percent=per_block_wp2,
+    )
+
+
+def reference_wrapper_overhead_percent(
+    channel_width_bits: int = 32,
+    input_channels: int = 2,
+    queue_depth: int = 1,
+    ip_gates: float = 100_000.0,
+    relaxed: bool = True,
+) -> float:
+    """The paper's headline number: one wrapper vs a 100 kgate IP, in percent.
+
+    The defaults model the paper's *simplified* wrapper, which keeps a single
+    register per input channel and tracks lag with small counters (the
+    elastic storage lives in the relay stations); the Python simulator's
+    deeper FIFOs are a decoupling convenience, not a hardware requirement.
+    """
+    estimate = wrapper_area(
+        [channel_width_bits] * input_channels, queue_depth=queue_depth, relaxed=relaxed
+    )
+    return 100.0 * estimate.total_ge / ip_gates

@@ -1,0 +1,88 @@
+"""Figure 1 report: the case-study topology and its netlist loops.
+
+Figure 1 of the paper shows the five blocks, their channels and highlights the
+netlist loops as "the responsible of performance pitfalls".  The figure is
+structural, so its reproduction is a report rather than a plot: the block
+list, the channel list (with physical link labels and widths), every simple
+loop of the process graph, and the per-link throughput sensitivity (the static
+bound obtained when that link alone is pipelined) — which is the quantity the
+loop discussion in Section 2 is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from ..core.config import RSConfiguration
+from ..core.netlist import Netlist
+from ..core.static_analysis import Loop, enumerate_loops, throughput_bound
+from ..cpu.machine import build_pipelined_cpu
+from ..cpu.topology import TABLE1_LINK_ORDER
+from ..cpu.workloads import make_extraction_sort
+
+
+@dataclass
+class Figure1Report:
+    """Structural description of the Figure 1 netlist."""
+
+    blocks: List[str]
+    channels: List[Tuple[str, str, str, str, int]]  # (name, source, dest, link, width)
+    loops: List[Loop]
+    per_link_bound: Dict[str, Fraction]
+
+    @property
+    def loop_count(self) -> int:
+        return len(self.loops)
+
+    def shortest_loops(self) -> List[Loop]:
+        """The two-block loops (the tightest performance pitfalls)."""
+        minimum = min(loop.length for loop in self.loops) if self.loops else 0
+        return [loop for loop in self.loops if loop.length == minimum]
+
+    def format(self) -> str:
+        lines = ["Figure 1 — case-study topology"]
+        lines.append(f"blocks ({len(self.blocks)}): " + ", ".join(self.blocks))
+        lines.append(f"channels ({len(self.channels)}):")
+        for name, source, dest, link, width in self.channels:
+            lines.append(f"  {name:8s} {source:>3s} -> {dest:<3s}  link {link:<7s} {width:>3d} bits")
+        lines.append(f"netlist loops ({len(self.loops)}):")
+        for loop in sorted(self.loops, key=lambda item: (item.length, item.processes)):
+            lines.append("  " + loop.describe())
+        lines.append("throughput bound with a single relay station on each link alone:")
+        for link in TABLE1_LINK_ORDER:
+            bound = self.per_link_bound[link]
+            lines.append(f"  Only {link:<7s} Th <= {bound.numerator}/{bound.denominator}"
+                         f" = {float(bound):.3f}")
+        return "\n".join(lines)
+
+
+def build_figure1_netlist() -> Netlist:
+    """The Figure 1 netlist, loaded with a small placeholder program."""
+    workload = make_extraction_sort(length=4)
+    return build_pipelined_cpu(workload.program).netlist
+
+
+def run_figure1(netlist: Netlist | None = None) -> Figure1Report:
+    """Produce the Figure 1 structural report."""
+    if netlist is None:
+        netlist = build_figure1_netlist()
+    channels = [
+        (chan.name, chan.source, chan.dest, chan.link_name, chan.width)
+        for chan in netlist.channels.values()
+    ]
+    channels.sort()
+    loops = enumerate_loops(netlist)
+    per_link: Dict[str, Fraction] = {}
+    for link in netlist.link_names():
+        report = throughput_bound(
+            netlist, configuration=RSConfiguration.only(link)
+        )
+        per_link[link] = report.bound
+    return Figure1Report(
+        blocks=netlist.process_names(),
+        channels=channels,
+        loops=loops,
+        per_link_bound=per_link,
+    )

@@ -1,0 +1,117 @@
+"""Multicycle-vs-pipelined study (Section 3, overall conclusions 2 and 3).
+
+The paper reports (without a table, for space reasons) that in the
+*multicycle* processor the CU-IC loop is excited only once per five-phase
+instruction, so pipelining that link costs WP1 dearly while WP2 recovers most
+of the loss (≈ 60 % improvement), whereas channels accessed more frequently
+give less advantage; in the *pipelined* processor the computations are tighter
+but WP2 still helps.  This harness quantifies that comparison: for each link
+it evaluates "Only <link>" under both control styles and reports the WP2 gain
+side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import RSConfiguration
+from ..cpu.machine import build_multicycle_cpu, build_pipelined_cpu
+from ..cpu.topology import TABLE1_LINK_ORDER
+from ..cpu.workloads import Workload, make_extraction_sort
+
+
+@dataclass
+class StyleResult:
+    """WP1/WP2 throughput of one configuration under one control style."""
+
+    golden_cycles: int
+    wp1_cycles: int
+    wp2_cycles: int
+
+    @property
+    def wp1_throughput(self) -> float:
+        return self.golden_cycles / self.wp1_cycles if self.wp1_cycles else 0.0
+
+    @property
+    def wp2_throughput(self) -> float:
+        return self.golden_cycles / self.wp2_cycles if self.wp2_cycles else 0.0
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.wp1_throughput == 0:
+            return 0.0
+        return 100.0 * (self.wp2_throughput - self.wp1_throughput) / self.wp1_throughput
+
+
+@dataclass
+class MulticycleStudyResult:
+    """Per-link WP2 gains for the multicycle and pipelined control styles."""
+
+    workload: str
+    links: List[str]
+    multicycle: Dict[str, StyleResult] = field(default_factory=dict)
+    pipelined: Dict[str, StyleResult] = field(default_factory=dict)
+
+    def gain(self, style: str, link: str) -> float:
+        """WP2-vs-WP1 gain (percent) for one link under one style."""
+        table = self.multicycle if style == "multicycle" else self.pipelined
+        return table[link].improvement_percent
+
+    def format(self) -> str:
+        header = f"{'link':<8} {'multicycle gain':>16} {'pipelined gain':>16}"
+        lines = [f"Multicycle vs pipelined WP2 gains — {self.workload}", header,
+                 "-" * len(header)]
+        for link in self.links:
+            lines.append(
+                f"{link:<8} {self.multicycle[link].improvement_percent:>+15.0f}% "
+                f"{self.pipelined[link].improvement_percent:>+15.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def _evaluate_style(
+    workload: Workload,
+    links: List[str],
+    pipelined: bool,
+    rs_count: int,
+    max_cycles: int,
+) -> Dict[str, StyleResult]:
+    builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
+    cpu = builder(workload.program)
+    golden = cpu.run_golden(record_trace=False, max_cycles=max_cycles)
+    results: Dict[str, StyleResult] = {}
+    for link in links:
+        configuration = RSConfiguration.only(link, count=rs_count)
+        wp1 = cpu.run_wire_pipelined(
+            configuration=configuration, relaxed=False, record_trace=False,
+            max_cycles=max_cycles,
+        )
+        wp2 = cpu.run_wire_pipelined(
+            configuration=configuration, relaxed=True, record_trace=False,
+            max_cycles=max_cycles,
+        )
+        results[link] = StyleResult(
+            golden_cycles=golden.cycles,
+            wp1_cycles=wp1.cycles,
+            wp2_cycles=wp2.cycles,
+        )
+    return results
+
+
+def run_multicycle_study(
+    workload: Optional[Workload] = None,
+    links: Optional[List[str]] = None,
+    rs_count: int = 1,
+    max_cycles: int = 5_000_000,
+) -> MulticycleStudyResult:
+    """Compare WP2 gains per link between the multicycle and pipelined CPUs."""
+    if workload is None:
+        workload = make_extraction_sort(length=12)
+    chosen_links = list(links) if links is not None else list(TABLE1_LINK_ORDER)
+    return MulticycleStudyResult(
+        workload=workload.name,
+        links=chosen_links,
+        multicycle=_evaluate_style(workload, chosen_links, False, rs_count, max_cycles),
+        pipelined=_evaluate_style(workload, chosen_links, True, rs_count, max_cycles),
+    )

@@ -1,0 +1,178 @@
+"""Ablation and methodology sweeps (not in the paper, called out in DESIGN.md).
+
+Three sweeps support the design-choice discussion of this reproduction:
+
+* :func:`queue_capacity_sweep` — sensitivity of WP1/WP2 throughput to the
+  wrapper FIFO depth (the paper reasons with semi-infinite FIFOs made finite;
+  this quantifies how small "finite" can be before back-pressure bites);
+* :func:`uniform_depth_sweep` — throughput as wires get deeper pipelining
+  ("All k" for increasing k), the scaling trend behind the paper's motivation;
+* :func:`clock_frequency_sweep` — the methodology flow end to end: a
+  floorplan fixes wire lengths, the target clock fixes relay-station counts,
+  the simulator reports the throughput the wrapped system sustains, and the
+  effective performance (clock × throughput) exposes the optimum operating
+  point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import RSConfiguration
+from ..core.floorplan import Floorplan, row_pack, spread_floorplan
+from ..core.insertion import floorplan_insertion
+from ..core.timing import ClockPlan, WireModel
+from ..cpu.machine import CaseStudyCpu, build_pipelined_cpu
+from ..cpu.topology import DEFAULT_BLOCK_SIZES_MM, LINK_CU_IC
+from ..cpu.workloads import Workload, make_extraction_sort
+
+
+@dataclass
+class SweepPoint:
+    """One point of a throughput sweep."""
+
+    parameter: float
+    wp1_throughput: float
+    wp2_throughput: float
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A named series of sweep points."""
+
+    name: str
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def parameters(self) -> List[float]:
+        return [point.parameter for point in self.points]
+
+    def wp2_series(self) -> List[float]:
+        return [point.wp2_throughput for point in self.points]
+
+    def wp1_series(self) -> List[float]:
+        return [point.wp1_throughput for point in self.points]
+
+    def format(self) -> str:
+        lines = [f"{self.name} (x = {self.parameter_name})"]
+        lines.append(f"{self.parameter_name:>12} {'Th WP1':>8} {'Th WP2':>8}")
+        for point in self.points:
+            lines.append(
+                f"{point.parameter:>12.3f} {point.wp1_throughput:>8.3f} "
+                f"{point.wp2_throughput:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _throughputs(
+    cpu: CaseStudyCpu,
+    golden_cycles: int,
+    configuration: RSConfiguration,
+    queue_capacity: int = 4,
+    max_cycles: int = 5_000_000,
+) -> Tuple[float, float]:
+    wp1 = cpu.run_wire_pipelined(
+        configuration=configuration, relaxed=False, record_trace=False,
+        queue_capacity=queue_capacity, max_cycles=max_cycles,
+    )
+    wp2 = cpu.run_wire_pipelined(
+        configuration=configuration, relaxed=True, record_trace=False,
+        queue_capacity=queue_capacity, max_cycles=max_cycles,
+    )
+    return golden_cycles / wp1.cycles, golden_cycles / wp2.cycles
+
+
+def queue_capacity_sweep(
+    workload: Optional[Workload] = None,
+    capacities: Sequence[int] = (2, 3, 4, 6, 8),
+    configuration: Optional[RSConfiguration] = None,
+) -> SweepResult:
+    """WP1/WP2 throughput versus wrapper input-FIFO depth."""
+    if workload is None:
+        workload = make_extraction_sort(length=10)
+    if configuration is None:
+        configuration = RSConfiguration.uniform(1, exclude=(LINK_CU_IC,))
+    cpu = build_pipelined_cpu(workload.program)
+    golden = cpu.run_golden(record_trace=False)
+    result = SweepResult(
+        name=f"Wrapper FIFO depth sweep — {workload.name}",
+        parameter_name="fifo depth",
+    )
+    for capacity in capacities:
+        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration, queue_capacity=capacity)
+        result.points.append(SweepPoint(parameter=float(capacity), wp1_throughput=wp1, wp2_throughput=wp2))
+    return result
+
+
+def uniform_depth_sweep(
+    workload: Optional[Workload] = None,
+    depths: Sequence[int] = (0, 1, 2, 3),
+    exclude: Sequence[str] = (LINK_CU_IC,),
+) -> SweepResult:
+    """Throughput versus uniform relay-station depth ("All k" scaling)."""
+    if workload is None:
+        workload = make_extraction_sort(length=10)
+    cpu = build_pipelined_cpu(workload.program)
+    golden = cpu.run_golden(record_trace=False)
+    result = SweepResult(
+        name=f"Uniform pipelining depth sweep — {workload.name}",
+        parameter_name="RS per link",
+    )
+    for depth in depths:
+        configuration = RSConfiguration.uniform(depth, exclude=exclude)
+        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration)
+        result.points.append(SweepPoint(parameter=float(depth), wp1_throughput=wp1, wp2_throughput=wp2))
+    return result
+
+
+def default_floorplan(spread: float = 1.0) -> Floorplan:
+    """A row-packed floorplan of the five case-study blocks."""
+    plan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=6.0)
+    if spread != 1.0:
+        plan = spread_floorplan(plan, spread)
+    return plan
+
+
+def clock_frequency_sweep(
+    workload: Optional[Workload] = None,
+    frequencies_ghz: Sequence[float] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0),
+    floorplan: Optional[Floorplan] = None,
+    wire_model: Optional[WireModel] = None,
+) -> SweepResult:
+    """The methodology flow: clock target → relay stations → sustained throughput.
+
+    ``detail`` of each point carries the total relay-station count and the
+    *effective* performance (frequency × throughput), whose maximum is the
+    operating point the methodology is meant to find.
+    """
+    if workload is None:
+        workload = make_extraction_sort(length=10)
+    if floorplan is None:
+        floorplan = default_floorplan(spread=2.0)
+    model = wire_model if wire_model is not None else WireModel()
+    cpu = build_pipelined_cpu(workload.program)
+    golden = cpu.run_golden(record_trace=False)
+    result = SweepResult(
+        name=f"Clock-frequency sweep — {workload.name}",
+        parameter_name="clock (GHz)",
+    )
+    for frequency in frequencies_ghz:
+        clock = ClockPlan.from_frequency_ghz(frequency)
+        configuration = floorplan_insertion(cpu.netlist, floorplan, clock, model)
+        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration)
+        total_rs = configuration.total_relay_stations(cpu.netlist)
+        result.points.append(
+            SweepPoint(
+                parameter=frequency,
+                wp1_throughput=wp1,
+                wp2_throughput=wp2,
+                detail={
+                    "total_relay_stations": float(total_rs),
+                    "effective_wp1_ghz": frequency * wp1,
+                    "effective_wp2_ghz": frequency * wp2,
+                },
+            )
+        )
+    return result

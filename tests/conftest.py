@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Workload sizes are kept small so the full suite runs in well under a minute;
+the benchmark harness exercises the paper-scale sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RSConfiguration, ring_netlist
+from repro.cpu import build_multicycle_cpu, build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort, make_matrix_multiply
+
+
+@pytest.fixture(scope="session")
+def sort_workload():
+    """A small extraction-sort workload (8 elements)."""
+    return make_extraction_sort(length=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def matmul_workload():
+    """A small matrix-multiply workload (3x3)."""
+    return make_matrix_multiply(size=3, seed=7)
+
+
+@pytest.fixture()
+def sort_cpu(sort_workload):
+    """A pipelined CPU loaded with the small sort workload."""
+    return build_pipelined_cpu(sort_workload.program)
+
+
+@pytest.fixture()
+def matmul_cpu(matmul_workload):
+    """A pipelined CPU loaded with the small matmul workload."""
+    return build_pipelined_cpu(matmul_workload.program)
+
+
+@pytest.fixture()
+def multicycle_sort_cpu(sort_workload):
+    """A multicycle CPU loaded with the small sort workload."""
+    return build_multicycle_cpu(sort_workload.program)
+
+
+@pytest.fixture()
+def ring2():
+    """A two-stage ring with one relay station on one edge."""
+    netlist, rs_counts = ring_netlist(2, rs_total=1)
+    return netlist, rs_counts
+
+
+@pytest.fixture()
+def all_one_config():
+    """The 'All 1 (no CU-IC)' configuration used throughout Table 1."""
+    return RSConfiguration.uniform(1, exclude=("CU-IC",))

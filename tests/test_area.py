@@ -1,0 +1,131 @@
+"""Unit tests for the wrapper / relay-station area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.area import (
+    AreaEstimate,
+    estimate_overhead,
+    relay_station_area,
+    wrapper_area,
+)
+from repro.core.config import RSConfiguration
+from repro.cpu import DEFAULT_BLOCK_GATES, build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort
+
+
+@pytest.fixture(scope="module")
+def cpu_netlist():
+    return build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+
+
+class TestAreaEstimate:
+    def test_total_is_sum_of_parts(self):
+        estimate = AreaEstimate(storage_ge=100.0, control_ge=20.0)
+        assert estimate.total_ge == 120.0
+
+    def test_addition(self):
+        combined = AreaEstimate(10.0, 5.0) + AreaEstimate(1.0, 2.0)
+        assert combined.storage_ge == 11.0
+        assert combined.control_ge == 7.0
+
+
+class TestRelayStationArea:
+    def test_scales_with_width(self):
+        narrow = relay_station_area(8).total_ge
+        wide = relay_station_area(64).total_ge
+        assert wide > narrow
+
+    def test_has_two_registers_worth_of_storage(self):
+        from repro.core.area import FLOP_GE
+
+        estimate = relay_station_area(32)
+        assert estimate.storage_ge == 2 * 32 * FLOP_GE
+
+
+class TestWrapperArea:
+    def test_scales_with_queue_depth(self):
+        shallow = wrapper_area([32], queue_depth=1).total_ge
+        deep = wrapper_area([32], queue_depth=4).total_ge
+        assert deep > shallow
+
+    def test_scales_with_channel_count(self):
+        one = wrapper_area([32]).total_ge
+        three = wrapper_area([32, 32, 32]).total_ge
+        assert three > one
+
+    def test_relaxed_wrapper_slightly_larger(self):
+        strict = wrapper_area([32, 32], relaxed=False).total_ge
+        relaxed = wrapper_area([32, 32], relaxed=True).total_ge
+        assert relaxed > strict
+        # ... but only slightly: the paper's point is that the oracle logic is
+        # negligible.
+        assert relaxed < 1.2 * strict
+
+    def test_no_inputs_wrapper_is_control_only(self):
+        estimate = wrapper_area([])
+        assert estimate.storage_ge == 0.0
+        assert estimate.control_ge > 0.0
+
+
+class TestOverheadReport:
+    def test_wrapper_overhead_far_below_ip_area(self, cpu_netlist):
+        config = RSConfiguration.uniform(1)
+        report = estimate_overhead(
+            cpu_netlist,
+            config.per_channel(cpu_netlist),
+            DEFAULT_BLOCK_GATES,
+            queue_depth=2,
+        )
+        assert 0.0 < report.wrapper_overhead_fraction < 0.05
+        assert report.total_overhead_fraction < 0.1
+
+    def test_relaxed_report_larger_than_strict(self, cpu_netlist):
+        config = RSConfiguration.uniform(1)
+        counts = config.per_channel(cpu_netlist)
+        strict = estimate_overhead(cpu_netlist, counts, DEFAULT_BLOCK_GATES)
+        relaxed = estimate_overhead(
+            cpu_netlist, counts, DEFAULT_BLOCK_GATES, relaxed=True
+        )
+        assert relaxed.total_wrapper_ge > strict.total_wrapper_ge
+
+    def test_relay_station_area_scales_with_counts(self, cpu_netlist):
+        one = estimate_overhead(
+            cpu_netlist,
+            RSConfiguration.uniform(1).per_channel(cpu_netlist),
+            DEFAULT_BLOCK_GATES,
+        )
+        two = estimate_overhead(
+            cpu_netlist,
+            RSConfiguration.uniform(2).per_channel(cpu_netlist),
+            DEFAULT_BLOCK_GATES,
+        )
+        assert two.total_relay_station_ge == pytest.approx(2 * one.total_relay_station_ge)
+
+    def test_default_ip_size_used_for_unlisted_blocks(self, cpu_netlist):
+        report = estimate_overhead(
+            cpu_netlist,
+            RSConfiguration.ideal().per_channel(cpu_netlist),
+            {},
+            default_ip_ge=100_000.0,
+        )
+        assert report.total_ip_ge == pytest.approx(5 * 100_000.0)
+
+    def test_describe_mentions_percentages(self, cpu_netlist):
+        report = estimate_overhead(
+            cpu_netlist,
+            RSConfiguration.uniform(1).per_channel(cpu_netlist),
+            DEFAULT_BLOCK_GATES,
+        )
+        assert "%" in report.describe()
+
+    def test_zero_ip_area_gives_zero_fractions(self, cpu_netlist):
+        report = estimate_overhead(
+            cpu_netlist,
+            RSConfiguration.ideal().per_channel(cpu_netlist),
+            {name: 0.0 for name in cpu_netlist.process_names()},
+            default_ip_ge=0.0,
+        )
+        assert report.wrapper_overhead_fraction == 0.0
+        assert report.total_overhead_fraction == 0.0

@@ -1,0 +1,133 @@
+"""Unit tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import AssemblerError
+from repro.cpu.assembler import assemble, disassemble
+from repro.cpu.isa import Opcode
+
+
+class TestBasicAssembly:
+    def test_empty_lines_and_comments_ignored(self):
+        result = assemble(
+            """
+            ; a comment
+            # another comment
+            // and another
+            NOP
+            """
+        )
+        assert len(result) == 1
+        assert result.instructions[0].op is Opcode.NOP
+
+    def test_case_insensitive_mnemonics_and_registers(self):
+        result = assemble("add R3, r1, R2")
+        instr = result.instructions[0]
+        assert instr.op is Opcode.ADD
+        assert (instr.rd, instr.ra, instr.rb) == (3, 1, 2)
+
+    def test_immediate_formats(self):
+        result = assemble("LI r1, 0x10\nLI r2, -5")
+        assert result.instructions[0].imm == 16
+        assert result.instructions[1].imm == -5
+
+    def test_memory_operand_with_offset(self):
+        instr = assemble("LD r1, 8(r2)").instructions[0]
+        assert (instr.rd, instr.ra, instr.imm) == (1, 2, 8)
+
+    def test_memory_operand_without_offset(self):
+        instr = assemble("ST r3, (r4)").instructions[0]
+        assert (instr.rb, instr.ra, instr.imm) == (3, 4, 0)
+
+    def test_memory_operand_bare_address(self):
+        instr = assemble("LD r1, 12").instructions[0]
+        assert (instr.ra, instr.imm) == (0, 12)
+
+    def test_store_operand_order(self):
+        instr = assemble("ST r5, 2(r6)").instructions[0]
+        assert instr.op is Opcode.ST
+        assert instr.rb == 5  # data register
+        assert instr.ra == 6  # base register
+
+
+class TestLabels:
+    def test_forward_and_backward_labels(self):
+        result = assemble(
+            """
+            start:
+                LI r1, 0
+            loop:
+                ADDI r1, r1, 1
+                BNE r1, r2, loop
+                JMP start
+            """
+        )
+        assert result.symbols == {"start": 0, "loop": 1}
+        assert result.instructions[2].imm == 1  # BNE target = loop
+        assert result.instructions[3].imm == 0  # JMP target = start
+
+    def test_label_on_its_own_line(self):
+        result = assemble("alone:\nNOP")
+        assert result.symbols["alone"] == 0
+
+    def test_label_as_immediate_value(self):
+        result = assemble("target:\nLI r1, target")
+        assert result.instructions[0].imm == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("dup:\nNOP\ndup:\nNOP")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("JMP nowhere")
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("1bad:\nNOP")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("FROB r1, r2, r3")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("ADD r1, r2")
+
+    def test_invalid_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("ADD r1, r2, r99")
+        with pytest.raises(AssemblerError):
+            assemble("ADD r1, r2, x3")
+
+    def test_invalid_immediate(self):
+        with pytest.raises(AssemblerError):
+            assemble("LI r1, not_a_number!")
+
+    def test_halt_takes_no_operands(self):
+        with pytest.raises(AssemblerError):
+            assemble("HALT r1")
+
+
+class TestResultHelpers:
+    def test_words_encodes_each_instruction(self):
+        result = assemble("NOP\nHALT")
+        words = result.words()
+        assert len(words) == 2
+        assert all(isinstance(word, int) for word in words)
+
+    def test_disassemble_lists_addresses(self):
+        result = assemble("LI r1, 3\nHALT")
+        text = disassemble(result.instructions)
+        assert "0:" in text and "1:" in text and "HALT" in text
+
+    def test_roundtrip_through_words(self):
+        from repro.cpu.isa import decode
+
+        result = assemble("ADD r1, r2, r3\nBEQ r1, r0, 0")
+        decoded = [decode(word) for word in result.words()]
+        assert decoded == result.instructions

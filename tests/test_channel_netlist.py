@@ -1,0 +1,173 @@
+"""Unit tests for channels and netlist construction/validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import Channel, channel
+from repro.core.exceptions import NetlistError
+from repro.core.netlist import Netlist, ring_netlist
+from repro.core.process import FunctionProcess, PassthroughProcess, SinkProcess
+
+
+def forward(state, inputs):
+    return state, {"out": inputs["in"]}
+
+
+def make_stage(name):
+    return FunctionProcess(name, inputs=("in",), outputs=("out",), transition=forward)
+
+
+class TestChannel:
+    def test_channel_helper_defaults_ports_to_name(self):
+        chan = channel("data", "A", "B")
+        assert chan.source_port == "data"
+        assert chan.dest_port == "data"
+
+    def test_explicit_ports(self):
+        chan = Channel(
+            name="c", source="A", source_port="out", dest="B", dest_port="in"
+        )
+        assert chan.endpoints == ("A", "B")
+
+    def test_link_defaults_to_name(self):
+        assert channel("data", "A", "B").link_name == "data"
+
+    def test_explicit_link(self):
+        assert channel("data", "A", "B", link="A-B").link_name == "A-B"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(NetlistError):
+            channel("data", "A", "B", width=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Channel(name="", source="A", source_port="o", dest="B", dest_port="i")
+
+    def test_describe_mentions_endpoints(self):
+        text = channel("data", "A", "B").describe()
+        assert "A" in text and "B" in text
+
+
+class TestNetlistValidation:
+    def test_simple_pipeline_builds(self):
+        a, b = make_stage("a"), make_stage("b")
+        net = Netlist(
+            [a, b],
+            [Channel("c", "a", "out", "b", "in"), Channel("back", "b", "out", "a", "in")],
+        )
+        assert set(net.processes) == {"a", "b"}
+
+    def test_duplicate_process_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist([make_stage("a"), make_stage("a")], [])
+
+    def test_duplicate_channel_name_rejected(self):
+        a, b = make_stage("a"), make_stage("b")
+        chan = Channel("c", "a", "out", "b", "in")
+        with pytest.raises(NetlistError):
+            Netlist([a, b], [chan, Channel("c", "b", "out", "a", "in")])
+
+    def test_unknown_source_process_rejected(self):
+        b = make_stage("b")
+        with pytest.raises(NetlistError):
+            Netlist([b], [Channel("c", "ghost", "out", "b", "in")])
+
+    def test_unknown_port_rejected(self):
+        a, b = make_stage("a"), make_stage("b")
+        with pytest.raises(NetlistError):
+            Netlist([a, b], [Channel("c", "a", "nope", "b", "in")])
+
+    def test_undriven_input_rejected(self):
+        sink = SinkProcess("sink")
+        with pytest.raises(NetlistError):
+            Netlist([sink], [])
+
+    def test_double_driven_input_rejected(self):
+        from repro.core.process import CounterSource
+
+        src1, src2 = CounterSource("src1"), CounterSource("src2")
+        sink = SinkProcess("sink")
+        with pytest.raises(NetlistError):
+            Netlist(
+                [src1, src2, sink],
+                [
+                    Channel("c1", "src1", "out", "sink", "in"),
+                    Channel("c2", "src2", "out", "sink", "in"),
+                ],
+            )
+
+
+class TestNetlistQueries:
+    def build(self):
+        netlist, _ = ring_netlist(3, rs_total=0)
+        return netlist
+
+    def test_process_and_channel_lookup(self):
+        net = self.build()
+        assert net.process("stage0").name == "stage0"
+        assert net.channel("c0_1").dest == "stage1"
+
+    def test_unknown_lookup_raises(self):
+        net = self.build()
+        with pytest.raises(NetlistError):
+            net.process("nope")
+        with pytest.raises(NetlistError):
+            net.channel("nope")
+
+    def test_input_output_channel_maps(self):
+        net = self.build()
+        assert set(net.input_channels("stage1")) == {"in"}
+        outs = net.output_channels("stage0")
+        assert [c.name for c in outs["out"]] == ["c0_1"]
+
+    def test_links_group_by_label(self):
+        net = self.build()
+        assert set(net.link_names()) == {"c0_1", "c1_2", "c2_0"}
+        assert net.channels_of_link("c0_1")[0].name == "c0_1"
+
+    def test_channels_of_unknown_link_raises(self):
+        with pytest.raises(NetlistError):
+            self.build().channels_of_link("ghost")
+
+    def test_contains(self):
+        net = self.build()
+        assert "stage0" in net
+        assert "c0_1" in net
+        assert "ghost" not in net
+
+    def test_describe_lists_everything(self):
+        text = self.build().describe()
+        assert "stage0" in text and "c0_1" in text
+
+    def test_simple_loops_of_ring(self):
+        loops = self.build().simple_loops()
+        assert len(loops) == 1
+        assert len(loops[0]) == 3
+
+    def test_process_graph_edge_attributes(self):
+        net = self.build()
+        graph = net.process_graph(rs_counts={"c0_1": 2})
+        data = graph.get_edge_data("stage0", "stage1")["c0_1"]
+        assert data["rs"] == 2
+
+    def test_reset_resets_all_processes(self):
+        net = self.build()
+        for process in net:
+            process.step({"in": 0})
+        net.reset()
+        assert all(process.firings == 0 for process in net)
+
+
+class TestRingNetlist:
+    def test_rs_distribution_sums_to_total(self):
+        _, counts = ring_netlist(4, rs_total=6)
+        assert sum(counts.values()) == 6
+
+    def test_single_stage_ring_is_selfloop(self):
+        net, _ = ring_netlist(1)
+        assert net.simple_loops() == [["stage0"]]
+
+    def test_zero_stage_ring_rejected(self):
+        with pytest.raises(NetlistError):
+            ring_netlist(0)

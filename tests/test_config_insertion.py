@@ -1,0 +1,142 @@
+"""Unit tests for relay-station configurations and insertion policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RSConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.core.insertion import (
+    all_single_link_insertions,
+    floorplan_insertion,
+    incremental_insertions,
+    merge_minimum,
+    single_link_insertion,
+    uniform_insertion,
+)
+from repro.core.floorplan import row_pack
+from repro.core.timing import ClockPlan
+from repro.cpu import DEFAULT_BLOCK_SIZES_MM, TABLE1_LINK_ORDER, build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort
+
+
+@pytest.fixture(scope="module")
+def cpu_netlist():
+    return build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+
+
+class TestRSConfiguration:
+    def test_ideal_has_no_relay_stations(self, cpu_netlist):
+        config = RSConfiguration.ideal()
+        assert config.total_relay_stations(cpu_netlist) == 0
+
+    def test_only_sets_single_link(self, cpu_netlist):
+        config = RSConfiguration.only("RF-DC", count=2)
+        per_link = config.per_link(cpu_netlist.link_names())
+        assert per_link["RF-DC"] == 2
+        assert sum(per_link.values()) == 2
+
+    def test_only_label(self):
+        assert RSConfiguration.only("CU-RF").label == "Only CU-RF"
+
+    def test_uniform_with_exclusion(self, cpu_netlist):
+        config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+        per_link = config.per_link(cpu_netlist.link_names())
+        assert per_link["CU-IC"] == 0
+        assert all(count == 1 for link, count in per_link.items() if link != "CU-IC")
+        assert "no CU-IC" in config.label
+
+    def test_uniform_plus(self, cpu_netlist):
+        config = RSConfiguration.uniform_plus(1, {"RF-DC": 2})
+        per_link = config.per_link(cpu_netlist.link_names())
+        assert per_link["RF-DC"] == 2
+        assert per_link["CU-RF"] == 1
+
+    def test_from_mapping_defaults_to_zero(self, cpu_netlist):
+        config = RSConfiguration.from_mapping({"CU-RF": 3})
+        per_link = config.per_link(cpu_netlist.link_names())
+        assert per_link["CU-RF"] == 3
+        assert per_link["DC-RF"] == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RSConfiguration(label="bad", default=-1)
+        with pytest.raises(ConfigurationError):
+            RSConfiguration(label="bad", overrides={"x": -2})
+
+    def test_per_channel_expands_link_to_both_directions(self, cpu_netlist):
+        config = RSConfiguration.only("CU-IC")
+        per_channel = config.per_channel(cpu_netlist)
+        assert per_channel["cu_ic"] == 1
+        assert per_channel["ic_cu"] == 1
+        assert per_channel["rf_alu"] == 0
+
+    def test_per_channel_unknown_link_rejected(self, cpu_netlist):
+        config = RSConfiguration.only("NOT-A-LINK")
+        with pytest.raises(ConfigurationError):
+            config.per_channel(cpu_netlist)
+
+    def test_total_relay_stations_counts_channels(self, cpu_netlist):
+        config = RSConfiguration.uniform(1)
+        # 11 channels in the Figure 1 netlist, one RS each.
+        assert config.total_relay_stations(cpu_netlist) == 11
+
+    def test_with_label(self):
+        config = RSConfiguration.only("CU-RF").with_label("renamed")
+        assert config.label == "renamed"
+        assert config.count_for_link("CU-RF") == 1
+
+    def test_describe_lists_links(self):
+        text = RSConfiguration.only("CU-RF").describe(["CU-RF", "CU-IC"])
+        assert "CU-RF=1" in text and "CU-IC=0" in text
+
+
+class TestInsertionPolicies:
+    def test_uniform_insertion(self, cpu_netlist):
+        config = uniform_insertion(cpu_netlist, 2, exclude=("CU-IC",))
+        assert config.count_for_link("CU-IC") == 0
+        assert config.count_for_link("RF-DC") == 2
+
+    def test_uniform_insertion_unknown_exclude_rejected(self, cpu_netlist):
+        with pytest.raises(ConfigurationError):
+            uniform_insertion(cpu_netlist, 1, exclude=("GHOST",))
+
+    def test_single_link_insertion(self, cpu_netlist):
+        config = single_link_insertion(cpu_netlist, "ALU-RF", count=2)
+        assert config.count_for_link("ALU-RF") == 2
+
+    def test_single_link_insertion_unknown_link_rejected(self, cpu_netlist):
+        with pytest.raises(ConfigurationError):
+            single_link_insertion(cpu_netlist, "GHOST")
+
+    def test_all_single_link_insertions_covers_every_link(self, cpu_netlist):
+        configs = all_single_link_insertions(cpu_netlist)
+        assert len(configs) == len(cpu_netlist.link_names())
+        labels = {config.label for config in configs}
+        assert "Only CU-IC" in labels
+
+    def test_incremental_insertions_matches_table_rows(self, cpu_netlist):
+        base = uniform_insertion(cpu_netlist, 1)
+        configs = incremental_insertions(base, cpu_netlist)
+        assert len(configs) == len(cpu_netlist.link_names())
+        for config in configs:
+            per_link = config.per_link(cpu_netlist.link_names())
+            assert sorted(per_link.values())[-1] == 2
+            assert sum(per_link.values()) == len(per_link) + 1
+
+    def test_floorplan_insertion_produces_link_counts(self, cpu_netlist):
+        floorplan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=6.0)
+        clock = ClockPlan.from_frequency_ghz(2.0)
+        config = floorplan_insertion(cpu_netlist, floorplan, clock)
+        per_link = config.per_link(cpu_netlist.link_names())
+        assert set(per_link) == set(cpu_netlist.link_names())
+        assert all(count >= 0 for count in per_link.values())
+
+    def test_merge_minimum_enforces_lower_bound(self):
+        merged = merge_minimum({"A": 2, "B": 1}, {"A": 1, "B": 3, "C": 1})
+        assert merged == {"A": 2, "B": 3, "C": 1}
+
+
+class TestTableRowOrder:
+    def test_table1_link_order_matches_netlist_links(self, cpu_netlist):
+        assert sorted(TABLE1_LINK_ORDER) == sorted(cpu_netlist.link_names())

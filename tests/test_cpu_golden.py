@@ -1,0 +1,247 @@
+"""Functional tests of the golden (un-pipelined) processor on real programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Program, build_multicycle_cpu, build_pipelined_cpu
+from repro.cpu.workloads import (
+    make_extraction_sort,
+    make_matrix_multiply,
+    reference_product,
+)
+
+
+class TestSmallPrograms:
+    def run_program(self, text, data=None, pipelined=True, max_cycles=20_000):
+        program = Program.from_assembly("test", text, data=data)
+        builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
+        cpu = builder(program)
+        result = cpu.run_golden(drain=True, max_cycles=max_cycles)
+        assert result.halted, "program did not reach HALT"
+        return cpu, result
+
+    def test_store_immediate(self):
+        cpu, _ = self.run_program("LI r1, 42\nST r1, 5(r0)\nHALT")
+        assert cpu.memory_word(5) == 42
+
+    def test_arithmetic_chain(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 10
+            LI r2, 4
+            SUB r3, r1, r2
+            MUL r4, r3, r3
+            ST  r4, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 36
+
+    def test_load_then_use(self):
+        cpu, _ = self.run_program(
+            """
+            LD  r1, 0(r0)
+            ADDI r2, r1, 1
+            ST  r2, 1(r0)
+            HALT
+            """,
+            data={0: 99},
+        )
+        assert cpu.memory_word(1) == 100
+
+    def test_back_to_back_dependency(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 1
+            ADD r2, r1, r1
+            ADD r3, r2, r2
+            ADD r4, r3, r3
+            ST  r4, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 8
+
+    def test_taken_branch_skips_code(self):
+        cpu, _ = self.run_program(
+            """
+            LI  r1, 1
+            BEQ r1, r1, target
+            LI  r2, 99
+        target:
+            ST  r2, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 0
+
+    def test_not_taken_branch_falls_through(self):
+        cpu, _ = self.run_program(
+            """
+            LI  r1, 1
+            LI  r2, 2
+            BEQ r1, r2, skip
+            LI  r3, 7
+        skip:
+            ST  r3, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 7
+
+    def test_loop_accumulates(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 0      ; i
+            LI r2, 5      ; n
+            LI r3, 0      ; sum
+        loop:
+            BGE r1, r2, done
+            ADD r3, r3, r1
+            ADDI r1, r1, 1
+            JMP loop
+        done:
+            ST r3, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 10
+
+    def test_jump_redirects_control_flow(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 5
+            JMP over
+            LI r1, 99
+        over:
+            ST r1, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 5
+
+    def test_store_then_load_same_address(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 123
+            ST r1, 4(r0)
+            LD r2, 4(r0)
+            ADDI r2, r2, 1
+            ST r2, 5(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(5) == 124
+
+    def test_slt_and_branch_combination(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, 3
+            LI r2, 8
+            SLT r3, r1, r2
+            BEQ r3, r0, not_less
+            LI r4, 1
+            JMP store
+        not_less:
+            LI r4, 0
+        store:
+            ST r4, 0(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == 1
+
+    def test_negative_numbers(self):
+        cpu, _ = self.run_program(
+            """
+            LI r1, -5
+            LI r2, 3
+            ADD r3, r1, r2
+            ST r3, 0(r0)
+            MUL r4, r1, r2
+            ST r4, 1(r0)
+            HALT
+            """
+        )
+        assert cpu.memory_word(0) == -2
+        assert cpu.memory_word(1) == -15
+
+    def test_multicycle_control_produces_same_results(self):
+        text = """
+            LI r1, 6
+            LI r2, 7
+            MUL r3, r1, r2
+            ST r3, 0(r0)
+            HALT
+        """
+        pipelined_cpu, pipelined = self.run_program(text, pipelined=True)
+        multicycle_cpu, multicycle = self.run_program(text, pipelined=False)
+        assert pipelined_cpu.memory_word(0) == 42
+        assert multicycle_cpu.memory_word(0) == 42
+        # The multicycle machine needs more cycles for the same work.
+        assert multicycle.cycles > pipelined.cycles
+
+
+class TestWorkloadsOnGolden:
+    @pytest.mark.parametrize("length", [4, 8])
+    def test_extraction_sort_sorts(self, length):
+        workload = make_extraction_sort(length=length, seed=3)
+        cpu = build_pipelined_cpu(workload.program)
+        result = cpu.run_golden(drain=True)
+        assert result.halted
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+    def test_extraction_sort_with_explicit_values(self):
+        workload = make_extraction_sort(length=5, values=[5, 1, 4, 2, 3])
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True)
+        assert cpu.memory_slice(0, 5) == [1, 2, 3, 4, 5]
+
+    def test_extraction_sort_already_sorted_input(self):
+        workload = make_extraction_sort(length=4, values=[1, 2, 3, 4])
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True)
+        assert cpu.memory_slice(0, 4) == [1, 2, 3, 4]
+
+    def test_extraction_sort_reverse_sorted_input(self):
+        workload = make_extraction_sort(length=4, values=[4, 3, 2, 1])
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True)
+        assert cpu.memory_slice(0, 4) == [1, 2, 3, 4]
+
+    def test_extraction_sort_with_duplicates(self):
+        workload = make_extraction_sort(length=6, values=[2, 2, 1, 3, 1, 2])
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True)
+        assert cpu.memory_slice(0, 6) == [1, 1, 2, 2, 2, 3]
+
+    @pytest.mark.parametrize("size", [2, 3])
+    def test_matrix_multiply_matches_reference(self, size):
+        workload = make_matrix_multiply(size=size, seed=11)
+        cpu = build_pipelined_cpu(workload.program)
+        result = cpu.run_golden(drain=True)
+        assert result.halted
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+    def test_matrix_multiply_identity(self):
+        size = 3
+        identity = [1 if i == j else 0 for i in range(size) for j in range(size)]
+        values = list(range(1, size * size + 1))
+        workload = make_matrix_multiply(size=size, a_values=values, b_values=identity)
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True)
+        c_base = 2 * size * size
+        assert cpu.memory_slice(c_base, size * size) == values
+
+    def test_matrix_multiply_on_multicycle_cpu(self):
+        workload = make_matrix_multiply(size=2, seed=5)
+        cpu = build_multicycle_cpu(workload.program)
+        result = cpu.run_golden(drain=True, max_cycles=100_000)
+        assert result.halted
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+    def test_reference_product_helper(self):
+        a = [1, 2, 3, 4]
+        b = [5, 6, 7, 8]
+        assert reference_product(a, b, 2) == [19, 22, 43, 50]

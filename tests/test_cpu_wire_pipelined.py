@@ -1,0 +1,185 @@
+"""Integration tests: the wire-pipelined processor under WP1 and WP2 wrappers.
+
+These are the central correctness claims of the paper applied to the case study:
+whatever relay-station configuration is used and whichever wrapper flavour
+encloses the blocks, the system remains N-equivalent to the golden machine and
+still computes the right answer; WP2 is never slower than WP1; and the
+throughput patterns match the communication profile of each link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RSConfiguration, n_equivalent, throughput_bound
+from repro.cpu import build_multicycle_cpu, build_pipelined_cpu
+from repro.cpu.topology import TABLE1_LINK_ORDER
+from repro.cpu.workloads import make_extraction_sort, make_matrix_multiply
+
+
+@pytest.fixture(scope="module")
+def sort_setup():
+    workload = make_extraction_sort(length=8, seed=1)
+    cpu = build_pipelined_cpu(workload.program)
+    golden = cpu.run_golden()
+    return workload, cpu, golden
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("link", ["CU-IC", "CU-RF", "RF-ALU", "RF-DC", "ALU-CU", "DC-RF"])
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_single_link_configurations_equivalent(self, sort_setup, link, relaxed):
+        _, cpu, golden = sort_setup
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.only(link), relaxed=relaxed
+        )
+        assert n_equivalent(golden.trace, result.trace).equivalent
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_all_one_configuration_equivalent(self, sort_setup, relaxed):
+        _, cpu, golden = sort_setup
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(1, exclude=("CU-IC",)),
+            relaxed=relaxed,
+        )
+        assert n_equivalent(golden.trace, result.trace).equivalent
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_deep_pipelining_equivalent(self, sort_setup, relaxed):
+        _, cpu, golden = sort_setup
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(2), relaxed=relaxed
+        )
+        assert n_equivalent(golden.trace, result.trace).equivalent
+
+    def test_multicycle_cpu_equivalent_under_wp2(self):
+        workload = make_extraction_sort(length=6, seed=2)
+        cpu = build_multicycle_cpu(workload.program)
+        golden = cpu.run_golden()
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.only("CU-IC"), relaxed=True
+        )
+        assert n_equivalent(golden.trace, result.trace).equivalent
+
+
+class TestFunctionalResults:
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_sort_result_correct_under_wire_pipelining(self, relaxed):
+        workload = make_extraction_sort(length=8, seed=4)
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(1, exclude=("CU-IC",)),
+            relaxed=relaxed,
+            drain=True,
+        )
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_matmul_result_correct_under_wire_pipelining(self, relaxed):
+        workload = make_matrix_multiply(size=3, seed=4)
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform_plus(1, {"RF-DC": 2}),
+            relaxed=relaxed,
+            drain=True,
+        )
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+    def test_sort_result_correct_on_multicycle_wp2(self):
+        workload = make_extraction_sort(length=6, seed=9)
+        cpu = build_multicycle_cpu(workload.program)
+        cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(1), relaxed=True, drain=True,
+            max_cycles=10_000_000,
+        )
+        assert cpu.check_memory(workload.expected_memory) == {}
+
+
+class TestThroughputShape:
+    def test_ideal_configuration_runs_at_golden_speed(self, sort_setup):
+        _, cpu, golden = sort_setup
+        result = cpu.run_wire_pipelined(configuration=RSConfiguration.ideal())
+        assert result.cycles == pytest.approx(golden.cycles, abs=3)
+
+    @pytest.mark.parametrize("link", TABLE1_LINK_ORDER)
+    def test_wp2_never_slower_than_wp1(self, sort_setup, link):
+        _, cpu, _ = sort_setup
+        config = RSConfiguration.only(link)
+        wp1 = cpu.run_wire_pipelined(configuration=config, relaxed=False, record_trace=False)
+        wp2 = cpu.run_wire_pipelined(configuration=config, relaxed=True, record_trace=False)
+        assert wp2.cycles <= wp1.cycles
+
+    @pytest.mark.parametrize("link", ["CU-IC", "RF-ALU", "ALU-CU", "RF-DC"])
+    def test_wp1_throughput_close_to_static_bound(self, sort_setup, link):
+        _, cpu, golden = sort_setup
+        config = RSConfiguration.only(link)
+        wp1 = cpu.run_wire_pipelined(configuration=config, relaxed=False, record_trace=False)
+        bound = throughput_bound(cpu.netlist, configuration=config).bound_float
+        measured = golden.cycles / wp1.cycles
+        assert measured <= bound + 0.02
+        assert measured >= bound - 0.05
+
+    def test_rarely_used_link_recovers_most_throughput_under_wp2(self, sort_setup):
+        _, cpu, golden = sort_setup
+        config = RSConfiguration.only("RF-DC")
+        wp2 = cpu.run_wire_pipelined(configuration=config, relaxed=True, record_trace=False)
+        assert golden.cycles / wp2.cycles > 0.9
+
+    def test_fetch_loop_shows_smallest_wp2_gain(self, sort_setup):
+        """In the pipelined CPU the CU-IC loop is exercised almost every cycle,
+        so WP2 recovers the least throughput there (the paper reports 0 %)."""
+        _, cpu, golden = sort_setup
+        gains = {}
+        for link in ("CU-IC", "RF-DC", "ALU-CU", "DC-RF"):
+            config = RSConfiguration.only(link)
+            wp1 = cpu.run_wire_pipelined(configuration=config, relaxed=False, record_trace=False)
+            wp2 = cpu.run_wire_pipelined(configuration=config, relaxed=True, record_trace=False)
+            gains[link] = (golden.cycles / wp2.cycles) - (golden.cycles / wp1.cycles)
+        assert gains["CU-IC"] == min(gains.values())
+
+    def test_deeper_pipelining_lowers_wp1_throughput(self, sort_setup):
+        _, cpu, golden = sort_setup
+        shallow = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(1, exclude=("CU-IC",)),
+            relaxed=False, record_trace=False,
+        )
+        deep = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.uniform(2, exclude=("CU-IC",)),
+            relaxed=False, record_trace=False,
+        )
+        assert golden.cycles / deep.cycles < golden.cycles / shallow.cycles
+
+    def test_multicycle_fetch_loop_gains_much_more_than_pipelined(self):
+        """The paper's central qualitative claim about the multicycle CPU."""
+        workload = make_extraction_sort(length=6, seed=5)
+        config = RSConfiguration.only("CU-IC")
+
+        multicycle = build_multicycle_cpu(workload.program)
+        golden_mc = multicycle.run_golden(record_trace=False)
+        wp1_mc = multicycle.run_wire_pipelined(configuration=config, relaxed=False, record_trace=False)
+        wp2_mc = multicycle.run_wire_pipelined(configuration=config, relaxed=True, record_trace=False)
+        gain_mc = (golden_mc.cycles / wp2_mc.cycles) / (golden_mc.cycles / wp1_mc.cycles) - 1
+
+        pipelined = build_pipelined_cpu(workload.program)
+        golden_pl = pipelined.run_golden(record_trace=False)
+        wp1_pl = pipelined.run_wire_pipelined(configuration=config, relaxed=False, record_trace=False)
+        wp2_pl = pipelined.run_wire_pipelined(configuration=config, relaxed=True, record_trace=False)
+        gain_pl = (golden_pl.cycles / wp2_pl.cycles) / (golden_pl.cycles / wp1_pl.cycles) - 1
+
+        assert gain_mc > gain_pl
+        assert gain_mc > 0.3  # the paper reports about 60 %
+
+    def test_wp2_discards_tokens_on_relaxed_channels(self, sort_setup):
+        _, cpu, _ = sort_setup
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.only("ALU-CU"), relaxed=True, record_trace=False
+        )
+        cu_stats = result.shell_stats["CU"]
+        assert cu_stats.discarded_tokens > 0
+
+    def test_wp1_never_discards_tokens(self, sort_setup):
+        _, cpu, _ = sort_setup
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.only("ALU-CU"), relaxed=False, record_trace=False
+        )
+        assert all(stats.discarded_tokens == 0 for stats in result.shell_stats.values())

@@ -1,0 +1,112 @@
+"""Unit tests for N-equivalence checking between realizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import (
+    assert_equivalent,
+    compare_value_sequences,
+    latency_profile,
+    n_equivalent,
+)
+from repro.core.exceptions import EquivalenceError
+from repro.core.tokens import VOID, Token
+from repro.core.traces import SystemTrace, trace_from_values
+
+
+def make_system_trace(values_by_channel):
+    trace = SystemTrace(values_by_channel)
+    for channel, values in values_by_channel.items():
+        for tag, value in enumerate(values):
+            trace.record(channel, Token(value=value, tag=tag))
+    return trace
+
+
+class TestCompareValueSequences:
+    def test_identical_sequences_are_equivalent(self):
+        report = compare_value_sequences({"a": [1, 2]}, {"a": [1, 2]})
+        assert report.equivalent
+        assert report.compared_depth == 2
+
+    def test_prefix_comparison_uses_common_depth(self):
+        report = compare_value_sequences({"a": [1, 2, 3]}, {"a": [1, 2]})
+        assert report.equivalent
+        assert report.compared_depth == 2
+
+    def test_mismatch_is_reported_with_position(self):
+        report = compare_value_sequences({"a": [1, 2, 3]}, {"a": [1, 9, 3]})
+        assert not report.equivalent
+        assert report.mismatches[0].channel == "a"
+        assert report.mismatches[0].position == 1
+        assert report.mismatches[0].reference_value == 2
+        assert report.mismatches[0].candidate_value == 9
+
+    def test_missing_channel_fails(self):
+        report = compare_value_sequences({"a": [1]}, {})
+        assert not report.equivalent
+        assert report.missing_channels == ["a"]
+
+    def test_explicit_depth_limits_comparison(self):
+        report = compare_value_sequences({"a": [1, 2, 3]}, {"a": [1, 9, 9]}, depth=1)
+        assert report.equivalent
+
+    def test_channel_subset(self):
+        report = compare_value_sequences(
+            {"a": [1], "b": [2]}, {"a": [1], "b": [99]}, channels=["a"]
+        )
+        assert report.equivalent
+
+    def test_depth_zero_when_no_channels(self):
+        report = compare_value_sequences({}, {})
+        assert report.equivalent
+        assert report.compared_depth == 0
+
+
+class TestNEquivalence:
+    def test_voids_are_ignored(self):
+        golden = make_system_trace({"a": [1, 2, 3]})
+        candidate = SystemTrace(["a"])
+        candidate.record("a", Token(value=1, tag=0))
+        candidate.record("a", VOID)
+        candidate.record("a", Token(value=2, tag=1))
+        candidate.record("a", VOID)
+        candidate.record("a", Token(value=3, tag=2))
+        report = n_equivalent(golden, candidate)
+        assert report.equivalent
+        assert report.compared_depth == 3
+
+    def test_value_divergence_detected(self):
+        golden = make_system_trace({"a": [1, 2, 3]})
+        candidate = make_system_trace({"a": [1, 7, 3]})
+        assert not n_equivalent(golden, candidate).equivalent
+
+    def test_assert_equivalent_raises_with_details(self):
+        golden = make_system_trace({"a": [1, 2]})
+        candidate = make_system_trace({"a": [1, 5]})
+        with pytest.raises(EquivalenceError) as excinfo:
+            assert_equivalent(golden, candidate)
+        assert "a" in str(excinfo.value)
+
+    def test_assert_equivalent_returns_report_on_success(self):
+        golden = make_system_trace({"a": [1]})
+        report = assert_equivalent(golden, golden)
+        assert report.equivalent
+
+    def test_raise_if_failed_is_noop_when_equivalent(self):
+        golden = make_system_trace({"a": [1]})
+        n_equivalent(golden, golden).raise_if_failed()
+
+
+class TestLatencyProfile:
+    def test_counts_per_channel(self):
+        golden = make_system_trace({"a": [1, 2, 3], "b": [4]})
+        candidate = make_system_trace({"a": [1, 2], "b": [4]})
+        profile = latency_profile(golden, candidate)
+        assert profile["a"] == (3, 2)
+        assert profile["b"] == (1, 1)
+
+    def test_missing_candidate_channel_counts_zero(self):
+        golden = make_system_trace({"a": [1]})
+        candidate = SystemTrace()
+        assert latency_profile(golden, candidate)["a"] == (1, 0)

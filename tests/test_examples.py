@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+The examples are part of the public deliverable, so they are executed (with
+reduced sizes where they accept arguments) and their output is checked for
+the key lines a reader would look for.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "WP1 (strict wrapper)" in output
+        assert "WP2 (oracle wrapper)" in output
+        assert "equivalent" in output
+        assert "NOT equivalent" not in output
+
+    def test_custom_oracle(self):
+        output = run_example("custom_oracle.py")
+        assert "WP1 (no oracle)" in output
+        assert "full oracle gain" in output
+        assert "NOT equivalent" not in output
+
+    def test_topology_report(self):
+        output = run_example("topology_report.py")
+        assert "Figure 1" in output
+        assert "netlist loops (7)" in output
+        assert "loop analysis" in output
+
+    def test_reproduce_table1_small(self):
+        output = run_example("reproduce_table1.py", "--sort-length", "6")
+        assert "Extraction Sort" in output
+        assert "Only CU-IC" in output
+        assert "Optimal 1" in output
+
+    def test_floorplan_methodology(self):
+        output = run_example(
+            "floorplan_methodology.py", "--sort-length", "6", "--frequency", "1.2"
+        )
+        assert "relay stations required per link" in output
+        assert "WP2 gain over WP1" in output

@@ -1,0 +1,168 @@
+"""Unit tests for the floorplan and wire-timing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.floorplan import Block, Floorplan, row_pack, spread_floorplan
+from repro.core.timing import (
+    ClockPlan,
+    WireModel,
+    clock_scaling_sweep,
+    relay_stations_for_lengths,
+)
+from repro.cpu import DEFAULT_BLOCK_SIZES_MM, build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort
+
+
+class TestBlock:
+    def test_center(self):
+        block = Block("b", width_mm=2.0, height_mm=1.0, x_mm=1.0, y_mm=1.0)
+        assert block.center == (2.0, 1.5)
+
+    def test_area(self):
+        assert Block("b", 2.0, 3.0).area_mm2 == 6.0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Block("b", 0.0, 1.0)
+
+    def test_overlap_detection(self):
+        a = Block("a", 2.0, 2.0, 0.0, 0.0)
+        b = Block("b", 2.0, 2.0, 1.0, 1.0)
+        c = Block("c", 2.0, 2.0, 2.0, 0.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # abutting edges do not overlap
+
+    def test_moved_to(self):
+        moved = Block("a", 1.0, 1.0).moved_to(3.0, 4.0)
+        assert (moved.x_mm, moved.y_mm) == (3.0, 4.0)
+
+
+class TestFloorplan:
+    def make_plan(self):
+        return Floorplan(
+            [
+                Block("A", 1.0, 1.0, 0.0, 0.0),
+                Block("B", 1.0, 1.0, 3.0, 0.0),
+            ]
+        )
+
+    def test_duplicate_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan([Block("A", 1, 1, 0, 0), Block("A", 1, 1, 5, 5)])
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan([Block("A", 2, 2, 0, 0), Block("B", 2, 2, 1, 1)])
+
+    def test_wire_length_is_manhattan_distance(self):
+        plan = self.make_plan()
+        assert plan.wire_length_mm("A", "B") == pytest.approx(3.0)
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_plan().block("Z")
+
+    def test_bounding_box_and_area(self):
+        plan = self.make_plan()
+        assert plan.bounding_box_mm() == (4.0, 1.0)
+        assert plan.total_area_mm2() == 2.0
+
+    def test_link_lengths_for_cpu_netlist(self):
+        netlist = build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+        plan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=6.0)
+        lengths = plan.link_lengths(netlist)
+        assert set(lengths) == set(netlist.link_names())
+        assert all(length >= 0 for length in lengths.values())
+
+    def test_link_lengths_missing_block_rejected(self):
+        netlist = build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+        plan = self.make_plan()
+        with pytest.raises(ConfigurationError):
+            plan.link_lengths(netlist)
+
+    def test_describe(self):
+        assert "bounding box" in self.make_plan().describe()
+
+
+class TestPlacers:
+    def test_row_pack_places_all_blocks_without_overlap(self):
+        plan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=5.0)
+        assert set(plan.blocks) == set(DEFAULT_BLOCK_SIZES_MM)
+
+    def test_row_pack_rejects_bad_row_width(self):
+        with pytest.raises(ConfigurationError):
+            row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=0)
+
+    def test_spread_floorplan_scales_distances(self):
+        plan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=5.0)
+        spread = spread_floorplan(plan, 2.0)
+        base = plan.wire_length_mm("CU", "DC")
+        widened = spread.wire_length_mm("CU", "DC")
+        assert widened >= base
+
+    def test_spread_rejects_non_positive_factor(self):
+        plan = row_pack(DEFAULT_BLOCK_SIZES_MM, row_width_mm=5.0)
+        with pytest.raises(ConfigurationError):
+            spread_floorplan(plan, 0.0)
+
+
+class TestWireModel:
+    def test_zero_length_has_zero_delay(self):
+        assert WireModel().delay_ps(0.0) == 0.0
+
+    def test_delay_grows_linearly(self):
+        model = WireModel(delay_per_mm_ps=100.0, fixed_overhead_ps=50.0)
+        assert model.delay_ps(2.0) == pytest.approx(250.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            WireModel().delay_ps(-1.0)
+
+    def test_short_wire_needs_no_relay_station(self):
+        model = WireModel(delay_per_mm_ps=100.0, fixed_overhead_ps=0.0)
+        assert model.relay_stations_needed(1.0, clock_period_ps=500.0) == 0
+
+    def test_long_wire_needs_relay_stations(self):
+        model = WireModel(delay_per_mm_ps=100.0, fixed_overhead_ps=0.0)
+        # 10 mm -> 1000 ps of flight at a 400 ps clock -> ceil(2.5) - 1 = 2.
+        assert model.relay_stations_needed(10.0, clock_period_ps=400.0) == 2
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            WireModel().relay_stations_needed(1.0, clock_period_ps=0.0)
+
+    def test_max_unpipelined_length(self):
+        model = WireModel(delay_per_mm_ps=100.0, fixed_overhead_ps=50.0)
+        assert model.max_unpipelined_length_mm(250.0) == pytest.approx(2.0)
+        assert model.max_unpipelined_length_mm(40.0) == 0.0
+
+
+class TestClockPlan:
+    def test_frequency_period_roundtrip(self):
+        clock = ClockPlan.from_frequency_ghz(2.0)
+        assert clock.period_ps == pytest.approx(500.0)
+        assert clock.frequency_ghz == pytest.approx(2.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockPlan.from_frequency_ghz(0.0)
+
+
+class TestBudgeting:
+    def test_relay_stations_for_lengths(self):
+        counts = relay_stations_for_lengths(
+            {"short": 0.5, "long": 20.0},
+            ClockPlan.from_frequency_ghz(1.0),
+            WireModel(delay_per_mm_ps=150.0, fixed_overhead_ps=50.0),
+        )
+        assert counts["short"] == 0
+        assert counts["long"] >= 2
+
+    def test_clock_scaling_sweep_monotone(self):
+        lengths = {"a": 5.0, "b": 12.0}
+        sweep = clock_scaling_sweep(lengths, [0.5, 1.0, 2.0])
+        totals = [sum(counts.values()) for counts in sweep.values()]
+        assert totals == sorted(totals)

@@ -1,0 +1,97 @@
+"""Unit tests for the golden (synchronous, zero relay station) simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.core.golden import GoldenSimulator, run_golden
+from repro.core.netlist import Netlist, ring_netlist
+from repro.core.channel import Channel
+from repro.core.process import CounterSource, FunctionProcess, SinkProcess
+
+
+def build_source_sink(limit=5):
+    source = CounterSource("src", limit=limit)
+    sink = SinkProcess("sink")
+    netlist = Netlist(
+        [source, sink],
+        [Channel("data", "src", "out", "sink", "in", initial=-1)],
+    )
+    return netlist, source, sink
+
+
+class TestGoldenSimulator:
+    def test_every_process_fires_every_cycle(self):
+        netlist, _ = ring_netlist(3)
+        result = run_golden(netlist, max_cycles=10)
+        assert result.cycles == 10
+        assert all(count == 10 for count in result.firings.values())
+
+    def test_channel_latency_is_one_cycle(self):
+        netlist, source, sink = build_source_sink(limit=4)
+        result = run_golden(netlist, max_cycles=50)
+        # The sink consumes the initial value first, then the source outputs
+        # shifted by one cycle.
+        assert sink.received[0] == -1
+        assert sink.received[1:4] == [0, 1, 2]
+        assert result.halted
+
+    def test_stop_process_terminates_run(self):
+        netlist, source, _ = build_source_sink(limit=3)
+        result = run_golden(netlist, stop_process="src", max_cycles=100)
+        assert result.halted
+        assert result.cycles == 3
+
+    def test_unknown_stop_process_rejected(self):
+        netlist, _, _ = build_source_sink()
+        with pytest.raises(SimulationError):
+            run_golden(netlist, stop_process="ghost")
+
+    def test_extra_cycles_extend_the_run(self):
+        netlist, _, _ = build_source_sink(limit=3)
+        base = run_golden(netlist, stop_process="src", max_cycles=100)
+        netlist2, _, _ = build_source_sink(limit=3)
+        extended = run_golden(netlist2, stop_process="src", max_cycles=100, extra_cycles=4)
+        assert extended.cycles == base.cycles + 4
+
+    def test_max_cycles_bounds_run_without_stop(self):
+        netlist, _ = ring_netlist(2)
+        result = run_golden(netlist, max_cycles=7)
+        assert result.cycles == 7
+        assert not result.halted
+
+    def test_trace_records_every_channel(self):
+        netlist, _ = ring_netlist(2)
+        result = run_golden(netlist, max_cycles=5)
+        assert set(result.trace) == set(netlist.channels)
+        assert all(result.trace[name].valid_count() == 5 for name in result.trace)
+
+    def test_trace_recording_can_be_disabled(self):
+        netlist, _ = ring_netlist(2)
+        result = run_golden(netlist, max_cycles=5, record_trace=False)
+        assert all(result.trace[name].valid_count() == 0 for name in result.trace)
+
+    def test_ring_circulating_value_increments(self):
+        netlist, _ = ring_netlist(2)
+        result = run_golden(netlist, max_cycles=6)
+        values = result.trace["c0_1"].values()
+        assert values == sorted(values)
+        assert values[0] == 1
+
+    def test_throughput_property_is_one(self):
+        netlist, _ = ring_netlist(2)
+        assert run_golden(netlist, max_cycles=3).throughput == 1.0
+
+    def test_final_values_exposed(self):
+        netlist, _, _ = build_source_sink(limit=2)
+        result = run_golden(netlist, stop_process="src", max_cycles=10)
+        assert "data" in result.final_values
+
+    def test_simulator_reset_between_runs(self):
+        netlist, _ = ring_netlist(2)
+        simulator = GoldenSimulator(netlist)
+        first = simulator.run(max_cycles=4)
+        second = simulator.run(max_cycles=4)
+        assert first.cycles == second.cycles
+        assert first.trace["c0_1"].values() == second.trace["c0_1"].values()

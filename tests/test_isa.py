@@ -1,0 +1,150 @@
+"""Unit tests for the minimal ISA: instructions, classification, encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import AssemblerError
+from repro.cpu import isa
+from repro.cpu.isa import Instruction, Opcode, decode, encode, to_signed_word
+
+
+class TestInstructionConstruction:
+    def test_register_range_checked(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Opcode.ADD, rd=16)
+        with pytest.raises(AssemblerError):
+            Instruction(Opcode.ADD, ra=-1)
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(AssemblerError):
+            Instruction(Opcode.ADDI, rd=1, ra=1, imm=isa.IMM_MAX + 1)
+        with pytest.raises(AssemblerError):
+            Instruction(Opcode.ADDI, rd=1, ra=1, imm=isa.IMM_MIN - 1)
+
+    def test_boundary_immediates_accepted(self):
+        Instruction(Opcode.ADDI, rd=1, ra=1, imm=isa.IMM_MAX)
+        Instruction(Opcode.ADDI, rd=1, ra=1, imm=isa.IMM_MIN)
+
+
+class TestClassification:
+    def test_alu_writeback_ops(self):
+        assert isa.add(1, 2, 3).is_alu_writeback
+        assert isa.li(1, 5).is_alu_writeback
+        assert not isa.st(1, 2).is_alu_writeback
+        assert not isa.beq(1, 2, 0).is_alu_writeback
+
+    def test_memory_classification(self):
+        assert isa.ld(1, 2).is_load
+        assert isa.ld(1, 2).is_memory
+        assert isa.st(1, 2).is_store
+        assert not isa.add(1, 2, 3).is_memory
+
+    def test_branch_and_jump(self):
+        assert isa.bne(1, 2, 5).is_branch
+        assert isa.jmp(3).is_jump
+        assert not isa.jmp(3).is_branch
+
+    def test_halt_and_nop(self):
+        assert isa.halt().is_halt
+        assert isa.nop().is_nop
+
+    def test_writes_register(self):
+        assert isa.add(3, 1, 2).writes_register == 3
+        assert isa.ld(4, 1).writes_register == 4
+        assert isa.st(1, 2).writes_register is None
+        assert isa.beq(1, 2, 0).writes_register is None
+        assert isa.halt().writes_register is None
+
+    def test_source_registers(self):
+        assert isa.add(3, 1, 2).source_registers == (1, 2)
+        assert isa.addi(3, 1, 5).source_registers == (1,)
+        assert isa.li(3, 5).source_registers == ()
+        assert isa.ld(3, 1, 2).source_registers == (1,)
+        assert isa.st(2, 1, 0).source_registers == (1, 2)
+        assert isa.beq(1, 2, 0).source_registers == (1, 2)
+        assert isa.jmp(0).source_registers == ()
+        assert isa.halt().source_registers == ()
+
+    def test_uses_immediate_operand(self):
+        assert isa.addi(1, 2, 3).uses_immediate_operand
+        assert isa.ld(1, 2, 3).uses_immediate_operand
+        assert not isa.add(1, 2, 3).uses_immediate_operand
+        assert not isa.beq(1, 2, 3).uses_immediate_operand
+
+    def test_alu_function_mapping(self):
+        assert isa.addi(1, 2, 3).alu_function is Opcode.ADD
+        assert isa.ld(1, 2).alu_function is Opcode.ADD
+        assert isa.beq(1, 2, 0).alu_function is Opcode.SUB
+        assert isa.mul(1, 2, 3).alu_function is Opcode.MUL
+        assert Instruction(Opcode.SLTI, rd=1, ra=2, imm=3).alu_function is Opcode.SLT
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "instruction,expected",
+        [
+            (isa.nop(), "NOP"),
+            (isa.halt(), "HALT"),
+            (isa.jmp(7), "JMP 7"),
+            (isa.li(2, 9), "LI r2, 9"),
+            (isa.addi(2, 3, -1), "ADDI r2, r3, -1"),
+            (isa.ld(1, 2, 4), "LD r1, 4(r2)"),
+            (isa.st(1, 2, 4), "ST r1, 4(r2)"),
+            (isa.beq(1, 2, 8), "BEQ r1, r2, 8"),
+            (isa.add(1, 2, 3), "ADD r1, r2, r3"),
+        ],
+    )
+    def test_describe_format(self, instruction, expected):
+        assert instruction.describe() == expected
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "instruction",
+        [
+            isa.nop(),
+            isa.halt(),
+            isa.add(3, 1, 2),
+            isa.sub(15, 14, 13),
+            isa.mul(1, 2, 3),
+            isa.slt(4, 5, 6),
+            isa.addi(7, 8, 100),
+            isa.addi(7, 8, -100),
+            isa.li(9, isa.IMM_MAX),
+            isa.li(9, isa.IMM_MIN),
+            isa.ld(10, 11, 12),
+            isa.st(1, 2, -3),
+            isa.beq(1, 2, 200),
+            isa.bne(3, 4, 0),
+            isa.blt(5, 6, 77),
+            isa.bge(7, 8, 99),
+            isa.jmp(123),
+        ],
+    )
+    def test_roundtrip(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    def test_encoded_word_fits_32_bits(self):
+        word = encode(isa.li(15, isa.IMM_MIN))
+        assert 0 <= word < 2**32
+
+    def test_decode_rejects_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            decode(0x3F << 26)
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(AssemblerError):
+            decode(2**32)
+
+
+class TestSignedWord:
+    def test_wraps_positive_overflow(self):
+        assert to_signed_word(2**31) == -(2**31)
+
+    def test_wraps_negative(self):
+        assert to_signed_word(-1) == -1
+        assert to_signed_word(-(2**31) - 1) == 2**31 - 1
+
+    def test_identity_in_range(self):
+        assert to_signed_word(12345) == 12345

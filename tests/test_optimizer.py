@@ -1,0 +1,176 @@
+"""Unit tests for the relay-station configuration optimiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RSConfiguration
+from repro.core.exceptions import OptimizationError
+from repro.core.optimizer import (
+    LinkRange,
+    SearchSpace,
+    annealing_search,
+    exhaustive_search,
+    greedy_search,
+    optimize_configuration,
+    simulation_objective,
+    static_objective,
+)
+from repro.core.static_analysis import make_link_bound_evaluator, throughput_bound
+from repro.cpu import build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort
+
+
+@pytest.fixture(scope="module")
+def cpu_netlist():
+    return build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+
+
+class TestSearchSpace:
+    def test_link_range_validation(self):
+        with pytest.raises(OptimizationError):
+            LinkRange(2, 1)
+        with pytest.raises(OptimizationError):
+            LinkRange(-1, 0)
+
+    def test_bounded_space_with_fixed_links(self):
+        space = SearchSpace.bounded(["a", "b"], maximum=2, fixed={"b": 0})
+        assert space.ranges["a"].maximum == 2
+        assert space.ranges["b"].maximum == 0
+
+    def test_size(self):
+        space = SearchSpace.bounded(["a", "b"], maximum=2)
+        assert space.size() == 9
+
+    def test_clamp(self):
+        space = SearchSpace.bounded(["a"], maximum=2)
+        assert space.clamp({"a": 9}) == {"a": 2}
+        assert space.clamp({}) == {"a": 0}
+
+    def test_satisfies_total_constraint(self):
+        space = SearchSpace.bounded(["a", "b"], maximum=2, total=3)
+        assert space.satisfies({"a": 1, "b": 2})
+        assert not space.satisfies({"a": 1, "b": 1})
+        assert not space.satisfies({"a": 3, "b": 0})
+
+
+class TestObjectives:
+    def test_static_objective_prefers_fewer_relay_stations(self, cpu_netlist):
+        objective = static_objective(cpu_netlist)
+        none = objective({link: 0 for link in cpu_netlist.link_names()})
+        all_one = objective({link: 1 for link in cpu_netlist.link_names()})
+        assert none == 1.0
+        assert all_one < none
+
+    def test_simulation_objective_delegates_to_runner(self):
+        calls = []
+
+        def runner(configuration):
+            calls.append(configuration.label)
+            return 0.5
+
+        objective = simulation_objective(runner)
+        assert objective({"a": 1}) == 0.5
+        assert calls == ["candidate"]
+
+
+class TestStrategies:
+    def test_exhaustive_finds_global_optimum(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        space = SearchSpace.bounded(links, maximum=1, total=1)
+        result = exhaustive_search(space, evaluator)
+        # Placing the single relay station on the CU-DC link keeps the bound
+        # at 4/5, the best achievable with exactly one pipelined link.
+        assert result.score == pytest.approx(0.8)
+        assert result.assignment["CU-DC"] == 1
+
+    def test_exhaustive_empty_space_raises(self):
+        space = SearchSpace.bounded(["a"], maximum=1, total=5)
+        with pytest.raises(OptimizationError):
+            exhaustive_search(space, lambda assignment: 0.0)
+
+    def test_greedy_reaches_total(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        space = SearchSpace.bounded(links, maximum=2, total=4)
+        result = greedy_search(space, evaluator)
+        assert sum(result.assignment.values()) == 4
+        assert 0.0 < result.score <= 1.0
+
+    def test_greedy_without_total_stops_at_local_optimum(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        space = SearchSpace.bounded(links, maximum=1)
+        result = greedy_search(space, evaluator)
+        # Adding any relay station lowers the static bound, so greedy stays at zero.
+        assert sum(result.assignment.values()) == 0
+        assert result.score == 1.0
+
+    def test_greedy_infeasible_total_raises(self):
+        space = SearchSpace.bounded(["a"], maximum=1, total=5)
+        with pytest.raises(OptimizationError):
+            greedy_search(space, lambda assignment: 0.0)
+
+    def test_annealing_is_deterministic_for_a_seed(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        space = SearchSpace.bounded(links, maximum=2, total=6)
+        first = annealing_search(space, evaluator, iterations=300, seed=3)
+        second = annealing_search(space, evaluator, iterations=300, seed=3)
+        assert first.assignment == second.assignment
+        assert first.score == second.score
+
+    def test_annealing_respects_total(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        space = SearchSpace.bounded(links, maximum=2, total=6)
+        result = annealing_search(space, evaluator, iterations=200, seed=0)
+        assert sum(result.assignment.values()) == 6
+
+    def test_annealing_not_worse_than_uniform(self, cpu_netlist):
+        links = cpu_netlist.link_names()
+        evaluator = make_link_bound_evaluator(cpu_netlist)
+        total = len(links)
+        space = SearchSpace.bounded(links, maximum=2, total=total)
+        result = annealing_search(space, evaluator, iterations=1000, seed=1)
+        uniform = evaluator({link: 1 for link in links})
+        assert result.score >= uniform - 1e-9
+
+    def test_annealing_infeasible_total_raises(self):
+        space = SearchSpace.bounded(["a"], maximum=1, total=5)
+        with pytest.raises(OptimizationError):
+            annealing_search(space, lambda assignment: 0.0, iterations=10)
+
+
+class TestOptimizeConfiguration:
+    def test_auto_uses_exhaustive_for_small_spaces(self, cpu_netlist):
+        space = SearchSpace.bounded(cpu_netlist.link_names(), maximum=1, total=1)
+        result = optimize_configuration(cpu_netlist, space)
+        assert result.strategy == "exhaustive"
+
+    def test_auto_falls_back_to_greedy(self, cpu_netlist):
+        space = SearchSpace.bounded(cpu_netlist.link_names(), maximum=3)
+        result = optimize_configuration(cpu_netlist, space, exhaustive_limit=10)
+        assert result.strategy == "greedy"
+
+    def test_explicit_annealing(self, cpu_netlist):
+        space = SearchSpace.bounded(cpu_netlist.link_names(), maximum=1, total=2)
+        result = optimize_configuration(
+            cpu_netlist, space, strategy="annealing", iterations=100, seed=0
+        )
+        assert result.strategy == "annealing"
+
+    def test_unknown_strategy_rejected(self, cpu_netlist):
+        space = SearchSpace.bounded(cpu_netlist.link_names(), maximum=1)
+        with pytest.raises(OptimizationError):
+            optimize_configuration(cpu_netlist, space, strategy="magic")
+
+    def test_result_packaging_as_configuration(self, cpu_netlist):
+        space = SearchSpace.bounded(cpu_netlist.link_names(), maximum=1, total=1)
+        result = optimize_configuration(cpu_netlist, space)
+        config = result.as_configuration(label="winner")
+        assert isinstance(config, RSConfiguration)
+        assert config.label == "winner"
+        bound = throughput_bound(cpu_netlist, configuration=config).bound_float
+        assert bound == pytest.approx(result.score)

@@ -1,0 +1,152 @@
+"""Unit tests for the process (pearl) abstraction and helper processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import NetlistError
+from repro.core.process import (
+    CounterSource,
+    FunctionProcess,
+    PassthroughProcess,
+    Process,
+    SinkProcess,
+)
+
+
+class Adder(Process):
+    input_ports = ("a", "b")
+    output_ports = ("sum",)
+
+    def fire(self, inputs):
+        return {"sum": inputs["a"] + inputs["b"]}
+
+
+class TestProcessBase:
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Adder("")
+
+    def test_step_counts_firings(self):
+        adder = Adder("add")
+        adder.step({"a": 1, "b": 2})
+        adder.step({"a": 3, "b": 4})
+        assert adder.firings == 2
+
+    def test_step_returns_outputs(self):
+        adder = Adder("add")
+        assert adder.step({"a": 1, "b": 2}) == {"sum": 3}
+
+    def test_reset_clears_firings(self):
+        adder = Adder("add")
+        adder.step({"a": 1, "b": 2})
+        adder.reset()
+        assert adder.firings == 0
+
+    def test_default_oracle_requires_all_ports(self):
+        assert Adder("add").required_ports() is None
+
+    def test_default_is_done_false(self):
+        assert not Adder("add").is_done()
+
+    def test_missing_output_port_detected(self):
+        class Broken(Process):
+            input_ports = ()
+            output_ports = ("out",)
+
+            def fire(self, inputs):
+                return {}
+
+        with pytest.raises(NetlistError):
+            Broken("broken").step({})
+
+    def test_undeclared_output_port_detected(self):
+        class Chatty(Process):
+            input_ports = ()
+            output_ports = ("out",)
+
+            def fire(self, inputs):
+                return {"out": 1, "extra": 2}
+
+        with pytest.raises(NetlistError):
+            Chatty("chatty").step({})
+
+    def test_repr_mentions_ports(self):
+        text = repr(Adder("add"))
+        assert "a" in text and "sum" in text
+
+
+class TestFunctionProcess:
+    def make_accumulator(self):
+        def transition(state, inputs):
+            total = state + inputs["in"]
+            return total, {"out": total}
+
+        return FunctionProcess(
+            "acc", inputs=("in",), outputs=("out",), transition=transition,
+            initial_state=0,
+        )
+
+    def test_state_evolves(self):
+        acc = self.make_accumulator()
+        assert acc.step({"in": 2})["out"] == 2
+        assert acc.step({"in": 3})["out"] == 5
+
+    def test_reset_restores_initial_state(self):
+        acc = self.make_accumulator()
+        acc.step({"in": 2})
+        acc.reset()
+        assert acc.state == 0
+        assert acc.step({"in": 1})["out"] == 1
+
+    def test_oracle_callable_is_used(self):
+        process = FunctionProcess(
+            "p", inputs=("x", "y"), outputs=(),
+            transition=lambda state, inputs: (state, {}),
+            oracle=lambda state: ["x"],
+        )
+        assert process.required_ports() == frozenset({"x"})
+
+    def test_oracle_returning_none_means_all(self):
+        process = FunctionProcess(
+            "p", inputs=("x",), outputs=(),
+            transition=lambda state, inputs: (state, {}),
+            oracle=lambda state: None,
+        )
+        assert process.required_ports() is None
+
+
+class TestHelperProcesses:
+    def test_passthrough_forwards(self):
+        stage = PassthroughProcess("s")
+        assert stage.step({"in": 42}) == {"out": 42}
+
+    def test_counter_source_counts(self):
+        source = CounterSource("src")
+        assert source.step({}) == {"out": 0}
+        assert source.step({}) == {"out": 1}
+
+    def test_counter_source_limit_sets_done(self):
+        source = CounterSource("src", limit=2)
+        source.step({})
+        assert not source.is_done()
+        source.step({})
+        assert source.is_done()
+
+    def test_counter_source_reset(self):
+        source = CounterSource("src")
+        source.step({})
+        source.reset()
+        assert source.step({}) == {"out": 0}
+
+    def test_sink_records_values(self):
+        sink = SinkProcess("sink")
+        sink.step({"in": 5})
+        sink.step({"in": 6})
+        assert sink.received == [5, 6]
+
+    def test_sink_reset_clears_history(self):
+        sink = SinkProcess("sink")
+        sink.step({"in": 5})
+        sink.reset()
+        assert sink.received == []

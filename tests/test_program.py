@@ -1,0 +1,89 @@
+"""Unit tests for program images."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProgramError
+from repro.cpu import isa
+from repro.cpu.isa import decode
+from repro.cpu.program import DEFAULT_DMEM_WORDS, DEFAULT_IMEM_WORDS, Program, data_from_list
+
+
+class TestProgramConstruction:
+    def test_requires_instructions(self):
+        with pytest.raises(ProgramError):
+            Program(name="empty", instructions=[])
+
+    def test_too_many_instructions_rejected(self):
+        instructions = [isa.nop()] * 5
+        with pytest.raises(ProgramError):
+            Program(name="big", instructions=instructions, imem_size=4)
+
+    def test_data_address_out_of_range_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(
+                name="bad",
+                instructions=[isa.halt()],
+                data={DEFAULT_DMEM_WORDS: 1},
+            )
+
+    def test_non_integer_data_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(name="bad", instructions=[isa.halt()], data={0: "x"})
+
+
+class TestProgramImages:
+    def test_instruction_words_padded_with_nops(self):
+        program = Program(name="p", instructions=[isa.halt()], imem_size=8)
+        words = program.instruction_words()
+        assert len(words) == 8
+        assert decode(words[0]).is_halt
+        assert decode(words[5]).is_nop
+
+    def test_data_image_dense_and_signed(self):
+        program = Program(
+            name="p",
+            instructions=[isa.halt()],
+            data={0: 5, 3: -2},
+            dmem_size=6,
+        )
+        assert program.data_image() == [5, 0, 0, -2, 0, 0]
+
+    def test_length_excludes_padding(self):
+        program = Program(name="p", instructions=[isa.nop(), isa.halt()])
+        assert program.length == 2
+
+    def test_describe_contains_listing(self):
+        program = Program(name="p", instructions=[isa.li(1, 3), isa.halt()])
+        text = program.describe()
+        assert "LI r1, 3" in text and "HALT" in text
+
+
+class TestConstructors:
+    def test_from_assembly(self):
+        program = Program.from_assembly("asm", "LI r1, 2\nHALT", data={1: 9})
+        assert program.length == 2
+        assert program.data[1] == 9
+        assert program.symbols == {}
+
+    def test_from_assembly_keeps_symbols(self):
+        program = Program.from_assembly("asm", "start:\nJMP start")
+        assert program.symbols == {"start": 0}
+
+    def test_from_instructions(self):
+        program = Program.from_instructions("manual", [isa.halt()])
+        assert program.length == 1
+
+    def test_default_sizes(self):
+        program = Program.from_instructions("manual", [isa.halt()])
+        assert program.imem_size == DEFAULT_IMEM_WORDS
+        assert program.dmem_size == DEFAULT_DMEM_WORDS
+
+
+class TestDataFromList:
+    def test_consecutive_layout(self):
+        assert data_from_list([7, 8, 9], base=10) == {10: 7, 11: 8, 12: 9}
+
+    def test_empty(self):
+        assert data_from_list([]) == {}

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the properties the paper relies on:
+
+* the latency-insensitive protocol never loses, duplicates or reorders tokens
+  (checked via FIFO-order invariants and golden/WP N-equivalence);
+* loop throughput of the strict system follows m / (m + n);
+* the WP2 wrapper remains equivalent to the golden system for arbitrary
+  relay-station placements, and is never slower than WP1;
+* encoders/decoders and the assembler round-trip.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RSConfiguration,
+    n_equivalent,
+    ring_netlist,
+    run_golden,
+    run_lid,
+    throughput_bound,
+    throughput_bound_mcm,
+)
+from repro.core.relay_station import TokenQueue
+from repro.core.tokens import Token
+from repro.cpu import assemble, build_pipelined_cpu, decode, encode, isa
+from repro.cpu.isa import BRANCH_OPS, IMMEDIATE_OPS, Instruction, Opcode
+from repro.cpu.workloads import make_extraction_sort, make_matrix_multiply
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+registers = st.integers(min_value=0, max_value=15)
+immediates = st.integers(min_value=isa.IMM_MIN, max_value=isa.IMM_MAX)
+
+
+@st.composite
+def instructions(draw):
+    opcode = draw(st.sampled_from(list(Opcode)))
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        return Instruction(opcode)
+    if opcode is Opcode.JMP:
+        return Instruction(opcode, imm=draw(st.integers(min_value=0, max_value=1000)))
+    if opcode is Opcode.LI:
+        return Instruction(opcode, rd=draw(registers), imm=draw(immediates))
+    if opcode in IMMEDIATE_OPS:
+        return Instruction(opcode, rd=draw(registers), ra=draw(registers), imm=draw(immediates))
+    if opcode is Opcode.LD:
+        return Instruction(opcode, rd=draw(registers), ra=draw(registers), imm=draw(immediates))
+    if opcode is Opcode.ST:
+        return Instruction(opcode, rb=draw(registers), ra=draw(registers), imm=draw(immediates))
+    if opcode in BRANCH_OPS:
+        return Instruction(
+            opcode, ra=draw(registers), rb=draw(registers),
+            imm=draw(st.integers(min_value=0, max_value=1000)),
+        )
+    return Instruction(opcode, rd=draw(registers), ra=draw(registers), rb=draw(registers))
+
+
+# ---------------------------------------------------------------------------
+# Token queue invariants
+# ---------------------------------------------------------------------------
+
+class TestTokenQueueProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=6),
+        operations=st.lists(st.booleans(), max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_order_and_capacity_respected(self, capacity, operations):
+        """Pushing (True) / popping (False) in any pattern preserves order."""
+        queue = TokenQueue("q", capacity=capacity)
+        pushed = 0
+        popped = 0
+        for is_push in operations:
+            if is_push and queue.occupancy < capacity:
+                queue.push(Token(value=pushed, tag=pushed))
+                pushed += 1
+            elif not is_push and queue.has_data():
+                token = queue.pop()
+                assert token.tag == popped, "tokens must leave in FIFO order"
+                popped += 1
+            assert 0 <= queue.occupancy <= capacity
+        assert queue.occupancy == pushed - popped
+
+
+# ---------------------------------------------------------------------------
+# Loop-throughput formula and equivalence on rings
+# ---------------------------------------------------------------------------
+
+class TestRingProperties:
+    @given(
+        stages=st.integers(min_value=1, max_value=5),
+        rs_total=st.integers(min_value=0, max_value=4),
+        relaxed=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_loop_throughput_formula_and_equivalence(self, stages, rs_total, relaxed):
+        netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
+        golden = run_golden(netlist, max_cycles=30)
+        firings = 60
+        result = run_lid(
+            netlist,
+            rs_counts=rs_counts,
+            relaxed=relaxed,
+            target_firings={"stage0": firings},
+            max_cycles=20_000,
+        )
+        expected = stages / (stages + rs_total)
+        measured = result.firings["stage0"] / result.cycles
+        assert measured == pytest.approx(expected, rel=0.08)
+        assert n_equivalent(golden.trace, result.trace).equivalent
+
+    @given(
+        stages=st.integers(min_value=1, max_value=6),
+        rs_total=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_static_bound_equals_formula(self, stages, rs_total):
+        netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
+        report = throughput_bound(netlist, rs_counts=rs_counts)
+        assert report.bound == Fraction(stages, stages + rs_total)
+
+
+# ---------------------------------------------------------------------------
+# Static analysis consistency on the case-study netlist
+# ---------------------------------------------------------------------------
+
+class TestStaticAnalysisProperties:
+    netlist = build_pipelined_cpu(make_extraction_sort(length=4).program).netlist
+    links = netlist.link_names()
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=3), min_size=10, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_agrees_with_cycle_ratio(self, counts):
+        assignment = dict(zip(sorted(self.links), counts))
+        config = RSConfiguration.from_mapping(assignment, label="random")
+        exact = float(throughput_bound(self.netlist, configuration=config).bound)
+        fast = throughput_bound_mcm(self.netlist, configuration=config)
+        assert fast == pytest.approx(exact, abs=1e-6)
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=3), min_size=10, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_relay_stations_never_raises_the_bound(self, counts):
+        assignment = dict(zip(sorted(self.links), counts))
+        config = RSConfiguration.from_mapping(assignment, label="random")
+        base = throughput_bound(self.netlist, configuration=config).bound
+        heavier = RSConfiguration.from_mapping(
+            {link: count + 1 for link, count in assignment.items()}, label="heavier"
+        )
+        worse = throughput_bound(self.netlist, configuration=heavier).bound
+        assert worse <= base
+
+
+# ---------------------------------------------------------------------------
+# ISA and assembler round-trips
+# ---------------------------------------------------------------------------
+
+class TestIsaProperties:
+    @given(instruction=instructions())
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_roundtrip(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    @given(instruction=instructions())
+    @settings(max_examples=100, deadline=None)
+    def test_describe_reassembles_to_same_instruction(self, instruction):
+        reassembled = assemble(instruction.describe()).instructions[0]
+        assert reassembled == instruction
+
+    @given(value=st.integers(min_value=-(2**40), max_value=2**40))
+    @settings(max_examples=100, deadline=None)
+    def test_signed_word_is_idempotent_and_in_range(self, value):
+        wrapped = isa.to_signed_word(value)
+        assert -(2**31) <= wrapped < 2**31
+        assert isa.to_signed_word(wrapped) == wrapped
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the processor sorts / multiplies correctly and stays equivalent
+# ---------------------------------------------------------------------------
+
+class TestCpuProperties:
+    @given(values=st.lists(st.integers(min_value=-50, max_value=50), min_size=2, max_size=6))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_golden_cpu_sorts_arbitrary_inputs(self, values):
+        workload = make_extraction_sort(length=len(values), values=values)
+        cpu = build_pipelined_cpu(workload.program)
+        cpu.run_golden(drain=True, max_cycles=100_000)
+        assert cpu.memory_slice(0, len(values)) == sorted(values)
+
+    @given(
+        link=st.sampled_from(
+            ["CU-IC", "CU-RF", "CU-AL", "CU-DC", "RF-ALU", "RF-DC", "ALU-CU",
+             "ALU-RF", "ALU-DC", "DC-RF"]
+        ),
+        count=st.integers(min_value=1, max_value=2),
+        relaxed=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_wire_pipelined_cpu_equivalent_for_any_single_link(self, link, count, relaxed):
+        workload = make_extraction_sort(length=5, seed=13)
+        cpu = build_pipelined_cpu(workload.program)
+        golden = cpu.run_golden()
+        result = cpu.run_wire_pipelined(
+            configuration=RSConfiguration.only(link, count=count), relaxed=relaxed
+        )
+        assert n_equivalent(golden.trace, result.trace).equivalent
+        assert result.cycles >= golden.cycles

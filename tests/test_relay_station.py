@@ -1,0 +1,130 @@
+"""Unit tests for relay stations and bounded token queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProtocolError
+from repro.core.relay_station import RelayStation, TokenQueue, build_relay_chain
+from repro.core.tokens import Token
+
+
+def token(tag, value=None):
+    return Token(value=value if value is not None else tag, tag=tag)
+
+
+class TestTokenQueue:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            TokenQueue("q", capacity=0)
+
+    def test_push_pop_fifo_order(self):
+        queue = TokenQueue("q", capacity=2)
+        queue.push(token(0))
+        queue.push(token(1))
+        assert queue.pop().tag == 0
+        assert queue.pop().tag == 1
+
+    def test_peek_does_not_remove(self):
+        queue = TokenQueue("q")
+        queue.push(token(0))
+        assert queue.peek().tag == 0
+        assert queue.occupancy == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            TokenQueue("q").pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            TokenQueue("q").peek()
+
+    def test_overflow_raises(self):
+        queue = TokenQueue("q", capacity=1)
+        queue.push(token(0))
+        with pytest.raises(ProtocolError):
+            queue.push(token(1))
+
+    def test_push_rejects_non_token(self):
+        with pytest.raises(ProtocolError):
+            TokenQueue("q").push("not a token")
+
+    def test_stop_uses_latched_occupancy(self):
+        queue = TokenQueue("q", capacity=1)
+        queue.latch()
+        assert not queue.stop()
+        queue.push(token(0))
+        # stop still reflects the occupancy registered at the last latch
+        assert not queue.stop()
+        queue.latch()
+        assert queue.stop()
+
+    def test_statistics_track_traffic(self):
+        queue = TokenQueue("q", capacity=2)
+        queue.push(token(0))
+        queue.push(token(1))
+        queue.pop()
+        assert queue.total_pushed == 2
+        assert queue.total_popped == 1
+        assert queue.max_occupancy == 2
+
+    def test_reset_clears_everything(self):
+        queue = TokenQueue("q", capacity=2)
+        queue.push(token(0))
+        queue.latch()
+        queue.reset()
+        assert queue.is_empty()
+        assert not queue.stop()
+        assert queue.total_pushed == 0
+
+    def test_len_and_repr(self):
+        queue = TokenQueue("q", capacity=2)
+        queue.push(token(0))
+        assert len(queue) == 1
+        assert "q" in repr(queue)
+
+
+class TestRelayStation:
+    def test_default_capacity_is_two(self):
+        assert RelayStation("rs").capacity == 2
+
+    def test_fsm_state_names(self):
+        rs = RelayStation("rs")
+        assert rs.state == "empty"
+        rs.push(token(0))
+        assert rs.state == "half"
+        rs.push(token(1))
+        assert rs.state == "full"
+
+    def test_main_and_aux_registers(self):
+        rs = RelayStation("rs")
+        rs.push(token(0, "first"))
+        rs.push(token(1, "second"))
+        assert rs.main_register.value == "first"
+        assert rs.aux_register.value == "second"
+
+    def test_aux_register_empty_when_single_item(self):
+        rs = RelayStation("rs")
+        rs.push(token(0))
+        assert rs.aux_register is None
+
+    def test_stop_when_full(self):
+        rs = RelayStation("rs")
+        rs.push(token(0))
+        rs.push(token(1))
+        rs.latch()
+        assert rs.stop()
+
+
+class TestBuildRelayChain:
+    def test_chain_length(self):
+        chain = build_relay_chain("chan", 3)
+        assert len(chain) == 3
+        assert all(isinstance(rs, RelayStation) for rs in chain)
+
+    def test_chain_names_are_unique(self):
+        names = [rs.name for rs in build_relay_chain("chan", 4)]
+        assert len(set(names)) == 4
+
+    def test_empty_chain(self):
+        assert build_relay_chain("chan", 0) == []

@@ -1,0 +1,194 @@
+"""Unit tests for the WP1 (strict) and WP2 (relaxed) wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProtocolError
+from repro.core.process import FunctionProcess
+from repro.core.shell import (
+    DEFAULT_QUEUE_CAPACITY,
+    RelaxedShell,
+    StrictShell,
+    make_shell,
+)
+from repro.core.tokens import Token
+
+
+def make_adder(oracle=None):
+    def transition(state, inputs):
+        a = inputs["a"] if inputs["a"] is not None else 0
+        b = inputs["b"] if inputs["b"] is not None else 0
+        return state, {"sum": a + b}
+
+    return FunctionProcess(
+        "adder", inputs=("a", "b"), outputs=("sum",), transition=transition,
+        oracle=oracle,
+    )
+
+
+def feed(shell, port, tag, value):
+    shell.accept(port, Token(value=value, tag=tag))
+
+
+class TestStrictShell:
+    def test_stalls_when_an_input_is_missing(self):
+        shell = StrictShell(make_adder())
+        feed(shell, "a", 0, 1)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert not plan.fire
+        assert plan.stall_reason == "missing_input"
+        assert plan.missing_ports == ("b",)
+
+    def test_fires_when_all_inputs_present(self):
+        shell = StrictShell(make_adder())
+        feed(shell, "a", 0, 1)
+        feed(shell, "b", 0, 2)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert plan.fire
+        outputs = shell.execute(plan)
+        assert outputs["sum"].value == 3
+        assert outputs["sum"].tag == 1
+
+    def test_stalls_when_outputs_blocked(self):
+        shell = StrictShell(make_adder())
+        feed(shell, "a", 0, 1)
+        feed(shell, "b", 0, 2)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=True)
+        assert not plan.fire
+        assert plan.stall_reason == "output_blocked"
+
+    def test_stall_statistics(self):
+        shell = StrictShell(make_adder())
+        shell.begin_cycle()
+        shell.execute(shell.plan(outputs_blocked=False))
+        assert shell.stats.stalls_missing_input == 1
+        assert shell.stats.firings == 0
+
+    def test_output_tag_advances_with_firings(self):
+        shell = StrictShell(make_adder())
+        for tag in range(3):
+            feed(shell, "a", tag, tag)
+            feed(shell, "b", tag, tag)
+            shell.begin_cycle()
+            outputs = shell.execute(shell.plan(outputs_blocked=False))
+            assert outputs["sum"].tag == tag + 1
+        assert shell.stats.firings == 3
+        assert shell.stats.throughput == 1.0
+
+    def test_wrong_tag_consumption_detected(self):
+        shell = StrictShell(make_adder())
+        feed(shell, "a", 1, 1)  # tag 1 while the shell expects tag 0
+        feed(shell, "b", 1, 2)
+        shell.begin_cycle()
+        with pytest.raises(ProtocolError):
+            shell.plan(outputs_blocked=False)
+
+    def test_done_process_stalls(self):
+        process = make_adder()
+        process.is_done = lambda: True  # type: ignore[method-assign]
+        shell = StrictShell(process)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert not plan.fire
+        assert plan.stall_reason == "done"
+
+    def test_accept_unknown_port_rejected(self):
+        shell = StrictShell(make_adder())
+        with pytest.raises(ProtocolError):
+            shell.accept("ghost", Token(value=1, tag=0))
+
+    def test_reset_clears_queues_and_stats(self):
+        shell = StrictShell(make_adder())
+        feed(shell, "a", 0, 1)
+        shell.begin_cycle()
+        shell.reset()
+        assert shell.stats.cycles == 0
+        assert all(queue.is_empty() for queue in shell.queues.values())
+
+
+class TestRelaxedShell:
+    def test_fires_with_only_required_inputs(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: ["a"]))
+        feed(shell, "a", 0, 5)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert plan.fire
+        assert plan.consume_ports == ("a",)
+        outputs = shell.execute(plan)
+        assert outputs["sum"].value == 5  # b treated as absent (0)
+
+    def test_consumes_non_required_input_when_available(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: ["a"]))
+        feed(shell, "a", 0, 5)
+        feed(shell, "b", 0, 7)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert set(plan.consume_ports) == {"a", "b"}
+
+    def test_discards_stale_tokens(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: ["a"]))
+        # Fire twice consuming only port a.
+        for tag in range(2):
+            feed(shell, "a", tag, tag)
+            shell.begin_cycle()
+            shell.execute(shell.plan(outputs_blocked=False))
+        # Late tokens for tags 0 and 1 arrive on the ignored port b.
+        feed(shell, "b", 0, 100)
+        feed(shell, "b", 1, 101)
+        shell.begin_cycle()
+        assert shell.queues["b"].is_empty()
+        assert shell.stats.discarded_tokens == 2
+        assert shell.stats.discarded_by_port["b"] == 2
+
+    def test_oracle_none_behaves_strictly(self):
+        shell = RelaxedShell(make_adder(oracle=None))
+        feed(shell, "a", 0, 1)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert not plan.fire
+        assert "b" in plan.missing_ports
+
+    def test_unknown_oracle_port_rejected(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: ["ghost"]))
+        shell.begin_cycle()
+        with pytest.raises(ProtocolError):
+            shell.plan(outputs_blocked=False)
+
+    def test_outputs_blocked_still_stalls(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: ["a"]))
+        feed(shell, "a", 0, 1)
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=True)
+        assert not plan.fire
+        assert plan.stall_reason == "output_blocked"
+
+    def test_empty_required_set_fires_immediately(self):
+        shell = RelaxedShell(make_adder(oracle=lambda state: []))
+        shell.begin_cycle()
+        plan = shell.plan(outputs_blocked=False)
+        assert plan.fire
+        assert plan.consume_ports == ()
+
+
+class TestMakeShell:
+    def test_factory_selects_kind(self):
+        assert isinstance(make_shell(make_adder(), relaxed=False), StrictShell)
+        assert isinstance(make_shell(make_adder(), relaxed=True), RelaxedShell)
+
+    def test_factory_passes_queue_capacity(self):
+        shell = make_shell(make_adder(), relaxed=False, queue_capacity=7)
+        assert all(queue.capacity == 7 for queue in shell.queues.values())
+
+    def test_default_queue_capacity(self):
+        shell = make_shell(make_adder(), relaxed=True)
+        assert all(
+            queue.capacity == DEFAULT_QUEUE_CAPACITY for queue in shell.queues.values()
+        )
+
+    def test_kind_labels(self):
+        assert make_shell(make_adder(), relaxed=False).kind == "WP1"
+        assert make_shell(make_adder(), relaxed=True).kind == "WP2"

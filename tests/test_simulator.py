@@ -1,0 +1,209 @@
+"""Unit and integration tests for the latency-insensitive simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RSConfiguration
+from repro.core.equivalence import n_equivalent
+from repro.core.exceptions import DeadlockError, SimulationError
+from repro.core.golden import run_golden
+from repro.core.netlist import Netlist, ring_netlist
+from repro.core.channel import Channel
+from repro.core.process import CounterSource, FunctionProcess, SinkProcess
+from repro.core.simulator import LidSimulator, run_lid
+
+
+def run_ring(stages, rs_total, relaxed=False, firings=60, queue_capacity=4):
+    netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
+    result = run_lid(
+        netlist,
+        rs_counts=rs_counts,
+        relaxed=relaxed,
+        queue_capacity=queue_capacity,
+        target_firings={"stage0": firings},
+        max_cycles=20_000,
+    )
+    return netlist, result
+
+
+class TestLidOnRings:
+    @pytest.mark.parametrize(
+        "stages,rs_total",
+        [(1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (4, 3), (5, 2)],
+    )
+    def test_loop_throughput_matches_formula(self, stages, rs_total):
+        firings = 120
+        _, result = run_ring(stages, rs_total, firings=firings)
+        expected = stages / (stages + rs_total)
+        measured = result.firings["stage0"] / result.cycles
+        # Start-up transients make the measured value slightly different from
+        # the asymptotic bound; 5 % is ample for 120 firings.
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("stages,rs_total", [(2, 1), (3, 2)])
+    def test_wp2_equals_wp1_without_oracle(self, stages, rs_total):
+        _, strict = run_ring(stages, rs_total, relaxed=False)
+        _, relaxed = run_ring(stages, rs_total, relaxed=True)
+        assert strict.cycles == relaxed.cycles
+
+    def test_zero_rs_ring_runs_at_full_speed(self):
+        _, result = run_ring(3, 0, firings=50)
+        assert result.cycles == pytest.approx(50, abs=2)
+
+    def test_equivalence_with_golden(self):
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        golden = run_golden(netlist, max_cycles=40)
+        pipelined = run_lid(
+            netlist,
+            rs_counts=rs_counts,
+            target_firings={"stage0": 40},
+            max_cycles=5_000,
+        )
+        assert n_equivalent(golden.trace, pipelined.trace).equivalent
+
+    def test_all_processes_progress_equally_on_a_ring(self):
+        _, result = run_ring(3, 1, firings=30)
+        counts = set(result.firings.values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestLidConstruction:
+    def test_rejects_both_counts_and_configuration(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        with pytest.raises(SimulationError):
+            LidSimulator(
+                netlist,
+                rs_counts=rs_counts,
+                configuration=RSConfiguration.ideal(),
+            )
+
+    def test_rejects_unknown_channel_in_counts(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            LidSimulator(netlist, rs_counts={"ghost": 1})
+
+    def test_rejects_negative_counts(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            LidSimulator(netlist, rs_counts={"c0_1": -1})
+
+    def test_configuration_expansion(self):
+        netlist, _ = ring_netlist(2)
+        config = RSConfiguration.from_mapping({"c0_1": 2}, label="test")
+        simulator = LidSimulator(netlist, configuration=config)
+        assert simulator.rs_counts["c0_1"] == 2
+        assert simulator.rs_counts["c1_0"] == 0
+        assert simulator.configuration_label == "test"
+
+    def test_unknown_stop_process_rejected(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            run_lid(netlist, stop_process="ghost", max_cycles=10)
+
+    def test_unknown_target_firings_rejected(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            run_lid(netlist, target_firings={"ghost": 1}, max_cycles=10)
+
+    def test_max_cycles_exhaustion_raises(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            run_lid(netlist, target_firings={"stage0": 1_000}, max_cycles=10)
+
+
+class TestLidResults:
+    def test_result_metadata(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        result = run_lid(
+            netlist, rs_counts=rs_counts, target_firings={"stage0": 10}, max_cycles=200
+        )
+        assert result.wrapper_kind == "WP1"
+        assert result.total_relay_stations() == 1
+        assert result.throughput("stage0") > 0
+        assert result.throughput() <= result.throughput("stage0") + 1e-9
+
+    def test_relaxed_flag_reported(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        result = run_lid(
+            netlist, rs_counts=rs_counts, relaxed=True,
+            target_firings={"stage0": 10}, max_cycles=200,
+        )
+        assert result.wrapper_kind == "WP2"
+
+    def test_shell_stats_collected(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        result = run_lid(
+            netlist, rs_counts=rs_counts, target_firings={"stage0": 20}, max_cycles=400
+        )
+        assert set(result.shell_stats) == {"stage0", "stage1"}
+        assert result.shell_stats["stage0"].cycles == result.cycles
+
+    def test_max_queue_occupancy_recorded(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        result = run_lid(
+            netlist, rs_counts=rs_counts, target_firings={"stage0": 20}, max_cycles=400
+        )
+        assert any(value > 0 for value in result.max_queue_occupancy.values())
+
+    def test_on_cycle_observer_called(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        seen = []
+        run_lid(
+            netlist,
+            rs_counts=rs_counts,
+            target_firings={"stage0": 5},
+            max_cycles=100,
+            on_cycle=lambda cycle, fired: seen.append((cycle, dict(fired))),
+        )
+        assert seen
+        assert seen[0][0] == 1
+
+    def test_trace_disabled(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        result = run_lid(
+            netlist, rs_counts=rs_counts, record_trace=False,
+            target_firings={"stage0": 5}, max_cycles=100,
+        )
+        assert all(result.trace[name].cycles == 0 for name in result.trace)
+
+
+class TestDeadlockDetection:
+    def test_starved_source_free_system_deadlocks(self):
+        # A sink whose only input channel never receives tokens because the
+        # producer is done from the start.
+        source = CounterSource("src", limit=0)
+        sink = SinkProcess("sink")
+        netlist = Netlist(
+            [source, sink],
+            [Channel("data", "src", "out", "sink", "in", initial=0)],
+        )
+        with pytest.raises(DeadlockError):
+            run_lid(
+                netlist,
+                target_firings={"sink": 10},
+                max_cycles=50_000,
+                deadlock_limit=100,
+            )
+
+
+class TestFanout:
+    def test_single_output_port_drives_two_channels(self):
+        def transition(state, inputs):
+            return state, {"out": inputs["in"] + 1}
+
+        producer = FunctionProcess("p", ("in",), ("out",), transition)
+        sink_a = SinkProcess("sa")
+        sink_b = SinkProcess("sb")
+        loop_back = Channel("loop", "p", "out", "p", "in", initial=0)
+        netlist = Netlist(
+            [producer, sink_a, sink_b],
+            [
+                loop_back,
+                Channel("fan_a", "p", "out", "sa", "in", initial=0),
+                Channel("fan_b", "p", "out", "sb", "in", initial=0),
+            ],
+        )
+        result = run_lid(netlist, target_firings={"sa": 10, "sb": 10}, max_cycles=500)
+        assert sink_a.received == sink_b.received
+        assert result.firings["sa"] == result.firings["sb"]

@@ -1,0 +1,72 @@
+"""Unit tests for the tagged-signal primitives (tokens, void symbol)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.tokens import VOID, Token, is_token, is_void
+
+
+class TestVoid:
+    def test_void_is_singleton(self):
+        from repro.core.tokens import _Void
+
+        assert _Void() is VOID
+
+    def test_void_repr_is_tau(self):
+        assert repr(VOID) == "τ"
+
+    def test_void_is_falsy(self):
+        assert not VOID
+
+    def test_void_survives_pickling_as_singleton(self):
+        assert pickle.loads(pickle.dumps(VOID)) is VOID
+
+    def test_is_void_detects_void(self):
+        assert is_void(VOID)
+
+    def test_is_void_rejects_none(self):
+        assert not is_void(None)
+
+    def test_is_void_rejects_token(self):
+        assert not is_void(Token(value=1, tag=0))
+
+
+class TestToken:
+    def test_token_fields(self):
+        token = Token(value="payload", tag=3)
+        assert token.value == "payload"
+        assert token.tag == 3
+
+    def test_token_is_frozen(self):
+        token = Token(value=1, tag=0)
+        with pytest.raises(AttributeError):
+            token.value = 2  # type: ignore[misc]
+
+    def test_negative_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Token(value=1, tag=-1)
+
+    def test_zero_tag_allowed(self):
+        assert Token(value=None, tag=0).tag == 0
+
+    def test_equality_by_value_and_tag(self):
+        assert Token(value=5, tag=2) == Token(value=5, tag=2)
+        assert Token(value=5, tag=2) != Token(value=5, tag=3)
+        assert Token(value=6, tag=2) != Token(value=5, tag=2)
+
+    def test_is_token(self):
+        assert is_token(Token(value=0, tag=0))
+        assert not is_token(VOID)
+        assert not is_token(42)
+
+    def test_repr_contains_tag_and_value(self):
+        text = repr(Token(value=7, tag=4))
+        assert "7" in text and "4" in text
+
+    def test_token_value_may_be_none(self):
+        token = Token(value=None, tag=1)
+        assert token.value is None
+        assert is_token(token)

@@ -1,0 +1,124 @@
+"""Unit tests for channel traces and τ-filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tokens import VOID, Token
+from repro.core.traces import (
+    ChannelTrace,
+    SystemTrace,
+    interleave_voids,
+    trace_from_values,
+)
+
+
+class TestChannelTrace:
+    def test_append_and_length(self):
+        trace = ChannelTrace("c")
+        trace.append(Token(value=1, tag=0))
+        trace.append(VOID)
+        assert len(trace) == 2
+        assert trace.cycles == 2
+
+    def test_append_rejects_raw_values(self):
+        trace = ChannelTrace("c")
+        with pytest.raises(TypeError):
+            trace.append(42)
+
+    def test_filtered_drops_voids(self):
+        trace = ChannelTrace("c")
+        trace.append(Token(value=1, tag=0))
+        trace.append(VOID)
+        trace.append(Token(value=2, tag=1))
+        assert [t.value for t in trace.filtered()] == [1, 2]
+
+    def test_values_returns_payloads(self):
+        trace = trace_from_values("c", ["a", "b", "c"])
+        assert trace.values() == ["a", "b", "c"]
+
+    def test_counts(self):
+        trace = ChannelTrace("c")
+        trace.append(Token(value=1, tag=0))
+        trace.append(VOID)
+        trace.append(VOID)
+        assert trace.valid_count() == 1
+        assert trace.void_count() == 2
+
+    def test_throughput(self):
+        trace = ChannelTrace("c")
+        trace.append(Token(value=1, tag=0))
+        trace.append(VOID)
+        assert trace.throughput() == pytest.approx(0.5)
+
+    def test_throughput_of_empty_trace_is_zero(self):
+        assert ChannelTrace("c").throughput() == 0.0
+
+    def test_tags_consistency_check(self):
+        good = trace_from_values("c", [10, 20, 30])
+        assert good.tags_are_consistent()
+        bad = ChannelTrace("c")
+        bad.append(Token(value=10, tag=5))
+        assert not bad.tags_are_consistent()
+
+    def test_indexing_and_iteration(self):
+        trace = trace_from_values("c", [1, 2])
+        assert trace[0].value == 1
+        assert [item.value for item in trace] == [1, 2]
+
+
+class TestInterleaveVoids:
+    def test_inserts_void_every_period(self):
+        trace = trace_from_values("c", [1, 2, 3, 4])
+        stretched = interleave_voids(trace, period=2)
+        assert stretched.valid_count() == 4
+        assert stretched.void_count() == 2
+        assert stretched.values() == [1, 2, 3, 4]
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ValueError):
+            interleave_voids(trace_from_values("c", [1]), period=0)
+
+
+class TestSystemTrace:
+    def test_record_and_lookup(self):
+        trace = SystemTrace(["a", "b"])
+        trace.record("a", Token(value=1, tag=0))
+        trace.record("b", VOID)
+        assert trace["a"].valid_count() == 1
+        assert trace["b"].void_count() == 1
+
+    def test_record_cycle(self):
+        trace = SystemTrace(["a", "b"])
+        trace.record_cycle({"a": Token(value=1, tag=0), "b": VOID})
+        assert trace.cycles() == 1
+
+    def test_ensure_channel_creates_missing(self):
+        trace = SystemTrace()
+        trace.record("new", VOID)
+        assert "new" in trace
+
+    def test_mapping_interface(self):
+        trace = SystemTrace(["a", "b"])
+        assert set(trace) == {"a", "b"}
+        assert len(trace) == 2
+
+    def test_min_valid_count(self):
+        trace = SystemTrace(["a", "b"])
+        trace.record("a", Token(value=1, tag=0))
+        trace.record("a", Token(value=2, tag=1))
+        trace.record("b", Token(value=1, tag=0))
+        assert trace.min_valid_count() == 1
+
+    def test_throughput_is_worst_channel(self):
+        trace = SystemTrace(["a", "b"])
+        trace.record_cycle({"a": Token(value=1, tag=0), "b": VOID})
+        trace.record_cycle({"a": Token(value=2, tag=1), "b": Token(value=1, tag=0)})
+        assert trace.throughput() == pytest.approx(0.5)
+        assert trace.mean_throughput() == pytest.approx(0.75)
+
+    def test_empty_system_trace(self):
+        trace = SystemTrace()
+        assert trace.cycles() == 0
+        assert trace.min_valid_count() == 0
+        assert trace.throughput() == 0.0

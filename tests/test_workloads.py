@@ -1,0 +1,96 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.workloads import (
+    deterministic_values,
+    make_extraction_sort,
+    make_matrix_multiply,
+    reference_product,
+)
+
+
+class TestDeterministicValues:
+    def test_reproducible_for_same_seed(self):
+        assert deterministic_values(10, seed=3) == deterministic_values(10, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert deterministic_values(10, seed=3) != deterministic_values(10, seed=4)
+
+    def test_respects_bounds(self):
+        values = deterministic_values(50, seed=1, low=5, high=9)
+        assert all(5 <= value <= 9 for value in values)
+
+    def test_count(self):
+        assert len(deterministic_values(7, seed=0)) == 7
+
+
+class TestExtractionSortWorkload:
+    def test_expected_memory_is_sorted_input(self):
+        workload = make_extraction_sort(length=6, values=[3, 1, 2, 9, 5, 4])
+        assert [workload.expected_memory[i] for i in range(6)] == [1, 2, 3, 4, 5, 9]
+
+    def test_program_data_holds_unsorted_input(self):
+        values = [3, 1, 2]
+        workload = make_extraction_sort(length=3, values=values)
+        assert [workload.program.data[i] for i in range(3)] == values
+
+    def test_value_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_extraction_sort(length=4, values=[1, 2])
+
+    def test_parameters_recorded(self):
+        workload = make_extraction_sort(length=5, seed=42)
+        assert workload.parameters["length"] == 5
+        assert workload.parameters["seed"] == 42
+
+    def test_describe_mentions_name(self):
+        assert "Extraction Sort" in make_extraction_sort(length=4).describe()
+
+    def test_custom_base_address(self):
+        workload = make_extraction_sort(length=3, values=[2, 1, 3], base=100)
+        assert set(workload.program.data) == {100, 101, 102}
+        assert workload.expected_memory[100] == 1
+
+    def test_instruction_count_positive(self):
+        assert make_extraction_sort(length=4).instruction_count > 5
+
+
+class TestMatrixMultiplyWorkload:
+    def test_reference_product_identity(self):
+        identity = [1, 0, 0, 1]
+        assert reference_product([1, 2, 3, 4], identity, 2) == [1, 2, 3, 4]
+
+    def test_expected_memory_matches_reference(self):
+        a = [1, 2, 3, 4]
+        b = [5, 6, 7, 8]
+        workload = make_matrix_multiply(size=2, a_values=a, b_values=b)
+        c_base = 8
+        expected = reference_product(a, b, 2)
+        assert [workload.expected_memory[c_base + i] for i in range(4)] == expected
+
+    def test_memory_layout_non_overlapping(self):
+        workload = make_matrix_multiply(size=3, seed=0)
+        data_addresses = set(workload.program.data)
+        result_addresses = set(workload.expected_memory)
+        assert not data_addresses & result_addresses
+
+    def test_custom_bases(self):
+        workload = make_matrix_multiply(
+            size=2, a_values=[1, 0, 0, 1], b_values=[1, 2, 3, 4],
+            a_base=10, b_base=20, c_base=30,
+        )
+        assert set(workload.program.data) == set(range(10, 14)) | set(range(20, 24))
+        assert set(workload.expected_memory) == set(range(30, 34))
+
+    def test_matrix_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_matrix_multiply(size=2, a_values=[1, 2, 3])
+
+    def test_seed_reproducibility(self):
+        first = make_matrix_multiply(size=3, seed=8)
+        second = make_matrix_multiply(size=3, seed=8)
+        assert first.program.data == second.program.data
+        assert first.expected_memory == second.expected_memory
