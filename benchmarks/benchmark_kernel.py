@@ -1,0 +1,125 @@
+"""Kernel comparison benchmark: ReferenceKernel vs FastKernel on Table 1 work.
+
+Runs both simulation kernels on the Table 1 workloads (Extraction Sort and
+Matrix Multiply under "All 1 (no CU-IC)", WP1 and WP2) in two instrumentation
+modes — the historical always-on mode (shell stats + occupancy) and the
+uninstrumented objective mode used by the optimiser and the batch runner —
+and records the measured speedups in ``BENCH_kernel.json`` at the repository
+root so future changes can track the performance trajectory.
+
+Quick mode (for CI smoke runs): set ``REPRO_BENCH_QUICK=1`` to shrink the
+workloads and repetition counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+#: Conservative floor asserted by the test (the measured speedup is recorded
+#: verbatim in the JSON perf record; ≥5x is the target on a quiet machine).
+MIN_SPEEDUP = 2.5
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _workloads():
+    from repro.cpu.workloads import make_extraction_sort, make_matrix_multiply
+
+    if QUICK:
+        return {
+            "extraction_sort": make_extraction_sort(length=4, seed=2005),
+            "matrix_multiply": make_matrix_multiply(size=2, seed=2005),
+        }
+    return {
+        "extraction_sort": make_extraction_sort(length=8, seed=2005),
+        "matrix_multiply": make_matrix_multiply(size=3, seed=2005),
+    }
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(workload, relaxed, instruments):
+    """Best-of-N wall time per kernel plus the (asserted equal) cycle counts."""
+    from repro.core import RSConfiguration
+    from repro.cpu import build_pipelined_cpu
+    from repro.engine import BatchRunner, InstrumentSet
+
+    cpu = build_pipelined_cpu(workload.program)
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+    repeats = 3 if QUICK else 7
+    timings = {}
+    cycles = {}
+    for kernel in ("reference", "fast"):
+        runner = BatchRunner(
+            cpu.netlist,
+            relaxed=relaxed,
+            kernel=kernel,
+            instruments=(
+                InstrumentSet(trace=False, shell_stats=True, occupancy=True)
+                if instruments
+                else InstrumentSet.none()
+            ),
+        )
+        run = lambda: runner.run(configuration=config, stop_process="CU")
+        result = run()
+        cycles[kernel] = result.cycles
+        timings[kernel] = _best_of(run, repeats)
+    assert cycles["reference"] == cycles["fast"], "kernels disagree on cycles"
+    return {
+        "cycles": cycles["fast"],
+        "reference_seconds": timings["reference"],
+        "fast_seconds": timings["fast"],
+        "speedup": timings["reference"] / timings["fast"],
+    }
+
+
+@pytest.fixture(scope="module")
+def kernel_record():
+    """Measure everything once, yield the record, write the JSON at teardown."""
+    record = {
+        "benchmark": "kernel",
+        "quick": QUICK,
+        "python": platform.python_version(),
+        "config": "All 1 (no CU-IC)",
+        "results": {},
+    }
+    yield record
+    record["min_speedup"] = min(
+        entry["speedup"] for entry in record["results"].values()
+    )
+    record["max_speedup"] = max(
+        entry["speedup"] for entry in record["results"].values()
+    )
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("workload_name", ["extraction_sort", "matrix_multiply"])
+@pytest.mark.parametrize("wrapper", ["WP1", "WP2"])
+@pytest.mark.parametrize("mode", ["instrumented", "objective"])
+def test_fast_kernel_speedup(kernel_record, workload_name, wrapper, mode):
+    """FastKernel beats ReferenceKernel on every Table 1 workload and mode."""
+    workload = _workloads()[workload_name]
+    entry = _measure(
+        workload,
+        relaxed=(wrapper == "WP2"),
+        instruments=(mode == "instrumented"),
+    )
+    kernel_record["results"][f"{workload_name}/{wrapper}/{mode}"] = entry
+    assert entry["speedup"] >= MIN_SPEEDUP, (
+        f"fast kernel only {entry['speedup']:.2f}x faster than reference on "
+        f"{workload_name}/{wrapper}/{mode}"
+    )

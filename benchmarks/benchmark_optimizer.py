@@ -59,3 +59,56 @@ def test_annealing_search(benchmark):
     )
     # Annealing should land on (or very near) the exact optimum.
     assert result.score >= exact - 0.05
+
+
+# ---------------------------------------------------------------------------
+# Simulated-throughput objectives (the expensive kind the engine refactor
+# targets: every evaluation is a full latency-insensitive simulation).
+# ---------------------------------------------------------------------------
+
+def _simulated_setup():
+    from repro.core import SearchSpace
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+
+    cpu = build_pipelined_cpu(make_extraction_sort(length=4, seed=2005).program)
+    golden = cpu.run_golden(record_trace=False)
+    space = SearchSpace.bounded(
+        cpu.netlist.link_names(), maximum=1, minimum=0, fixed={"CU-IC": 0}
+    )
+    return cpu, golden.cycles, space
+
+
+def test_simulated_search_legacy_path(benchmark):
+    """Greedy search, objective via the original always-instrumented simulator."""
+    from repro.core import greedy_search, simulation_objective
+
+    cpu, golden_cycles, space = _simulated_setup()
+
+    def run(config):
+        result = cpu.run_wire_pipelined(
+            configuration=config, relaxed=True, record_trace=False,
+            kernel="reference",
+        )
+        return golden_cycles / result.cycles
+
+    objective = simulation_objective(run)
+    result = benchmark.pedantic(
+        lambda: greedy_search(space, objective), rounds=1, iterations=1
+    )
+    assert result.score > 0
+
+
+def test_simulated_search_batch_runner(benchmark):
+    """Same search through the batch runner: shared elaboration, fast kernel,
+    zero instrumentation."""
+    from repro.core import greedy_search, simulated_throughput_objective
+
+    cpu, golden_cycles, space = _simulated_setup()
+    objective = simulated_throughput_objective(
+        cpu.netlist, relaxed=True, golden_cycles=golden_cycles, stop_process="CU"
+    )
+    result = benchmark.pedantic(
+        lambda: greedy_search(space, objective), rounds=1, iterations=1
+    )
+    assert result.score > 0

@@ -10,13 +10,18 @@ The package is organised in three layers:
 * :mod:`repro.cpu` — the paper's case study: a five-block processor (CU, IC,
   RF, ALU, DC) with a minimal ISA, an assembler, pipelined and multicycle
   control variants, and the two workloads (extraction sort, matrix multiply).
+* :mod:`repro.engine` — the layered simulation engine behind
+  :class:`repro.core.simulator.LidSimulator`: elaboration of netlists into
+  flat runtime models, selectable execution kernels (object-based reference /
+  array-based fast), opt-in instrumentation passes, and the batch runner that
+  evaluates many relay-station configurations against one elaborated model.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure of
   the paper (Table 1 for both workloads, the Figure 1 loop report, the
   multicycle study and the wrapper area overhead claim).
 """
 
-from . import core
+from . import core, engine
 
 __version__ = "0.1.0"
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "engine", "__version__"]

@@ -9,7 +9,10 @@ Commands
 ``sweep``      run one of the ablation sweeps (fifo / depth / clock)
 
 Every command accepts ``--format text|markdown|csv|json`` where it makes
-sense; the default is the plain-text layout used in EXPERIMENTS.md.
+sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
+simulating commands (``table1``, ``multicycle``, ``sweep``) accept
+``--kernel reference|fast`` to select the simulation engine (see
+:mod:`repro.engine`); the default is the fast array-based kernel.
 """
 
 from __future__ import annotations
@@ -17,6 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _add_kernel_option(parser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=("reference", "fast"),
+        default=None,
+        help="simulation kernel (default: the fast array-based kernel)",
+    )
 
 
 def _add_table1(subparsers) -> None:
@@ -27,6 +39,7 @@ def _add_table1(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--multicycle", action="store_true")
     parser.add_argument("--format", choices=("text", "markdown", "csv", "json"), default="text")
+    _add_kernel_option(parser)
 
 
 def _add_simple(subparsers, name: str, help_text: str) -> None:
@@ -38,6 +51,14 @@ def _add_sweep(subparsers) -> None:
     parser.add_argument("kind", choices=("fifo", "depth", "clock"))
     parser.add_argument("--sort-length", type=int, default=10)
     parser.add_argument("--format", choices=("text", "markdown", "csv"), default="text")
+    _add_kernel_option(parser)
+
+
+def _add_multicycle(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "multicycle", help="multicycle vs pipelined WP2 gains"
+    )
+    _add_kernel_option(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_table1(subparsers)
     _add_simple(subparsers, "figure1", "print the Figure 1 topology report")
-    _add_simple(subparsers, "multicycle", "multicycle vs pipelined WP2 gains")
+    _add_multicycle(subparsers)
     _add_simple(subparsers, "area", "wrapper area overhead report")
     _add_sweep(subparsers)
     return parser
@@ -59,12 +80,14 @@ def _run_table1(args) -> int:
 
     results = {
         "sort": run_table1_sort(
-            length=args.sort_length, seed=args.seed, pipelined=not args.multicycle
+            length=args.sort_length, seed=args.seed,
+            pipelined=not args.multicycle, kernel=args.kernel,
         )
     }
     if args.matmul:
         results["matmul"] = run_table1_matmul(
-            size=args.matmul_size, seed=args.seed, pipelined=not args.multicycle
+            size=args.matmul_size, seed=args.seed,
+            pipelined=not args.multicycle, kernel=args.kernel,
         )
     if args.format == "json":
         print(table1_to_json(results))
@@ -87,11 +110,11 @@ def _run_sweep(args) -> int:
 
     workload = make_extraction_sort(length=args.sort_length, seed=2005)
     if args.kind == "fifo":
-        result = queue_capacity_sweep(workload=workload)
+        result = queue_capacity_sweep(workload=workload, kernel=args.kernel)
     elif args.kind == "depth":
-        result = uniform_depth_sweep(workload=workload)
+        result = uniform_depth_sweep(workload=workload, kernel=args.kernel)
     else:
-        result = clock_frequency_sweep(workload=workload)
+        result = clock_frequency_sweep(workload=workload, kernel=args.kernel)
     if args.format == "markdown":
         print(sweep_to_markdown(result))
     elif args.format == "csv":
@@ -113,7 +136,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "multicycle":
         from .experiments import run_multicycle_study
 
-        print(run_multicycle_study().format())
+        print(run_multicycle_study(kernel=args.kernel).format())
         return 0
     if args.command == "area":
         from .experiments import reference_wrapper_overhead_percent, run_area_overhead

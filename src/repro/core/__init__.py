@@ -58,6 +58,7 @@ from .optimizer import (
     exhaustive_search,
     greedy_search,
     optimize_configuration,
+    simulated_throughput_objective,
     simulation_objective,
     static_objective,
 )
@@ -79,6 +80,14 @@ from .shell import (
     make_shell,
 )
 from .simulator import ChannelPipeline, LidResult, LidSimulator, run_lid
+from ..engine import (
+    BatchResult,
+    BatchRunner,
+    FastKernel,
+    InstrumentSet,
+    ReferenceKernel,
+    SimKernel,
+)
 from .static_analysis import (
     Loop,
     ThroughputReport,
@@ -116,6 +125,9 @@ __all__ = [
     # simulators
     "GoldenSimulator", "GoldenResult", "run_golden",
     "LidSimulator", "LidResult", "ChannelPipeline", "run_lid",
+    # engine (layered simulation stack; see repro.engine for the full API)
+    "SimKernel", "ReferenceKernel", "FastKernel", "InstrumentSet",
+    "BatchRunner", "BatchResult",
     # configuration / insertion / analysis
     "RSConfiguration",
     "uniform_insertion", "single_link_insertion", "all_single_link_insertions",
@@ -129,6 +141,7 @@ __all__ = [
     "SearchSpace", "LinkRange", "OptimizationResult",
     "exhaustive_search", "greedy_search", "annealing_search",
     "optimize_configuration", "static_objective", "simulation_objective",
+    "simulated_throughput_objective",
     "AreaEstimate", "OverheadReport", "wrapper_area", "relay_station_area",
     "estimate_overhead",
     # verification

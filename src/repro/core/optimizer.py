@@ -150,7 +150,10 @@ def simulation_objective(
     *run* receives a configuration and returns the throughput to maximise
     (e.g. the WP2 throughput of the extraction-sort workload).  The runner is
     responsible for memoising if needed; the optimiser calls it once per
-    distinct assignment it evaluates.
+    distinct assignment it evaluates.  For the common case — "simulate this
+    netlist and maximise its throughput" — prefer
+    :func:`simulated_throughput_objective`, which shares one elaborated model
+    across every evaluation and runs uninstrumented.
     """
 
     def objective(assignment: Mapping[str, int]) -> float:
@@ -158,6 +161,40 @@ def simulation_objective(
         return run(config)
 
     return objective
+
+
+def simulated_throughput_objective(
+    netlist: Netlist,
+    relaxed: bool = False,
+    golden_cycles: Optional[int] = None,
+    kernel: Optional[str] = None,
+    queue_capacity: Optional[int] = None,
+    on_error: str = "raise",
+    **run_kwargs,
+) -> Objective:
+    """Objective: the simulated throughput of *netlist* under each assignment.
+
+    Built on :class:`repro.engine.batch.BatchRunner`: the netlist layout is
+    elaborated once, every candidate only re-binds the relay chains, and the
+    runs are uninstrumented (no traces, shell stats or occupancy tracking), so
+    a search over many assignments pays the simulation cost and nothing else.
+
+    With *golden_cycles* the score is the paper's golden-relative throughput
+    (``golden_cycles / cycles``); otherwise it is the system minimum of
+    firings per cycle.  ``on_error="zero"`` scores infeasible corners
+    (deadlocks, timeouts) as 0.0 instead of raising.  Remaining keyword
+    arguments are run controls (``stop_process``, ``target_firings``,
+    ``max_cycles``, ...).
+    """
+    from ..engine.batch import BatchRunner
+
+    kwargs = {}
+    if queue_capacity is not None:
+        kwargs["queue_capacity"] = queue_capacity
+    runner = BatchRunner(netlist, relaxed=relaxed, kernel=kernel, **kwargs)
+    return runner.objective(
+        golden_cycles=golden_cycles, on_error=on_error, **run_kwargs
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -15,71 +15,30 @@ The run terminates when a designated process reports completion (or after a
 target number of valid firings), and the result carries everything the
 experiments need: cycle count, per-process firings, throughput, recorded
 traces and per-shell stall statistics.
+
+:class:`LidSimulator` is a thin facade over the layered engine in
+:mod:`repro.engine` (see DESIGN.md): elaboration compiles the netlist +
+configuration into a flat model, a selectable kernel executes it
+(``kernel="fast"`` is the default array-based hot path, ``"reference"`` the
+original object-based machinery), and instrumentation passes opt in to
+traces, shell statistics and occupancy tracking.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional
 
-from .channel import Channel
+from ..engine.elaboration import Elaborator, resolve_rs_counts
+from ..engine.instrumentation import InstrumentSet
+from ..engine.kernel import RunControls, make_kernel, resolve_kernel_name
+from ..engine.reference import ChannelPipeline, ReferenceKernel
+from ..engine.result import LidResult
 from .config import RSConfiguration
-from .exceptions import DeadlockError, SimulationError
 from .netlist import Netlist
-from .relay_station import RelayStation, TokenQueue, build_relay_chain
-from .shell import DEFAULT_QUEUE_CAPACITY, Shell, ShellStats, make_shell
-from .tokens import Token, VOID
-from .traces import SystemTrace
+from .relay_station import RelayStation
+from .shell import DEFAULT_QUEUE_CAPACITY
 
-
-@dataclass
-class ChannelPipeline:
-    """Runtime image of one channel: its relay stations and destination FIFO."""
-
-    channel: Channel
-    relay_stations: List[RelayStation]
-    dest_queue: TokenQueue
-
-    @property
-    def elements(self) -> List[TokenQueue]:
-        """Storage elements ordered from source to destination."""
-        return [*self.relay_stations, self.dest_queue]
-
-    @property
-    def first_element(self) -> TokenQueue:
-        """The element a newly produced token enters (defines source back-pressure)."""
-        return self.relay_stations[0] if self.relay_stations else self.dest_queue
-
-    def in_flight(self) -> int:
-        """Tokens currently stored in the relay stations (not yet delivered)."""
-        return sum(rs.occupancy for rs in self.relay_stations)
-
-
-@dataclass
-class LidResult:
-    """Outcome of a latency-insensitive simulation run."""
-
-    cycles: int
-    firings: Dict[str, int]
-    trace: SystemTrace
-    halted: bool
-    wrapper_kind: str
-    configuration_label: str
-    rs_counts: Dict[str, int]
-    shell_stats: Dict[str, ShellStats] = field(default_factory=dict)
-    max_queue_occupancy: Dict[str, int] = field(default_factory=dict)
-
-    def throughput(self, process: Optional[str] = None) -> float:
-        """Valid firings per cycle for one process (or the system minimum)."""
-        if self.cycles == 0:
-            return 0.0
-        if process is not None:
-            return self.firings[process] / self.cycles
-        return min(count for count in self.firings.values()) / self.cycles
-
-    def total_relay_stations(self) -> int:
-        """Number of relay stations instantiated for this run."""
-        return sum(self.rs_counts.values())
+__all__ = ["ChannelPipeline", "LidResult", "LidSimulator", "run_lid"]
 
 
 class LidSimulator:
@@ -94,87 +53,60 @@ class LidSimulator:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         rs_capacity: int = RelayStation.RS_CAPACITY,
         record_trace: bool = True,
+        kernel: Optional[str] = None,
+        instruments: Optional[InstrumentSet] = None,
     ) -> None:
         """Create a simulator instance.
 
         Exactly one of *rs_counts* (per-channel counts) or *configuration*
         (per-link :class:`RSConfiguration`) may be given; omitting both means
         zero relay stations everywhere.
-        """
-        if rs_counts is not None and configuration is not None:
-            raise SimulationError("pass either rs_counts or configuration, not both")
-        self.netlist = netlist
-        if configuration is not None:
-            self.rs_counts = configuration.per_channel(netlist)
-            self.configuration_label = configuration.label
-        else:
-            counts = dict(rs_counts or {})
-            unknown = [name for name in counts if name not in netlist.channels]
-            if unknown:
-                raise SimulationError(
-                    f"rs_counts references unknown channels {sorted(unknown)}"
-                )
-            self.rs_counts = {
-                name: int(counts.get(name, 0)) for name in netlist.channels
-            }
-            self.configuration_label = "per-channel"
-        negative = [name for name, count in self.rs_counts.items() if count < 0]
-        if negative:
-            raise SimulationError(f"negative relay-station counts for {negative}")
 
+        *kernel* selects the execution engine (``"fast"`` or ``"reference"``;
+        ``None`` uses :data:`repro.engine.DEFAULT_KERNEL`).  *instruments*
+        selects the observation passes; the default keeps the historical
+        always-on behaviour (stats + occupancy, trace per *record_trace*).
+        """
+        self.netlist = netlist
+        self.rs_counts, self.configuration_label = resolve_rs_counts(
+            netlist, rs_counts=rs_counts, configuration=configuration
+        )
         self.relaxed = relaxed
         self.queue_capacity = queue_capacity
         self.rs_capacity = rs_capacity
         self.record_trace = record_trace
+        self.kernel_name = resolve_kernel_name(kernel)
+        self.instruments = (
+            instruments
+            if instruments is not None
+            else InstrumentSet(trace=record_trace, shell_stats=True, occupancy=True)
+        )
+        self.model = Elaborator(netlist).bind(
+            rs_counts=self.rs_counts,
+            relaxed=relaxed,
+            queue_capacity=queue_capacity,
+            rs_capacity=rs_capacity,
+            label=self.configuration_label,
+        )
+        self._kernel = make_kernel(self.model, self.kernel_name)
+        # The object-based runtime view (shells, channel pipelines) only
+        # exists under the reference kernel; the fast kernel keeps its run
+        # state in flat arrays private to each run.
+        if isinstance(self._kernel, ReferenceKernel):
+            self.shells = self._kernel.shells
+            self.pipelines = self._kernel.pipelines
+        else:
+            self.shells = {}
+            self.pipelines = {}
 
-        self.shells: Dict[str, Shell] = {}
-        self.pipelines: Dict[str, ChannelPipeline] = {}
-        self._build()
-
-    # -- construction ---------------------------------------------------------
-    def _build(self) -> None:
-        netlist = self.netlist
-        self.shells = {
-            name: make_shell(process, self.relaxed, queue_capacity=self.queue_capacity)
-            for name, process in netlist.processes.items()
-        }
-        self.pipelines = {}
-        for name, chan in netlist.channels.items():
-            dest_queue = self.shells[chan.dest].queues[chan.dest_port]
-            relay_stations = build_relay_chain(
-                name, self.rs_counts.get(name, 0), capacity=self.rs_capacity
-            )
-            self.pipelines[name] = ChannelPipeline(
-                channel=chan, relay_stations=relay_stations, dest_queue=dest_queue
-            )
-        # Output channel lists per process, resolved once.
-        self._outputs_of: Dict[str, List[ChannelPipeline]] = {
-            name: [
-                self.pipelines[chan.name]
-                for chans in netlist.output_channels(name).values()
-                for chan in chans
-            ]
-            for name in netlist.processes
-        }
-        self._output_port_map: Dict[str, Dict[str, List[ChannelPipeline]]] = {
-            name: {
-                port: [self.pipelines[chan.name] for chan in chans]
-                for port, chans in netlist.output_channels(name).items()
-            }
-            for name in netlist.processes
-        }
+    @property
+    def kernel(self):
+        """The kernel instance executing this simulator's model."""
+        return self._kernel
 
     def reset(self) -> None:
-        """Reset shells, relay stations and re-inject the initial tokens."""
-        for shell in self.shells.values():
-            shell.reset()
-        for pipeline in self.pipelines.values():
-            for rs in pipeline.relay_stations:
-                rs.reset()
-        # Initial channel values live in the destination FIFOs with tag 0,
-        # mirroring the reset value of the producer's output register.
-        for pipeline in self.pipelines.values():
-            pipeline.dest_queue.push(Token(value=pipeline.channel.initial, tag=0))
+        """Reset processes (and, under the reference kernel, shells and RS)."""
+        self._kernel.reset()
 
     # -- simulation ---------------------------------------------------------------
     def run(
@@ -209,142 +141,15 @@ class LidSimulator:
         on_cycle:
             Optional observer called as ``on_cycle(cycle, fired_map)``.
         """
-        self.reset()
-        netlist = self.netlist
-        if stop_process is not None and stop_process not in netlist.processes:
-            raise SimulationError(f"unknown stop process {stop_process!r}")
-        if target_firings is not None:
-            unknown = [name for name in target_firings if name not in netlist.processes]
-            if unknown:
-                raise SimulationError(
-                    f"target_firings references unknown processes {sorted(unknown)}"
-                )
-
-        trace = SystemTrace(netlist.channels)
-        cycles = 0
-        idle_streak = 0
-        halted = False
-        drain_remaining: Optional[int] = None
-
-        all_queues: List[TokenQueue] = []
-        for shell in self.shells.values():
-            all_queues.extend(shell.queues.values())
-        for pipeline in self.pipelines.values():
-            all_queues.extend(pipeline.relay_stations)
-
-        while cycles < max_cycles:
-            # Phase 1: latch occupancies (registered back-pressure).
-            for queue in all_queues:
-                queue.latch()
-            for shell in self.shells.values():
-                shell.begin_cycle()
-
-            # Phase 2: relay-station forwarding decisions (source -> dest order
-            # per channel; decisions only use start-of-cycle state).
-            forwards: List[Tuple[ChannelPipeline, int]] = []
-            for pipeline in self.pipelines.values():
-                elements = pipeline.elements
-                for index, rs in enumerate(pipeline.relay_stations):
-                    downstream = elements[index + 1]
-                    if rs.has_data() and not downstream.stop():
-                        forwards.append((pipeline, index))
-
-            # Phase 3: shell firing decisions and execution.
-            fired: Dict[str, bool] = {}
-            emissions: Dict[str, Any] = {}
-            launches: List[Tuple[ChannelPipeline, Token]] = []
-            for name, shell in self.shells.items():
-                outputs_blocked = any(
-                    pipeline.first_element.stop() for pipeline in self._outputs_of[name]
-                )
-                plan = shell.plan(outputs_blocked)
-                produced = shell.execute(plan)
-                fired[name] = produced is not None
-                port_map = self._output_port_map[name]
-                if produced is None:
-                    for pipelines in port_map.values():
-                        for pipeline in pipelines:
-                            emissions[pipeline.channel.name] = VOID
-                else:
-                    for port, token in produced.items():
-                        for pipeline in port_map.get(port, []):
-                            emissions[pipeline.channel.name] = token
-                            launches.append((pipeline, token))
-
-            # Phase 4: commit token movement.  Relay-station moves are applied
-            # from the destination side backwards so a chain never transiently
-            # exceeds its capacity; producer launches are applied last.
-            for pipeline, index in sorted(
-                forwards, key=lambda item: item[1], reverse=True
-            ):
-                elements = pipeline.elements
-                token = pipeline.relay_stations[index].pop()
-                elements[index + 1].push(token)
-            for pipeline, token in launches:
-                pipeline.first_element.push(token)
-
-            if self.record_trace:
-                trace.record_cycle(emissions)
-            cycles += 1
-
-            if on_cycle is not None:
-                on_cycle(cycles, fired)
-
-            if any(fired.values()):
-                idle_streak = 0
-            else:
-                idle_streak += 1
-                if idle_streak >= deadlock_limit:
-                    raise DeadlockError(
-                        f"no process fired for {idle_streak} consecutive cycles "
-                        f"(cycle {cycles}, configuration {self.configuration_label!r})"
-                    )
-
-            if drain_remaining is None and self._stop_condition(
-                stop_process, target_firings
-            ):
-                halted = True
-                drain_remaining = extra_cycles
-            if drain_remaining is not None:
-                if drain_remaining == 0:
-                    break
-                drain_remaining -= 1
-        else:
-            raise SimulationError(
-                f"simulation did not terminate within {max_cycles} cycles "
-                f"(configuration {self.configuration_label!r})"
-            )
-
-        firings = {
-            name: process.firings for name, process in netlist.processes.items()
-        }
-        shell_stats = {name: shell.stats for name, shell in self.shells.items()}
-        max_occupancy = {queue.name: queue.max_occupancy for queue in all_queues}
-        return LidResult(
-            cycles=cycles,
-            firings=firings,
-            trace=trace,
-            halted=halted,
-            wrapper_kind="WP2" if self.relaxed else "WP1",
-            configuration_label=self.configuration_label,
-            rs_counts=dict(self.rs_counts),
-            shell_stats=shell_stats,
-            max_queue_occupancy=max_occupancy,
+        controls = RunControls(
+            max_cycles=max_cycles,
+            stop_process=stop_process,
+            target_firings=target_firings,
+            extra_cycles=extra_cycles,
+            deadlock_limit=deadlock_limit,
+            on_cycle=on_cycle,
         )
-
-    def _stop_condition(
-        self,
-        stop_process: Optional[str],
-        target_firings: Optional[Mapping[str, int]],
-    ) -> bool:
-        if target_firings is not None:
-            return all(
-                self.netlist.process(name).firings >= count
-                for name, count in target_firings.items()
-            )
-        if stop_process is not None:
-            return self.netlist.process(stop_process).is_done()
-        return any(process.is_done() for process in self.netlist)
+        return self._kernel.run(controls, self.instruments)
 
 
 def run_lid(
@@ -354,6 +159,7 @@ def run_lid(
     relaxed: bool = False,
     queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
     record_trace: bool = True,
+    kernel: Optional[str] = None,
     **run_kwargs: Any,
 ) -> LidResult:
     """Build a :class:`LidSimulator` and run it in one call."""
@@ -364,5 +170,6 @@ def run_lid(
         relaxed=relaxed,
         queue_capacity=queue_capacity,
         record_trace=record_trace,
+        kernel=kernel,
     )
     return simulator.run(**run_kwargs)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..core.exceptions import AssemblerError
@@ -265,8 +266,14 @@ def encode(instruction: Instruction) -> int:
     )
 
 
+@lru_cache(maxsize=4096)
 def decode(word: int) -> Instruction:
-    """Decode a 32-bit machine word into an :class:`Instruction`."""
+    """Decode a 32-bit machine word into an :class:`Instruction`.
+
+    Decoding is memoised: :class:`Instruction` is frozen and programs are
+    small, so the per-fetch decode in the control unit becomes a cache hit
+    (the fetch path is on every simulator's critical loop).
+    """
     if not 0 <= word <= WORD_MASK:
         raise AssemblerError(f"machine word {word:#x} does not fit in 32 bits")
     opcode_value = (word >> _OPCODE_SHIFT) & 0x3F

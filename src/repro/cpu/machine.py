@@ -90,6 +90,7 @@ class CaseStudyCpu:
         drain: bool = False,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         record_trace: bool = True,
+        kernel: Optional[str] = None,
     ) -> LidResult:
         """Run one wire-pipelined configuration (WP1 when strict, WP2 when relaxed)."""
         rs_per_channel = max(self.rs_total(configuration, rs_counts), 1)
@@ -101,6 +102,7 @@ class CaseStudyCpu:
             relaxed=relaxed,
             queue_capacity=queue_capacity,
             record_trace=record_trace,
+            kernel=kernel,
             max_cycles=max_cycles,
             stop_process=self.control_unit.name,
             extra_cycles=drain_cycles,

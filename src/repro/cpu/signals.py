@@ -20,14 +20,14 @@ from typing import Optional
 from .isa import Opcode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchRequest:
     """CU → IC: read request for one instruction word."""
 
     address: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchResponse:
     """IC → CU: the instruction word read from the instruction memory."""
 
@@ -35,7 +35,7 @@ class FetchResponse:
     word: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegCommand:
     """CU → RF: per-instruction register-file plan.
 
@@ -54,7 +54,7 @@ class RegCommand:
     store_data: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AluCommand:
     """CU → ALU: operation to perform on the operands arriving the same tag."""
 
@@ -68,7 +68,7 @@ class AluCommand:
         return self.branch is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemCommand:
     """CU → DC: announces a memory operation two tags ahead of its address.
 
@@ -86,7 +86,7 @@ class MemCommand:
         return self.read or self.write
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operands:
     """RF → ALU: the two source operand values."""
 
@@ -94,14 +94,14 @@ class Operands:
     b: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoreData:
     """RF → DC: the register value to be written to memory by a store."""
 
     value: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AluStatus:
     """ALU → CU: branch outcome and condition flags."""
 
@@ -110,21 +110,21 @@ class AluStatus:
     negative: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AluResult:
     """ALU → RF: the computed result value (destination kept by RF)."""
 
     value: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemAddress:
     """ALU → DC: the effective address of a load or store."""
 
     address: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadResult:
     """DC → RF: the value read from memory (destination kept by RF)."""
 

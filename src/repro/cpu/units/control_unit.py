@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Deque, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ...core.exceptions import SimulationError
@@ -36,13 +37,18 @@ from ..isa import Instruction, Opcode, decode
 from ..signals import AluCommand, FetchRequest, FetchResponse, MemCommand, RegCommand
 
 
-@dataclass
+@dataclass(slots=True)
 class _FetchSlot:
     """Bookkeeping for one in-flight fetch (one entry per CU firing)."""
 
     valid: bool
     address: int = 0
     squashed: bool = False
+
+
+#: Shared slot for cycles without a fetch.  Safe to alias: only valid slots
+#: are ever mutated (squashing marks wrong-path *fetches*).
+_INVALID_SLOT = _FetchSlot(valid=False)
 
 
 @dataclass
@@ -108,7 +114,7 @@ class ControlUnit(Process):
         # arrives at firing d + FETCH_ROUNDTRIP, so the queue is primed with
         # FETCH_ROUNDTRIP invalid entries covering the reset values.
         self.fetch_slots: Deque[_FetchSlot] = deque(
-            _FetchSlot(valid=False) for _ in range(self.FETCH_ROUNDTRIP)
+            _INVALID_SLOT for _ in range(self.FETCH_ROUNDTRIP)
         )
         self.ibuf: Deque[Tuple[int, Instruction]] = deque()
         self.branch_wait: Optional[_BranchWait] = None
@@ -126,15 +132,18 @@ class ControlUnit(Process):
 
     # -- WP2 oracle ----------------------------------------------------------------
     def required_ports(self) -> Optional[FrozenSet[str]]:
-        required = set()
+        # Constant answers (the oracle runs every cycle on the hot path).
         if self.halted:
-            return frozenset()
+            return _REQUIRED_NONE
         head = self.fetch_slots[0]
-        if head.valid and not head.squashed:
-            required.add("ic_cu")
-        if self.branch_wait is not None and self.branch_wait.resolve_at == self.firings:
-            required.add("alu_cu")
-        return frozenset(required)
+        fetch_due = head.valid and not head.squashed
+        branch_due = (
+            self.branch_wait is not None
+            and self.branch_wait.resolve_at == self.firings
+        )
+        if fetch_due:
+            return _REQUIRED_IC_ALU if branch_due else _REQUIRED_IC
+        return _REQUIRED_ALU if branch_due else _REQUIRED_NONE
 
     # -- firing ---------------------------------------------------------------------
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
@@ -187,7 +196,7 @@ class ControlUnit(Process):
             occupancy = len(self.ibuf) + self._outstanding_fetches()
             want_fetch = occupancy < self.fetch_buffer
         if not want_fetch:
-            self.fetch_slots.append(_FetchSlot(valid=False))
+            self.fetch_slots.append(_INVALID_SLOT)
             return None
         request = FetchRequest(address=self.pc)
         self.fetch_slots.append(_FetchSlot(valid=True, address=self.pc))
@@ -267,11 +276,11 @@ class ControlUnit(Process):
         return reg_command, mem_command, alu_command
 
     def _sources_ready(self, instruction: Instruction, tag: int) -> bool:
-        return all(
-            self.scoreboard.get(register, 0) <= tag
-            for register in instruction.source_registers
-            if register != 0
-        )
+        scoreboard = self.scoreboard
+        for register in _hazard_registers(instruction):
+            if scoreboard.get(register, 0) > tag:
+                return False
+        return True
 
     def _update_scoreboard(self, instruction: Instruction, tag: int) -> None:
         destination = instruction.writes_register
@@ -282,6 +291,7 @@ class ControlUnit(Process):
 
     # -- command builders -----------------------------------------------------------------
     @staticmethod
+    @lru_cache(maxsize=4096)
     def _build_reg_command(instruction: Instruction) -> RegCommand:
         read_a: Optional[int] = None
         read_b: Optional[int] = None
@@ -314,6 +324,7 @@ class ControlUnit(Process):
         )
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def _build_alu_command(instruction: Instruction) -> AluCommand:
         return AluCommand(
             function=instruction.alu_function,
@@ -323,9 +334,25 @@ class ControlUnit(Process):
         )
 
     @staticmethod
+    @lru_cache(maxsize=4096)
     def _build_mem_command(instruction: Instruction) -> Optional[MemCommand]:
         if instruction.is_load:
             return MemCommand(read=True)
         if instruction.is_store:
             return MemCommand(write=True)
         return None
+
+
+@lru_cache(maxsize=4096)
+def _hazard_registers(instruction: Instruction) -> Tuple[int, ...]:
+    """Source registers participating in RAW-hazard checks (r0 never does)."""
+    return tuple(
+        register for register in instruction.source_registers if register != 0
+    )
+
+
+#: Precomputed oracle answers for the four fetch-due/branch-due combinations.
+_REQUIRED_NONE = frozenset()
+_REQUIRED_IC = frozenset({"ic_cu"})
+_REQUIRED_ALU = frozenset({"alu_cu"})
+_REQUIRED_IC_ALU = frozenset({"ic_cu", "alu_cu"})

@@ -64,12 +64,15 @@ class DataCache(Process):
 
     # -- WP2 oracle ----------------------------------------------------------------
     def required_ports(self) -> Optional[FrozenSet[str]]:
-        required = {"cu_dc"}
-        if self.firings in self.pending_store_data:
-            required.add("rf_dc")
-        if self.firings in self.pending_access:
-            required.add("alu_dc")
-        return frozenset(required)
+        # Constant answers (the oracle runs every cycle on the hot path).
+        firings = self.firings
+        if firings in self.pending_store_data:
+            if firings in self.pending_access:
+                return _REQUIRED_CU_RF_ALU
+            return _REQUIRED_CU_RF
+        if firings in self.pending_access:
+            return _REQUIRED_CU_ALU
+        return _REQUIRED_CU
 
     # -- firing ---------------------------------------------------------------------
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
@@ -117,3 +120,11 @@ class DataCache(Process):
                 self.stores += 1
 
         return {"dc_rf": result}
+
+
+#: Precomputed oracle answers; the DC always needs its command stream and
+#: conditionally the store-data and address buses.
+_REQUIRED_CU = frozenset({"cu_dc"})
+_REQUIRED_CU_RF = frozenset({"cu_dc", "rf_dc"})
+_REQUIRED_CU_ALU = frozenset({"cu_dc", "alu_dc"})
+_REQUIRED_CU_RF_ALU = frozenset({"cu_dc", "rf_dc", "alu_dc"})

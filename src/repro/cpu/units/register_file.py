@@ -55,12 +55,15 @@ class RegisterFile(Process):
 
     # -- WP2 oracle ---------------------------------------------------------------
     def required_ports(self) -> Optional[FrozenSet[str]]:
-        required = {"cu_rf"}
-        if self.firings in self.pending_alu_writeback:
-            required.add("alu_rf")
-        if self.firings in self.pending_mem_writeback:
-            required.add("dc_rf")
-        return frozenset(required)
+        # Constant answers (the oracle runs every cycle on the hot path).
+        firings = self.firings
+        if firings in self.pending_alu_writeback:
+            if firings in self.pending_mem_writeback:
+                return _REQUIRED_CU_ALU_MEM
+            return _REQUIRED_CU_ALU
+        if firings in self.pending_mem_writeback:
+            return _REQUIRED_CU_MEM
+        return _REQUIRED_CU
 
     # -- helpers -------------------------------------------------------------------
     def _write(self, register: int, value: int) -> None:
@@ -113,3 +116,11 @@ class RegisterFile(Process):
         if command.mem_writeback is not None:
             self.pending_mem_writeback[tag + self.MEM_WRITEBACK_DELAY] = command.mem_writeback
         return {"rf_alu": operands, "rf_dc": store}
+
+
+#: Precomputed oracle answers; the RF always needs its command stream and
+#: conditionally the two writeback buses.
+_REQUIRED_CU = frozenset({"cu_rf"})
+_REQUIRED_CU_ALU = frozenset({"cu_rf", "alu_rf"})
+_REQUIRED_CU_MEM = frozenset({"cu_rf", "dc_rf"})
+_REQUIRED_CU_ALU_MEM = frozenset({"cu_rf", "alu_rf", "dc_rf"})

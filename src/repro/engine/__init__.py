@@ -1,0 +1,56 @@
+"""Layered simulation engine: elaboration / kernels / instrumentation.
+
+The latency-insensitive simulator is split into three explicit layers (the
+netlist-analysis-pass idiom: structure compiled once, execution engines and
+observers composed on top):
+
+* :mod:`repro.engine.elaboration` — compile a netlist + relay-station
+  configuration into a flat, integer-indexed :class:`ElaboratedModel`;
+* :mod:`repro.engine.kernel` — the :class:`SimKernel` interface with two
+  implementations: the object-based :class:`ReferenceKernel` (the executable
+  specification) and the array-based :class:`FastKernel` (the hot path);
+* :mod:`repro.engine.instrumentation` — traces, shell statistics and queue
+  occupancy as opt-in passes (:class:`InstrumentSet`).
+
+:class:`repro.engine.batch.BatchRunner` sits on top, evaluating many
+configurations against one elaborated layout; the optimiser's simulated
+objectives and the experiment sweeps run through it.
+:class:`repro.core.simulator.LidSimulator` remains the backwards-compatible
+facade over this package.
+"""
+
+from .batch import BatchResult, BatchRunner
+from .elaboration import ElaboratedModel, Elaborator, NetlistLayout, elaborate, resolve_rs_counts
+from .fast import FastKernel
+from .instrumentation import InstrumentSet
+from .kernel import (
+    DEFAULT_KERNEL,
+    RunControls,
+    SimKernel,
+    kernel_registry,
+    make_kernel,
+    resolve_kernel_name,
+)
+from .reference import ChannelPipeline, ReferenceKernel
+from .result import LidResult
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "ChannelPipeline",
+    "DEFAULT_KERNEL",
+    "ElaboratedModel",
+    "Elaborator",
+    "FastKernel",
+    "InstrumentSet",
+    "LidResult",
+    "NetlistLayout",
+    "ReferenceKernel",
+    "RunControls",
+    "SimKernel",
+    "elaborate",
+    "kernel_registry",
+    "make_kernel",
+    "resolve_kernel_name",
+    "resolve_rs_counts",
+]

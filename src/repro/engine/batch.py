@@ -1,0 +1,242 @@
+"""Batch evaluation of many relay-station configurations on one netlist.
+
+The optimiser's simulated objectives and the ablation sweeps all share the
+same shape: one netlist, many RS configurations, only aggregate numbers
+needed.  :class:`BatchRunner` serves that shape directly:
+
+* the netlist layout is elaborated **once** (see
+  :mod:`repro.engine.elaboration`); each configuration only re-binds the
+  relay chains;
+* instrumentation defaults to :meth:`InstrumentSet.none` — objective
+  evaluations pay zero trace/stats cost;
+* :meth:`run_many` optionally fans out across processes (``fork`` platforms
+  only) and returns lightweight picklable :class:`BatchResult` summaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.config import RSConfiguration
+from ..core.exceptions import DeadlockError, SimulationError
+from ..core.netlist import Netlist
+from ..core.relay_station import RelayStation
+from ..core.shell import DEFAULT_QUEUE_CAPACITY
+from .elaboration import Elaborator
+from .instrumentation import InstrumentSet
+from .kernel import RunControls, make_kernel, resolve_kernel_name
+from .result import LidResult
+
+#: One work item: an :class:`RSConfiguration` or an explicit per-channel map.
+ConfigLike = Union[RSConfiguration, Mapping[str, int]]
+
+
+@dataclass
+class BatchResult:
+    """Lightweight, picklable summary of one batch evaluation."""
+
+    label: str
+    cycles: int
+    firings: Dict[str, int]
+    halted: bool
+    wrapper_kind: str
+    error: Optional[str] = None
+    rs_total: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def throughput(self, golden_cycles: Optional[int] = None) -> float:
+        """Firings per cycle (system minimum), or golden-relative throughput."""
+        if self.failed or self.cycles == 0:
+            return 0.0
+        if golden_cycles is not None:
+            return golden_cycles / self.cycles
+        if not self.firings:
+            return 0.0
+        return min(self.firings.values()) / self.cycles
+
+    @classmethod
+    def from_result(cls, result: LidResult) -> "BatchResult":
+        return cls(
+            label=result.configuration_label,
+            cycles=result.cycles,
+            firings=dict(result.firings),
+            halted=result.halted,
+            wrapper_kind=result.wrapper_kind,
+            rs_total=result.total_relay_stations(),
+        )
+
+
+# Fork-based fan-out: the runner is handed to workers through inherited
+# memory (netlists carry arbitrary closures and cannot be pickled).
+_FORK_RUNNER: Optional["BatchRunner"] = None
+_FORK_ITEMS: Sequence[Tuple[Optional[RSConfiguration], Optional[Mapping[str, int]]]] = ()
+_FORK_CONTROLS: Optional[RunControls] = None
+_FORK_ON_ERROR: str = "raise"
+
+
+def _fork_worker(index: int) -> BatchResult:
+    assert _FORK_RUNNER is not None and _FORK_CONTROLS is not None
+    configuration, rs_counts = _FORK_ITEMS[index]
+    return _FORK_RUNNER._evaluate(
+        configuration, rs_counts, _FORK_CONTROLS, _FORK_ON_ERROR
+    )
+
+
+class BatchRunner:
+    """Evaluates relay-station configurations against one elaborated netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        relaxed: bool = False,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        rs_capacity: int = RelayStation.RS_CAPACITY,
+        kernel: Optional[str] = None,
+        instruments: Optional[InstrumentSet] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.relaxed = relaxed
+        self.queue_capacity = queue_capacity
+        self.rs_capacity = rs_capacity
+        self.kernel_name = resolve_kernel_name(kernel)
+        self.instruments = (
+            instruments if instruments is not None else InstrumentSet.none()
+        )
+        self._elaborator = Elaborator(netlist)
+
+    # -- single evaluation --------------------------------------------------
+    def run(
+        self,
+        configuration: Optional[RSConfiguration] = None,
+        rs_counts: Optional[Mapping[str, int]] = None,
+        relaxed: Optional[bool] = None,
+        queue_capacity: Optional[int] = None,
+        instruments: Optional[InstrumentSet] = None,
+        **controls: Any,
+    ) -> LidResult:
+        """Evaluate one configuration, reusing the shared layout.
+
+        *relaxed* / *queue_capacity* override the runner defaults for this
+        call only (the sweeps use this to vary FIFO depth over a fixed
+        layout).  Remaining keyword arguments are :class:`RunControls` fields.
+        """
+        model = self._elaborator.bind(
+            rs_counts=rs_counts,
+            configuration=configuration,
+            relaxed=self.relaxed if relaxed is None else relaxed,
+            queue_capacity=(
+                self.queue_capacity if queue_capacity is None else queue_capacity
+            ),
+            rs_capacity=self.rs_capacity,
+        )
+        kernel = make_kernel(model, self.kernel_name)
+        return kernel.run(
+            RunControls(**controls),
+            instruments if instruments is not None else self.instruments,
+        )
+
+    def _evaluate(
+        self,
+        configuration: Optional[RSConfiguration],
+        rs_counts: Optional[Mapping[str, int]],
+        controls: RunControls,
+        on_error: str,
+    ) -> BatchResult:
+        model = self._elaborator.bind(
+            rs_counts=rs_counts,
+            configuration=configuration,
+            relaxed=self.relaxed,
+            queue_capacity=self.queue_capacity,
+            rs_capacity=self.rs_capacity,
+        )
+        kernel = make_kernel(model, self.kernel_name)
+        try:
+            result = kernel.run(controls, self.instruments)
+        except (DeadlockError, SimulationError) as exc:
+            if on_error == "raise":
+                raise
+            return BatchResult(
+                label=model.configuration_label,
+                cycles=0,
+                firings={},
+                halted=False,
+                wrapper_kind=model.wrapper_kind,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return BatchResult.from_result(result)
+
+    # -- batch evaluation ---------------------------------------------------
+    def run_many(
+        self,
+        configurations: Sequence[ConfigLike],
+        workers: int = 1,
+        on_error: str = "raise",
+        **controls: Any,
+    ) -> List[BatchResult]:
+        """Evaluate every configuration; optionally fan out across processes.
+
+        ``on_error="zero"`` converts deadlocks/timeouts into failed
+        :class:`BatchResult` entries (throughput 0.0) instead of raising —
+        handy when sweeping spaces that contain infeasible corners.
+        ``workers > 1`` uses ``fork`` so the in-memory netlist (closures and
+        all) is inherited; on platforms without ``fork`` it falls back to
+        serial evaluation.  Worker runs never mutate this process' netlist.
+        """
+        items: List[Tuple[Optional[RSConfiguration], Optional[Mapping[str, int]]]] = []
+        for config in configurations:
+            if isinstance(config, RSConfiguration):
+                items.append((config, None))
+            else:
+                items.append((None, dict(config)))
+        run_controls = RunControls(**controls)
+
+        if workers > 1 and _fork_available():
+            global _FORK_RUNNER, _FORK_ITEMS, _FORK_CONTROLS, _FORK_ON_ERROR
+            _FORK_RUNNER, _FORK_ITEMS = self, items
+            _FORK_CONTROLS, _FORK_ON_ERROR = run_controls, on_error
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(workers, len(items) or 1)) as pool:
+                    return pool.map(_fork_worker, range(len(items)))
+            finally:
+                _FORK_RUNNER, _FORK_ITEMS = None, ()
+                _FORK_CONTROLS = None
+        return [
+            self._evaluate(configuration, rs_counts, run_controls, on_error)
+            for configuration, rs_counts in items
+        ]
+
+    # -- objective adapter --------------------------------------------------
+    def objective(
+        self,
+        golden_cycles: Optional[int] = None,
+        on_error: str = "raise",
+        **controls: Any,
+    ):
+        """An optimiser objective ``per-link assignment -> throughput``.
+
+        The returned callable plugs straight into the strategies of
+        :mod:`repro.core.optimizer`.  With *golden_cycles* the score is the
+        paper's golden-relative throughput, otherwise the system minimum of
+        firings per cycle.
+        """
+        run_controls = RunControls(**controls)
+
+        def evaluate(assignment: Mapping[str, int]) -> float:
+            config = RSConfiguration.from_mapping(assignment, label="candidate")
+            result = self._evaluate(config, None, run_controls, on_error)
+            return result.throughput(golden_cycles)
+
+        return evaluate
+
+
+def _fork_available() -> bool:
+    if sys.platform == "win32":
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()

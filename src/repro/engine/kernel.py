@@ -1,0 +1,101 @@
+"""The kernel layer: execution engines over an elaborated model.
+
+A :class:`SimKernel` runs one latency-insensitive system to completion.  Two
+implementations exist:
+
+* :class:`repro.engine.reference.ReferenceKernel` — the original object-based
+  machinery (Shell / RelayStation / Token objects), kept as the executable
+  specification;
+* :class:`repro.engine.fast.FastKernel` — a flat array kernel over the
+  integer-indexed elaborated model, cycle-for-cycle equivalent (enforced by
+  the property suite in ``tests/test_engine.py``) and several times faster.
+
+Both consume the same :class:`~repro.engine.elaboration.ElaboratedModel`, the
+same :class:`RunControls` and the same
+:class:`~repro.engine.instrumentation.InstrumentSet`, and return the same
+:class:`~repro.engine.result.LidResult`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Type
+
+from ..core.exceptions import SimulationError
+from .elaboration import ElaboratedModel
+from .instrumentation import InstrumentSet
+from .result import LidResult
+
+
+#: Kernel used when none is requested explicitly.  The fast kernel is the
+#: default: the equivalence property suite pins it to the reference kernel.
+DEFAULT_KERNEL = "fast"
+
+
+@dataclass
+class RunControls:
+    """Termination and observation controls of one run (kernel-independent)."""
+
+    max_cycles: int = 5_000_000
+    stop_process: Optional[str] = None
+    target_firings: Optional[Mapping[str, int]] = None
+    extra_cycles: int = 0
+    deadlock_limit: int = 10_000
+    on_cycle: Optional[Callable[[int, Dict[str, bool]], None]] = None
+
+    def validate(self, model: ElaboratedModel) -> None:
+        """Reject stop conditions referencing unknown processes."""
+        netlist = model.netlist
+        if self.stop_process is not None and self.stop_process not in netlist.processes:
+            raise SimulationError(f"unknown stop process {self.stop_process!r}")
+        if self.target_firings is not None:
+            unknown = [
+                name for name in self.target_firings if name not in netlist.processes
+            ]
+            if unknown:
+                raise SimulationError(
+                    f"target_firings references unknown processes {sorted(unknown)}"
+                )
+
+
+class SimKernel(ABC):
+    """An execution engine bound to one elaborated model."""
+
+    name = "base"
+
+    def __init__(self, model: ElaboratedModel) -> None:
+        self.model = model
+
+    @abstractmethod
+    def run(self, controls: RunControls, instruments: InstrumentSet) -> LidResult:
+        """Simulate until a stop condition (or raise on deadlock/timeout)."""
+
+    def reset(self) -> None:
+        """Reset the processes (kernels allocate fresh run state per run)."""
+        for process in self.model.layout.processes:
+            process.reset()
+
+
+def kernel_registry() -> Dict[str, Type[SimKernel]]:
+    """Name → kernel class for every available kernel."""
+    from .fast import FastKernel
+    from .reference import ReferenceKernel
+
+    return {ReferenceKernel.name: ReferenceKernel, FastKernel.name: FastKernel}
+
+
+def resolve_kernel_name(kernel: Optional[str]) -> str:
+    """Normalise a requested kernel name (``None`` → :data:`DEFAULT_KERNEL`)."""
+    name = DEFAULT_KERNEL if kernel is None else kernel
+    if name not in kernel_registry():
+        raise SimulationError(
+            f"unknown simulation kernel {name!r}; "
+            f"available: {sorted(kernel_registry())}"
+        )
+    return name
+
+
+def make_kernel(model: ElaboratedModel, kernel: Optional[str] = None) -> SimKernel:
+    """Instantiate the requested kernel over *model*."""
+    return kernel_registry()[resolve_kernel_name(kernel)](model)

@@ -1,0 +1,48 @@
+"""Result types shared by every simulation kernel.
+
+:class:`LidResult` used to live in :mod:`repro.core.simulator`; it moved here
+so the kernels (which construct results) never import the facade (which
+selects kernels).  :mod:`repro.core.simulator` re-exports it, so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.shell import ShellStats
+from ..core.traces import SystemTrace
+
+
+@dataclass
+class LidResult:
+    """Outcome of a latency-insensitive simulation run."""
+
+    cycles: int
+    firings: Dict[str, int]
+    trace: SystemTrace
+    halted: bool
+    wrapper_kind: str
+    configuration_label: str
+    rs_counts: Dict[str, int]
+    shell_stats: Dict[str, ShellStats] = field(default_factory=dict)
+    max_queue_occupancy: Dict[str, int] = field(default_factory=dict)
+
+    def throughput(self, process: Optional[str] = None) -> float:
+        """Valid firings per cycle for one process (or the system minimum).
+
+        An empty ``firings`` mapping (a netlist with no processes, or results
+        filtered down to nothing) yields 0.0 rather than raising.
+        """
+        if self.cycles == 0:
+            return 0.0
+        if process is not None:
+            return self.firings[process] / self.cycles
+        if not self.firings:
+            return 0.0
+        return min(count for count in self.firings.values()) / self.cycles
+
+    def total_relay_stations(self) -> int:
+        """Number of relay stations instantiated for this run."""
+        return sum(self.rs_counts.values())

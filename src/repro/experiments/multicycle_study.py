@@ -76,6 +76,7 @@ def _evaluate_style(
     pipelined: bool,
     rs_count: int,
     max_cycles: int,
+    kernel: Optional[str] = None,
 ) -> Dict[str, StyleResult]:
     builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
     cpu = builder(workload.program)
@@ -85,11 +86,11 @@ def _evaluate_style(
         configuration = RSConfiguration.only(link, count=rs_count)
         wp1 = cpu.run_wire_pipelined(
             configuration=configuration, relaxed=False, record_trace=False,
-            max_cycles=max_cycles,
+            max_cycles=max_cycles, kernel=kernel,
         )
         wp2 = cpu.run_wire_pipelined(
             configuration=configuration, relaxed=True, record_trace=False,
-            max_cycles=max_cycles,
+            max_cycles=max_cycles, kernel=kernel,
         )
         results[link] = StyleResult(
             golden_cycles=golden.cycles,
@@ -104,6 +105,7 @@ def run_multicycle_study(
     links: Optional[List[str]] = None,
     rs_count: int = 1,
     max_cycles: int = 5_000_000,
+    kernel: Optional[str] = None,
 ) -> MulticycleStudyResult:
     """Compare WP2 gains per link between the multicycle and pipelined CPUs."""
     if workload is None:
@@ -112,6 +114,10 @@ def run_multicycle_study(
     return MulticycleStudyResult(
         workload=workload.name,
         links=chosen_links,
-        multicycle=_evaluate_style(workload, chosen_links, False, rs_count, max_cycles),
-        pipelined=_evaluate_style(workload, chosen_links, True, rs_count, max_cycles),
+        multicycle=_evaluate_style(
+            workload, chosen_links, False, rs_count, max_cycles, kernel=kernel
+        ),
+        pipelined=_evaluate_style(
+            workload, chosen_links, True, rs_count, max_cycles, kernel=kernel
+        ),
     )

@@ -23,6 +23,7 @@ from ..core.config import RSConfiguration
 from ..core.floorplan import Floorplan, row_pack, spread_floorplan
 from ..core.insertion import floorplan_insertion
 from ..core.timing import ClockPlan, WireModel
+from ..engine.batch import BatchRunner
 from ..cpu.machine import CaseStudyCpu, build_pipelined_cpu
 from ..cpu.topology import DEFAULT_BLOCK_SIZES_MM, LINK_CU_IC
 from ..cpu.workloads import Workload, make_extraction_sort
@@ -66,28 +67,43 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _throughputs(
-    cpu: CaseStudyCpu,
-    golden_cycles: int,
-    configuration: RSConfiguration,
-    queue_capacity: int = 4,
-    max_cycles: int = 5_000_000,
-) -> Tuple[float, float]:
-    wp1 = cpu.run_wire_pipelined(
-        configuration=configuration, relaxed=False, record_trace=False,
-        queue_capacity=queue_capacity, max_cycles=max_cycles,
-    )
-    wp2 = cpu.run_wire_pipelined(
-        configuration=configuration, relaxed=True, record_trace=False,
-        queue_capacity=queue_capacity, max_cycles=max_cycles,
-    )
-    return golden_cycles / wp1.cycles, golden_cycles / wp2.cycles
+class _SweepRunner:
+    """Shared evaluation machinery of the sweeps.
+
+    One :class:`~repro.engine.batch.BatchRunner` per wrapper flavour, both
+    sharing the elaborated layout of the CPU netlist across every sweep
+    point; runs are uninstrumented (the sweeps only consume cycle counts).
+    """
+
+    def __init__(self, cpu: CaseStudyCpu, kernel: Optional[str] = None) -> None:
+        self.cpu = cpu
+        self._wp1 = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel)
+        self._wp2 = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel)
+
+    def throughputs(
+        self,
+        golden_cycles: int,
+        configuration: RSConfiguration,
+        queue_capacity: int = 4,
+        max_cycles: int = 5_000_000,
+    ) -> Tuple[float, float]:
+        stop = self.cpu.control_unit.name
+        wp1 = self._wp1.run(
+            configuration=configuration, queue_capacity=queue_capacity,
+            stop_process=stop, max_cycles=max_cycles,
+        )
+        wp2 = self._wp2.run(
+            configuration=configuration, queue_capacity=queue_capacity,
+            stop_process=stop, max_cycles=max_cycles,
+        )
+        return golden_cycles / wp1.cycles, golden_cycles / wp2.cycles
 
 
 def queue_capacity_sweep(
     workload: Optional[Workload] = None,
     capacities: Sequence[int] = (2, 3, 4, 6, 8),
     configuration: Optional[RSConfiguration] = None,
+    kernel: Optional[str] = None,
 ) -> SweepResult:
     """WP1/WP2 throughput versus wrapper input-FIFO depth."""
     if workload is None:
@@ -96,12 +112,13 @@ def queue_capacity_sweep(
         configuration = RSConfiguration.uniform(1, exclude=(LINK_CU_IC,))
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
+    runner = _SweepRunner(cpu, kernel=kernel)
     result = SweepResult(
         name=f"Wrapper FIFO depth sweep — {workload.name}",
         parameter_name="fifo depth",
     )
     for capacity in capacities:
-        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration, queue_capacity=capacity)
+        wp1, wp2 = runner.throughputs(golden.cycles, configuration, queue_capacity=capacity)
         result.points.append(SweepPoint(parameter=float(capacity), wp1_throughput=wp1, wp2_throughput=wp2))
     return result
 
@@ -110,19 +127,21 @@ def uniform_depth_sweep(
     workload: Optional[Workload] = None,
     depths: Sequence[int] = (0, 1, 2, 3),
     exclude: Sequence[str] = (LINK_CU_IC,),
+    kernel: Optional[str] = None,
 ) -> SweepResult:
     """Throughput versus uniform relay-station depth ("All k" scaling)."""
     if workload is None:
         workload = make_extraction_sort(length=10)
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
+    runner = _SweepRunner(cpu, kernel=kernel)
     result = SweepResult(
         name=f"Uniform pipelining depth sweep — {workload.name}",
         parameter_name="RS per link",
     )
     for depth in depths:
         configuration = RSConfiguration.uniform(depth, exclude=exclude)
-        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration)
+        wp1, wp2 = runner.throughputs(golden.cycles, configuration)
         result.points.append(SweepPoint(parameter=float(depth), wp1_throughput=wp1, wp2_throughput=wp2))
     return result
 
@@ -140,6 +159,7 @@ def clock_frequency_sweep(
     frequencies_ghz: Sequence[float] = (0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0),
     floorplan: Optional[Floorplan] = None,
     wire_model: Optional[WireModel] = None,
+    kernel: Optional[str] = None,
 ) -> SweepResult:
     """The methodology flow: clock target → relay stations → sustained throughput.
 
@@ -154,6 +174,7 @@ def clock_frequency_sweep(
     model = wire_model if wire_model is not None else WireModel()
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
+    runner = _SweepRunner(cpu, kernel=kernel)
     result = SweepResult(
         name=f"Clock-frequency sweep — {workload.name}",
         parameter_name="clock (GHz)",
@@ -161,7 +182,7 @@ def clock_frequency_sweep(
     for frequency in frequencies_ghz:
         clock = ClockPlan.from_frequency_ghz(frequency)
         configuration = floorplan_insertion(cpu.netlist, floorplan, clock, model)
-        wp1, wp2 = _throughputs(cpu, golden.cycles, configuration)
+        wp1, wp2 = runner.throughputs(golden.cycles, configuration)
         total_rs = configuration.total_relay_stations(cpu.netlist)
         result.points.append(
             SweepPoint(

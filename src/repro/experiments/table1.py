@@ -197,6 +197,7 @@ def evaluate_rows(
     check_equivalence: bool = False,
     max_cycles: int = 5_000_000,
     progress: Optional[Callable[[str], None]] = None,
+    kernel: Optional[str] = None,
 ) -> Table1Result:
     """Run golden + WP1 + WP2 for every configuration and collect the rows."""
     builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
@@ -217,6 +218,7 @@ def evaluate_rows(
             index=index,
             check_equivalence=check_equivalence,
             max_cycles=max_cycles,
+            kernel=kernel,
         )
         result.rows.append(row)
     return result
@@ -229,6 +231,7 @@ def evaluate_configuration(
     index: int = 0,
     check_equivalence: bool = False,
     max_cycles: int = 5_000_000,
+    kernel: Optional[str] = None,
 ) -> Table1Row:
     """Evaluate one configuration under both wrappers against a golden run."""
     wp1 = cpu.run_wire_pipelined(
@@ -236,12 +239,14 @@ def evaluate_configuration(
         relaxed=False,
         record_trace=check_equivalence,
         max_cycles=max_cycles,
+        kernel=kernel,
     )
     wp2 = cpu.run_wire_pipelined(
         configuration=configuration,
         relaxed=True,
         record_trace=check_equivalence,
         max_cycles=max_cycles,
+        kernel=kernel,
     )
     equivalent = True
     if check_equivalence:
@@ -270,6 +275,7 @@ def run_table1_sort(
     pipelined: bool = True,
     check_equivalence: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    kernel: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate the Extraction Sort section of Table 1."""
     workload = make_extraction_sort(length=length, seed=seed)
@@ -281,6 +287,7 @@ def run_table1_sort(
         pipelined=pipelined,
         check_equivalence=check_equivalence,
         progress=progress,
+        kernel=kernel,
     )
 
 
@@ -290,6 +297,7 @@ def run_table1_matmul(
     pipelined: bool = True,
     check_equivalence: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    kernel: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate the Matrix Multiply section of Table 1."""
     workload = make_matrix_multiply(size=size, seed=seed)
@@ -301,6 +309,7 @@ def run_table1_matmul(
         pipelined=pipelined,
         check_equivalence=check_equivalence,
         progress=progress,
+        kernel=kernel,
     )
 
 

@@ -1,0 +1,457 @@
+"""Tests for the layered simulation engine (repro.engine).
+
+The heart of this module is the kernel-equivalence property suite: the
+array-based :class:`FastKernel` must match the object-based
+:class:`ReferenceKernel` cycle-for-cycle — cycles, firings, traces, stall
+statistics and queue occupancies — across randomly generated netlists,
+relay-station placements, wrapper flavours and queue capacities.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Channel,
+    DeadlockError,
+    FunctionProcess,
+    Netlist,
+    RSConfiguration,
+    SimulationError,
+    ring_netlist,
+    run_lid,
+)
+from repro.core.simulator import LidResult, LidSimulator
+from repro.cpu import build_pipelined_cpu
+from repro.cpu.workloads import make_extraction_sort
+from repro.engine import (
+    BatchRunner,
+    Elaborator,
+    InstrumentSet,
+    elaborate,
+    kernel_registry,
+    make_kernel,
+    resolve_kernel_name,
+)
+from repro.engine.kernel import RunControls
+
+
+# ---------------------------------------------------------------------------
+# Random netlist generation
+# ---------------------------------------------------------------------------
+
+def _transition(proc_index, n_outs):
+    """A deterministic state machine mixing its inputs into its outputs."""
+
+    def transition(state, inputs):
+        acc = state * 31 + proc_index
+        for port in sorted(inputs):
+            value = inputs[port]
+            acc = (acc * 17 + (0 if value is None else int(value) + 1)) % 100003
+        return acc, {f"o{k}": (acc + k) % 1009 for k in range(n_outs)}
+
+    return transition
+
+
+def _oracle(ports, period):
+    """A WP2 oracle requiring a rotating subset of the input ports.
+
+    Depends only on the process state (the paper's contract), so both
+    kernels observe identical oracle answers.
+    """
+
+    def oracle(state):
+        if period == 0:
+            return None  # all ports required -> WP2 degenerates to WP1
+        keep = [port for k, port in enumerate(ports) if (state + k) % period != 0]
+        return frozenset(keep)
+
+    return oracle
+
+
+@st.composite
+def random_netlists(draw):
+    """Random strongly-connected-ish netlists with loops, fan-out and oracles."""
+    n_procs = draw(st.integers(min_value=1, max_value=4))
+    n_outs = [draw(st.integers(min_value=1, max_value=2)) for _ in range(n_procs)]
+    n_ins = [draw(st.integers(min_value=0 if n_procs > 1 else 1, max_value=2))
+             for _ in range(n_procs)]
+    if all(n == 0 for n in n_ins):
+        n_ins[0] = 1
+
+    processes = []
+    for p in range(n_procs):
+        ports = tuple(f"i{k}" for k in range(n_ins[p]))
+        period = draw(st.integers(min_value=0, max_value=3))
+        processes.append(
+            FunctionProcess(
+                name=f"p{p}",
+                inputs=ports,
+                outputs=tuple(f"o{k}" for k in range(n_outs[p])),
+                transition=_transition(p, n_outs[p]),
+                initial_state=p,
+                oracle=_oracle(ports, period) if ports else None,
+            )
+        )
+
+    channels = []
+    rs_counts = {}
+    cid = 0
+    for p in range(n_procs):
+        for k in range(n_ins[p]):
+            src = draw(st.integers(min_value=0, max_value=n_procs - 1))
+            src_port = draw(st.integers(min_value=0, max_value=n_outs[src] - 1))
+            name = f"c{cid}"
+            channels.append(
+                Channel(
+                    name=name,
+                    source=f"p{src}",
+                    source_port=f"o{src_port}",
+                    dest=f"p{p}",
+                    dest_port=f"i{k}",
+                    initial=draw(st.integers(min_value=0, max_value=5)),
+                )
+            )
+            rs_counts[name] = draw(st.integers(min_value=0, max_value=3))
+            cid += 1
+
+    netlist = Netlist(processes, channels, name="random")
+    relaxed = draw(st.booleans())
+    queue_capacity = draw(st.integers(min_value=1, max_value=5))
+    return netlist, rs_counts, relaxed, queue_capacity
+
+
+def _run(netlist, rs_counts, relaxed, queue_capacity, kernel):
+    """Run one kernel; normalise the (outcome kind, payload) for comparison."""
+    try:
+        result = run_lid(
+            netlist,
+            rs_counts=rs_counts,
+            relaxed=relaxed,
+            queue_capacity=queue_capacity,
+            kernel=kernel,
+            target_firings={netlist.process_names()[0]: 25},
+            max_cycles=4_000,
+            deadlock_limit=200,
+        )
+    except DeadlockError:
+        return ("deadlock", None)
+    except SimulationError:
+        return ("timeout", None)
+    return ("ok", result)
+
+
+def _assert_identical(a: LidResult, b: LidResult) -> None:
+    assert a.cycles == b.cycles
+    assert a.firings == b.firings
+    assert a.halted == b.halted
+    assert a.wrapper_kind == b.wrapper_kind
+    assert a.rs_counts == b.rs_counts
+    assert a.shell_stats == b.shell_stats
+    assert a.max_queue_occupancy == b.max_queue_occupancy
+    assert set(a.trace) == set(b.trace)
+    for name in a.trace:
+        assert list(a.trace[name].items) == list(b.trace[name].items), name
+
+
+class TestKernelEquivalence:
+    @given(data=random_netlists())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_netlists(self, data):
+        """Both kernels agree on cycles, firings, traces, stats, occupancy."""
+        netlist, rs_counts, relaxed, queue_capacity = data
+        kind_ref, ref = _run(netlist, rs_counts, relaxed, queue_capacity, "reference")
+        kind_fast, fast = _run(netlist, rs_counts, relaxed, queue_capacity, "fast")
+        assert kind_ref == kind_fast
+        if ref is not None:
+            _assert_identical(ref, fast)
+
+    @pytest.mark.parametrize("stages,rs_total", [(1, 0), (2, 1), (3, 4), (5, 2)])
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_rings(self, stages, rs_total, relaxed):
+        netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
+        results = [
+            run_lid(
+                netlist, rs_counts=rs_counts, relaxed=relaxed, kernel=kernel,
+                target_firings={"stage0": 40}, max_cycles=10_000,
+            )
+            for kernel in ("reference", "fast")
+        ]
+        _assert_identical(*results)
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_case_study_cpu(self, relaxed):
+        """Full equivalence on the Figure 1 processor, multi-RS chains included."""
+        cpu = build_pipelined_cpu(make_extraction_sort(length=5, seed=11).program)
+        config = RSConfiguration.uniform_plus(1, {"RF-DC": 2})
+        results = [
+            cpu.run_wire_pipelined(configuration=config, relaxed=relaxed, kernel=kernel)
+            for kernel in ("reference", "fast")
+        ]
+        _assert_identical(*results)
+
+
+# ---------------------------------------------------------------------------
+# Kernel selection and instrumentation
+# ---------------------------------------------------------------------------
+
+class TestKernelSelection:
+    def test_default_kernel_is_fast(self):
+        assert resolve_kernel_name(None) == "fast"
+
+    def test_unknown_kernel_rejected(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        with pytest.raises(SimulationError):
+            run_lid(netlist, rs_counts=rs_counts, kernel="warp", max_cycles=10)
+
+    def test_registry_names(self):
+        assert set(kernel_registry()) == {"reference", "fast"}
+
+    def test_reference_facade_exposes_object_view(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        simulator = LidSimulator(netlist, rs_counts=rs_counts, kernel="reference")
+        assert set(simulator.shells) == {"stage0", "stage1"}
+        assert set(simulator.pipelines) == {"c0_1", "c1_0"}
+
+    def test_fast_facade_has_no_object_view(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        simulator = LidSimulator(netlist, rs_counts=rs_counts, kernel="fast")
+        assert simulator.shells == {} and simulator.pipelines == {}
+
+
+class TestInstrumentation:
+    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    def test_uninstrumented_run_carries_no_observations(self, kernel):
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        model = elaborate(netlist, rs_counts=rs_counts)
+        result = make_kernel(model, kernel).run(
+            RunControls(target_firings={"stage0": 10}, max_cycles=500),
+            InstrumentSet.none(),
+        )
+        assert result.shell_stats == {}
+        assert result.max_queue_occupancy == {}
+        assert all(result.trace[name].cycles == 0 for name in result.trace)
+        assert result.cycles > 0 and result.firings["stage0"] >= 10
+
+    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    def test_instrument_flags_do_not_change_schedule(self, kernel):
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        model = elaborate(netlist, rs_counts=rs_counts)
+        controls = RunControls(target_firings={"stage0": 20}, max_cycles=1000)
+        bare = make_kernel(model, kernel).run(controls, InstrumentSet.none())
+        full = make_kernel(model, kernel).run(controls, InstrumentSet.all())
+        assert bare.cycles == full.cycles
+        assert bare.firings == full.firings
+
+
+# ---------------------------------------------------------------------------
+# Elaboration
+# ---------------------------------------------------------------------------
+
+class TestElaboration:
+    def test_layout_is_shared_across_bindings(self):
+        netlist, _ = ring_netlist(4, rs_total=0)
+        elaborator = Elaborator(netlist)
+        light = elaborator.bind(rs_counts={"c0_1": 1})
+        heavy = elaborator.bind(rs_counts={"c0_1": 3, "c2_3": 2})
+        assert light.layout is heavy.layout
+        assert len(light.queue_caps) == 4 + 1
+        assert len(heavy.queue_caps) == 4 + 5
+
+    def test_unknown_channel_rejected(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            elaborate(netlist, rs_counts={"ghost": 1})
+
+    def test_negative_counts_rejected(self):
+        netlist, _ = ring_netlist(2)
+        with pytest.raises(SimulationError):
+            elaborate(netlist, rs_counts={"c0_1": -2})
+
+    def test_queue_names_match_reference_naming(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=2)
+        model = elaborate(netlist, rs_counts=rs_counts)
+        assert "stage0.in" in model.queue_names
+        assert "c0_1.rs0" in model.queue_names
+
+
+# ---------------------------------------------------------------------------
+# Batch runner
+# ---------------------------------------------------------------------------
+
+def _sort_cpu():
+    return build_pipelined_cpu(make_extraction_sort(length=4, seed=3).program)
+
+
+class TestBatchRunner:
+    def test_matches_individual_runs(self):
+        cpu = _sort_cpu()
+        configs = [
+            RSConfiguration.ideal(),
+            RSConfiguration.uniform(1, exclude=("CU-IC",)),
+            RSConfiguration.only("CU-RF", 2),
+        ]
+        runner = BatchRunner(cpu.netlist, relaxed=True)
+        batch = runner.run_many(configs, stop_process="CU")
+        for config, summary in zip(configs, batch):
+            direct = cpu.run_wire_pipelined(
+                configuration=config, relaxed=True, record_trace=False
+            )
+            assert summary.cycles == direct.cycles
+            assert summary.firings == direct.firings
+            assert summary.label == config.label
+            assert not summary.failed
+
+    def test_accepts_raw_rs_counts(self):
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        runner = BatchRunner(netlist)
+        [summary] = runner.run_many(
+            [rs_counts], target_firings={"stage0": 15}, max_cycles=1000
+        )
+        assert summary.cycles > 0
+        assert summary.throughput() == pytest.approx(
+            min(summary.firings.values()) / summary.cycles
+        )
+
+    def test_on_error_zero_scores_deadlocks(self):
+        from repro.core import CounterSource, SinkProcess
+
+        source = CounterSource("src", limit=0)
+        sink = SinkProcess("sink")
+        netlist = Netlist(
+            [source, sink],
+            [Channel("data", "src", "out", "sink", "in", initial=0)],
+        )
+        runner = BatchRunner(netlist)
+        [summary] = runner.run_many(
+            [RSConfiguration.ideal()],
+            on_error="zero",
+            target_firings={"sink": 10},
+            max_cycles=10_000,
+            deadlock_limit=50,
+        )
+        assert summary.failed
+        assert summary.throughput() == 0.0
+
+    def test_objective_feeds_optimizer(self):
+        from repro.core import SearchSpace, greedy_search
+
+        cpu = _sort_cpu()
+        golden = cpu.run_golden(record_trace=False)
+        runner = BatchRunner(cpu.netlist, relaxed=True)
+        objective = runner.objective(
+            golden_cycles=golden.cycles, stop_process="CU"
+        )
+        space = SearchSpace.bounded(
+            cpu.netlist.link_names(), maximum=1, fixed={"CU-IC": 0}
+        )
+        result = greedy_search(space, objective)
+        assert 0.0 < result.score <= 1.0
+
+    def test_simulated_throughput_objective_helper(self):
+        from repro.core import simulated_throughput_objective
+
+        cpu = _sort_cpu()
+        golden = cpu.run_golden(record_trace=False)
+        objective = simulated_throughput_objective(
+            cpu.netlist, relaxed=False,
+            golden_cycles=golden.cycles, stop_process="CU",
+        )
+        ideal = objective({})
+        pipelined = objective({"CU-RF": 1})
+        assert ideal == pytest.approx(1.0)
+        assert 0.0 < pipelined < ideal
+
+    @pytest.mark.skipif(
+        sys.platform == "win32", reason="process fan-out requires fork"
+    )
+    def test_parallel_fan_out_matches_serial(self):
+        cpu = _sort_cpu()
+        configs = [
+            RSConfiguration.ideal(),
+            RSConfiguration.uniform(1, exclude=("CU-IC",)),
+            RSConfiguration.uniform(2, exclude=("CU-IC",)),
+            RSConfiguration.only("RF-DC", 1),
+        ]
+        runner = BatchRunner(cpu.netlist)
+        serial = runner.run_many(configs, stop_process="CU")
+        parallel = runner.run_many(configs, workers=2, stop_process="CU")
+        assert [s.cycles for s in serial] == [p.cycles for p in parallel]
+        assert [s.firings for s in serial] == [p.firings for p in parallel]
+
+
+# ---------------------------------------------------------------------------
+# LidResult regression
+# ---------------------------------------------------------------------------
+
+class TestLidResultThroughput:
+    def test_empty_firings_yield_zero(self):
+        from repro.core.traces import SystemTrace
+
+        result = LidResult(
+            cycles=100,
+            firings={},
+            trace=SystemTrace(()),
+            halted=True,
+            wrapper_kind="WP1",
+            configuration_label="empty",
+            rs_counts={},
+        )
+        assert result.throughput() == 0.0
+
+    def test_zero_cycles_yield_zero(self):
+        from repro.core.traces import SystemTrace
+
+        result = LidResult(
+            cycles=0,
+            firings={"p": 0},
+            trace=SystemTrace(()),
+            halted=False,
+            wrapper_kind="WP1",
+            configuration_label="empty",
+            rs_counts={},
+        )
+        assert result.throughput() == 0.0
+
+
+class TestOutputValidationParity:
+    """Both kernels reject misbehaving processes with the same NetlistError."""
+
+    @staticmethod
+    def _netlist(transition):
+        producer = FunctionProcess("p", ("in",), ("out",), transition)
+        return Netlist(
+            [producer], [Channel("loop", "p", "out", "p", "in", initial=0)]
+        )
+
+    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    def test_undeclared_output_port_rejected(self, kernel):
+        from repro.core import NetlistError
+
+        netlist = self._netlist(
+            lambda state, inputs: (state, {"out": 1, "ghost": 2})
+        )
+        with pytest.raises(NetlistError, match="undeclared output ports"):
+            run_lid(
+                netlist, kernel=kernel,
+                target_firings={"p": 3}, max_cycles=50,
+            )
+
+    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    def test_undriven_output_port_rejected(self, kernel):
+        from repro.core import NetlistError
+
+        netlist = self._netlist(lambda state, inputs: (state, {}))
+        with pytest.raises(NetlistError, match="did not drive output ports"):
+            run_lid(
+                netlist, kernel=kernel,
+                target_firings={"p": 3}, max_cycles=50,
+            )

@@ -106,3 +106,25 @@ class TestCli:
     def test_sweep_command_csv(self, capsys):
         assert main(["sweep", "depth", "--sort-length", "4", "--format", "csv"]) == 0
         assert "wp2_throughput" in capsys.readouterr().out
+
+
+class TestKernelOption:
+    def test_parser_accepts_kernel_choice(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--kernel", "reference"])
+        assert args.kernel == "reference"
+        args = parser.parse_args(["sweep", "depth", "--kernel", "fast"])
+        assert args.kernel == "fast"
+        args = parser.parse_args(["multicycle", "--kernel", "fast"])
+        assert args.kernel == "fast"
+
+    def test_parser_rejects_unknown_kernel(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table1", "--kernel", "warp"])
+
+    def test_table1_runs_under_both_kernels(self, capsys):
+        for kernel in ("reference", "fast"):
+            assert main(["table1", "--sort-length", "3", "--kernel", kernel]) == 0
+        out = capsys.readouterr().out
+        assert "All 0 (ideal)" in out
