@@ -1,0 +1,69 @@
+"""Perf-floor gate: fail if the compiled kernel's speedup regressed.
+
+Reads the newest record of the ``BENCH_kernel.json`` history (produced by
+``benchmark_kernel.py``) and exits non-zero when the compiled kernel's
+minimum speedup over the reference kernel across all Table 1 rows drops
+below the floor.  CI runs this after the quick benchmark so hot-path
+regressions are caught at PR time::
+
+    python benchmarks/check_perf_floor.py --floor 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RECORD = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--floor", type=float, default=6.0,
+        help="minimum compiled/reference speedup (default: 6)",
+    )
+    parser.add_argument(
+        "--record", type=Path, default=DEFAULT_RECORD,
+        help="path to the BENCH_kernel.json history",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.record.exists():
+        print(f"perf floor: no record at {args.record}", file=sys.stderr)
+        return 2
+    history = json.loads(args.record.read_text())
+    if isinstance(history, dict):
+        history = [history]
+    if not history:
+        print("perf floor: empty benchmark history", file=sys.stderr)
+        return 2
+    latest = history[-1]
+    results = latest.get("results", {})
+    if not results:
+        print("perf floor: newest record has no results", file=sys.stderr)
+        return 2
+
+    worst_label, worst = min(
+        results.items(), key=lambda item: item[1]["compiled_speedup"]
+    )
+    speedup = worst["compiled_speedup"]
+    print(
+        f"perf floor: compiled/reference min {speedup:.2f}x "
+        f"({worst_label}), floor {args.floor:.2f}x "
+        f"[record {latest.get('timestamp', '?')}, quick={latest.get('quick')}]"
+    )
+    if speedup < args.floor:
+        print(
+            f"perf floor FAILED: {speedup:.2f}x < {args.floor:.2f}x on "
+            f"{worst_label}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,11 @@ Commands
 Every command accepts ``--format text|markdown|csv|json`` where it makes
 sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
 simulating commands (``table1``, ``multicycle``, ``sweep``) accept
-``--kernel reference|fast`` to select the simulation engine (see
-:mod:`repro.engine`); the default is the fast array-based kernel.
+``--kernel reference|fast|compiled`` to select the simulation engine (see
+:mod:`repro.engine`); when the flag is omitted the ``REPRO_KERNEL``
+environment variable is consulted, and the fast array-based kernel is the
+final default.  ``table1`` and ``sweep`` also accept ``--shards N`` to
+evaluate their configuration batches on N worker processes.
 """
 
 from __future__ import annotations
@@ -25,9 +28,25 @@ from typing import List, Optional
 def _add_kernel_option(parser) -> None:
     parser.add_argument(
         "--kernel",
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "compiled"),
         default=None,
-        help="simulation kernel (default: the fast array-based kernel)",
+        help=(
+            "simulation kernel; omitted -> $REPRO_KERNEL if set, "
+            "else the fast array-based kernel"
+        ),
+    )
+
+
+def _add_shards_option(parser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "evaluate configuration batches on N worker processes "
+            "(sharded; works under fork and spawn)"
+        ),
     )
 
 
@@ -40,6 +59,7 @@ def _add_table1(subparsers) -> None:
     parser.add_argument("--multicycle", action="store_true")
     parser.add_argument("--format", choices=("text", "markdown", "csv", "json"), default="text")
     _add_kernel_option(parser)
+    _add_shards_option(parser)
 
 
 def _add_simple(subparsers, name: str, help_text: str) -> None:
@@ -52,6 +72,7 @@ def _add_sweep(subparsers) -> None:
     parser.add_argument("--sort-length", type=int, default=10)
     parser.add_argument("--format", choices=("text", "markdown", "csv"), default="text")
     _add_kernel_option(parser)
+    _add_shards_option(parser)
 
 
 def _add_multicycle(subparsers) -> None:
@@ -82,12 +103,14 @@ def _run_table1(args) -> int:
         "sort": run_table1_sort(
             length=args.sort_length, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
+            workers=args.shards,
         )
     }
     if args.matmul:
         results["matmul"] = run_table1_matmul(
             size=args.matmul_size, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
+            workers=args.shards,
         )
     if args.format == "json":
         print(table1_to_json(results))
@@ -110,11 +133,17 @@ def _run_sweep(args) -> int:
 
     workload = make_extraction_sort(length=args.sort_length, seed=2005)
     if args.kind == "fifo":
-        result = queue_capacity_sweep(workload=workload, kernel=args.kernel)
+        result = queue_capacity_sweep(
+            workload=workload, kernel=args.kernel, workers=args.shards
+        )
     elif args.kind == "depth":
-        result = uniform_depth_sweep(workload=workload, kernel=args.kernel)
+        result = uniform_depth_sweep(
+            workload=workload, kernel=args.kernel, workers=args.shards
+        )
     else:
-        result = clock_frequency_sweep(workload=workload, kernel=args.kernel)
+        result = clock_frequency_sweep(
+            workload=workload, kernel=args.kernel, workers=args.shards
+        )
     if args.format == "markdown":
         print(sweep_to_markdown(result))
     elif args.format == "csv":

@@ -24,6 +24,16 @@ from .exceptions import NetlistError
 from .process import Process
 
 
+def _port_channel_map() -> "defaultdict[str, List[Channel]]":
+    """Module-level factory so netlists stay picklable (no lambda closures).
+
+    Spawn-safe batch evaluation (:mod:`repro.engine.batch`) ships whole
+    netlists to worker processes by pickle; a ``defaultdict(lambda: ...)``
+    default factory would make every netlist unpicklable.
+    """
+    return defaultdict(list)
+
+
 class Netlist:
     """A set of processes connected by point-to-point channels."""
 
@@ -48,7 +58,7 @@ class Netlist:
 
         self._inputs_of: Dict[str, Dict[str, Channel]] = defaultdict(dict)
         self._outputs_of: Dict[str, Dict[str, List[Channel]]] = defaultdict(
-            lambda: defaultdict(list)
+            _port_channel_map
         )
         self._validate()
 

@@ -170,6 +170,7 @@ def simulated_throughput_objective(
     kernel: Optional[str] = None,
     queue_capacity: Optional[int] = None,
     on_error: str = "raise",
+    workers: int = 1,
     **run_kwargs,
 ) -> Objective:
     """Objective: the simulated throughput of *netlist* under each assignment.
@@ -178,13 +179,17 @@ def simulated_throughput_objective(
     elaborated once, every candidate only re-binds the relay chains, and the
     runs are uninstrumented (no traces, shell stats or occupancy tracking), so
     a search over many assignments pays the simulation cost and nothing else.
+    *kernel* selects the simulation engine (``"compiled"`` amortises its
+    per-shape code generation across the whole search).
 
     With *golden_cycles* the score is the paper's golden-relative throughput
     (``golden_cycles / cycles``); otherwise it is the system minimum of
     firings per cycle.  ``on_error="zero"`` scores infeasible corners
-    (deadlocks, timeouts) as 0.0 instead of raising.  Remaining keyword
-    arguments are run controls (``stop_process``, ``target_firings``,
-    ``max_cycles``, ...).
+    (deadlocks, timeouts) as 0.0 instead of raising.  With ``workers > 1``
+    the objective's batch entry point (``objective.many``, used by
+    :func:`exhaustive_search`) shards its evaluations across worker
+    processes.  Remaining keyword arguments are run controls
+    (``stop_process``, ``target_firings``, ``max_cycles``, ...).
     """
     from ..engine.batch import BatchRunner
 
@@ -193,7 +198,8 @@ def simulated_throughput_objective(
         kwargs["queue_capacity"] = queue_capacity
     runner = BatchRunner(netlist, relaxed=relaxed, kernel=kernel, **kwargs)
     return runner.objective(
-        golden_cycles=golden_cycles, on_error=on_error, **run_kwargs
+        golden_cycles=golden_cycles, on_error=on_error, workers=workers,
+        **run_kwargs,
     )
 
 
@@ -202,22 +208,43 @@ def simulated_throughput_objective(
 # ---------------------------------------------------------------------------
 
 def exhaustive_search(space: SearchSpace, objective: Objective) -> OptimizationResult:
-    """Enumerate every assignment in the space (respecting the total constraint)."""
+    """Enumerate every assignment in the space (respecting the total constraint).
+
+    Objectives exposing a ``many(assignments)`` batch entry point (the
+    simulated-throughput objectives built on
+    :class:`repro.engine.batch.BatchRunner` do) are evaluated through it so
+    the whole enumeration can be sharded across worker processes; plain
+    callables are evaluated one by one without materialising the space.
+    """
     links = sorted(space.ranges)
     best_assignment: Optional[Dict[str, int]] = None
     best_score = -math.inf
     evaluations = 0
-    for combination in itertools.product(
-        *(space.ranges[link].values() for link in links)
-    ):
-        assignment = dict(zip(links, combination))
-        if space.total is not None and sum(combination) != space.total:
-            continue
-        score = objective(assignment)
-        evaluations += 1
-        if score > best_score:
-            best_score = score
-            best_assignment = assignment
+
+    def feasible():
+        for combination in itertools.product(
+            *(space.ranges[link].values() for link in links)
+        ):
+            if space.total is not None and sum(combination) != space.total:
+                continue
+            yield dict(zip(links, combination))
+
+    evaluate_many = getattr(objective, "many", None)
+    if evaluate_many is not None:
+        assignments = list(feasible())
+        scores = evaluate_many(assignments)
+        evaluations = len(assignments)
+        for assignment, score in zip(assignments, scores):
+            if score > best_score:
+                best_score = score
+                best_assignment = assignment
+    else:
+        for assignment in feasible():
+            score = objective(assignment)
+            evaluations += 1
+            if score > best_score:
+                best_score = score
+                best_assignment = assignment
     if best_assignment is None:
         raise OptimizationError("search space contains no feasible assignment")
     return OptimizationResult(

@@ -55,6 +55,11 @@ class Process(ABC):
     input_ports: Tuple[str, ...] = ()
     #: Names of the output ports, in a stable order.
     output_ports: Tuple[str, ...] = ()
+    #: Optional name of a boolean instance attribute that is always equal to
+    #: ``is_done()``.  Declaring it lets specializing engines (the compiled
+    #: kernel) read the attribute instead of paying a method call on every
+    #: cycle; ``is_done()`` itself must keep working regardless.
+    done_attribute: Optional[str] = None
 
     def __init__(self, name: str) -> None:
         if not name:

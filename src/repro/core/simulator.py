@@ -19,9 +19,11 @@ traces and per-shell stall statistics.
 :class:`LidSimulator` is a thin facade over the layered engine in
 :mod:`repro.engine` (see DESIGN.md): elaboration compiles the netlist +
 configuration into a flat model, a selectable kernel executes it
-(``kernel="fast"`` is the default array-based hot path, ``"reference"`` the
-original object-based machinery), and instrumentation passes opt in to
-traces, shell statistics and occupancy tracking.
+(``kernel="fast"`` is the default array-based hot path, ``"compiled"`` the
+codegen-specialized one, ``"reference"`` the original object-based
+machinery; the ``REPRO_KERNEL`` environment variable overrides the
+default), and instrumentation passes opt in to traces, shell statistics and
+occupancy tracking.
 """
 
 from __future__ import annotations
@@ -62,8 +64,9 @@ class LidSimulator:
         (per-link :class:`RSConfiguration`) may be given; omitting both means
         zero relay stations everywhere.
 
-        *kernel* selects the execution engine (``"fast"`` or ``"reference"``;
-        ``None`` uses :data:`repro.engine.DEFAULT_KERNEL`).  *instruments*
+        *kernel* selects the execution engine (``"fast"``, ``"compiled"`` or
+        ``"reference"``; ``None`` consults the ``REPRO_KERNEL`` environment
+        variable, then :data:`repro.engine.DEFAULT_KERNEL`).  *instruments*
         selects the observation passes; the default keeps the historical
         always-on behaviour (stats + occupancy, trace per *record_trace*).
         """

@@ -23,7 +23,7 @@ The 14-bit signed immediate is ample for the benchmark programs.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 from functools import lru_cache
 from typing import Dict, FrozenSet, Optional, Tuple
 
@@ -124,6 +124,36 @@ class Instruction:
     rb: int = 0
     imm: int = 0
 
+    # Classification results, precomputed once per decoded instruction.
+    # Every issue consults several of them and the memoised decode/command
+    # caches hash instructions on every lookup, so these are plain instance
+    # attributes (and the hash a cached int) rather than recomputing
+    # properties: the control unit sits on every simulator's critical loop.
+    is_alu_writeback: bool = dc_field(init=False, compare=False, repr=False)
+    is_load: bool = dc_field(init=False, compare=False, repr=False)
+    is_store: bool = dc_field(init=False, compare=False, repr=False)
+    is_memory: bool = dc_field(init=False, compare=False, repr=False)
+    is_branch: bool = dc_field(init=False, compare=False, repr=False)
+    is_jump: bool = dc_field(init=False, compare=False, repr=False)
+    is_halt: bool = dc_field(init=False, compare=False, repr=False)
+    is_nop: bool = dc_field(init=False, compare=False, repr=False)
+    #: True when the second ALU operand is the immediate.
+    uses_immediate_operand: bool = dc_field(init=False, compare=False, repr=False)
+    #: Destination register written by this instruction, or ``None``.  Writes
+    #: to ``r0`` are discarded by the register file, but the register is
+    #: still reported here; the control unit's scoreboard ignores ``r0``.
+    writes_register: Optional[int] = dc_field(init=False, compare=False, repr=False)
+    #: Registers read by this instruction (possibly empty).
+    source_registers: Tuple[int, ...] = dc_field(init=False, compare=False, repr=False)
+    #: ``source_registers`` without ``r0`` (RAW-hazard participants).
+    hazard_registers: Tuple[int, ...] = dc_field(init=False, compare=False, repr=False)
+    #: The ALU-level function executed for this instruction.  Loads/stores
+    #: use ``ADD`` for the effective-address computation; branches use
+    #: ``SUB`` (the comparison); everything else maps to itself or to its
+    #: register-register equivalent.
+    alu_function: Opcode = dc_field(init=False, compare=False, repr=False)
+    _hash: int = dc_field(init=False, compare=False, repr=False)
+
     def __post_init__(self) -> None:
         for field_name in ("rd", "ra", "rb"):
             value = getattr(self, field_name)
@@ -136,90 +166,52 @@ class Instruction:
                 f"{self.op.name}: immediate {self.imm} outside "
                 f"[{IMM_MIN}, {IMM_MAX}]"
             )
+        put = object.__setattr__  # bypass the frozen guard for derived fields
+        op = self.op
+        is_load = op is Opcode.LD
+        is_store = op is Opcode.ST
+        is_memory = is_load or is_store
+        is_branch = op in BRANCH_OPS
+        is_alu_writeback = op in ALU_WRITEBACK_OPS
+        put(self, "is_alu_writeback", is_alu_writeback)
+        put(self, "is_load", is_load)
+        put(self, "is_store", is_store)
+        put(self, "is_memory", is_memory)
+        put(self, "is_branch", is_branch)
+        put(self, "is_jump", op is Opcode.JMP)
+        put(self, "is_halt", op is Opcode.HALT)
+        put(self, "is_nop", op is Opcode.NOP)
+        put(self, "uses_immediate_operand", op in IMMEDIATE_OPS or is_memory)
+        put(
+            self,
+            "writes_register",
+            self.rd if (is_alu_writeback or is_load) else None,
+        )
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.JMP, Opcode.LI):
+            sources: Tuple[int, ...] = ()
+        elif op in IMMEDIATE_OPS or is_load:
+            sources = (self.ra,)
+        else:  # store, branch, register-register ALU
+            sources = (self.ra, self.rb)
+        put(self, "source_registers", sources)
+        put(
+            self,
+            "hazard_registers",
+            tuple(register for register in sources if register != 0),
+        )
+        if op in IMMEDIATE_TO_ALU:
+            alu_function = IMMEDIATE_TO_ALU[op]
+        elif is_memory:
+            alu_function = Opcode.ADD
+        elif is_branch:
+            alu_function = Opcode.SUB
+        else:
+            alu_function = op
+        put(self, "alu_function", alu_function)
+        put(self, "_hash", hash((op, self.rd, self.ra, self.rb, self.imm)))
 
-    # -- classification -------------------------------------------------------
-    @property
-    def is_alu_writeback(self) -> bool:
-        """True when the ALU result is written to ``rd``."""
-        return self.op in ALU_WRITEBACK_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Opcode.ST
-
-    @property
-    def is_memory(self) -> bool:
-        return self.op in (Opcode.LD, Opcode.ST)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_jump(self) -> bool:
-        return self.op is Opcode.JMP
-
-    @property
-    def is_halt(self) -> bool:
-        return self.op is Opcode.HALT
-
-    @property
-    def is_nop(self) -> bool:
-        return self.op is Opcode.NOP
-
-    @property
-    def uses_immediate_operand(self) -> bool:
-        """True when the second ALU operand is the immediate."""
-        return self.op in IMMEDIATE_OPS or self.is_memory
-
-    @property
-    def writes_register(self) -> Optional[int]:
-        """The destination register written by this instruction, or ``None``.
-
-        Writes to ``r0`` are discarded by the register file, but the register
-        is still reported here; the control unit's scoreboard ignores ``r0``.
-        """
-        if self.is_alu_writeback or self.is_load:
-            return self.rd
-        return None
-
-    @property
-    def source_registers(self) -> Tuple[int, ...]:
-        """Registers read by this instruction (possibly empty)."""
-        if self.op in (Opcode.NOP, Opcode.HALT, Opcode.JMP):
-            return ()
-        if self.op is Opcode.LI:
-            return ()
-        if self.op in IMMEDIATE_OPS:
-            return (self.ra,)
-        if self.is_load:
-            return (self.ra,)
-        if self.is_store:
-            return (self.ra, self.rb)
-        if self.is_branch:
-            return (self.ra, self.rb)
-        # register-register ALU
-        return (self.ra, self.rb)
-
-    @property
-    def alu_function(self) -> Opcode:
-        """The ALU-level function executed for this instruction.
-
-        Loads/stores use ``ADD`` for the effective-address computation;
-        branches use ``SUB`` (the comparison); everything else maps to itself
-        or to its register-register equivalent.
-        """
-        if self.op in IMMEDIATE_TO_ALU:
-            return IMMEDIATE_TO_ALU[self.op]
-        if self.is_memory:
-            return Opcode.ADD
-        if self.is_branch:
-            return Opcode.SUB
-        return self.op
+    def __hash__(self) -> int:  # dataclass keeps an explicitly defined hash
+        return self._hash
 
     def describe(self) -> str:
         """Assembly-like rendering, e.g. ``ADD r3, r1, r2``."""

@@ -15,7 +15,8 @@ what makes the WP2 oracles of RF and DC pure functions of their own state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import lru_cache
+from typing import Optional, Tuple
 
 from .isa import Opcode
 
@@ -129,3 +130,66 @@ class LoadResult:
     """DC → RF: the value read from memory (destination kept by RF)."""
 
     value: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Interned constructors
+# ---------------------------------------------------------------------------
+# Frozen-dataclass construction pays one ``object.__setattr__`` per field
+# (~0.5 µs per signal), and the units emit several signals per firing on
+# every simulator's critical path.  All payloads are immutable, so repeated
+# values — loop addresses, recurring operands, the eight possible status
+# words — are shared through the memoised factories below instead of being
+# re-allocated.  Units should create signals through these; building the
+# dataclasses directly stays correct, just slower.
+
+_ALU_STATUS: Tuple[Tuple[Tuple[AluStatus, ...], ...], ...] = tuple(
+    tuple(
+        tuple(
+            AluStatus(taken=bool(t), zero=bool(z), negative=bool(n))
+            for n in range(2)
+        )
+        for z in range(2)
+    )
+    for t in range(2)
+)
+
+
+def alu_status(taken: bool, zero: bool, negative: bool) -> AluStatus:
+    """One of the eight condition words, never allocated twice."""
+    return _ALU_STATUS[taken][zero][negative]
+
+
+@lru_cache(maxsize=8192)
+def alu_result(value: int) -> AluResult:
+    return AluResult(value=value)
+
+
+@lru_cache(maxsize=8192)
+def mem_address(address: int) -> MemAddress:
+    return MemAddress(address=address)
+
+
+@lru_cache(maxsize=8192)
+def operands(a: int, b: int) -> Operands:
+    return Operands(a=a, b=b)
+
+
+@lru_cache(maxsize=8192)
+def store_data(value: int) -> StoreData:
+    return StoreData(value=value)
+
+
+@lru_cache(maxsize=8192)
+def load_result(value: int) -> LoadResult:
+    return LoadResult(value=value)
+
+
+@lru_cache(maxsize=8192)
+def fetch_request(address: int) -> FetchRequest:
+    return FetchRequest(address=address)
+
+
+@lru_cache(maxsize=8192)
+def fetch_response(address: int, word: int) -> FetchResponse:
+    return FetchResponse(address=address, word=word)

@@ -23,7 +23,14 @@ from typing import Dict, Mapping, Optional
 from ...core.exceptions import SimulationError
 from ...core.process import Process
 from ..isa import Opcode, to_signed_word
-from ..signals import AluCommand, AluResult, AluStatus, MemAddress, Operands
+from ..signals import (
+    AluCommand,
+    AluStatus,
+    Operands,
+    alu_result,
+    alu_status,
+    mem_address,
+)
 
 
 class Alu(Process):
@@ -80,26 +87,58 @@ class Alu(Process):
     # -- firing --------------------------------------------------------------------
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
         command = inputs["cu_alu"]
-        if not isinstance(command, AluCommand):
+        if type(command) is not AluCommand:
             return {"alu_cu": None, "alu_rf": None, "alu_dc": None}
         operands = inputs["rf_alu"]
-        if not isinstance(operands, Operands):
+        if type(operands) is not Operands:
             raise SimulationError(
                 f"{self.name}: command {command!r} arrived without operands"
             )
 
+        # compute() and branch_taken() inlined: the ALU evaluates on every
+        # issued instruction and the dispatch calls showed up in kernel
+        # benchmarks.  The staticmethods above remain the reference API.
+        a = operands.a
+        function = command.function
         second = command.immediate if command.use_immediate else operands.b
-        value = self.compute(command.function, operands.a, second)
+        if function is Opcode.ADD:
+            value = a + second
+        elif function is Opcode.SUB:
+            value = a - second
+        elif function is Opcode.MUL:
+            value = a * second
+        elif function is Opcode.AND:
+            value = a & second
+        elif function is Opcode.OR:
+            value = a | second
+        elif function is Opcode.XOR:
+            value = a ^ second
+        elif function is Opcode.SLT:
+            value = 1 if a < second else 0
+        else:
+            raise SimulationError(f"unsupported ALU function {function!r}")
+        value = to_signed_word(value)
         self.operations += 1
 
         taken = False
-        if command.branch is not None:
-            taken = self.branch_taken(command.branch, operands.a, operands.b)
+        branch = command.branch
+        if branch is not None:
+            b = operands.b
+            if branch is Opcode.BEQ:
+                taken = a == b
+            elif branch is Opcode.BNE:
+                taken = a != b
+            elif branch is Opcode.BLT:
+                taken = a < b
+            elif branch is Opcode.BGE:
+                taken = a >= b
+            else:
+                raise SimulationError(f"unsupported branch condition {branch!r}")
             self.branch_evaluations += 1
 
-        status = AluStatus(taken=taken, zero=(value == 0), negative=(value < 0))
+        status = alu_status(taken, value == 0, value < 0)
         return {
             "alu_cu": status,
-            "alu_rf": AluResult(value=value),
-            "alu_dc": MemAddress(address=value),
+            "alu_rf": alu_result(value),
+            "alu_dc": mem_address(value),
         }

@@ -34,21 +34,25 @@ from typing import Deque, Dict, FrozenSet, List, Mapping, Optional, Tuple
 from ...core.exceptions import SimulationError
 from ...core.process import Process
 from ..isa import Instruction, Opcode, decode
-from ..signals import AluCommand, FetchRequest, FetchResponse, MemCommand, RegCommand
+from ..signals import (
+    AluCommand,
+    FetchRequest,
+    FetchResponse,
+    MemCommand,
+    RegCommand,
+    fetch_request,
+)
 
 
-@dataclass(slots=True)
-class _FetchSlot:
-    """Bookkeeping for one in-flight fetch (one entry per CU firing)."""
-
-    valid: bool
-    address: int = 0
-    squashed: bool = False
+#: Fetch-slot bookkeeping, one entry per CU firing, encoded as a plain int
+#: so the per-firing slot churn allocates nothing: ``_NO_FETCH`` (-1) marks a
+#: cycle without a fetch, an address >= 0 a live fetch, and ``-(address + 2)``
+#: a squashed (wrong-path) fetch.
+_NO_FETCH = -1
 
 
-#: Shared slot for cycles without a fetch.  Safe to alias: only valid slots
-#: are ever mutated (squashing marks wrong-path *fetches*).
-_INVALID_SLOT = _FetchSlot(valid=False)
+def _squash_slot(slot: int) -> int:
+    return -(slot + 2)
 
 
 @dataclass
@@ -80,6 +84,7 @@ class ControlUnit(Process):
 
     input_ports = ("ic_cu", "alu_cu")
     output_ports = ("cu_ic", "cu_rf", "cu_alu", "cu_dc")
+    done_attribute = "halted"
 
     #: Latency (in CU firings) between issuing a fetch request and receiving
     #: the corresponding instruction word back: request -> IC -> response.
@@ -113,9 +118,12 @@ class ControlUnit(Process):
         # One slot per firing; the response to the request emitted at firing d
         # arrives at firing d + FETCH_ROUNDTRIP, so the queue is primed with
         # FETCH_ROUNDTRIP invalid entries covering the reset values.
-        self.fetch_slots: Deque[_FetchSlot] = deque(
-            _INVALID_SLOT for _ in range(self.FETCH_ROUNDTRIP)
+        self.fetch_slots: Deque[int] = deque(
+            _NO_FETCH for _ in range(self.FETCH_ROUNDTRIP)
         )
+        # Live-fetch count (valid, un-squashed slots), maintained incrementally:
+        # the fetch path consults it on every firing.
+        self.inflight_fetches = 0
         self.ibuf: Deque[Tuple[int, Instruction]] = deque()
         self.branch_wait: Optional[_BranchWait] = None
         self.scoreboard: Dict[int, int] = {}
@@ -135,8 +143,7 @@ class ControlUnit(Process):
         # Constant answers (the oracle runs every cycle on the hot path).
         if self.halted:
             return _REQUIRED_NONE
-        head = self.fetch_slots[0]
-        fetch_due = head.valid and not head.squashed
+        fetch_due = self.fetch_slots[0] >= 0
         branch_due = (
             self.branch_wait is not None
             and self.branch_wait.resolve_at == self.firings
@@ -149,14 +156,40 @@ class ControlUnit(Process):
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
         tag = self.firings
 
-        self._receive_fetch(inputs)
-        self._resolve_branch(tag, inputs)
+        # Receive the fetch response due this firing (inlined _receive_fetch:
+        # this runs on every firing of every simulated configuration).
+        slot = self.fetch_slots.popleft()
+        if slot >= 0:
+            self.inflight_fetches -= 1
+            if not self.halted:
+                response = inputs["ic_cu"]
+                if type(response) is not FetchResponse:
+                    raise SimulationError(
+                        f"{self.name}: expected a fetch response for address "
+                        f"{slot}, got {response!r}"
+                    )
+                self.ibuf.append((response.address, decode(response.word)))
+        wait = self.branch_wait
+        if wait is not None and wait.resolve_at == tag:
+            self._resolve_branch(tag, inputs)
 
-        reg_command, mem_command, next_alu_command = self._issue(tag)
-        fetch_request = self._fetch(tag)
+        # Issue (early-outs inlined: most firings bubble for one of these
+        # reasons and should not pay a call to find out).
+        stats = self.stats
+        if self.halted:
+            reg_command = mem_command = next_alu_command = None
+        elif self.branch_wait is not None:
+            stats.bubbles_branch_wait += 1
+            reg_command = mem_command = next_alu_command = None
+        elif not self.ibuf or (not self.pipelined and tag < self.busy_until):
+            stats.bubbles_empty_ibuf += 1
+            reg_command = mem_command = next_alu_command = None
+        else:
+            reg_command, mem_command, next_alu_command = self._issue(tag)
+        fetch = self._fetch(tag)
 
         outputs = {
-            "cu_ic": fetch_request,
+            "cu_ic": fetch,
             "cu_rf": reg_command,
             "cu_dc": mem_command,
             "cu_alu": self.alu_command_register,
@@ -164,23 +197,8 @@ class ControlUnit(Process):
         self.alu_command_register = next_alu_command
         return outputs
 
-    # -- fetch side -------------------------------------------------------------------
-    def _receive_fetch(self, inputs: Mapping[str, object]) -> None:
-        slot = self.fetch_slots.popleft()
-        if self.halted or not slot.valid or slot.squashed:
-            return
-        response = inputs["ic_cu"]
-        if not isinstance(response, FetchResponse):
-            raise SimulationError(
-                f"{self.name}: expected a fetch response for address {slot.address}, "
-                f"got {response!r}"
-            )
-        self.ibuf.append((response.address, decode(response.word)))
-
     def _outstanding_fetches(self) -> int:
-        return sum(
-            1 for slot in self.fetch_slots if slot.valid and not slot.squashed
-        )
+        return self.inflight_fetches
 
     def _fetch(self, tag: int) -> Optional[FetchRequest]:
         want_fetch = not self.halted
@@ -189,17 +207,18 @@ class ControlUnit(Process):
             want_fetch = (
                 tag >= self.busy_until
                 and not self.ibuf
-                and self._outstanding_fetches() == 0
+                and self.inflight_fetches == 0
                 and self.branch_wait is None
             )
         if want_fetch:
-            occupancy = len(self.ibuf) + self._outstanding_fetches()
+            occupancy = len(self.ibuf) + self.inflight_fetches
             want_fetch = occupancy < self.fetch_buffer
         if not want_fetch:
-            self.fetch_slots.append(_INVALID_SLOT)
+            self.fetch_slots.append(_NO_FETCH)
             return None
-        request = FetchRequest(address=self.pc)
-        self.fetch_slots.append(_FetchSlot(valid=True, address=self.pc))
+        request = fetch_request(self.pc)
+        self.fetch_slots.append(self.pc)
+        self.inflight_fetches += 1
         self.pc += 1
         self.stats.fetches += 1
         return request
@@ -207,9 +226,11 @@ class ControlUnit(Process):
     def _squash_wrong_path(self) -> None:
         """Drop buffered and in-flight instructions after a redirect."""
         self.ibuf.clear()
-        for slot in self.fetch_slots:
-            if slot.valid and not slot.squashed:
-                slot.squashed = True
+        slots = self.fetch_slots
+        for index, slot in enumerate(slots):
+            if slot >= 0:
+                slots[index] = _squash_slot(slot)
+                self.inflight_fetches -= 1
                 self.stats.squashed_fetches += 1
 
     # -- branch handling ----------------------------------------------------------------
@@ -240,14 +261,24 @@ class ControlUnit(Process):
             self.stats.bubbles_empty_ibuf += 1
             return None, None, None
 
+        stats = self.stats
         address, instruction = self.ibuf[0]
-        if not self._sources_ready(instruction, tag):
-            self.stats.bubbles_raw_hazard += 1
-            return None, None, None
+        scoreboard = self.scoreboard
+        for register in instruction.hazard_registers:
+            if scoreboard.get(register, 0) > tag:
+                stats.bubbles_raw_hazard += 1
+                return None, None, None
 
         self.ibuf.popleft()
-        self.stats.issued += 1
-        self._update_scoreboard(instruction, tag)
+        stats.issued += 1
+        destination = instruction.writes_register
+        if destination is not None and destination != 0:
+            delay = (
+                self.LOAD_RESULT_DELAY
+                if instruction.is_load
+                else self.ALU_RESULT_DELAY
+            )
+            scoreboard[destination] = tag + delay
         self.busy_until = tag + self.COMPLETION_DELAY
 
         if instruction.is_halt:
@@ -260,38 +291,33 @@ class ControlUnit(Process):
             self._squash_wrong_path()
             return None, None, None
 
-        reg_command = self._build_reg_command(instruction)
-        alu_command = self._build_alu_command(instruction)
-        mem_command = self._build_mem_command(instruction)
+        reg_command, alu_command, mem_command = self._build_commands(instruction)
 
         if instruction.is_branch:
-            self.stats.branches += 1
+            stats.branches += 1
             self.branch_wait = _BranchWait(
                 resolve_at=tag + self.BRANCH_RESOLUTION, target=instruction.imm
             )
         if instruction.is_load:
-            self.stats.loads += 1
+            stats.loads += 1
         if instruction.is_store:
-            self.stats.stores += 1
+            stats.stores += 1
         return reg_command, mem_command, alu_command
-
-    def _sources_ready(self, instruction: Instruction, tag: int) -> bool:
-        scoreboard = self.scoreboard
-        for register in _hazard_registers(instruction):
-            if scoreboard.get(register, 0) > tag:
-                return False
-        return True
-
-    def _update_scoreboard(self, instruction: Instruction, tag: int) -> None:
-        destination = instruction.writes_register
-        if destination is None or destination == 0:
-            return
-        delay = self.LOAD_RESULT_DELAY if instruction.is_load else self.ALU_RESULT_DELAY
-        self.scoreboard[destination] = tag + delay
 
     # -- command builders -----------------------------------------------------------------
     @staticmethod
     @lru_cache(maxsize=4096)
+    def _build_commands(
+        instruction: Instruction,
+    ) -> Tuple[RegCommand, AluCommand, Optional[MemCommand]]:
+        """All three per-instruction commands behind a single cache lookup."""
+        return (
+            ControlUnit._build_reg_command(instruction),
+            ControlUnit._build_alu_command(instruction),
+            ControlUnit._build_mem_command(instruction),
+        )
+
+    @staticmethod
     def _build_reg_command(instruction: Instruction) -> RegCommand:
         read_a: Optional[int] = None
         read_b: Optional[int] = None
@@ -324,7 +350,6 @@ class ControlUnit(Process):
         )
 
     @staticmethod
-    @lru_cache(maxsize=4096)
     def _build_alu_command(instruction: Instruction) -> AluCommand:
         return AluCommand(
             function=instruction.alu_function,
@@ -334,21 +359,12 @@ class ControlUnit(Process):
         )
 
     @staticmethod
-    @lru_cache(maxsize=4096)
     def _build_mem_command(instruction: Instruction) -> Optional[MemCommand]:
         if instruction.is_load:
             return MemCommand(read=True)
         if instruction.is_store:
             return MemCommand(write=True)
         return None
-
-
-@lru_cache(maxsize=4096)
-def _hazard_registers(instruction: Instruction) -> Tuple[int, ...]:
-    """Source registers participating in RAW-hazard checks (r0 never does)."""
-    return tuple(
-        register for register in instruction.source_registers if register != 0
-    )
 
 
 #: Precomputed oracle answers for the four fetch-due/branch-due combinations.

@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 from ...core.exceptions import SimulationError
 from ...core.process import Process
 from ..isa import to_signed_word
-from ..signals import LoadResult, MemAddress, MemCommand, StoreData
+from ..signals import MemAddress, MemCommand, StoreData, load_result
 
 
 class DataCache(Process):
@@ -80,7 +80,7 @@ class DataCache(Process):
 
         # 1. New announcement from the control unit.
         command = inputs["cu_dc"]
-        if isinstance(command, MemCommand) and command.is_access:
+        if type(command) is MemCommand and (command.read or command.write):
             access_tag = tag + self.ACCESS_DELAY
             self.pending_access[access_tag] = "write" if command.write else "read"
             if command.write:
@@ -90,7 +90,7 @@ class DataCache(Process):
         if tag in self.pending_store_data:
             access_tag = self.pending_store_data.pop(tag)
             data = inputs["rf_dc"]
-            if not isinstance(data, StoreData):
+            if type(data) is not StoreData:
                 raise SimulationError(
                     f"{self.name}: expected store data at tag {tag}, got {data!r}"
                 )
@@ -101,7 +101,7 @@ class DataCache(Process):
         if tag in self.pending_access:
             kind = self.pending_access.pop(tag)
             address_message = inputs["alu_dc"]
-            if not isinstance(address_message, MemAddress):
+            if type(address_message) is not MemAddress:
                 raise SimulationError(
                     f"{self.name}: expected an effective address at tag {tag}, "
                     f"got {address_message!r}"
@@ -113,7 +113,7 @@ class DataCache(Process):
                     f"{len(self.memory)} words"
                 )
             if kind == "read":
-                result = LoadResult(value=self.memory[address])
+                result = load_result(self.memory[address])
                 self.loads += 1
             else:
                 self.memory[address] = to_signed_word(self.store_values.pop(tag))

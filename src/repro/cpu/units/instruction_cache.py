@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ...core.exceptions import SimulationError
 from ...core.process import Process
-from ..signals import FetchRequest, FetchResponse
+from ..signals import FetchRequest, fetch_response
 
 
 class InstructionCache(Process):
@@ -39,7 +39,7 @@ class InstructionCache(Process):
 
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
         request = inputs["cu_ic"]
-        if not isinstance(request, FetchRequest):
+        if type(request) is not FetchRequest:
             return {"ic_cu": None}
         address = request.address
         if not 0 <= address < len(self.words):
@@ -48,4 +48,4 @@ class InstructionCache(Process):
                 f"of {len(self.words)} words"
             )
         self.reads += 1
-        return {"ic_cu": FetchResponse(address=address, word=self.words[address])}
+        return {"ic_cu": fetch_response(address, self.words[address])}

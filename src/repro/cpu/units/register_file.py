@@ -23,7 +23,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional
 from ...core.exceptions import SimulationError
 from ...core.process import Process
 from ..isa import NUM_REGISTERS, to_signed_word
-from ..signals import AluResult, LoadResult, Operands, RegCommand, StoreData
+from ..signals import AluResult, LoadResult, RegCommand, StoreData, operands, store_data
 
 
 class RegisterFile(Process):
@@ -80,42 +80,66 @@ class RegisterFile(Process):
 
     # -- firing --------------------------------------------------------------------
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        # The reads/writes below inline _read/_write: the RF fires on every
+        # tag of every simulated configuration and the helper calls showed up
+        # in kernel benchmarks.
         tag = self.firings
+        registers = self.registers
 
         # 1. Load writeback scheduled for this tag (older than the ALU one).
         if tag in self.pending_mem_writeback:
             destination = self.pending_mem_writeback.pop(tag)
             result = inputs["dc_rf"]
-            if not isinstance(result, LoadResult):
+            if type(result) is not LoadResult:
                 raise SimulationError(
                     f"{self.name}: expected load data at tag {tag}, got {result!r}"
                 )
-            self._write(destination, result.value)
+            if destination:
+                registers[destination] = to_signed_word(result.value)
+                self.writes += 1
 
         # 2. ALU writeback scheduled for this tag.
         if tag in self.pending_alu_writeback:
             destination = self.pending_alu_writeback.pop(tag)
             result = inputs["alu_rf"]
-            if not isinstance(result, AluResult):
+            if type(result) is not AluResult:
                 raise SimulationError(
                     f"{self.name}: expected an ALU result at tag {tag}, got {result!r}"
                 )
-            self._write(destination, result.value)
+            if destination:
+                registers[destination] = to_signed_word(result.value)
+                self.writes += 1
 
         # 3. Register command for the instruction issued one tag ago.
         command = inputs["cu_rf"]
-        if not isinstance(command, RegCommand):
+        if type(command) is not RegCommand:
             return {"rf_alu": None, "rf_dc": None}
 
-        operands = Operands(a=self._read(command.read_a), b=self._read(command.read_b))
+        reads = 0
+        read_a = command.read_a
+        if read_a is None:
+            a = 0
+        else:
+            a = registers[read_a]
+            reads += 1
+        read_b = command.read_b
+        if read_b is None:
+            b = 0
+        else:
+            b = registers[read_b]
+            reads += 1
+        ops = operands(a, b)
         store: Optional[StoreData] = None
         if command.store_data is not None:
-            store = StoreData(value=self._read(command.store_data))
+            store = store_data(registers[command.store_data])
+            reads += 1
+        if reads:
+            self.reads += reads
         if command.alu_writeback is not None:
             self.pending_alu_writeback[tag + self.ALU_WRITEBACK_DELAY] = command.alu_writeback
         if command.mem_writeback is not None:
             self.pending_mem_writeback[tag + self.MEM_WRITEBACK_DELAY] = command.mem_writeback
-        return {"rf_alu": operands, "rf_dc": store}
+        return {"rf_alu": ops, "rf_dc": store}
 
 
 #: Precomputed oracle answers; the RF always needs its command stream and

@@ -6,9 +6,11 @@ observers composed on top):
 
 * :mod:`repro.engine.elaboration` — compile a netlist + relay-station
   configuration into a flat, integer-indexed :class:`ElaboratedModel`;
-* :mod:`repro.engine.kernel` — the :class:`SimKernel` interface with two
+* :mod:`repro.engine.kernel` — the :class:`SimKernel` interface with three
   implementations: the object-based :class:`ReferenceKernel` (the executable
-  specification) and the array-based :class:`FastKernel` (the hot path);
+  specification), the array-based :class:`FastKernel` (the default) and the
+  codegen-specialized :class:`CompiledKernel` (the hot path; see
+  :mod:`repro.engine.codegen`);
 * :mod:`repro.engine.instrumentation` — traces, shell statistics and queue
   occupancy as opt-in passes (:class:`InstrumentSet`).
 
@@ -20,11 +22,14 @@ facade over this package.
 """
 
 from .batch import BatchResult, BatchRunner
+from .codegen import generate_run_source
+from .compiled import CompiledKernel
 from .elaboration import ElaboratedModel, Elaborator, NetlistLayout, elaborate, resolve_rs_counts
 from .fast import FastKernel
 from .instrumentation import InstrumentSet
 from .kernel import (
     DEFAULT_KERNEL,
+    KERNEL_ENV_VAR,
     RunControls,
     SimKernel,
     kernel_registry,
@@ -38,17 +43,20 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "ChannelPipeline",
+    "CompiledKernel",
     "DEFAULT_KERNEL",
     "ElaboratedModel",
     "Elaborator",
     "FastKernel",
     "InstrumentSet",
+    "KERNEL_ENV_VAR",
     "LidResult",
     "NetlistLayout",
     "ReferenceKernel",
     "RunControls",
     "SimKernel",
     "elaborate",
+    "generate_run_source",
     "kernel_registry",
     "make_kernel",
     "resolve_kernel_name",

@@ -6,19 +6,40 @@ needed.  :class:`BatchRunner` serves that shape directly:
 
 * the netlist layout is elaborated **once** (see
   :mod:`repro.engine.elaboration`); each configuration only re-binds the
-  relay chains;
+  relay chains — and under the compiled kernel the generated step code is
+  cached on the layout, so same-shaped configurations share code objects;
 * instrumentation defaults to :meth:`InstrumentSet.none` — objective
   evaluations pay zero trace/stats cost;
-* :meth:`run_many` optionally fans out across processes (``fork`` platforms
-  only) and returns lightweight picklable :class:`BatchResult` summaries.
+* :meth:`run_many` fans out across a **persistent worker pool**: the
+  configurations are chunked into shards, each worker builds its runner
+  (layout + kernel caches) exactly once from a pickled work spec and then
+  evaluates shard after shard, streaming :class:`BatchResult` lists back as
+  they complete.  Because workers are seeded by pickle rather than by
+  inherited memory, the fan-out works under both the ``fork`` and ``spawn``
+  start methods; netlists that cannot be pickled (e.g. closure-based
+  processes) fall back to the legacy fork-inheritance path where available,
+  and to serial evaluation (with a :class:`RuntimeWarning`) only when
+  parallelism is genuinely unavailable.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import pickle
 import sys
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+import warnings
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.config import RSConfiguration
 from ..core.exceptions import DeadlockError, SimulationError
@@ -30,8 +51,16 @@ from .instrumentation import InstrumentSet
 from .kernel import RunControls, make_kernel, resolve_kernel_name
 from .result import LidResult
 
-#: One work item: an :class:`RSConfiguration` or an explicit per-channel map.
+#: One work item: an :class:`RSConfiguration` or an explicit per-channel map,
+#: optionally paired with per-item overrides (``{"queue_capacity": 6}``).
 ConfigLike = Union[RSConfiguration, Mapping[str, int]]
+BatchItem = Union[ConfigLike, Tuple[ConfigLike, Mapping[str, Any]]]
+
+#: Internal normalised work item.
+_Item = Tuple[Optional[RSConfiguration], Optional[Dict[str, int]], Optional[int]]
+
+#: Per-item override keys accepted by :meth:`BatchRunner.run_many`.
+_ITEM_OVERRIDES = frozenset({"queue_capacity"})
 
 
 @dataclass
@@ -72,19 +101,59 @@ class BatchResult:
         )
 
 
-# Fork-based fan-out: the runner is handed to workers through inherited
-# memory (netlists carry arbitrary closures and cannot be pickled).
+# ---------------------------------------------------------------------------
+# Worker plumbing
+# ---------------------------------------------------------------------------
+#
+# Spawn-safe path: each worker rebuilds a BatchRunner exactly once from a
+# pickled spec (the initializer), keeps it in a module global, and then
+# evaluates the shards it is handed.  Works identically under fork and spawn.
+
+_POOL_RUNNER: Optional["BatchRunner"] = None
+
+
+def _pool_initializer(payload: bytes) -> None:
+    global _POOL_RUNNER
+    netlist, relaxed, queue_capacity, rs_capacity, kernel_name, instruments = (
+        pickle.loads(payload)
+    )
+    _POOL_RUNNER = BatchRunner(
+        netlist,
+        relaxed=relaxed,
+        queue_capacity=queue_capacity,
+        rs_capacity=rs_capacity,
+        kernel=kernel_name,
+        instruments=instruments,
+    )
+
+
+def _pool_run_shard(
+    shard: Tuple[List[_Item], RunControls, str]
+) -> List[BatchResult]:
+    assert _POOL_RUNNER is not None
+    items, controls, on_error = shard
+    return [
+        _POOL_RUNNER._evaluate(
+            configuration, rs_counts, controls, on_error, queue_capacity=capacity
+        )
+        for configuration, rs_counts, capacity in items
+    ]
+
+
+# Legacy fork path: the runner is handed to workers through inherited memory
+# (for netlists that carry closures and cannot be pickled).
 _FORK_RUNNER: Optional["BatchRunner"] = None
-_FORK_ITEMS: Sequence[Tuple[Optional[RSConfiguration], Optional[Mapping[str, int]]]] = ()
+_FORK_ITEMS: Sequence[_Item] = ()
 _FORK_CONTROLS: Optional[RunControls] = None
 _FORK_ON_ERROR: str = "raise"
 
 
 def _fork_worker(index: int) -> BatchResult:
     assert _FORK_RUNNER is not None and _FORK_CONTROLS is not None
-    configuration, rs_counts = _FORK_ITEMS[index]
+    configuration, rs_counts, capacity = _FORK_ITEMS[index]
     return _FORK_RUNNER._evaluate(
-        configuration, rs_counts, _FORK_CONTROLS, _FORK_ON_ERROR
+        configuration, rs_counts, _FORK_CONTROLS, _FORK_ON_ERROR,
+        queue_capacity=capacity,
     )
 
 
@@ -147,12 +216,15 @@ class BatchRunner:
         rs_counts: Optional[Mapping[str, int]],
         controls: RunControls,
         on_error: str,
+        queue_capacity: Optional[int] = None,
     ) -> BatchResult:
         model = self._elaborator.bind(
             rs_counts=rs_counts,
             configuration=configuration,
             relaxed=self.relaxed,
-            queue_capacity=self.queue_capacity,
+            queue_capacity=(
+                self.queue_capacity if queue_capacity is None else queue_capacity
+            ),
             rs_capacity=self.rs_capacity,
         )
         kernel = make_kernel(model, self.kernel_name)
@@ -174,49 +246,169 @@ class BatchRunner:
     # -- batch evaluation ---------------------------------------------------
     def run_many(
         self,
-        configurations: Sequence[ConfigLike],
+        configurations: Sequence[BatchItem],
         workers: int = 1,
+        shards: Optional[int] = None,
         on_error: str = "raise",
+        start_method: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
         **controls: Any,
     ) -> List[BatchResult]:
         """Evaluate every configuration; optionally fan out across processes.
 
+        Each entry of *configurations* is an :class:`RSConfiguration`, a raw
+        per-channel mapping, or a ``(config, overrides)`` pair whose override
+        mapping may set ``queue_capacity`` for that item alone (the FIFO-depth
+        sweep uses this); the *queue_capacity* argument overrides the runner
+        default for the whole batch.
+
         ``on_error="zero"`` converts deadlocks/timeouts into failed
         :class:`BatchResult` entries (throughput 0.0) instead of raising —
         handy when sweeping spaces that contain infeasible corners.
-        ``workers > 1`` uses ``fork`` so the in-memory netlist (closures and
-        all) is inherited; on platforms without ``fork`` it falls back to
-        serial evaluation.  Worker runs never mutate this process' netlist.
+
+        With ``workers > 1`` the items are chunked into *shards* (default:
+        enough for load balancing, at most four per worker) and evaluated on
+        a persistent process pool.  Workers are seeded with a pickled work
+        spec and rebuild layout + kernel caches once, so the path is safe
+        under both ``fork`` and ``spawn`` start methods (*start_method*
+        forces one).  Unpicklable netlists fall back to fork inheritance
+        where the platform has ``fork``; if parallelism is genuinely
+        unavailable a :class:`RuntimeWarning` is emitted and the batch runs
+        serially.  Worker runs never mutate this process' netlist.
         """
-        items: List[Tuple[Optional[RSConfiguration], Optional[Mapping[str, int]]]] = []
-        for config in configurations:
-            if isinstance(config, RSConfiguration):
-                items.append((config, None))
-            else:
-                items.append((None, dict(config)))
+        items = [self._normalise_item(entry, queue_capacity) for entry in configurations]
         run_controls = RunControls(**controls)
 
-        if workers > 1 and _fork_available():
-            global _FORK_RUNNER, _FORK_ITEMS, _FORK_CONTROLS, _FORK_ON_ERROR
-            _FORK_RUNNER, _FORK_ITEMS = self, items
-            _FORK_CONTROLS, _FORK_ON_ERROR = run_controls, on_error
-            try:
-                context = multiprocessing.get_context("fork")
-                with context.Pool(processes=min(workers, len(items) or 1)) as pool:
-                    return pool.map(_fork_worker, range(len(items)))
-            finally:
-                _FORK_RUNNER, _FORK_ITEMS = None, ()
-                _FORK_CONTROLS = None
+        n_workers = min(workers, len(items))
+        if n_workers <= 1:
+            return self._run_serial(items, run_controls, on_error)
+
+        payload = self._spawn_payload()
+        if payload is not None and _controls_picklable(run_controls):
+            method = start_method or _default_start_method()
+            if method is not None:
+                return self._run_pooled(
+                    items, run_controls, on_error, n_workers, shards, method, payload
+                )
+            warnings.warn(
+                "BatchRunner.run_many: no multiprocessing start method "
+                "available; evaluating serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_serial(items, run_controls, on_error)
+
+        if _fork_available() and start_method in (None, "fork"):
+            return self._run_forked(items, run_controls, on_error, n_workers)
+
+        warnings.warn(
+            "BatchRunner.run_many: parallel evaluation unavailable "
+            "(netlist or controls not picklable and fork not supported); "
+            "evaluating serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return self._run_serial(items, run_controls, on_error)
+
+    # -- evaluation strategies ---------------------------------------------
+    def _run_serial(
+        self, items: Sequence[_Item], controls: RunControls, on_error: str
+    ) -> List[BatchResult]:
         return [
-            self._evaluate(configuration, rs_counts, run_controls, on_error)
-            for configuration, rs_counts in items
+            self._evaluate(
+                configuration, rs_counts, controls, on_error, queue_capacity=capacity
+            )
+            for configuration, rs_counts, capacity in items
         ]
+
+    def _run_pooled(
+        self,
+        items: List[_Item],
+        controls: RunControls,
+        on_error: str,
+        n_workers: int,
+        shards: Optional[int],
+        method: str,
+        payload: bytes,
+    ) -> List[BatchResult]:
+        shard_lists = _chunk(items, _shard_count(len(items), n_workers, shards))
+        context = multiprocessing.get_context(method)
+        results: List[BatchResult] = []
+        with context.Pool(
+            processes=min(n_workers, len(shard_lists)),
+            initializer=_pool_initializer,
+            initargs=(payload,),
+        ) as pool:
+            # imap streams shard results back in order as they complete.
+            for shard_results in pool.imap(
+                _pool_run_shard,
+                [(shard, controls, on_error) for shard in shard_lists],
+            ):
+                results.extend(shard_results)
+        return results
+
+    def _run_forked(
+        self,
+        items: Sequence[_Item],
+        controls: RunControls,
+        on_error: str,
+        n_workers: int,
+    ) -> List[BatchResult]:
+        global _FORK_RUNNER, _FORK_ITEMS, _FORK_CONTROLS, _FORK_ON_ERROR
+        _FORK_RUNNER, _FORK_ITEMS = self, items
+        _FORK_CONTROLS, _FORK_ON_ERROR = controls, on_error
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=n_workers) as pool:
+                return pool.map(_fork_worker, range(len(items)))
+        finally:
+            _FORK_RUNNER, _FORK_ITEMS = None, ()
+            _FORK_CONTROLS = None
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _normalise_item(
+        entry: BatchItem, batch_capacity: Optional[int]
+    ) -> _Item:
+        overrides: Mapping[str, Any] = {}
+        config: ConfigLike
+        if isinstance(entry, tuple):
+            config, overrides = entry
+            unknown = set(overrides) - _ITEM_OVERRIDES
+            if unknown:
+                raise SimulationError(
+                    f"unknown batch item overrides {sorted(unknown)}; "
+                    f"supported: {sorted(_ITEM_OVERRIDES)}"
+                )
+        else:
+            config = entry
+        capacity = overrides.get("queue_capacity", batch_capacity)
+        if isinstance(config, RSConfiguration):
+            return (config, None, capacity)
+        return (None, dict(config), capacity)
+
+    def _spawn_payload(self) -> Optional[bytes]:
+        """Pickled work spec for pool workers, or ``None`` if not picklable."""
+        try:
+            return pickle.dumps(
+                (
+                    self.netlist,
+                    self.relaxed,
+                    self.queue_capacity,
+                    self.rs_capacity,
+                    self.kernel_name,
+                    self.instruments,
+                )
+            )
+        except Exception:
+            return None
 
     # -- objective adapter --------------------------------------------------
     def objective(
         self,
         golden_cycles: Optional[int] = None,
         on_error: str = "raise",
+        workers: int = 1,
         **controls: Any,
     ):
         """An optimiser objective ``per-link assignment -> throughput``.
@@ -225,18 +417,75 @@ class BatchRunner:
         :mod:`repro.core.optimizer`.  With *golden_cycles* the score is the
         paper's golden-relative throughput, otherwise the system minimum of
         firings per cycle.
+
+        The callable also carries a ``many(assignments)`` method evaluating a
+        whole population through :meth:`run_many` (sharded across *workers*
+        when > 1); batch-aware strategies such as
+        :func:`repro.core.optimizer.exhaustive_search` use it automatically.
         """
-        run_controls = RunControls(**controls)
+        run_controls_kwargs = dict(controls)
+        run_controls = RunControls(**run_controls_kwargs)
 
         def evaluate(assignment: Mapping[str, int]) -> float:
             config = RSConfiguration.from_mapping(assignment, label="candidate")
             result = self._evaluate(config, None, run_controls, on_error)
             return result.throughput(golden_cycles)
 
+        def evaluate_many(assignments: Sequence[Mapping[str, int]]) -> List[float]:
+            configs = [
+                RSConfiguration.from_mapping(assignment, label="candidate")
+                for assignment in assignments
+            ]
+            results = self.run_many(
+                configs, workers=workers, on_error=on_error, **run_controls_kwargs
+            )
+            return [result.throughput(golden_cycles) for result in results]
+
+        evaluate.many = evaluate_many
         return evaluate
 
+
+# ---------------------------------------------------------------------------
+# Module helpers
+# ---------------------------------------------------------------------------
 
 def _fork_available() -> bool:
     if sys.platform == "win32":
         return False
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _default_start_method() -> Optional[str]:
+    """Preferred pool start method: fork (cheap) where safe, spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    if not methods:
+        return None
+    if sys.platform != "win32" and "fork" in methods:
+        return "fork"
+    for method in ("spawn", "forkserver"):
+        if method in methods:
+            return method
+    return methods[0]
+
+
+def _controls_picklable(controls: RunControls) -> bool:
+    if controls.on_cycle is None:
+        return True
+    try:
+        pickle.dumps(controls)
+        return True
+    except Exception:
+        return False
+
+
+def _shard_count(n_items: int, n_workers: int, shards: Optional[int]) -> int:
+    """Number of shards: caller's choice (clamped), else ~4 per worker."""
+    if shards is not None:
+        return max(1, min(shards, n_items))
+    return min(n_items, n_workers * 4)
+
+
+def _chunk(items: List[_Item], n_shards: int) -> List[List[_Item]]:
+    """Split *items* into *n_shards* contiguous, order-preserving chunks."""
+    size = math.ceil(len(items) / n_shards)
+    return [items[i : i + size] for i in range(0, len(items), size)]

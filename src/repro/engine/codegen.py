@@ -1,0 +1,830 @@
+"""Code generation for the compiled kernel: netlist -> specialized Python.
+
+The fast kernel already removed every per-cycle name lookup, but it still
+*interprets* the elaborated model each cycle: generic loops over shell
+records, per-port loops with tuple unpacking, a generic loop over the
+precomputed relay-station hops.  This module removes that last layer of
+interpretation by emitting Python **source** specialized to one elaborated
+model:
+
+* every storage element becomes a local variable (``q7``) bound to a
+  ``deque`` once (with its ``append``/``popleft`` pre-bound), so token
+  movement is a C-level method call on a local;
+* queues hold **raw values, not (value, tag) pairs**: on a correct channel
+  tokens arrive in strictly increasing, gapless tag order, so the head tag
+  of a shell FIFO is simply the number of tokens ever popped from it.  WP1
+  consumes one token per port per firing, which makes the head tag always
+  equal to the consumer's firing counter — the per-port tag checks vanish
+  entirely and a WP1 shell's whole firing guard folds into one ``and``
+  chain over queue truthiness and latched capacities.  WP2 keeps one
+  integer counter per shell FIFO (``g7``), incremented on every pop,
+  against which stale-token discarding compares.  No tuple is ever
+  allocated for a moving token.  (The interpreting kernels' future-tag
+  invariant check is unreachable on a correct engine and has no equivalent
+  here; the cross-kernel property suite is the safety net.)
+* the per-cycle occupancy latch disappears: every element whose
+  start-of-cycle occupancy is read carries an integer counter (``n7``)
+  maintained at each push/pop site.  Relay-station forwarding decisions are
+  evaluated at the top of the cycle (``h3 = n7 and n5 < 4``) where the
+  counters still hold start-of-cycle values, and committed after the shell
+  phase; back-pressure reads use the counter directly when no earlier shell
+  can have touched the element this cycle, or a one-integer copy (``l7 =
+  n7``) latched at the top of the cycle otherwise.  No ``len()`` call runs
+  on the hot path;
+* hooks the processes do not override are folded away: a process that never
+  overrides ``is_done`` loses its per-cycle done guard (the base method is
+  the constant ``False``); one that declares
+  :attr:`~repro.core.process.Process.done_attribute` has the guard read
+  that attribute instead of calling the method; and a WP2 process without a
+  ``required_ports`` override skips the oracle call and the unknown-port
+  validation;
+* a produced token whose destination cannot be observed again this cycle —
+  the first element of the channel is a relay station (never read live), or
+  the consuming shell is the producer itself or fired earlier in process
+  order — is appended immediately; the remaining launches wait in one
+  pending-slot local per channel, committed after the forwarding phase;
+* instrumentation (trace / shell stats / occupancy) is **compiled in only
+  when the corresponding pass is enabled** — the uninstrumented objective
+  path contains no counters, no ``Token`` objects and no occupancy samples
+  at all, not even behind a branch.  (Occupancy tracking switches back to
+  ``len()`` latches and a deferred launch list so the sampled maxima match
+  the fast kernel exactly.)
+
+The generated function is an entire run loop (not a per-cycle callable): the
+stop condition, drain window and deadlock detection are cheap per-cycle
+scalar checks, and keeping them inside the generated frame means the hot
+locals (queues, counters, firing counters) never cross a call boundary.  The
+loop is additionally specialized on the stop-condition *mode* (any-done /
+firing-targets / stop-process), and the stop condition is only re-evaluated
+after a cycle in which something fired (process state — and therefore
+``is_done`` and firing counts — cannot change on an idle cycle).
+
+Scheduling semantics are identical to :class:`~repro.engine.fast.FastKernel`
+by construction — the generator mirrors its phase structure (see DESIGN.md
+§3 for why the latched-snapshot commit argument is preserved) — and the
+property suite in ``tests/test_engine.py`` pins cycle-for-cycle equality
+across all three kernels.
+
+Compilation is cached on the :class:`~repro.engine.elaboration.NetlistLayout`
+keyed by the *configuration signature*: the relay-chain shape, the element
+capacities, the wrapper flavour, the instrument flags and the stop mode.
+Re-binding the same layout to a configuration with the same signature (the
+batch runner and the optimiser do this constantly) reuses the compiled code
+object.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Dict, List, Set, Tuple
+
+from ..core.exceptions import (
+    DeadlockError,
+    ProtocolError,
+    SimulationError,
+)
+from ..core.process import Process
+from ..core.tokens import Token, VOID
+from .elaboration import ElaboratedModel
+from .fast import _raise_output_mismatch
+from .instrumentation import InstrumentSet
+
+#: Name of the generated entry point inside the compiled namespace.
+ENTRY_POINT = "__lid_run"
+
+#: Attribute under which the per-layout compilation cache is stored.
+_CACHE_ATTR = "_compiled_run_cache"
+
+#: Stop-condition modes a run loop can be specialized for.
+STOP_ANY_DONE = 0      #: stop when any process reports done
+STOP_TARGET = 1        #: stop once per-process firing targets are met
+STOP_PROCESS = 2       #: stop when one designated process reports done
+
+
+def _overrides(process: Process, method: str) -> bool:
+    """Whether *process* overrides a base-class hook (class or instance level).
+
+    The base implementations are constant (``is_done`` → ``False``,
+    ``required_ports`` → ``None``), so the generator folds non-overridden
+    hooks away instead of paying a Python call per process per cycle.
+    """
+    if method in process.__dict__:
+        return True
+    return getattr(type(process), method) is not getattr(Process, method)
+
+
+def _raise_unknown_ports(name: str, required, portset) -> None:
+    raise ProtocolError(
+        f"oracle of process {name!r} required unknown ports "
+        f"{sorted(required - portset)}"
+    )
+
+
+class _Writer:
+    """Tiny indentation-aware line emitter."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.depth + line if line else "")
+
+    def push(self) -> None:
+        self.depth += 1
+
+    def pop(self) -> None:
+        self.depth -= 1
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: _Writer) -> None:
+        self.writer = writer
+
+    def __enter__(self) -> None:
+        self.writer.push()
+
+    def __exit__(self, *exc) -> None:
+        self.writer.pop()
+
+
+def model_signature(
+    model: ElaboratedModel, instruments: InstrumentSet, stop_mode: int = STOP_PROCESS
+) -> Tuple:
+    """The compilation cache key of one bound model + instrument selection.
+
+    Two bindings of the same layout share compiled code iff they agree on
+    the relay-chain shape, every element capacity, the wrapper flavour, the
+    instrument flags and the stop-condition mode (the loop only carries the
+    plumbing of the stop condition actually in use).  Everything else
+    (configuration label, the actual initial token values, the concrete stop
+    targets) is runtime data.
+    """
+    return (
+        tuple(tuple(chain) for chain in model.chan_chain),
+        tuple(model.queue_caps),
+        model.relaxed,
+        instruments.trace,
+        instruments.shell_stats,
+        instruments.occupancy,
+        stop_mode,
+    )
+
+
+class _Generator:
+    """Builds the specialized run-loop source for one bound model."""
+
+    def __init__(
+        self,
+        model: ElaboratedModel,
+        instruments: InstrumentSet,
+        stop_mode: int = STOP_PROCESS,
+    ) -> None:
+        self.model = model
+        self.layout = model.layout
+        self.instruments = instruments
+        self.stop_mode = stop_mode
+        self.relaxed = model.relaxed
+        self.tracing = instruments.trace
+        self.stats = instruments.shell_stats
+        self.occ = instruments.occupancy
+        # Integer occupancy counters replace len() latches whenever the
+        # occupancy instrument (whose sampling points are tied to the real
+        # deque lengths) is off.
+        self.int_occ = not self.occ
+        layout = self.layout
+        self.n_procs = len(layout.processes)
+        self.n_chans = len(layout.chan_names)
+        self.n_queues = len(model.queue_caps)
+        self.done_ovr = [_overrides(p, "is_done") for p in layout.processes]
+        # A declared boolean done-attribute lets the guard read an attribute
+        # instead of calling is_done() every cycle (see Process.done_attribute).
+        self.done_attr = [p.done_attribute for p in layout.processes]
+        self.req_ovr = [_overrides(p, "required_ports") for p in layout.processes]
+        self.hops = [
+            (chain[i], chain[i + 1])
+            for chain in model.chan_chain
+            for i in range(len(chain) - 1)
+        ]
+        # Elements whose start-of-cycle occupancy is actually read: back-
+        # pressure sources (first elements of output channels) and both
+        # sides of every forwarding hop.
+        self.latched = set()
+        for pairs in model.out_first:
+            self.latched.update(pairs)
+        for src, dst in self.hops:
+            self.latched.add(src)
+            self.latched.add(dst)
+        # Owner (consuming process) of every shell input FIFO.
+        self.queue_owner: Dict[int, int] = {}
+        for p, qids in enumerate(layout.in_qids):
+            for qid in qids:
+                self.queue_owner[qid] = p
+        # Back-pressure reads that need a top-of-cycle latched copy even
+        # under integer counters: the element is a shell FIFO whose owner
+        # runs at or before the producer, so the owner's pops (WP1 consumes,
+        # WP2 also discards before its own back-pressure check) precede the
+        # read.  A relay station or a later-running owner cannot be touched
+        # before the read, so those use the counter directly.
+        self.guard_copy: Set[int] = set()
+        if self.int_occ:
+            for p in range(self.n_procs):
+                for qid in model.out_first[p]:
+                    owner = self.queue_owner.get(qid)
+                    if owner is None:
+                        continue
+                    if owner < p or (owner == p and self.relaxed):
+                        self.guard_copy.add(qid)
+        self.deferred_cids = sorted(
+            {
+                cid
+                for p in range(self.n_procs)
+                for _, cids in layout.out_ports[p]
+                for cid in cids
+                if self._deferred(p, cid)
+            }
+        )
+        # Deferred launches wait in one pending-slot local per channel (no
+        # tuple, no list churn); the occupancy variant keeps the ordered
+        # launch list so maxima are sampled exactly like the fast kernel.
+        self.pending_slots = self.int_occ and bool(self.deferred_cids)
+        self.any_deferred = bool(self.deferred_cids) and not self.pending_slots
+        # Queues needing pre-bound popleft / append methods.
+        self.pops_used: Set[int] = set(self.queue_owner)
+        self.appends_used: Set[int] = set(layout.chan_dest_qid)
+        for src, dst in self.hops:
+            self.pops_used.add(src)
+            self.appends_used.add(dst)
+        self.appends_used.update(model.chan_first)
+        self.w = _Writer()
+
+    # -- expression helpers -----------------------------------------------------
+    def _done_expr(self, p: int) -> str:
+        attr = self.done_attr[p]
+        return f"p{p}.{attr}" if attr else f"p{p}_done()"
+
+    def _bp_expr(self, qid: int) -> str:
+        """Start-of-cycle occupancy of *qid* as read by a back-pressure guard."""
+        if not self.int_occ:
+            return f"l{qid}"
+        return f"l{qid}" if qid in self.guard_copy else f"n{qid}"
+
+    def _deferred(self, p: int, cid: int) -> bool:
+        """Whether a token launched by process *p* on channel *cid* must wait.
+
+        An append may commit immediately iff nothing can observe the queue
+        live later this cycle: relay stations are only read through the
+        latched snapshot, and a shell FIFO is only read by its owning shell,
+        which already executed when ``owner <= p``.  Occupancy instrumentation
+        defers everything so maxima are sampled exactly like the fast kernel.
+        """
+        if self.occ:
+            return True
+        first = self.model.chan_first[cid]
+        owner = self.queue_owner.get(first)
+        return owner is not None and owner > p
+
+    def _emit_push(self, qid: int, value_expr: str) -> None:
+        """Append *value_expr* to queue *qid*, maintaining its counter."""
+        self.w.emit(f"q{qid}_ap({value_expr})")
+        if self.int_occ and qid in self.latched:
+            self.w.emit(f"n{qid} += 1")
+
+    def _emit_pop_count(self, qid: int) -> None:
+        """Counter maintenance for a pop from queue *qid* (pop emitted by caller)."""
+        if self.int_occ and qid in self.latched:
+            self.w.emit(f"n{qid} -= 1")
+
+    def generate(self) -> str:
+        w = self.w
+        model = self.model
+        layout = self.layout
+        w.emit(
+            f"def {ENTRY_POINT}(procs, fir, label, max_cycles, deadlock_limit, "
+            "extra_cycles, stop_mode, stop_arg):"
+        )
+        w.push()
+
+        # -- prologue: hoist process methods, build run state ----------------
+        w.emit("_len = len")
+        for p in range(self.n_procs):
+            w.emit(f"p{p} = procs[{p}]")
+            w.emit(f"p{p}_fire = p{p}.fire")
+            w.emit(f"o{p} = OUT{p}")
+            if self.done_ovr[p] and not self.done_attr[p]:
+                w.emit(f"p{p}_done = p{p}.is_done")
+            if self.relaxed and self.req_ovr[p]:
+                w.emit(f"p{p}_req = p{p}.required_ports")
+                w.emit(f"r{p} = PORTS{p}")
+        w.emit("for _proc in procs:")
+        with _Block(w):
+            w.emit("_proc.reset()")
+        for q in range(self.n_queues):
+            w.emit(f"q{q} = deque()")
+            if q in self.pops_used:
+                w.emit(f"q{q}_pop = q{q}.popleft")
+            if q in self.appends_used:
+                w.emit(f"q{q}_ap = q{q}.append")
+            if q in self.latched:
+                if self.int_occ:
+                    w.emit(f"n{q} = 0")
+                else:
+                    w.emit(f"q{q}_n = q{q}.__len__")
+        for p in range(self.n_procs):
+            w.emit(f"f{p} = 0")
+        if self.relaxed:
+            # Per-FIFO head-tag counters (tags are implicit, see module doc).
+            # Only oracle-bearing shells can leave stale tokens behind; an
+            # all-required shell consumes every port on every firing, so its
+            # head tags provably equal its firing counter and need no counter.
+            for p in range(self.n_procs):
+                if self.req_ovr[p]:
+                    for q in layout.in_qids[p]:
+                        w.emit(f"g{q} = 0")
+        if self.occ:
+            w.emit(f"mo = [0] * {self.n_queues}")
+        for cid in range(self.n_chans):
+            qid = layout.chan_dest_qid[cid]
+            self._emit_push(qid, f"CHAN_INIT[{cid}]")
+            if self.occ:
+                w.emit(f"mo[{qid}] = 1")
+        if self.stats:
+            w.emit(f"st_missing = [0] * {self.n_procs}")
+            w.emit(f"st_blocked = [0] * {self.n_procs}")
+            w.emit(f"st_done = [0] * {self.n_procs}")
+            w.emit(f"st_disc = [0] * {self.n_procs}")
+            w.emit(f"st_dp = [_dd(int) for _ in range({self.n_procs})]")
+            w.emit(f"st_mp = [_dd(int) for _ in range({self.n_procs})]")
+        if self.tracing:
+            w.emit(f"chan_items = [[] for _ in range({self.n_chans})]")
+        if self.pending_slots:
+            for cid in self.deferred_cids:
+                w.emit(f"d{cid} = _NP")
+        elif self.any_deferred:
+            w.emit("launches = []")
+            w.emit("_lap = launches.append")
+        if self.occ:
+            w.emit("occ_pending = []")
+            w.emit("_oap = occ_pending.append")
+        w.emit("cycles = 0")
+        w.emit("idle = 0")
+        w.emit("halted = False")
+        w.emit("drain = None")
+        if self.stop_mode == STOP_PROCESS:
+            w.emit("_stop_done = procs[stop_arg].is_done")
+
+        # -- main loop --------------------------------------------------------
+        w.emit("while cycles < max_cycles:")
+        w.push()
+        if self.int_occ:
+            # Phase 1: forwarding decisions against start-of-cycle counters,
+            # plus latched copies for the back-pressure reads that need them.
+            for i, (src, dst) in enumerate(self.hops):
+                w.emit(f"h{i} = n{src} and n{dst} < {model.queue_caps[dst]}")
+            for q in sorted(self.guard_copy):
+                w.emit(f"l{q} = n{q}")
+        else:
+            # Phase 1: latch the occupancies any decision reads.
+            for q in sorted(self.latched):
+                w.emit(f"l{q} = q{q}_n()")
+        w.emit("fired_any = False")
+        if self.tracing:
+            w.emit(f"_e = [VOID] * {self.n_chans}")
+
+        # Phase 2: shells, in process order.
+        for p in range(self.n_procs):
+            self._shell(p)
+
+        # Phase 3: commit relay-station moves, then deferred launches.
+        if self.int_occ:
+            for i, (src, dst) in enumerate(self.hops):
+                w.emit(f"if h{i}:")
+                with _Block(w):
+                    w.emit(f"q{dst}_ap(q{src}_pop())")
+                    w.emit(f"n{src} -= 1")
+                    w.emit(f"n{dst} += 1")
+        else:
+            for src, dst in self.hops:
+                w.emit(f"if l{src} and l{dst} < {model.queue_caps[dst]}:")
+                with _Block(w):
+                    w.emit(f"q{dst}_ap(q{src}_pop())")
+                    if self.occ:
+                        w.emit(f"_oap((q{dst}, {dst}))")
+        if self.occ:
+            w.emit("for _q, _qi, _it in launches:")
+            with _Block(w):
+                w.emit("_q.append(_it)")
+                w.emit("_ln = _len(_q)")
+                w.emit("if _ln > mo[_qi]:")
+                with _Block(w):
+                    w.emit("mo[_qi] = _ln")
+            w.emit("launches.clear()")
+            w.emit("for _q, _qi in occ_pending:")
+            with _Block(w):
+                w.emit("_ln = _len(_q)")
+                w.emit("if _ln > mo[_qi]:")
+                with _Block(w):
+                    w.emit("mo[_qi] = _ln")
+            w.emit("occ_pending.clear()")
+        elif self.pending_slots:
+            for cid in self.deferred_cids:
+                qid = model.chan_first[cid]
+                w.emit(f"if d{cid} is not _NP:")
+                with _Block(w):
+                    self._emit_push(qid, f"d{cid}")
+                    w.emit(f"d{cid} = _NP")
+        elif self.any_deferred:
+            w.emit("for _q, _it in launches:")
+            with _Block(w):
+                w.emit("_q.append(_it)")
+            w.emit("launches.clear()")
+
+        if self.tracing:
+            w.emit("for _cl, _cv in zip(chan_items, _e):")
+            with _Block(w):
+                w.emit("_cl.append(_cv)")
+        w.emit("cycles += 1")
+        w.emit("if fired_any:")
+        with _Block(w):
+            w.emit("idle = 0")
+        w.emit("else:")
+        with _Block(w):
+            w.emit("idle += 1")
+            w.emit("if idle >= deadlock_limit:")
+            with _Block(w):
+                w.emit(
+                    "raise DeadlockError('no process fired for %d consecutive "
+                    "cycles (cycle %d, configuration %r)' % (idle, cycles, label))"
+                )
+        # Process state is only mutated by firings, so the stop condition can
+        # only change after a firing (or on the very first evaluation).
+        w.emit("if drain is None and (fired_any or cycles == 1):")
+        with _Block(w):
+            if self.stop_mode == STOP_TARGET:
+                w.emit("_stop = True")
+                w.emit("for _si, _sc in stop_arg:")
+                with _Block(w):
+                    w.emit("if fir[_si] < _sc:")
+                    with _Block(w):
+                        w.emit("_stop = False")
+                        w.emit("break")
+            elif self.stop_mode == STOP_PROCESS:
+                w.emit("_stop = _stop_done()")
+            else:
+                candidates = [
+                    self._done_expr(p)
+                    for p in range(self.n_procs)
+                    if self.done_ovr[p]
+                ]
+                w.emit(f"_stop = {' or '.join(candidates) if candidates else 'False'}")
+            w.emit("if _stop:")
+            with _Block(w):
+                w.emit("halted = True")
+                w.emit("drain = extra_cycles")
+        w.emit("if drain is not None:")
+        with _Block(w):
+            w.emit("if drain == 0:")
+            with _Block(w):
+                w.emit("break")
+            w.emit("drain -= 1")
+        w.pop()  # while
+        w.emit("else:")
+        with _Block(w):
+            w.emit(
+                "raise SimulationError('simulation did not terminate within "
+                "%d cycles (configuration %r)' % (max_cycles, label))"
+            )
+
+        # -- epilogue ----------------------------------------------------------
+        for p in range(self.n_procs):
+            w.emit(f"fir[{p}] = f{p}")
+        trace_out = "chan_items" if self.tracing else "None"
+        stats_out = (
+            "(st_missing, st_blocked, st_done, st_disc, st_dp, st_mp)"
+            if self.stats
+            else "None"
+        )
+        occ_out = "mo" if self.occ else "None"
+        w.emit(f"return (cycles, halted, {trace_out}, {stats_out}, {occ_out})")
+        w.pop()
+        return w.source()
+
+    # -- shells ----------------------------------------------------------------
+    def _shell(self, p: int) -> None:
+        """Unrolled firing logic of one shell (mirrors FastKernel phase 2)."""
+        w = self.w
+        layout = self.layout
+        ports = layout.in_ports[p]
+        qids = layout.in_qids[p]
+
+        w.emit(f"# shell {p}: {layout.proc_names[p]}")
+        if not self.done_ovr[p]:
+            # is_done is the base-class constant False: no done guard at all.
+            self._shell_body(p)
+            return
+        if self.relaxed:
+            w.emit(f"if {self._done_expr(p)}:")
+            with _Block(w):
+                # Stale tokens still arrive after completion; keep discarding
+                # them exactly like the reference wrapper.  An all-required
+                # shell consumed every tag it ever fired on, so nothing stale
+                # can be waiting and the discard scan folds away.
+                scan = ports and self.req_ovr[p]
+                if scan:
+                    w.emit(f"_t = f{p}")
+                    for port, qid in zip(ports, qids):
+                        w.emit(f"while q{qid} and g{qid} < _t:")
+                        with _Block(w):
+                            w.emit(f"q{qid}_pop()")
+                            w.emit(f"g{qid} += 1")
+                            self._emit_pop_count(qid)
+                            if self.stats:
+                                w.emit(f"st_disc[{p}] += 1")
+                                w.emit(f"st_dp[{p}][{port!r}] += 1")
+                if self.stats:
+                    w.emit(f"st_done[{p}] += 1")
+                elif not scan:
+                    w.emit("pass")
+            w.emit("else:")
+            with _Block(w):
+                self._shell_body(p)
+        else:
+            if self.stats:
+                w.emit(f"if {self._done_expr(p)}:")
+                with _Block(w):
+                    w.emit(f"st_done[{p}] += 1")
+                w.emit("else:")
+            else:
+                w.emit(f"if not {self._done_expr(p)}:")
+            with _Block(w):
+                self._shell_body(p)
+
+    def _shell_body(self, p: int) -> None:
+        # A relaxed shell without an oracle override requires every port, so
+        # it fires exactly like a strict one (and can never see a stale
+        # token); its body is the plain WP1 guard.
+        if self.relaxed and self.req_ovr[p]:
+            self._body_wp2(p)
+        elif self.stats:
+            self._body_wp1_stats(p)
+        else:
+            self._body_wp1(p)
+
+    def _body_wp1(self, p: int) -> None:
+        """WP1 uninstrumented: the whole guard is one ``and`` chain.
+
+        A WP1 shell pops one token per port per firing, so a non-empty FIFO's
+        head always carries the current tag — availability is truthiness.
+        """
+        w = self.w
+        caps = self.model.queue_caps
+        conds = [f"q{qid}" for qid in self.layout.in_qids[p]]
+        conds += [
+            f"{self._bp_expr(qid)} < {caps[qid]}"
+            for qid in sorted(set(self.model.out_first[p]))
+        ]
+        if conds:
+            w.emit(f"if {' and '.join(conds)}:")
+            with _Block(w):
+                self._fire(p)
+        else:
+            self._fire(p)
+
+    def _body_wp1_stats(self, p: int) -> None:
+        """WP1 instrumented: per-port missing counters, then blocked, then fire."""
+        w = self.w
+        layout = self.layout
+        caps = self.model.queue_caps
+        ports = layout.in_ports[p]
+        qids = layout.in_qids[p]
+        pairs = sorted(set(self.model.out_first[p]))
+        blocked = " or ".join(
+            f"{self._bp_expr(qid)} >= {caps[qid]}" for qid in pairs
+        )
+
+        if ports:
+            w.emit("_m = False")
+            for port, qid in zip(ports, qids):
+                w.emit(f"if not q{qid}:")
+                with _Block(w):
+                    w.emit("_m = True")
+                    w.emit(f"st_mp[{p}][{port!r}] += 1")
+            w.emit("if _m:")
+            with _Block(w):
+                w.emit(f"st_missing[{p}] += 1")
+            if pairs:
+                w.emit(f"elif {blocked}:")
+                with _Block(w):
+                    w.emit(f"st_blocked[{p}] += 1")
+            w.emit("else:")
+            with _Block(w):
+                self._fire(p)
+        elif pairs:
+            w.emit(f"if {blocked}:")
+            with _Block(w):
+                w.emit(f"st_blocked[{p}] += 1")
+            w.emit("else:")
+            with _Block(w):
+                self._fire(p)
+        else:
+            self._fire(p)
+
+    def _body_wp2(self, p: int) -> None:
+        """WP2: oracle consultation, stale discard on every FIFO, then fire."""
+        w = self.w
+        layout = self.layout
+        name = layout.proc_names[p]
+        ports = layout.in_ports[p]
+        qids = layout.in_qids[p]
+        stats = self.stats
+        has_oracle = self.req_ovr[p]
+
+        w.emit(f"_t = f{p}")
+        if has_oracle:
+            w.emit(f"_req = p{p}_req()")
+        if ports:
+            if has_oracle:
+                w.emit("if _req is None:")
+                with _Block(w):
+                    w.emit(f"_req = r{p}")
+                w.emit(f"elif not (_req <= r{p}):")
+                with _Block(w):
+                    w.emit(f"_unknown({name!r}, _req, r{p})")
+            w.emit("_m = False")
+            for port, qid in zip(ports, qids):
+                # The scan runs on every FIFO (never stops early) so the
+                # occupancies latched next cycle match the reference.
+                w.emit(f"while q{qid} and g{qid} < _t:")
+                with _Block(w):
+                    w.emit(f"q{qid}_pop()")
+                    w.emit(f"g{qid} += 1")
+                    self._emit_pop_count(qid)
+                    if stats:
+                        w.emit(f"st_disc[{p}] += 1")
+                        w.emit(f"st_dp[{p}][{port!r}] += 1")
+                w.emit(f"if not q{qid}:")
+                with _Block(w):
+                    if has_oracle:
+                        w.emit(f"if {port!r} in _req:")
+                        with _Block(w):
+                            w.emit("_m = True")
+                            if stats:
+                                w.emit(f"st_mp[{p}][{port!r}] += 1")
+                    else:
+                        w.emit("_m = True")
+                        if stats:
+                            w.emit(f"st_mp[{p}][{port!r}] += 1")
+            w.emit("if _m:")
+            with _Block(w):
+                w.emit(f"st_missing[{p}] += 1" if stats else "pass")
+            w.emit("else:")
+            with _Block(w):
+                self._blocked_and_fire(p)
+        else:
+            if has_oracle:
+                w.emit(f"if _req is not None and not (_req <= r{p}):")
+                with _Block(w):
+                    w.emit(f"_unknown({name!r}, _req, r{p})")
+            self._blocked_and_fire(p)
+
+    def _blocked_and_fire(self, p: int) -> None:
+        w = self.w
+        caps = self.model.queue_caps
+        pairs = sorted(set(self.model.out_first[p]))
+        if pairs:
+            if self.stats:
+                blocked = " or ".join(
+                    f"{self._bp_expr(qid)} >= {caps[qid]}" for qid in pairs
+                )
+                w.emit(f"if {blocked}:")
+                with _Block(w):
+                    w.emit(f"st_blocked[{p}] += 1")
+                w.emit("else:")
+                with _Block(w):
+                    self._fire(p)
+            else:
+                free = " and ".join(
+                    f"{self._bp_expr(qid)} < {caps[qid]}" for qid in pairs
+                )
+                w.emit(f"if {free}:")
+                with _Block(w):
+                    self._fire(p)
+        else:
+            self._fire(p)
+
+    def _fire(self, p: int) -> None:
+        w = self.w
+        layout = self.layout
+        model = self.model
+        ports = layout.in_ports[p]
+        qids = layout.in_qids[p]
+
+        if self.relaxed and self.req_ovr[p]:
+            # WP2 consumes the ports whose current-tag token already arrived:
+            # after the stale scan a non-empty FIFO's head holds exactly the
+            # current tag.
+            items = ", ".join(f"{port!r}: None" for port in ports)
+            w.emit(f"_in = {{{items}}}")
+            for port, qid in zip(ports, qids):
+                w.emit(f"if q{qid}:")
+                with _Block(w):
+                    w.emit(f"_in[{port!r}] = q{qid}_pop()")
+                    w.emit(f"g{qid} += 1")
+                    self._emit_pop_count(qid)
+            w.emit(f"_out = p{p}_fire(_in)")
+        else:
+            # WP1 consumes every port (all verified ready by the guards above).
+            items = ", ".join(
+                f"{port!r}: q{qid}_pop()" for port, qid in zip(ports, qids)
+            )
+            w.emit(f"_out = p{p}_fire({{{items}}})")
+            for qid in qids:
+                self._emit_pop_count(qid)
+        w.emit(f"if _out.keys() != o{p}:")
+        with _Block(w):
+            w.emit(f"_mismatch(p{p}, _out)")
+        w.emit(f"f{p} = _nt = f{p} + 1")
+        if self.stop_mode == STOP_TARGET:
+            w.emit(f"fir[{p}] = _nt")
+        w.emit(f"p{p}.firings = _nt")
+        for port, cids in layout.out_ports[p]:
+            w.emit(f"_v = _out[{port!r}]")
+            if self.tracing:
+                w.emit("_tok = Token(value=_v, tag=_nt)")
+            for cid in cids:
+                qid = model.chan_first[cid]
+                if self.tracing:
+                    w.emit(f"_e[{cid}] = _tok")
+                if self._deferred(p, cid):
+                    if self.occ:
+                        w.emit(f"_lap((q{qid}, {qid}, _v))")
+                    elif self.pending_slots:
+                        w.emit(f"d{cid} = _v")
+                    else:
+                        w.emit(f"_lap((q{qid}, _v))")
+                else:
+                    self._emit_push(qid, "_v")
+        w.emit("fired_any = True")
+
+
+def generate_run_source(
+    model: ElaboratedModel,
+    instruments: InstrumentSet,
+    stop_mode: int = STOP_PROCESS,
+) -> str:
+    """Emit the source of the specialized run function for *model*."""
+    return _Generator(model, instruments, stop_mode).generate()
+
+
+def _base_namespace(model: ElaboratedModel) -> dict:
+    """Layout-level constants the generated code closes over."""
+    layout = model.layout
+    namespace = {
+        "__builtins__": __builtins__,
+        "deque": deque,
+        "_dd": defaultdict,
+        "Token": Token,
+        "VOID": VOID,
+        "DeadlockError": DeadlockError,
+        "SimulationError": SimulationError,
+        "_mismatch": _raise_output_mismatch,
+        "_unknown": _raise_unknown_ports,
+        "CHAN_INIT": list(layout.chan_initial),
+        "_NP": object(),  # unique "no pending token" sentinel
+    }
+    for p, process in enumerate(layout.processes):
+        namespace[f"OUT{p}"] = frozenset(process.output_ports)
+        namespace[f"PORTS{p}"] = frozenset(layout.in_ports[p])
+    return namespace
+
+
+def compiled_run_fn(
+    model: ElaboratedModel,
+    instruments: InstrumentSet,
+    stop_mode: int = STOP_PROCESS,
+) -> Callable:
+    """The compiled run function for *model*, generated and cached on demand.
+
+    The cache lives on the layout (one per :class:`Elaborator`, shared by
+    every binding), keyed by :func:`model_signature`; a worker process that
+    evaluates a whole shard of same-shaped configurations compiles once.
+    """
+    layout = model.layout
+    cache = getattr(layout, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(layout, _CACHE_ATTR, cache)
+    key = model_signature(model, instruments, stop_mode)
+    fn = cache.get(key)
+    if fn is None:
+        source = generate_run_source(model, instruments, stop_mode)
+        code = compile(source, f"<lid-codegen:{model.netlist.name}>", "exec")
+        namespace = _base_namespace(model)
+        exec(code, namespace)
+        fn = namespace[ENTRY_POINT]
+        fn.__lid_source__ = source  # kept for tests and debugging
+        cache[key] = fn
+    return fn

@@ -1,0 +1,112 @@
+"""The compiled kernel: executes codegen-specialized run functions.
+
+Where :class:`~repro.engine.fast.FastKernel` interprets the elaborated model
+each cycle, this kernel compiles the model **once** into a specialized run
+function (see :mod:`repro.engine.codegen`) and executes that.  The generated
+code is cached on the netlist layout keyed by the configuration signature,
+so repeated runs — and batch evaluations of same-shaped configurations —
+pay the generation cost a single time.
+
+Semantics are pinned to the reference/fast kernels by the property suite in
+``tests/test_engine.py``: cycles, firings, traces, stall statistics and
+occupancies are cycle-for-cycle identical.
+
+One deliberate exception: the generic ``on_cycle`` observer (a per-cycle
+Python callback) is served by delegating the run to the fast kernel — a
+callback per cycle costs more than interpretation saves, and keeping the
+compiled hot loop free of observer plumbing is the point of this kernel.
+The two kernels are equivalence-pinned, so the delegation is unobservable.
+"""
+
+from __future__ import annotations
+
+from ..core.shell import ShellStats
+from ..core.traces import SystemTrace
+from .codegen import STOP_ANY_DONE, STOP_PROCESS, STOP_TARGET, compiled_run_fn
+from .instrumentation import InstrumentSet, trace_from_lists
+from .kernel import RunControls, SimKernel
+from .result import LidResult
+
+
+class CompiledKernel(SimKernel):
+    """Specialized-codegen kernel over the integer-indexed elaborated model."""
+
+    name = "compiled"
+
+    def run(self, controls: RunControls, instruments: InstrumentSet) -> LidResult:
+        model = self.model
+        controls.validate(model)
+        if controls.on_cycle is not None:
+            from .fast import FastKernel
+
+            return FastKernel(model).run(controls, instruments)
+
+        layout = model.layout
+        proc_names = layout.proc_names
+        n_procs = len(proc_names)
+        fir = [0] * n_procs
+
+        if controls.target_firings is not None:
+            index = {name: i for i, name in enumerate(proc_names)}
+            stop_mode = STOP_TARGET
+            stop_arg = [
+                (index[name], count)
+                for name, count in controls.target_firings.items()
+            ]
+        elif controls.stop_process is not None:
+            stop_mode = STOP_PROCESS
+            stop_arg = proc_names.index(controls.stop_process)
+        else:
+            stop_mode = STOP_ANY_DONE
+            stop_arg = None
+
+        run_fn = compiled_run_fn(model, instruments, stop_mode)
+        cycles, halted, chan_items, stats, maxocc = run_fn(
+            layout.processes,
+            fir,
+            model.configuration_label,
+            controls.max_cycles,
+            controls.deadlock_limit,
+            controls.extra_cycles,
+            stop_mode,
+            stop_arg,
+        )
+
+        firings = {proc_names[p]: fir[p] for p in range(n_procs)}
+        if stats is not None:
+            st_missing, st_blocked, st_done, st_disc, st_dp, st_mp = stats
+            shell_stats = {
+                proc_names[p]: ShellStats(
+                    cycles=cycles,
+                    firings=fir[p],
+                    stalls_missing_input=st_missing[p],
+                    stalls_output_blocked=st_blocked[p],
+                    stalls_done=st_done[p],
+                    discarded_tokens=st_disc[p],
+                    discarded_by_port=dict(st_dp[p]),
+                    missing_by_port=dict(st_mp[p]),
+                )
+                for p in range(n_procs)
+            }
+        else:
+            shell_stats = {}
+        if chan_items is not None:
+            trace = trace_from_lists(layout.chan_names, chan_items)
+        else:
+            trace = SystemTrace(layout.chan_names)
+        max_occupancy = (
+            {model.queue_names[q]: maxocc[q] for q in range(len(maxocc))}
+            if maxocc is not None
+            else {}
+        )
+        return LidResult(
+            cycles=cycles,
+            firings=firings,
+            trace=trace,
+            halted=halted,
+            wrapper_kind=model.wrapper_kind,
+            configuration_label=model.configuration_label,
+            rs_counts=dict(model.rs_counts),
+            shell_stats=shell_stats,
+            max_queue_occupancy=max_occupancy,
+        )

@@ -1,23 +1,31 @@
 """The kernel layer: execution engines over an elaborated model.
 
-A :class:`SimKernel` runs one latency-insensitive system to completion.  Two
-implementations exist:
+A :class:`SimKernel` runs one latency-insensitive system to completion.
+Three implementations exist:
 
 * :class:`repro.engine.reference.ReferenceKernel` — the original object-based
   machinery (Shell / RelayStation / Token objects), kept as the executable
   specification;
 * :class:`repro.engine.fast.FastKernel` — a flat array kernel over the
   integer-indexed elaborated model, cycle-for-cycle equivalent (enforced by
-  the property suite in ``tests/test_engine.py``) and several times faster.
+  the property suite in ``tests/test_engine.py``) and several times faster;
+* :class:`repro.engine.compiled.CompiledKernel` — generates and ``compile()``s
+  a per-netlist specialized run function (see :mod:`repro.engine.codegen`),
+  several times faster again on the hot path.
 
-Both consume the same :class:`~repro.engine.elaboration.ElaboratedModel`, the
+All consume the same :class:`~repro.engine.elaboration.ElaboratedModel`, the
 same :class:`RunControls` and the same
 :class:`~repro.engine.instrumentation.InstrumentSet`, and return the same
 :class:`~repro.engine.result.LidResult`.
+
+The kernel used when none is requested explicitly can be switched without
+plumbing flags through the ``REPRO_KERNEL`` environment variable; explicit
+arguments always win (precedence: explicit arg > ``REPRO_KERNEL`` > default).
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Type
@@ -28,9 +36,14 @@ from .instrumentation import InstrumentSet
 from .result import LidResult
 
 
-#: Kernel used when none is requested explicitly.  The fast kernel is the
-#: default: the equivalence property suite pins it to the reference kernel.
+#: Kernel used when none is requested explicitly (and ``REPRO_KERNEL`` is
+#: unset).  The fast kernel is the default: the equivalence property suite
+#: pins it to the reference kernel.
 DEFAULT_KERNEL = "fast"
+
+#: Environment variable consulted by :func:`resolve_kernel_name` when no
+#: kernel is requested explicitly (CI and benchmarks switch kernels with it).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
 
 
 @dataclass
@@ -79,18 +92,35 @@ class SimKernel(ABC):
 
 def kernel_registry() -> Dict[str, Type[SimKernel]]:
     """Name → kernel class for every available kernel."""
+    from .compiled import CompiledKernel
     from .fast import FastKernel
     from .reference import ReferenceKernel
 
-    return {ReferenceKernel.name: ReferenceKernel, FastKernel.name: FastKernel}
+    return {
+        ReferenceKernel.name: ReferenceKernel,
+        FastKernel.name: FastKernel,
+        CompiledKernel.name: CompiledKernel,
+    }
 
 
 def resolve_kernel_name(kernel: Optional[str]) -> str:
-    """Normalise a requested kernel name (``None`` → :data:`DEFAULT_KERNEL`)."""
-    name = DEFAULT_KERNEL if kernel is None else kernel
+    """Normalise a requested kernel name.
+
+    Precedence: the explicit *kernel* argument, then the ``REPRO_KERNEL``
+    environment variable (ignored when empty), then :data:`DEFAULT_KERNEL`.
+    """
+    source = "requested"
+    if kernel is not None:
+        name = kernel
+    else:
+        env = os.environ.get(KERNEL_ENV_VAR, "").strip()
+        if env:
+            name, source = env, f"from {KERNEL_ENV_VAR}"
+        else:
+            name = DEFAULT_KERNEL
     if name not in kernel_registry():
         raise SimulationError(
-            f"unknown simulation kernel {name!r}; "
+            f"unknown simulation kernel {name!r} ({source}); "
             f"available: {sorted(kernel_registry())}"
         )
     return name

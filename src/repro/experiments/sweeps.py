@@ -75,8 +75,11 @@ class _SweepRunner:
     point; runs are uninstrumented (the sweeps only consume cycle counts).
     """
 
-    def __init__(self, cpu: CaseStudyCpu, kernel: Optional[str] = None) -> None:
+    def __init__(
+        self, cpu: CaseStudyCpu, kernel: Optional[str] = None, workers: int = 1
+    ) -> None:
         self.cpu = cpu
+        self.workers = workers
         self._wp1 = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel)
         self._wp2 = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel)
 
@@ -87,16 +90,39 @@ class _SweepRunner:
         queue_capacity: int = 4,
         max_cycles: int = 5_000_000,
     ) -> Tuple[float, float]:
+        [pair] = self.throughputs_batch(
+            golden_cycles,
+            [(configuration, {"queue_capacity": queue_capacity})],
+            max_cycles=max_cycles,
+        )
+        return pair
+
+    def throughputs_batch(
+        self,
+        golden_cycles: int,
+        items: Sequence,
+        max_cycles: int = 5_000_000,
+    ) -> List[Tuple[float, float]]:
+        """WP1/WP2 golden-relative throughputs of a whole sweep in two batches.
+
+        *items* are :class:`~repro.engine.batch.BatchRunner` batch items
+        (configurations, optionally with per-item ``queue_capacity``
+        overrides); with ``workers > 1`` each wrapper's batch is sharded
+        across worker processes.
+        """
         stop = self.cpu.control_unit.name
-        wp1 = self._wp1.run(
-            configuration=configuration, queue_capacity=queue_capacity,
+        wp1 = self._wp1.run_many(
+            items, workers=self.workers, queue_capacity=4,
             stop_process=stop, max_cycles=max_cycles,
         )
-        wp2 = self._wp2.run(
-            configuration=configuration, queue_capacity=queue_capacity,
+        wp2 = self._wp2.run_many(
+            items, workers=self.workers, queue_capacity=4,
             stop_process=stop, max_cycles=max_cycles,
         )
-        return golden_cycles / wp1.cycles, golden_cycles / wp2.cycles
+        return [
+            (golden_cycles / r1.cycles, golden_cycles / r2.cycles)
+            for r1, r2 in zip(wp1, wp2)
+        ]
 
 
 def queue_capacity_sweep(
@@ -104,6 +130,7 @@ def queue_capacity_sweep(
     capacities: Sequence[int] = (2, 3, 4, 6, 8),
     configuration: Optional[RSConfiguration] = None,
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """WP1/WP2 throughput versus wrapper input-FIFO depth."""
     if workload is None:
@@ -112,13 +139,17 @@ def queue_capacity_sweep(
         configuration = RSConfiguration.uniform(1, exclude=(LINK_CU_IC,))
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
     result = SweepResult(
         name=f"Wrapper FIFO depth sweep — {workload.name}",
         parameter_name="fifo depth",
     )
-    for capacity in capacities:
-        wp1, wp2 = runner.throughputs(golden.cycles, configuration, queue_capacity=capacity)
+    items = [
+        (configuration, {"queue_capacity": capacity}) for capacity in capacities
+    ]
+    for capacity, (wp1, wp2) in zip(
+        capacities, runner.throughputs_batch(golden.cycles, items)
+    ):
         result.points.append(SweepPoint(parameter=float(capacity), wp1_throughput=wp1, wp2_throughput=wp2))
     return result
 
@@ -128,20 +159,24 @@ def uniform_depth_sweep(
     depths: Sequence[int] = (0, 1, 2, 3),
     exclude: Sequence[str] = (LINK_CU_IC,),
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Throughput versus uniform relay-station depth ("All k" scaling)."""
     if workload is None:
         workload = make_extraction_sort(length=10)
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
     result = SweepResult(
         name=f"Uniform pipelining depth sweep — {workload.name}",
         parameter_name="RS per link",
     )
-    for depth in depths:
-        configuration = RSConfiguration.uniform(depth, exclude=exclude)
-        wp1, wp2 = runner.throughputs(golden.cycles, configuration)
+    configurations = [
+        RSConfiguration.uniform(depth, exclude=exclude) for depth in depths
+    ]
+    for depth, (wp1, wp2) in zip(
+        depths, runner.throughputs_batch(golden.cycles, configurations)
+    ):
         result.points.append(SweepPoint(parameter=float(depth), wp1_throughput=wp1, wp2_throughput=wp2))
     return result
 
@@ -160,6 +195,7 @@ def clock_frequency_sweep(
     floorplan: Optional[Floorplan] = None,
     wire_model: Optional[WireModel] = None,
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """The methodology flow: clock target → relay stations → sustained throughput.
 
@@ -174,15 +210,21 @@ def clock_frequency_sweep(
     model = wire_model if wire_model is not None else WireModel()
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
     result = SweepResult(
         name=f"Clock-frequency sweep — {workload.name}",
         parameter_name="clock (GHz)",
     )
+    configurations = []
     for frequency in frequencies_ghz:
         clock = ClockPlan.from_frequency_ghz(frequency)
-        configuration = floorplan_insertion(cpu.netlist, floorplan, clock, model)
-        wp1, wp2 = runner.throughputs(golden.cycles, configuration)
+        configurations.append(
+            floorplan_insertion(cpu.netlist, floorplan, clock, model)
+        )
+    throughputs = runner.throughputs_batch(golden.cycles, configurations)
+    for frequency, configuration, (wp1, wp2) in zip(
+        frequencies_ghz, configurations, throughputs
+    ):
         total_rs = configuration.total_relay_stations(cpu.netlist)
         result.points.append(
             SweepPoint(

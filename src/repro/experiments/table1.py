@@ -198,8 +198,16 @@ def evaluate_rows(
     max_cycles: int = 5_000_000,
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> Table1Result:
-    """Run golden + WP1 + WP2 for every configuration and collect the rows."""
+    """Run golden + WP1 + WP2 for every configuration and collect the rows.
+
+    Without equivalence checking the rows only need cycle counts, so both
+    wrapper flavours are evaluated through the sharded
+    :class:`~repro.engine.batch.BatchRunner` (one shared layout per flavour,
+    uninstrumented runs, ``workers`` processes); equivalence checking needs
+    full traces and keeps the per-row path.
+    """
     builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
     cpu = builder(workload.program)
     golden = cpu.run_golden(record_trace=check_equivalence, max_cycles=max_cycles)
@@ -208,6 +216,15 @@ def evaluate_rows(
         control_style="Pipelined" if pipelined else "Multicycle",
         golden_cycles=golden.cycles,
     )
+    if not check_equivalence:
+        result.rows.extend(
+            _evaluate_rows_batched(
+                cpu, configurations, golden,
+                max_cycles=max_cycles, kernel=kernel, workers=workers,
+                progress=progress,
+            )
+        )
+        return result
     for index, configuration in enumerate(configurations, start=1):
         if progress is not None:
             progress(f"row {index}/{len(configurations)}: {configuration.label}")
@@ -222,6 +239,53 @@ def evaluate_rows(
         )
         result.rows.append(row)
     return result
+
+
+def _evaluate_rows_batched(
+    cpu: CaseStudyCpu,
+    configurations: Sequence[RSConfiguration],
+    golden: GoldenResult,
+    max_cycles: int,
+    kernel: Optional[str],
+    workers: int,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Table1Row]:
+    from ..engine.batch import BatchRunner
+
+    stop = cpu.control_unit.name
+    if progress is not None:
+        progress(
+            f"evaluating {len(configurations)} rows "
+            f"(batched, workers={workers})"
+        )
+    wp1_results = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel).run_many(
+        configurations, workers=workers, stop_process=stop, max_cycles=max_cycles
+    )
+    wp2_results = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel).run_many(
+        configurations, workers=workers, stop_process=stop, max_cycles=max_cycles
+    )
+    rows = []
+    for index, (configuration, wp1, wp2) in enumerate(
+        zip(configurations, wp1_results, wp2_results), start=1
+    ):
+        bound = throughput_bound(
+            cpu.netlist, configuration=configuration
+        ).bound_float
+        rows.append(
+            Table1Row(
+                index=index,
+                label=configuration.label,
+                configuration=configuration,
+                golden_cycles=golden.cycles,
+                wp1_cycles=wp1.cycles,
+                wp2_cycles=wp2.cycles,
+                wp1_throughput=golden.cycles / wp1.cycles if wp1.cycles else 0.0,
+                wp2_throughput=golden.cycles / wp2.cycles if wp2.cycles else 0.0,
+                static_bound=bound,
+                equivalent=True,
+            )
+        )
+    return rows
 
 
 def evaluate_configuration(
@@ -276,6 +340,7 @@ def run_table1_sort(
     check_equivalence: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> Table1Result:
     """Regenerate the Extraction Sort section of Table 1."""
     workload = make_extraction_sort(length=length, seed=seed)
@@ -288,6 +353,7 @@ def run_table1_sort(
         check_equivalence=check_equivalence,
         progress=progress,
         kernel=kernel,
+        workers=workers,
     )
 
 
@@ -298,6 +364,7 @@ def run_table1_matmul(
     check_equivalence: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> Table1Result:
     """Regenerate the Matrix Multiply section of Table 1."""
     workload = make_matrix_multiply(size=size, seed=seed)
@@ -310,6 +377,7 @@ def run_table1_matmul(
         check_equivalence=check_equivalence,
         progress=progress,
         kernel=kernel,
+        workers=workers,
     )
 
 
@@ -320,6 +388,8 @@ def run_table1(
     pipelined: bool = True,
     check_equivalence: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    kernel: Optional[str] = None,
+    workers: int = 1,
 ) -> Dict[str, Table1Result]:
     """Regenerate both sections of Table 1 (keys: ``"sort"``, ``"matmul"``)."""
     return {
@@ -329,6 +399,8 @@ def run_table1(
             pipelined=pipelined,
             check_equivalence=check_equivalence,
             progress=progress,
+            kernel=kernel,
+            workers=workers,
         ),
         "matmul": run_table1_matmul(
             size=matmul_size,
@@ -336,5 +408,7 @@ def run_table1(
             pipelined=pipelined,
             check_equivalence=check_equivalence,
             progress=progress,
+            kernel=kernel,
+            workers=workers,
         ),
     }

@@ -1,10 +1,11 @@
 """Tests for the layered simulation engine (repro.engine).
 
 The heart of this module is the kernel-equivalence property suite: the
-array-based :class:`FastKernel` must match the object-based
-:class:`ReferenceKernel` cycle-for-cycle — cycles, firings, traces, stall
-statistics and queue occupancies — across randomly generated netlists,
-relay-station placements, wrapper flavours and queue capacities.
+array-based :class:`FastKernel` and the codegen-specialized
+:class:`CompiledKernel` must match the object-based :class:`ReferenceKernel`
+cycle-for-cycle — cycles, firings, traces, stall statistics and queue
+occupancies — across randomly generated netlists, relay-station placements,
+wrapper flavours and queue capacities.
 """
 
 from __future__ import annotations
@@ -33,11 +34,17 @@ from repro.engine import (
     Elaborator,
     InstrumentSet,
     elaborate,
+    generate_run_source,
     kernel_registry,
     make_kernel,
     resolve_kernel_name,
 )
-from repro.engine.kernel import RunControls
+from repro.engine.codegen import STOP_ANY_DONE, STOP_TARGET, compiled_run_fn
+from repro.engine.kernel import KERNEL_ENV_VAR, RunControls
+
+ALL_KERNELS = ("reference", "fast", "compiled")
+#: The optimised kernels pinned against the executable specification.
+OPTIMISED_KERNELS = ("fast", "compiled")
 
 
 # ---------------------------------------------------------------------------
@@ -166,37 +173,40 @@ class TestKernelEquivalence:
         suppress_health_check=[HealthCheck.too_slow],
     )
     def test_random_netlists(self, data):
-        """Both kernels agree on cycles, firings, traces, stats, occupancy."""
+        """All kernels agree on cycles, firings, traces, stats, occupancy."""
         netlist, rs_counts, relaxed, queue_capacity = data
         kind_ref, ref = _run(netlist, rs_counts, relaxed, queue_capacity, "reference")
-        kind_fast, fast = _run(netlist, rs_counts, relaxed, queue_capacity, "fast")
-        assert kind_ref == kind_fast
-        if ref is not None:
-            _assert_identical(ref, fast)
+        for kernel in OPTIMISED_KERNELS:
+            kind, result = _run(netlist, rs_counts, relaxed, queue_capacity, kernel)
+            assert kind_ref == kind, kernel
+            if ref is not None:
+                _assert_identical(ref, result)
 
     @pytest.mark.parametrize("stages,rs_total", [(1, 0), (2, 1), (3, 4), (5, 2)])
     @pytest.mark.parametrize("relaxed", [False, True])
     def test_rings(self, stages, rs_total, relaxed):
         netlist, rs_counts = ring_netlist(stages, rs_total=rs_total)
-        results = [
+        reference, *optimised = [
             run_lid(
                 netlist, rs_counts=rs_counts, relaxed=relaxed, kernel=kernel,
                 target_firings={"stage0": 40}, max_cycles=10_000,
             )
-            for kernel in ("reference", "fast")
+            for kernel in ALL_KERNELS
         ]
-        _assert_identical(*results)
+        for result in optimised:
+            _assert_identical(reference, result)
 
     @pytest.mark.parametrize("relaxed", [False, True])
     def test_case_study_cpu(self, relaxed):
         """Full equivalence on the Figure 1 processor, multi-RS chains included."""
         cpu = build_pipelined_cpu(make_extraction_sort(length=5, seed=11).program)
         config = RSConfiguration.uniform_plus(1, {"RF-DC": 2})
-        results = [
+        reference, *optimised = [
             cpu.run_wire_pipelined(configuration=config, relaxed=relaxed, kernel=kernel)
-            for kernel in ("reference", "fast")
+            for kernel in ALL_KERNELS
         ]
-        _assert_identical(*results)
+        for result in optimised:
+            _assert_identical(reference, result)
 
 
 # ---------------------------------------------------------------------------
@@ -213,7 +223,7 @@ class TestKernelSelection:
             run_lid(netlist, rs_counts=rs_counts, kernel="warp", max_cycles=10)
 
     def test_registry_names(self):
-        assert set(kernel_registry()) == {"reference", "fast"}
+        assert set(kernel_registry()) == {"reference", "fast", "compiled"}
 
     def test_reference_facade_exposes_object_view(self):
         netlist, rs_counts = ring_netlist(2, rs_total=1)
@@ -221,14 +231,32 @@ class TestKernelSelection:
         assert set(simulator.shells) == {"stage0", "stage1"}
         assert set(simulator.pipelines) == {"c0_1", "c1_0"}
 
-    def test_fast_facade_has_no_object_view(self):
+    @pytest.mark.parametrize("kernel", OPTIMISED_KERNELS)
+    def test_fast_facade_has_no_object_view(self, kernel):
         netlist, rs_counts = ring_netlist(2, rs_total=1)
-        simulator = LidSimulator(netlist, rs_counts=rs_counts, kernel="fast")
+        simulator = LidSimulator(netlist, rs_counts=rs_counts, kernel=kernel)
         assert simulator.shells == {} and simulator.pipelines == {}
+
+    def test_env_variable_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        assert resolve_kernel_name(None) == "compiled"
+
+    def test_explicit_kernel_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "compiled")
+        assert resolve_kernel_name("reference") == "reference"
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "")
+        assert resolve_kernel_name(None) == "fast"
+
+    def test_invalid_env_kernel_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "warp")
+        with pytest.raises(SimulationError, match="REPRO_KERNEL"):
+            resolve_kernel_name(None)
 
 
 class TestInstrumentation:
-    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
     def test_uninstrumented_run_carries_no_observations(self, kernel):
         netlist, rs_counts = ring_netlist(3, rs_total=2)
         model = elaborate(netlist, rs_counts=rs_counts)
@@ -241,7 +269,7 @@ class TestInstrumentation:
         assert all(result.trace[name].cycles == 0 for name in result.trace)
         assert result.cycles > 0 and result.firings["stage0"] >= 10
 
-    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
     def test_instrument_flags_do_not_change_schedule(self, kernel):
         netlist, rs_counts = ring_netlist(3, rs_total=2)
         model = elaborate(netlist, rs_counts=rs_counts)
@@ -432,7 +460,7 @@ class TestOutputValidationParity:
             [producer], [Channel("loop", "p", "out", "p", "in", initial=0)]
         )
 
-    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
     def test_undeclared_output_port_rejected(self, kernel):
         from repro.core import NetlistError
 
@@ -445,7 +473,7 @@ class TestOutputValidationParity:
                 target_firings={"p": 3}, max_cycles=50,
             )
 
-    @pytest.mark.parametrize("kernel", ["reference", "fast"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
     def test_undriven_output_port_rejected(self, kernel):
         from repro.core import NetlistError
 
@@ -455,3 +483,217 @@ class TestOutputValidationParity:
                 netlist, kernel=kernel,
                 target_firings={"p": 3}, max_cycles=50,
             )
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+def _codegen_topologies():
+    """Representative netlists: lines, rings (cyclic), fan-out, self-loops."""
+    from repro.core import CounterSource, PassthroughProcess, SinkProcess
+
+    ring3, ring3_rs = ring_netlist(3, rs_total=2)
+    ring1, ring1_rs = ring_netlist(1, rs_total=1)  # single-process self-loop
+
+    source = CounterSource("src", limit=20)
+    mid = PassthroughProcess("mid")
+    sink_a = SinkProcess("sink_a")
+    sink_b = SinkProcess("sink_b")
+    fanout = Netlist(
+        [source, mid, sink_a, sink_b],
+        [
+            Channel("c_src", "src", "out", "mid", "in", initial=0),
+            Channel("c_a", "mid", "out", "sink_a", "in", initial=0),
+            Channel("c_b", "mid", "out", "sink_b", "in", initial=0),
+        ],
+        name="fanout",
+    )
+    cpu = build_pipelined_cpu(make_extraction_sort(length=4, seed=3).program)
+    return [
+        ("ring3", ring3, ring3_rs),
+        ("self-loop", ring1, ring1_rs),
+        ("fanout", fanout, {"c_src": 1}),
+        ("cpu", cpu.netlist, {name: 1 for name in cpu.netlist.channels}),
+    ]
+
+
+class TestCodegen:
+    @pytest.mark.parametrize("relaxed", [False, True])
+    @pytest.mark.parametrize(
+        "instruments",
+        [InstrumentSet.none(), InstrumentSet.all(),
+         InstrumentSet(trace=False, shell_stats=True, occupancy=False)],
+        ids=["none", "all", "stats-only"],
+    )
+    def test_generated_source_round_trips_compile(self, relaxed, instruments):
+        """The emitted source compiles for every topology, cyclic ones included."""
+        from repro.engine.codegen import ENTRY_POINT
+
+        for label, netlist, rs_counts in _codegen_topologies():
+            model = elaborate(netlist, rs_counts=rs_counts, relaxed=relaxed)
+            for stop_mode in (STOP_ANY_DONE, STOP_TARGET):
+                source = generate_run_source(model, instruments, stop_mode)
+                code = compile(source, f"<test:{label}>", "exec")
+                namespace: dict = {}
+                exec(code, namespace)  # placeholder globals; only check shape
+                assert callable(namespace[ENTRY_POINT]), label
+
+    def test_compiled_fn_cached_per_signature(self):
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        elaborator = Elaborator(netlist)
+        model_a = elaborator.bind(rs_counts=rs_counts)
+        model_b = elaborator.bind(rs_counts=rs_counts)
+        fn_a = compiled_run_fn(model_a, InstrumentSet.none())
+        fn_b = compiled_run_fn(model_b, InstrumentSet.none())
+        assert fn_a is fn_b  # same layout + same signature -> same code object
+
+    def test_distinct_signatures_compile_separately(self):
+        netlist, _ = ring_netlist(3, rs_total=0)
+        elaborator = Elaborator(netlist)
+        light = elaborator.bind(rs_counts={"c0_1": 1})
+        heavy = elaborator.bind(rs_counts={"c0_1": 2})
+        fn_light = compiled_run_fn(light, InstrumentSet.none())
+        fn_heavy = compiled_run_fn(heavy, InstrumentSet.none())
+        assert fn_light is not fn_heavy
+
+    def test_generated_source_attached_for_debugging(self):
+        netlist, rs_counts = ring_netlist(2, rs_total=1)
+        model = elaborate(netlist, rs_counts=rs_counts)
+        fn = compiled_run_fn(model, InstrumentSet.none())
+        assert "def __lid_run" in fn.__lid_source__
+
+    def test_generation_is_deterministic(self):
+        netlist, rs_counts = ring_netlist(4, rs_total=3)
+        model = elaborate(netlist, rs_counts=rs_counts, relaxed=True)
+        first = generate_run_source(model, InstrumentSet.all())
+        second = generate_run_source(model, InstrumentSet.all())
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Sharded batch fan-out (fork and spawn)
+# ---------------------------------------------------------------------------
+
+class TestShardedBatch:
+    CONFIGS = staticmethod(lambda: [
+        RSConfiguration.ideal(),
+        RSConfiguration.uniform(1, exclude=("CU-IC",)),
+        RSConfiguration.uniform(2, exclude=("CU-IC",)),
+        RSConfiguration.only("RF-DC", 1),
+        RSConfiguration.only("CU-RF", 2),
+    ])
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_pool_matches_serial_under_both_start_methods(self, start_method):
+        import multiprocessing
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} not available")
+        cpu = _sort_cpu()
+        configs = self.CONFIGS()
+        runner = BatchRunner(cpu.netlist)
+        serial = runner.run_many(configs, stop_process="CU")
+        pooled = runner.run_many(
+            configs, workers=2, start_method=start_method, stop_process="CU"
+        )
+        assert [s.cycles for s in serial] == [p.cycles for p in pooled]
+        assert [s.firings for s in serial] == [p.firings for p in pooled]
+        assert [s.label for s in serial] == [p.label for p in pooled]
+
+    def test_sharding_preserves_order(self):
+        cpu = _sort_cpu()
+        configs = self.CONFIGS()
+        runner = BatchRunner(cpu.netlist)
+        serial = runner.run_many(configs, stop_process="CU")
+        sharded = runner.run_many(configs, workers=2, shards=5, stop_process="CU")
+        assert [s.cycles for s in serial] == [p.cycles for p in sharded]
+
+    def test_unpicklable_netlist_uses_fork_inheritance(self):
+        if not sys.platform.startswith(("linux", "darwin")):
+            pytest.skip("fork inheritance requires a fork platform")
+        netlist, rs_counts = ring_netlist(3, rs_total=2)  # closure processes
+        runner = BatchRunner(netlist)
+        serial = runner.run_many(
+            [rs_counts] * 4, target_firings={"stage0": 15}, max_cycles=1000
+        )
+        parallel = runner.run_many(
+            [rs_counts] * 4, workers=2,
+            target_firings={"stage0": 15}, max_cycles=1000,
+        )
+        assert [s.cycles for s in serial] == [p.cycles for p in parallel]
+
+    def test_serial_fallback_warns_when_parallelism_unavailable(self, monkeypatch):
+        from repro.engine import batch as batch_module
+
+        netlist, rs_counts = ring_netlist(3, rs_total=2)  # unpicklable
+        monkeypatch.setattr(batch_module, "_fork_available", lambda: False)
+        runner = BatchRunner(netlist)
+        with pytest.warns(RuntimeWarning, match="serially"):
+            results = runner.run_many(
+                [rs_counts] * 2, workers=2,
+                target_firings={"stage0": 15}, max_cycles=1000,
+            )
+        assert len(results) == 2 and all(r.cycles > 0 for r in results)
+
+    def test_per_item_queue_capacity_overrides(self):
+        cpu = _sort_cpu()
+        config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+        runner = BatchRunner(cpu.netlist)
+        shallow, deep = runner.run_many(
+            [(config, {"queue_capacity": 2}), (config, {"queue_capacity": 8})],
+            stop_process="CU",
+        )
+        direct_shallow = runner.run(
+            configuration=config, queue_capacity=2, stop_process="CU"
+        )
+        direct_deep = runner.run(
+            configuration=config, queue_capacity=8, stop_process="CU"
+        )
+        assert shallow.cycles == direct_shallow.cycles
+        assert deep.cycles == direct_deep.cycles
+
+    def test_unknown_item_override_rejected(self):
+        cpu = _sort_cpu()
+        runner = BatchRunner(cpu.netlist)
+        with pytest.raises(SimulationError, match="unknown batch item overrides"):
+            runner.run_many(
+                [(RSConfiguration.ideal(), {"warp": 9})], stop_process="CU"
+            )
+
+    def test_objective_many_matches_scalar(self):
+        from repro.core import simulated_throughput_objective
+
+        cpu = _sort_cpu()
+        golden = cpu.run_golden(record_trace=False)
+        objective = simulated_throughput_objective(
+            cpu.netlist, golden_cycles=golden.cycles, stop_process="CU"
+        )
+        assignments = [{}, {"CU-RF": 1}, {"RF-DC": 2}]
+        assert objective.many(assignments) == [
+            objective(assignment) for assignment in assignments
+        ]
+
+    def test_exhaustive_search_uses_batch_objective(self):
+        from repro.core import SearchSpace, exhaustive_search, simulated_throughput_objective
+
+        cpu = _sort_cpu()
+        golden = cpu.run_golden(record_trace=False)
+        calls = {"many": 0}
+        objective = simulated_throughput_objective(
+            cpu.netlist, golden_cycles=golden.cycles, stop_process="CU"
+        )
+        inner_many = objective.many
+
+        def counting_many(assignments):
+            calls["many"] += 1
+            return inner_many(assignments)
+
+        objective.many = counting_many
+        space = SearchSpace.bounded(
+            cpu.netlist.link_names(), maximum=1, fixed={"CU-IC": 0}
+        )
+        result = exhaustive_search(space, objective)
+        assert calls["many"] == 1
+        assert 0.0 < result.score <= 1.0
+        assert result.evaluations > 0
