@@ -5,7 +5,10 @@ and Matrix Multiply under "All 1 (no CU-IC)", WP1 and WP2) in two
 instrumentation modes — the historical always-on mode (shell stats +
 occupancy) and the uninstrumented objective mode used by the optimiser and
 the batch runner — and additionally measures how ``BatchRunner.run_many``
-scales when the same configuration batch is sharded across worker processes.
+scales when the same configuration batch is sharded across worker processes,
+the steady-state detector's speedup on long-horizon objective runs (10k and
+100k cycle horizons, enforced by ``check_perf_floor.py``) and the
+mixed-workload multi-netlist batch smoke.
 
 Every run **appends** a timestamped record to the ``BENCH_kernel.json``
 history at the repository root (a JSON list, oldest first), so the
@@ -38,6 +41,13 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 MIN_FAST_SPEEDUP = 2.5
 MIN_COMPILED_SPEEDUP = 6.0
 MIN_COMPILED_VS_FAST = 1.3
+#: Long-horizon floors: compiled + steady-state extrapolation must beat the
+#: reference kernel by 25x at the short horizon and the compiled kernel
+#: without detection by 10x at the long horizon (the PR 3 acceptance bar).
+MIN_STEADY_VS_REFERENCE = 25.0
+MIN_STEADY_VS_COMPILED = 10.0
+#: Horizons of the steady-state measurement: (reference-comparison, long).
+STEADY_HORIZONS = (10_000, 100_000)
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 KERNELS = ("reference", "fast", "compiled")
@@ -147,6 +157,112 @@ def _measure_batch_scaling():
     return entry
 
 
+def _measure_steady_state():
+    """Long-horizon objective runs: steady-state extrapolation vs full loops.
+
+    The workload is the paper's RS-insertion objective in its purest form — a
+    synthetic ring (loop throughput ``m/(m+n)``) evaluated to a fixed cycle
+    horizon.  The reference kernel (which never extrapolates) is only timed
+    at the short horizon; the long horizon compares the compiled kernel with
+    and without the detector.
+    """
+    from repro.core import ring_netlist
+    from repro.engine import BatchRunner
+
+    netlist, rs_counts = ring_netlist(6, rs_total=4)
+    runner = BatchRunner(netlist, kernel="compiled")
+    reference = BatchRunner(netlist, kernel="reference")
+    repeats = 2 if QUICK else 3
+    entry = {"netlist": "ring(6, rs=4)", "horizons": {}}
+    for horizon in STEADY_HORIZONS:
+        steady = _best_of(
+            lambda: runner.run(rs_counts=rs_counts, horizon=horizon), repeats
+        )
+        full = _best_of(
+            lambda: runner.run(
+                rs_counts=rs_counts, horizon=horizon, steady_state=False
+            ),
+            repeats,
+        )
+        point = {
+            "compiled_steady_seconds": steady,
+            "compiled_seconds": full,
+            "steady_vs_compiled": full / steady,
+        }
+        if horizon == STEADY_HORIZONS[0]:
+            ref = _best_of(
+                lambda: reference.run(
+                    rs_counts=rs_counts, horizon=horizon, steady_state=False
+                ),
+                repeats,
+            )
+            point["reference_seconds"] = ref
+            point["steady_vs_reference"] = ref / steady
+        entry["horizons"][str(horizon)] = point
+    # Sanity: extrapolated counts equal full simulation on the long horizon.
+    horizon = STEADY_HORIZONS[-1]
+    extrapolated = runner.run(rs_counts=rs_counts, horizon=horizon)
+    full_result = runner.run(
+        rs_counts=rs_counts, horizon=horizon, steady_state=False
+    )
+    assert extrapolated.extrapolated and extrapolated.period is not None
+    assert extrapolated.cycles == full_result.cycles
+    assert extrapolated.firings == full_result.firings
+    entry["period"] = extrapolated.period
+    entry["warmup_cycles"] = extrapolated.warmup_cycles
+    return entry
+
+
+def _measure_multi_netlist_batch():
+    """Mixed-workload batch smoke: sort + matmul layouts on one scheduler."""
+    from repro.core import RSConfiguration
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort, make_matrix_multiply
+    from repro.engine import BatchRunner, MultiNetlistRunner
+
+    sort_cpu = build_pipelined_cpu(
+        make_extraction_sort(length=4 if QUICK else 8, seed=2005).program
+    )
+    matmul_cpu = build_pipelined_cpu(
+        make_matrix_multiply(size=2 if QUICK else 3, seed=2005).program
+    )
+    multi = MultiNetlistRunner.from_netlists(
+        {"sort": sort_cpu.netlist, "matmul": matmul_cpu.netlist},
+        kernel="compiled",
+    )
+    configs = [RSConfiguration.ideal()]
+    links = [name for name in sort_cpu.netlist.link_names() if name != "CU-IC"]
+    configs += [RSConfiguration.only(link, 1) for link in links]
+    configs.append(RSConfiguration.uniform(1, exclude=("CU-IC",)))
+    items = [(name, c) for c in configs for name in ("sort", "matmul")]
+
+    entry = {"items": len(items), "workers": {}}
+    serial = _best_of(
+        lambda: multi.run_many(items, stop_process="CU"), 2 if QUICK else 3
+    )
+    entry["serial_seconds"] = serial
+    for workers in (2, 4):
+        if workers > (os.cpu_count() or 1):
+            continue
+        pooled = _best_of(
+            lambda: multi.run_many(items, workers=workers, stop_process="CU"),
+            2 if QUICK else 3,
+        )
+        entry["workers"][str(workers)] = {
+            "seconds": pooled,
+            "speedup": serial / pooled,
+        }
+    # Correctness smoke: the mixed batch must match per-layout evaluation.
+    mixed = multi.run_many(items, stop_process="CU")
+    for name, cpu in (("sort", sort_cpu), ("matmul", matmul_cpu)):
+        single = BatchRunner(cpu.netlist, kernel="compiled").run_many(
+            configs, stop_process="CU"
+        )
+        mine = [r for (n, _), r in zip(items, mixed) if n == name]
+        assert [r.cycles for r in single] == [r.cycles for r in mine], name
+    return entry
+
+
 def _append_history(record) -> None:
     """Append *record* to the BENCH_kernel.json history (list of runs)."""
     history = []
@@ -227,5 +343,30 @@ def test_batch_shard_scaling(kernel_record):
     assert entry["configurations"] > 0 and entry["serial_seconds"] > 0
     # The pool pays worker start-up + per-worker elaboration; on large
     # batches it wins, on the smoke batch we only require it to function.
+    for stats in entry["workers"].values():
+        assert stats["seconds"] > 0
+
+
+def test_steady_state_speedup(kernel_record):
+    """Steady-state extrapolation clears the long-horizon floors."""
+    entry = _measure_steady_state()
+    kernel_record["steady_state"] = entry
+    short = entry["horizons"][str(STEADY_HORIZONS[0])]
+    long = entry["horizons"][str(STEADY_HORIZONS[-1])]
+    assert short["steady_vs_reference"] >= MIN_STEADY_VS_REFERENCE, (
+        f"compiled+steady only {short['steady_vs_reference']:.1f}x over "
+        f"reference at horizon {STEADY_HORIZONS[0]}"
+    )
+    assert long["steady_vs_compiled"] >= MIN_STEADY_VS_COMPILED, (
+        f"steady-state only {long['steady_vs_compiled']:.1f}x over the "
+        f"compiled kernel at horizon {STEADY_HORIZONS[-1]}"
+    )
+
+
+def test_multi_netlist_batch_smoke(kernel_record):
+    """The mixed-workload scheduler runs (and matches per-layout results)."""
+    entry = _measure_multi_netlist_batch()
+    kernel_record["multi_netlist"] = entry
+    assert entry["items"] > 0 and entry["serial_seconds"] > 0
     for stats in entry["workers"].values():
         assert stats["seconds"] > 0

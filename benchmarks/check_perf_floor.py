@@ -1,12 +1,20 @@
 """Perf-floor gate: fail if the compiled kernel's speedup regressed.
 
 Reads the newest record of the ``BENCH_kernel.json`` history (produced by
-``benchmark_kernel.py``) and exits non-zero when the compiled kernel's
-minimum speedup over the reference kernel across all Table 1 rows drops
-below the floor.  CI runs this after the quick benchmark so hot-path
-regressions are caught at PR time::
+``benchmark_kernel.py``) and exits non-zero when
 
-    python benchmarks/check_perf_floor.py --floor 6
+* the compiled kernel's minimum speedup over the reference kernel across
+  all Table 1 rows drops below ``--floor``;
+* the long-horizon steady-state floors regress: compiled + steady-state
+  extrapolation must beat the reference kernel by ``--steady-floor`` at the
+  short measurement horizon and the compiled kernel without detection by
+  ``--steady-compiled-floor`` at the long horizon;
+* the mixed-workload multi-netlist batch smoke is missing from the record.
+
+CI runs this after the quick benchmark so hot-path regressions are caught
+at PR time::
+
+    python benchmarks/check_perf_floor.py --floor 6 --steady-floor 25
 """
 
 from __future__ import annotations
@@ -24,6 +32,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--floor", type=float, default=6.0,
         help="minimum compiled/reference speedup (default: 6)",
+    )
+    parser.add_argument(
+        "--steady-floor", type=float, default=25.0,
+        help=(
+            "minimum compiled+steady-state speedup over the reference kernel "
+            "on the long-horizon objective (default: 25)"
+        ),
+    )
+    parser.add_argument(
+        "--steady-compiled-floor", type=float, default=10.0,
+        help=(
+            "minimum steady-state speedup over the compiled kernel without "
+            "detection at the long horizon (default: 10)"
+        ),
     )
     parser.add_argument(
         "--record", type=Path, default=DEFAULT_RECORD,
@@ -46,6 +68,8 @@ def main(argv=None) -> int:
         print("perf floor: newest record has no results", file=sys.stderr)
         return 2
 
+    failed = False
+
     worst_label, worst = min(
         results.items(), key=lambda item: item[1]["compiled_speedup"]
     )
@@ -61,8 +85,70 @@ def main(argv=None) -> int:
             f"{worst_label}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+
+    steady = latest.get("steady_state")
+    if not steady:
+        print(
+            "perf floor FAILED: record carries no steady_state measurement",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        horizons = steady.get("horizons", {})
+        vs_reference = min(
+            (
+                point["steady_vs_reference"]
+                for point in horizons.values()
+                if "steady_vs_reference" in point
+            ),
+            default=0.0,
+        )
+        # The compiled-kernel floor applies at the long horizon only (the
+        # benchmark's contract): shorter horizons skip fewer periods and
+        # legitimately show smaller ratios.
+        long_horizon = max(horizons, key=int, default=None)
+        vs_compiled = (
+            horizons[long_horizon]["steady_vs_compiled"]
+            if long_horizon is not None
+            else 0.0
+        )
+        print(
+            f"perf floor: steady-state {vs_reference:.1f}x over reference "
+            f"(floor {args.steady_floor:.1f}x), {vs_compiled:.1f}x over "
+            f"compiled (floor {args.steady_compiled_floor:.1f}x), "
+            f"period={steady.get('period')}"
+        )
+        if vs_reference < args.steady_floor:
+            print(
+                f"perf floor FAILED: steady-state {vs_reference:.1f}x < "
+                f"{args.steady_floor:.1f}x over reference",
+                file=sys.stderr,
+            )
+            failed = True
+        if vs_compiled < args.steady_compiled_floor:
+            print(
+                f"perf floor FAILED: steady-state {vs_compiled:.1f}x < "
+                f"{args.steady_compiled_floor:.1f}x over compiled",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if "multi_netlist" not in latest:
+        print(
+            "perf floor FAILED: record carries no multi-netlist batch smoke",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        multi = latest["multi_netlist"]
+        print(
+            f"perf floor: multi-netlist smoke ok "
+            f"({multi.get('items')} items, "
+            f"serial {multi.get('serial_seconds', 0):.3f}s)"
+        )
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

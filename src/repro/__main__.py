@@ -6,7 +6,7 @@ Commands
 ``figure1``    print the Figure 1 topology / loop report
 ``multicycle`` print the multicycle-vs-pipelined WP2 gain comparison
 ``area``       print the wrapper area-overhead report
-``sweep``      run one of the ablation sweeps (fifo / depth / clock)
+``sweep``      run one of the ablation sweeps (fifo / depth / clock / mixed)
 
 Every command accepts ``--format text|markdown|csv|json`` where it makes
 sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
@@ -15,12 +15,20 @@ simulating commands (``table1``, ``multicycle``, ``sweep``) accept
 :mod:`repro.engine`); when the flag is omitted the ``REPRO_KERNEL``
 environment variable is consulted, and the fast array-based kernel is the
 final default.  ``table1`` and ``sweep`` also accept ``--shards N`` to
-evaluate their configuration batches on N worker processes.
+evaluate their configuration batches on N worker processes, and
+``--no-steady-state`` to disable steady-state period detection (the flag
+sets ``REPRO_STEADY_STATE=0``, which explicit ``steady_state=`` arguments
+still override — mirroring the ``--kernel`` / ``REPRO_KERNEL`` pattern).
+``table1 --horizon N`` caps every row at N cycles: rows cut at the horizon
+report the asymptotic (steady-state extrapolated) throughput.  ``sweep
+mixed`` runs the sort and matmul workloads through one multi-netlist
+scheduler pool.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +58,17 @@ def _add_shards_option(parser) -> None:
     )
 
 
+def _add_steady_state_option(parser) -> None:
+    parser.add_argument(
+        "--no-steady-state",
+        action="store_true",
+        help=(
+            "disable steady-state period detection / extrapolation "
+            "(equivalent to REPRO_STEADY_STATE=0)"
+        ),
+    )
+
+
 def _add_table1(subparsers) -> None:
     parser = subparsers.add_parser("table1", help="regenerate Table 1")
     parser.add_argument("--sort-length", type=int, default=16)
@@ -58,8 +77,21 @@ def _add_table1(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=2005)
     parser.add_argument("--multicycle", action="store_true")
     parser.add_argument("--format", choices=("text", "markdown", "csv", "json"), default="text")
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "cap every row at N cycles; rows cut at the horizon report the "
+            "asymptotic throughput (steady-state extrapolated on netlists "
+            "whose processes support detection; the CPU's data-dependent "
+            "control runs full simulation)"
+        ),
+    )
     _add_kernel_option(parser)
     _add_shards_option(parser)
+    _add_steady_state_option(parser)
 
 
 def _add_simple(subparsers, name: str, help_text: str) -> None:
@@ -68,11 +100,13 @@ def _add_simple(subparsers, name: str, help_text: str) -> None:
 
 def _add_sweep(subparsers) -> None:
     parser = subparsers.add_parser("sweep", help="run an ablation sweep")
-    parser.add_argument("kind", choices=("fifo", "depth", "clock"))
+    parser.add_argument("kind", choices=("fifo", "depth", "clock", "mixed"))
     parser.add_argument("--sort-length", type=int, default=10)
+    parser.add_argument("--matmul-size", type=int, default=3)
     parser.add_argument("--format", choices=("text", "markdown", "csv"), default="text")
     _add_kernel_option(parser)
     _add_shards_option(parser)
+    _add_steady_state_option(parser)
 
 
 def _add_multicycle(subparsers) -> None:
@@ -103,14 +137,14 @@ def _run_table1(args) -> int:
         "sort": run_table1_sort(
             length=args.sort_length, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
-            workers=args.shards,
+            workers=args.shards, horizon=args.horizon,
         )
     }
     if args.matmul:
         results["matmul"] = run_table1_matmul(
             size=args.matmul_size, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
-            workers=args.shards,
+            workers=args.shards, horizon=args.horizon,
         )
     if args.format == "json":
         print(table1_to_json(results))
@@ -127,11 +161,36 @@ def _run_table1(args) -> int:
 
 
 def _run_sweep(args) -> int:
-    from .cpu.workloads import make_extraction_sort
-    from .experiments import clock_frequency_sweep, queue_capacity_sweep, uniform_depth_sweep
+    from .cpu.workloads import make_extraction_sort, make_matrix_multiply
+    from .experiments import (
+        clock_frequency_sweep,
+        mixed_workload_sweep,
+        queue_capacity_sweep,
+        uniform_depth_sweep,
+    )
     from .experiments.report import sweep_to_csv, sweep_to_markdown
 
     workload = make_extraction_sort(length=args.sort_length, seed=2005)
+    if args.kind == "mixed":
+        results = mixed_workload_sweep(
+            workloads={
+                "extraction_sort": workload,
+                "matrix_multiply": make_matrix_multiply(
+                    size=args.matmul_size, seed=2005
+                ),
+            },
+            kernel=args.kernel,
+            workers=args.shards,
+        )
+        for result in results.values():
+            if args.format == "markdown":
+                print(sweep_to_markdown(result))
+            elif args.format == "csv":
+                print(sweep_to_csv(result), end="")
+            else:
+                print(result.format())
+            print()
+        return 0
     if args.kind == "fifo":
         result = queue_capacity_sweep(
             workload=workload, kernel=args.kernel, workers=args.shards
@@ -155,6 +214,11 @@ def _run_sweep(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_steady_state", False):
+        # The kernels consult REPRO_STEADY_STATE whenever no explicit
+        # steady_state argument is passed, so one environment write covers
+        # every layer the command touches (mirrors --kernel / REPRO_KERNEL).
+        os.environ["REPRO_STEADY_STATE"] = "0"
     if args.command == "table1":
         return _run_table1(args)
     if args.command == "figure1":

@@ -63,6 +63,7 @@ from .optimizer import (
     static_objective,
 )
 from .process import (
+    SCHEDULE_INERT,
     CounterSource,
     FunctionProcess,
     PassthroughProcess,
@@ -117,6 +118,7 @@ __all__ = [
     "compare_value_sequences", "latency_profile",
     # processes / channels / netlists
     "Process", "FunctionProcess", "PassthroughProcess", "CounterSource", "SinkProcess",
+    "SCHEDULE_INERT",
     "Channel", "channel", "Netlist", "ring_netlist",
     # protocol elements
     "RelayStation", "TokenQueue", "build_relay_chain",

@@ -189,7 +189,12 @@ def simulated_throughput_objective(
     the objective's batch entry point (``objective.many``, used by
     :func:`exhaustive_search`) shards its evaluations across worker
     processes.  Remaining keyword arguments are run controls
-    (``stop_process``, ``target_firings``, ``max_cycles``, ...).
+    (``stop_process``, ``target_firings``, ``max_cycles``, ``horizon``,
+    ``steady_state``, ...) — long-horizon objectives (``horizon=100_000``)
+    are served by steady-state period detection wherever the netlist
+    supports it, and repeated evaluations warm-start from the periods the
+    runner has already seen on this layout (see
+    :mod:`repro.engine.steady_state`).
     """
     from ..engine.batch import BatchRunner
 

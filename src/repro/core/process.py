@@ -41,6 +41,33 @@ from typing import (
 from .exceptions import NetlistError
 
 
+class _ScheduleInert:
+    """Singleton marking a process whose control behaviour never changes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SCHEDULE_INERT"
+
+
+#: Returned by :meth:`Process.schedule_state` to promise that the process'
+#: ``is_done()`` and ``required_ports()`` answers are constant for the whole
+#: run, so steady-state detection never needs to sample it.
+SCHEDULE_INERT = _ScheduleInert()
+
+
+def overrides_hook(process: "Process", method: str) -> bool:
+    """Whether *process* overrides a base-class hook (class or instance level).
+
+    The base implementations of ``is_done``/``required_ports`` are constant
+    (``False`` / ``None``), so engines fold non-overridden hooks away and the
+    steady-state detector treats such processes as schedule-inert.
+    """
+    if method in process.__dict__:
+        return True
+    return getattr(type(process), method) is not getattr(Process, method)
+
+
 class Process(ABC):
     """A synchronous block with named input and output ports.
 
@@ -109,6 +136,32 @@ class Process(ABC):
         """Whether this process reached a terminal state (e.g. executed HALT)."""
         return False
 
+    # -- steady-state detection hook ------------------------------------------
+    def schedule_state(self) -> Optional[Any]:
+        """Snapshot of the internal state that can influence the firing schedule.
+
+        The steady-state detector (see :mod:`repro.engine.steady_state`) hashes
+        a canonical snapshot of the simulation each cycle; token *values* never
+        gate a firing, so only the state feeding :meth:`is_done` and
+        :meth:`required_ports` belongs in it.  The contract:
+
+        * return :data:`SCHEDULE_INERT` to promise that ``is_done()`` and
+          ``required_ports()`` answer the same for the whole run (the detector
+          then never samples this process);
+        * return a hashable value capturing every piece of state those hooks
+          depend on.  Two instants with equal values must yield identical
+          future ``is_done``/``required_ports`` behaviour as a function of the
+          process' future firing sequence — in particular the captured state
+          must evolve independently of input token *values*;
+        * return ``None`` (the default for processes overriding either hook)
+          when the control behaviour is data-dependent and cannot be
+          summarised.  Steady-state detection is then disabled for any netlist
+          containing the process, which is always safe.
+        """
+        if overrides_hook(self, "is_done") or overrides_hook(self, "required_ports"):
+            return None
+        return SCHEDULE_INERT
+
     # -- bookkeeping used by the simulators -----------------------------------
     def step(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
         """Fire once and keep the firing counter up to date.
@@ -158,6 +211,13 @@ class FunctionProcess(Process):
     oracle:
         Optional ``state -> frozenset of required ports`` function, exposing a
         WP2 oracle for the function process.
+    schedule_state:
+        Optional ``state -> hashable`` projection backing
+        :meth:`Process.schedule_state` for oracle-bearing processes.  It must
+        extract exactly the part of the state the oracle depends on, and that
+        part must evolve independently of input token values (see the
+        contract on :meth:`Process.schedule_state`).  Without it, an
+        oracle-bearing function process reports ``None`` (detection disabled).
     """
 
     def __init__(
@@ -168,6 +228,7 @@ class FunctionProcess(Process):
         transition: Callable[[Any, Mapping[str, Any]], Tuple[Any, Dict[str, Any]]],
         initial_state: Any = None,
         oracle: Optional[Callable[[Any], Optional[Iterable[str]]]] = None,
+        schedule_state: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         super().__init__(name)
         self.input_ports = tuple(inputs)
@@ -175,6 +236,7 @@ class FunctionProcess(Process):
         self._transition = transition
         self._initial_state = initial_state
         self._oracle = oracle
+        self._schedule_state_fn = schedule_state
         self.state = initial_state
 
     def reset(self) -> None:
@@ -192,6 +254,13 @@ class FunctionProcess(Process):
         if required is None:
             return None
         return frozenset(required)
+
+    def schedule_state(self) -> Optional[Any]:
+        if self._oracle is None:
+            return SCHEDULE_INERT  # required_ports constantly answers None
+        if self._schedule_state_fn is None:
+            return None
+        return self._schedule_state_fn(self.state)
 
 
 class PassthroughProcess(Process):
@@ -235,6 +304,12 @@ class CounterSource(Process):
 
     def is_done(self) -> bool:
         return self._limit is not None and self._next >= self._limit
+
+    def schedule_state(self) -> Optional[Any]:
+        # Unlimited sources never report done; limited ones flip as a pure
+        # function of the emission counter, which is therefore the complete
+        # schedule-relevant state (monotone while live, frozen once done).
+        return SCHEDULE_INERT if self._limit is None else self._next
 
 
 class SinkProcess(Process):

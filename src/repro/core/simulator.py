@@ -120,6 +120,9 @@ class LidSimulator:
         extra_cycles: int = 0,
         deadlock_limit: int = 10_000,
         on_cycle: Optional[Callable[[int, Dict[str, bool]], None]] = None,
+        horizon: Optional[int] = None,
+        steady_state: Optional[bool] = None,
+        steady_state_window: Optional[int] = None,
     ) -> LidResult:
         """Run the latency-insensitive system.
 
@@ -143,6 +146,14 @@ class LidSimulator:
             with no firing anywhere in the system.
         on_cycle:
             Optional observer called as ``on_cycle(cycle, fired_map)``.
+        horizon:
+            Run exactly this many cycles unless a stop condition fires
+            earlier; reaching the horizon is a normal halt, not a timeout.
+        steady_state:
+            Steady-state period detection switch (None consults the
+            ``REPRO_STEADY_STATE`` environment variable, then the default).
+        steady_state_window:
+            Cycles to search for a state recurrence before disarming.
         """
         controls = RunControls(
             max_cycles=max_cycles,
@@ -151,6 +162,9 @@ class LidSimulator:
             extra_cycles=extra_cycles,
             deadlock_limit=deadlock_limit,
             on_cycle=on_cycle,
+            horizon=horizon,
+            steady_state=steady_state,
+            steady_state_window=steady_state_window,
         )
         return self._kernel.run(controls, self.instruments)
 

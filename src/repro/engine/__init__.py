@@ -12,16 +12,24 @@ observers composed on top):
   codegen-specialized :class:`CompiledKernel` (the hot path; see
   :mod:`repro.engine.codegen`);
 * :mod:`repro.engine.instrumentation` — traces, shell statistics and queue
-  occupancy as opt-in passes (:class:`InstrumentSet`).
+  occupancy as opt-in passes (:class:`InstrumentSet`);
+* :mod:`repro.engine.steady_state` — steady-state period detection and
+  analytic extrapolation: eligible long-horizon runs detect the schedule's
+  first state recurrence and skip the remaining periods analytically
+  (DESIGN.md §4), controlled by ``RunControls.steady_state`` and the
+  ``REPRO_STEADY_STATE`` environment variable.
 
 :class:`repro.engine.batch.BatchRunner` sits on top, evaluating many
-configurations against one elaborated layout; the optimiser's simulated
-objectives and the experiment sweeps run through it.
-:class:`repro.core.simulator.LidSimulator` remains the backwards-compatible
-facade over this package.
+configurations against one elaborated layout (warm-starting detection from
+the periods it has already seen), and
+:class:`repro.engine.batch.MultiNetlistRunner` schedules tagged batches
+over several layouts through one persistent worker pool; the optimiser's
+simulated objectives, the experiment sweeps and the Table 1 harness run
+through them.  :class:`repro.core.simulator.LidSimulator` remains the
+backwards-compatible facade over this package.
 """
 
-from .batch import BatchResult, BatchRunner
+from .batch import BatchResult, BatchRunner, MultiNetlistRunner
 from .codegen import generate_run_source
 from .compiled import CompiledKernel
 from .elaboration import ElaboratedModel, Elaborator, NetlistLayout, elaborate, resolve_rs_counts
@@ -38,27 +46,42 @@ from .kernel import (
 )
 from .reference import ChannelPipeline, ReferenceKernel
 from .result import LidResult
+from .steady_state import (
+    DEFAULT_DETECTION_WINDOW,
+    STEADY_STATE_ENV_VAR,
+    DetectionPlan,
+    PeriodMemory,
+    detection_plan,
+    resolve_steady_state,
+)
 
 __all__ = [
     "BatchResult",
     "BatchRunner",
     "ChannelPipeline",
     "CompiledKernel",
+    "DEFAULT_DETECTION_WINDOW",
     "DEFAULT_KERNEL",
+    "DetectionPlan",
     "ElaboratedModel",
     "Elaborator",
     "FastKernel",
     "InstrumentSet",
     "KERNEL_ENV_VAR",
     "LidResult",
+    "MultiNetlistRunner",
     "NetlistLayout",
+    "PeriodMemory",
     "ReferenceKernel",
     "RunControls",
+    "STEADY_STATE_ENV_VAR",
     "SimKernel",
+    "detection_plan",
     "elaborate",
     "generate_run_source",
     "kernel_registry",
     "make_kernel",
     "resolve_kernel_name",
     "resolve_rs_counts",
+    "resolve_steady_state",
 ]

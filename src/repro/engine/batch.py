@@ -1,7 +1,7 @@
-"""Batch evaluation of many relay-station configurations on one netlist.
+"""Batch evaluation of relay-station configurations, one netlist or many.
 
 The optimiser's simulated objectives and the ablation sweeps all share the
-same shape: one netlist, many RS configurations, only aggregate numbers
+same shape: a netlist, many RS configurations, only aggregate numbers
 needed.  :class:`BatchRunner` serves that shape directly:
 
 * the netlist layout is elaborated **once** (see
@@ -10,16 +10,30 @@ needed.  :class:`BatchRunner` serves that shape directly:
   cached on the layout, so same-shaped configurations share code objects;
 * instrumentation defaults to :meth:`InstrumentSet.none` — objective
   evaluations pay zero trace/stats cost;
+* steady-state periods detected by the kernels (see
+  :mod:`repro.engine.steady_state`) warm-start later evaluations: the runner
+  remembers the periods observed per binding shape and sizes the detection
+  window of sibling configurations from them — and disarms detection for
+  shapes a previous equally-bounded run proved non-recurring;
 * :meth:`run_many` fans out across a **persistent worker pool**: the
-  configurations are chunked into shards, each worker builds its runner
-  (layout + kernel caches) exactly once from a pickled work spec and then
-  evaluates shard after shard, streaming :class:`BatchResult` lists back as
-  they complete.  Because workers are seeded by pickle rather than by
-  inherited memory, the fan-out works under both the ``fork`` and ``spawn``
-  start methods; netlists that cannot be pickled (e.g. closure-based
-  processes) fall back to the legacy fork-inheritance path where available,
-  and to serial evaluation (with a :class:`RuntimeWarning`) only when
-  parallelism is genuinely unavailable.
+  configurations are chunked into shards, each worker builds its runner(s)
+  exactly once from a pickled work spec and then evaluates shard after
+  shard, streaming :class:`BatchResult` lists back as they complete.
+  Because workers are seeded by pickle rather than by inherited memory, the
+  fan-out works under both the ``fork`` and ``spawn`` start methods;
+  netlists that cannot be pickled (e.g. closure-based processes) fall back
+  to the legacy fork-inheritance path where available, and to serial
+  evaluation (with a :class:`RuntimeWarning`) only when parallelism is
+  genuinely unavailable.
+
+:class:`MultiNetlistRunner` generalises the pool to **several elaborated
+layouts at once** (e.g. the sort and matmul processors, or the WP1 and WP2
+flavours of one netlist, in a single sweep): work items are tagged with a
+layout name, one persistent pool serves every layout, and each worker keeps
+one rebuilt :class:`BatchRunner` — with its per-layout compiled-function
+caches and period memory — per layout for the shards it is handed.
+``BatchRunner.run_many`` is a thin single-layout wrapper over the same
+machinery.
 """
 
 from __future__ import annotations
@@ -29,7 +43,7 @@ import multiprocessing
 import pickle
 import sys
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Any,
     Dict,
@@ -50,14 +64,25 @@ from .elaboration import Elaborator
 from .instrumentation import InstrumentSet
 from .kernel import RunControls, make_kernel, resolve_kernel_name
 from .result import LidResult
+from .steady_state import (
+    DEFAULT_DETECTION_WINDOW,
+    PeriodMemory,
+    detection_plan,
+)
 
 #: One work item: an :class:`RSConfiguration` or an explicit per-channel map,
 #: optionally paired with per-item overrides (``{"queue_capacity": 6}``).
 ConfigLike = Union[RSConfiguration, Mapping[str, int]]
 BatchItem = Union[ConfigLike, Tuple[ConfigLike, Mapping[str, Any]]]
 
+#: A multi-netlist work item: ``(layout name, batch item)``.
+TaggedItem = Tuple[str, BatchItem]
+
 #: Internal normalised work item.
 _Item = Tuple[Optional[RSConfiguration], Optional[Dict[str, int]], Optional[int]]
+
+#: Internal normalised tagged work item.
+_Tagged = Tuple[str, _Item]
 
 #: Per-item override keys accepted by :meth:`BatchRunner.run_many`.
 _ITEM_OVERRIDES = frozenset({"queue_capacity"})
@@ -74,6 +99,13 @@ class BatchResult:
     wrapper_kind: str
     error: Optional[str] = None
     rs_total: int = 0
+    #: Steady-state period / warmup detected by the kernel (None when the
+    #: run completed without a detected recurrence).
+    period: Optional[int] = None
+    warmup_cycles: Optional[int] = None
+    #: True when part of the run was reconstructed analytically from the
+    #: detected period (counts are identical to full simulation).
+    extrapolated: bool = False
 
     @property
     def failed(self) -> bool:
@@ -98,6 +130,9 @@ class BatchResult:
             halted=result.halted,
             wrapper_kind=result.wrapper_kind,
             rs_total=result.total_relay_stations(),
+            period=result.period,
+            warmup_cycles=result.warmup_cycles,
+            extrapolated=result.extrapolated,
         )
 
 
@@ -105,53 +140,66 @@ class BatchResult:
 # Worker plumbing
 # ---------------------------------------------------------------------------
 #
-# Spawn-safe path: each worker rebuilds a BatchRunner exactly once from a
-# pickled spec (the initializer), keeps it in a module global, and then
-# evaluates the shards it is handed.  Works identically under fork and spawn.
+# Spawn-safe path: each worker receives the pickled rebuild specs of every
+# layout (the initializer) and rebuilds one BatchRunner per layout **on
+# first use** — contiguous sharding tends to hand a worker items from only
+# one or two layouts, so eager construction would elaborate layouts the
+# worker never touches.  Works identically under fork and spawn; each
+# worker's runners accumulate compiled-function caches and steady-state
+# period memory across every shard they serve.
 
-_POOL_RUNNER: Optional["BatchRunner"] = None
+_POOL_SPECS: Optional[Dict[str, Tuple]] = None
+_POOL_RUNNERS: Dict[str, "BatchRunner"] = {}
 
 
 def _pool_initializer(payload: bytes) -> None:
-    global _POOL_RUNNER
-    netlist, relaxed, queue_capacity, rs_capacity, kernel_name, instruments = (
-        pickle.loads(payload)
-    )
-    _POOL_RUNNER = BatchRunner(
-        netlist,
-        relaxed=relaxed,
-        queue_capacity=queue_capacity,
-        rs_capacity=rs_capacity,
-        kernel=kernel_name,
-        instruments=instruments,
-    )
+    global _POOL_SPECS
+    _POOL_SPECS = pickle.loads(payload)
+    _POOL_RUNNERS.clear()
+
+
+def _pool_runner(name: str) -> "BatchRunner":
+    runner = _POOL_RUNNERS.get(name)
+    if runner is None:
+        assert _POOL_SPECS is not None
+        netlist, relaxed, queue_capacity, rs_capacity, kernel_name, instruments = (
+            _POOL_SPECS[name]
+        )
+        runner = _POOL_RUNNERS[name] = BatchRunner(
+            netlist,
+            relaxed=relaxed,
+            queue_capacity=queue_capacity,
+            rs_capacity=rs_capacity,
+            kernel=kernel_name,
+            instruments=instruments,
+        )
+    return runner
 
 
 def _pool_run_shard(
-    shard: Tuple[List[_Item], RunControls, str]
+    shard: Tuple[List[_Tagged], RunControls, str]
 ) -> List[BatchResult]:
-    assert _POOL_RUNNER is not None
     items, controls, on_error = shard
     return [
-        _POOL_RUNNER._evaluate(
+        _pool_runner(name)._evaluate(
             configuration, rs_counts, controls, on_error, queue_capacity=capacity
         )
-        for configuration, rs_counts, capacity in items
+        for name, (configuration, rs_counts, capacity) in items
     ]
 
 
-# Legacy fork path: the runner is handed to workers through inherited memory
-# (for netlists that carry closures and cannot be pickled).
-_FORK_RUNNER: Optional["BatchRunner"] = None
-_FORK_ITEMS: Sequence[_Item] = ()
+# Legacy fork path: the runners are handed to workers through inherited
+# memory (for netlists that carry closures and cannot be pickled).
+_FORK_RUNNERS: Optional[Mapping[str, "BatchRunner"]] = None
+_FORK_ITEMS: Sequence[_Tagged] = ()
 _FORK_CONTROLS: Optional[RunControls] = None
 _FORK_ON_ERROR: str = "raise"
 
 
 def _fork_worker(index: int) -> BatchResult:
-    assert _FORK_RUNNER is not None and _FORK_CONTROLS is not None
-    configuration, rs_counts, capacity = _FORK_ITEMS[index]
-    return _FORK_RUNNER._evaluate(
+    assert _FORK_RUNNERS is not None and _FORK_CONTROLS is not None
+    name, (configuration, rs_counts, capacity) = _FORK_ITEMS[index]
+    return _FORK_RUNNERS[name]._evaluate(
         configuration, rs_counts, _FORK_CONTROLS, _FORK_ON_ERROR,
         queue_capacity=capacity,
     )
@@ -178,6 +226,7 @@ class BatchRunner:
             instruments if instruments is not None else InstrumentSet.none()
         )
         self._elaborator = Elaborator(netlist)
+        self._period_memory = PeriodMemory()
 
     # -- single evaluation --------------------------------------------------
     def run(
@@ -228,6 +277,29 @@ class BatchRunner:
             rs_capacity=self.rs_capacity,
         )
         kernel = make_kernel(model, self.kernel_name)
+        # Warm start: size the steady-state detection window from periods
+        # already observed on this layout (and disarm detection for binding
+        # shapes a previous equally-bounded run proved non-recurring).  Only
+        # runs whose kernel actually arms the detector participate — a run
+        # where detection is impossible (trace instrument, on_cycle
+        # observer, unsupported processes) must not record a "miss".
+        memory_key = None
+        window = 0
+        if detection_plan(
+            model, self.instruments, controls.steady_state,
+            controls.steady_state_window, controls.on_cycle,
+        ) is not None:
+            memory_key = PeriodMemory.key_for(model)
+            default_window = (
+                controls.steady_state_window
+                if controls.steady_state_window is not None
+                else DEFAULT_DETECTION_WINDOW
+            )
+            window = self._period_memory.window_for(
+                memory_key, controls.loop_bound(), default_window
+            )
+            if window != default_window:
+                controls = replace(controls, steady_state_window=window)
         try:
             result = kernel.run(controls, self.instruments)
         except (DeadlockError, SimulationError) as exc:
@@ -240,6 +312,11 @@ class BatchRunner:
                 halted=False,
                 wrapper_kind=model.wrapper_kind,
                 error=f"{type(exc).__name__}: {exc}",
+            )
+        if memory_key is not None:
+            self._period_memory.observe(
+                memory_key, result.warmup_cycles, result.period,
+                min(result.cycles, window),
             )
         return BatchResult.from_result(result)
 
@@ -268,102 +345,23 @@ class BatchRunner:
 
         With ``workers > 1`` the items are chunked into *shards* (default:
         enough for load balancing, at most four per worker) and evaluated on
-        a persistent process pool.  Workers are seeded with a pickled work
-        spec and rebuild layout + kernel caches once, so the path is safe
-        under both ``fork`` and ``spawn`` start methods (*start_method*
+        a persistent process pool (see :class:`MultiNetlistRunner`, which
+        this wraps with a single layout).  Workers are seeded with a pickled
+        work spec and rebuild layout + kernel caches once, so the path is
+        safe under both ``fork`` and ``spawn`` start methods (*start_method*
         forces one).  Unpicklable netlists fall back to fork inheritance
         where the platform has ``fork``; if parallelism is genuinely
         unavailable a :class:`RuntimeWarning` is emitted and the batch runs
         serially.  Worker runs never mutate this process' netlist.
         """
-        items = [self._normalise_item(entry, queue_capacity) for entry in configurations]
-        run_controls = RunControls(**controls)
-
-        n_workers = min(workers, len(items))
-        if n_workers <= 1:
-            return self._run_serial(items, run_controls, on_error)
-
-        payload = self._spawn_payload()
-        if payload is not None and _controls_picklable(run_controls):
-            method = start_method or _default_start_method()
-            if method is not None:
-                return self._run_pooled(
-                    items, run_controls, on_error, n_workers, shards, method, payload
-                )
-            warnings.warn(
-                "BatchRunner.run_many: no multiprocessing start method "
-                "available; evaluating serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return self._run_serial(items, run_controls, on_error)
-
-        if _fork_available() and start_method in (None, "fork"):
-            return self._run_forked(items, run_controls, on_error, n_workers)
-
-        warnings.warn(
-            "BatchRunner.run_many: parallel evaluation unavailable "
-            "(netlist or controls not picklable and fork not supported); "
-            "evaluating serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return self._run_serial(items, run_controls, on_error)
-
-    # -- evaluation strategies ---------------------------------------------
-    def _run_serial(
-        self, items: Sequence[_Item], controls: RunControls, on_error: str
-    ) -> List[BatchResult]:
-        return [
-            self._evaluate(
-                configuration, rs_counts, controls, on_error, queue_capacity=capacity
-            )
-            for configuration, rs_counts, capacity in items
+        items = [
+            ("_", self._normalise_item(entry, queue_capacity))
+            for entry in configurations
         ]
-
-    def _run_pooled(
-        self,
-        items: List[_Item],
-        controls: RunControls,
-        on_error: str,
-        n_workers: int,
-        shards: Optional[int],
-        method: str,
-        payload: bytes,
-    ) -> List[BatchResult]:
-        shard_lists = _chunk(items, _shard_count(len(items), n_workers, shards))
-        context = multiprocessing.get_context(method)
-        results: List[BatchResult] = []
-        with context.Pool(
-            processes=min(n_workers, len(shard_lists)),
-            initializer=_pool_initializer,
-            initargs=(payload,),
-        ) as pool:
-            # imap streams shard results back in order as they complete.
-            for shard_results in pool.imap(
-                _pool_run_shard,
-                [(shard, controls, on_error) for shard in shard_lists],
-            ):
-                results.extend(shard_results)
-        return results
-
-    def _run_forked(
-        self,
-        items: Sequence[_Item],
-        controls: RunControls,
-        on_error: str,
-        n_workers: int,
-    ) -> List[BatchResult]:
-        global _FORK_RUNNER, _FORK_ITEMS, _FORK_CONTROLS, _FORK_ON_ERROR
-        _FORK_RUNNER, _FORK_ITEMS = self, items
-        _FORK_CONTROLS, _FORK_ON_ERROR = controls, on_error
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=n_workers) as pool:
-                return pool.map(_fork_worker, range(len(items)))
-        finally:
-            _FORK_RUNNER, _FORK_ITEMS = None, ()
-            _FORK_CONTROLS = None
+        return _run_tagged(
+            {"_": self}, items, RunControls(**controls), on_error,
+            workers, shards, start_method,
+        )
 
     # -- helpers -------------------------------------------------------------
     @staticmethod
@@ -387,21 +385,16 @@ class BatchRunner:
             return (config, None, capacity)
         return (None, dict(config), capacity)
 
-    def _spawn_payload(self) -> Optional[bytes]:
-        """Pickled work spec for pool workers, or ``None`` if not picklable."""
-        try:
-            return pickle.dumps(
-                (
-                    self.netlist,
-                    self.relaxed,
-                    self.queue_capacity,
-                    self.rs_capacity,
-                    self.kernel_name,
-                    self.instruments,
-                )
-            )
-        except Exception:
-            return None
+    def _spawn_spec(self) -> Tuple:
+        """The picklable rebuild spec of this runner (may fail to pickle)."""
+        return (
+            self.netlist,
+            self.relaxed,
+            self.queue_capacity,
+            self.rs_capacity,
+            self.kernel_name,
+            self.instruments,
+        )
 
     # -- objective adapter --------------------------------------------------
     def objective(
@@ -416,7 +409,10 @@ class BatchRunner:
         The returned callable plugs straight into the strategies of
         :mod:`repro.core.optimizer`.  With *golden_cycles* the score is the
         paper's golden-relative throughput, otherwise the system minimum of
-        firings per cycle.
+        firings per cycle.  Long-horizon objectives (``horizon=100_000``)
+        are served by steady-state extrapolation wherever the netlist
+        supports detection, and successive evaluations warm-start from the
+        periods already seen on this layout.
 
         The callable also carries a ``many(assignments)`` method evaluating a
         whole population through :meth:`run_many` (sharded across *workers*
@@ -443,6 +439,196 @@ class BatchRunner:
 
         evaluate.many = evaluate_many
         return evaluate
+
+
+class MultiNetlistRunner:
+    """One persistent pool serving several elaborated layouts.
+
+    Mixed-workload sweeps (sort + matmul in one batch), WP1/WP2 pairs and
+    any other multi-layout evaluation share one scheduler: work items are
+    ``(layout name, batch item)`` pairs, results come back in submission
+    order, and with ``workers > 1`` a single worker pool serves every
+    layout — each worker rebuilds one :class:`BatchRunner` per layout from
+    the pickled spec and keeps its compiled-function caches and steady-state
+    period memory warm across all the shards it evaluates.
+    """
+
+    def __init__(self, runners: Mapping[str, "BatchRunner"]) -> None:
+        if not runners:
+            raise SimulationError("MultiNetlistRunner needs at least one layout")
+        self.runners: Dict[str, BatchRunner] = dict(runners)
+
+    @classmethod
+    def from_netlists(
+        cls,
+        netlists: Mapping[str, Netlist],
+        per_layout: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        **defaults: Any,
+    ) -> "MultiNetlistRunner":
+        """Build one :class:`BatchRunner` per named netlist.
+
+        *defaults* are passed to every runner; *per_layout* overrides them
+        for individual names (e.g. ``{"wp2": {"relaxed": True}}``).
+        """
+        per_layout = per_layout or {}
+        runners = {}
+        for name, netlist in netlists.items():
+            kwargs = dict(defaults)
+            kwargs.update(per_layout.get(name, {}))
+            runners[name] = BatchRunner(netlist, **kwargs)
+        return cls(runners)
+
+    def runner(self, name: str) -> "BatchRunner":
+        """The underlying :class:`BatchRunner` of one layout."""
+        try:
+            return self.runners[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown layout {name!r}; available: {sorted(self.runners)}"
+            ) from None
+
+    def run_many(
+        self,
+        items: Sequence[TaggedItem],
+        workers: int = 1,
+        shards: Optional[int] = None,
+        on_error: str = "raise",
+        start_method: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
+        **controls: Any,
+    ) -> List[BatchResult]:
+        """Evaluate every tagged item; optionally fan out across processes.
+
+        Each entry of *items* is ``(layout name, batch item)`` where the
+        batch item follows :meth:`BatchRunner.run_many` (configuration or
+        per-channel mapping, optionally with per-item overrides);
+        *queue_capacity* overrides the runner defaults for the whole batch.
+        Results preserve submission order, so heterogeneous batches
+        interleave freely.  Remaining keyword arguments are
+        :class:`RunControls` fields shared by the whole batch.
+        """
+        normalised: List[_Tagged] = []
+        for name, entry in items:
+            runner = self.runner(name)
+            normalised.append((name, runner._normalise_item(entry, queue_capacity)))
+        return _run_tagged(
+            self.runners, normalised, RunControls(**controls), on_error,
+            workers, shards, start_method,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared tagged-batch evaluation machinery
+# ---------------------------------------------------------------------------
+
+def _run_tagged(
+    runners: Mapping[str, BatchRunner],
+    items: List[_Tagged],
+    controls: RunControls,
+    on_error: str,
+    workers: int,
+    shards: Optional[int],
+    start_method: Optional[str],
+) -> List[BatchResult]:
+    n_workers = min(workers, len(items))
+    if n_workers <= 1:
+        return _run_serial(runners, items, controls, on_error)
+
+    payload = _spawn_payload(runners)
+    if payload is not None and _controls_picklable(controls):
+        method = start_method or _default_start_method()
+        if method is not None:
+            return _run_pooled(
+                items, controls, on_error, n_workers, shards, method, payload
+            )
+        warnings.warn(
+            "BatchRunner.run_many: no multiprocessing start method "
+            "available; evaluating serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return _run_serial(runners, items, controls, on_error)
+
+    if _fork_available() and start_method in (None, "fork"):
+        return _run_forked(runners, items, controls, on_error, n_workers)
+
+    warnings.warn(
+        "BatchRunner.run_many: parallel evaluation unavailable "
+        "(netlist or controls not picklable and fork not supported); "
+        "evaluating serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return _run_serial(runners, items, controls, on_error)
+
+
+def _run_serial(
+    runners: Mapping[str, BatchRunner],
+    items: Sequence[_Tagged],
+    controls: RunControls,
+    on_error: str,
+) -> List[BatchResult]:
+    return [
+        runners[name]._evaluate(
+            configuration, rs_counts, controls, on_error, queue_capacity=capacity
+        )
+        for name, (configuration, rs_counts, capacity) in items
+    ]
+
+
+def _run_pooled(
+    items: List[_Tagged],
+    controls: RunControls,
+    on_error: str,
+    n_workers: int,
+    shards: Optional[int],
+    method: str,
+    payload: bytes,
+) -> List[BatchResult]:
+    shard_lists = _chunk(items, _shard_count(len(items), n_workers, shards))
+    context = multiprocessing.get_context(method)
+    results: List[BatchResult] = []
+    with context.Pool(
+        processes=min(n_workers, len(shard_lists)),
+        initializer=_pool_initializer,
+        initargs=(payload,),
+    ) as pool:
+        # imap streams shard results back in order as they complete.
+        for shard_results in pool.imap(
+            _pool_run_shard,
+            [(shard, controls, on_error) for shard in shard_lists],
+        ):
+            results.extend(shard_results)
+    return results
+
+
+def _run_forked(
+    runners: Mapping[str, BatchRunner],
+    items: Sequence[_Tagged],
+    controls: RunControls,
+    on_error: str,
+    n_workers: int,
+) -> List[BatchResult]:
+    global _FORK_RUNNERS, _FORK_ITEMS, _FORK_CONTROLS, _FORK_ON_ERROR
+    _FORK_RUNNERS, _FORK_ITEMS = runners, items
+    _FORK_CONTROLS, _FORK_ON_ERROR = controls, on_error
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=n_workers) as pool:
+            return pool.map(_fork_worker, range(len(items)))
+    finally:
+        _FORK_RUNNERS, _FORK_ITEMS = None, ()
+        _FORK_CONTROLS = None
+
+
+def _spawn_payload(runners: Mapping[str, BatchRunner]) -> Optional[bytes]:
+    """Pickled work spec for pool workers, or ``None`` if not picklable."""
+    try:
+        return pickle.dumps(
+            {name: runner._spawn_spec() for name, runner in runners.items()}
+        )
+    except Exception:
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -485,7 +671,7 @@ def _shard_count(n_items: int, n_workers: int, shards: Optional[int]) -> int:
     return min(n_items, n_workers * 4)
 
 
-def _chunk(items: List[_Item], n_shards: int) -> List[List[_Item]]:
+def _chunk(items: List[_Tagged], n_shards: int) -> List[List[_Tagged]]:
     """Split *items* into *n_shards* contiguous, order-preserving chunks."""
     size = math.ceil(len(items) / n_shards)
     return [items[i : i + size] for i in range(0, len(items), size)]

@@ -30,7 +30,10 @@ model:
   phase; back-pressure reads use the counter directly when no earlier shell
   can have touched the element this cycle, or a one-integer copy (``l7 =
   n7``) latched at the top of the cycle otherwise.  No ``len()`` call runs
-  on the hot path;
+  on the hot path — the occupancy instrument included: maxima are sampled
+  from the counters at the commit sites (every sample equals the element's
+  end-of-commit-phase occupancy, exactly what the fast kernel's deferred
+  sampling records);
 * hooks the processes do not override are folded away: a process that never
   overrides ``is_done`` loses its per-cycle done guard (the base method is
   the constant ``False``); one that declares
@@ -42,20 +45,32 @@ model:
   the first element of the channel is a relay station (never read live), or
   the consuming shell is the producer itself or fired earlier in process
   order — is appended immediately; the remaining launches wait in one
-  pending-slot local per channel, committed after the forwarding phase;
+  pending-slot local per channel, committed after the forwarding phase
+  (occupancy tracking defers every launch so the sampled maxima match the
+  fast kernel exactly);
 * instrumentation (trace / shell stats / occupancy) is **compiled in only
   when the corresponding pass is enabled** — the uninstrumented objective
-  path contains no counters, no ``Token`` objects and no occupancy samples
-  at all, not even behind a branch.  (Occupancy tracking switches back to
-  ``len()`` latches and a deferred launch list so the sampled maxima match
-  the fast kernel exactly.)
+  path contains no counters beyond the occupancy integers the guards need,
+  no ``Token`` objects and no occupancy samples at all, not even behind a
+  branch;
+* when the run is eligible for **steady-state detection** (see
+  :mod:`repro.engine.steady_state` and DESIGN.md §4), the canonical
+  snapshot is compiled into the loop as one tuple of the pre-maintained
+  integers — occupancy counters, firing-counter differences, the sampled
+  ``schedule_state()`` of the few dynamic processes — keyed into a plain
+  dict.  No per-cycle reconstruction of queue contents happens; detection
+  overhead stays within a few percent of the uninstrumented loop, and once
+  a period is measured the generated jump block advances cycles, firing
+  counters, ``g`` counters and stall statistics analytically.
 
 The generated function is an entire run loop (not a per-cycle callable): the
 stop condition, drain window and deadlock detection are cheap per-cycle
 scalar checks, and keeping them inside the generated frame means the hot
 locals (queues, counters, firing counters) never cross a call boundary.  The
 loop is additionally specialized on the stop-condition *mode* (any-done /
-firing-targets / stop-process), and the stop condition is only re-evaluated
+firing-targets / stop-process), on whether a cycle **horizon** bounds the
+run (reaching it is a normal halt, not a timeout), and on whether the
+steady-state detector is armed; the stop condition is only re-evaluated
 after a cycle in which something fired (process state — and therefore
 ``is_done`` and firing counts — cannot change on an idle cycle).
 
@@ -67,10 +82,10 @@ across all three kernels.
 
 Compilation is cached on the :class:`~repro.engine.elaboration.NetlistLayout`
 keyed by the *configuration signature*: the relay-chain shape, the element
-capacities, the wrapper flavour, the instrument flags and the stop mode.
-Re-binding the same layout to a configuration with the same signature (the
-batch runner and the optimiser do this constantly) reuses the compiled code
-object.
+capacities, the wrapper flavour, the instrument flags, the stop mode and the
+horizon / steady-state flags.  Re-binding the same layout to a configuration
+with the same signature (the batch runner and the optimiser do this
+constantly) reuses the compiled code object.
 """
 
 from __future__ import annotations
@@ -83,11 +98,17 @@ from ..core.exceptions import (
     ProtocolError,
     SimulationError,
 )
-from ..core.process import Process
+from ..core.process import Process, overrides_hook
 from ..core.tokens import Token, VOID
 from .elaboration import ElaboratedModel
 from .fast import _raise_output_mismatch
 from .instrumentation import InstrumentSet
+from .steady_state import (
+    channel_offset_pairs,
+    dynamic_signature_indices,
+    periods_to_skip,
+    stats_jump,
+)
 
 #: Name of the generated entry point inside the compiled namespace.
 ENTRY_POINT = "__lid_run"
@@ -102,15 +123,8 @@ STOP_PROCESS = 2       #: stop when one designated process reports done
 
 
 def _overrides(process: Process, method: str) -> bool:
-    """Whether *process* overrides a base-class hook (class or instance level).
-
-    The base implementations are constant (``is_done`` → ``False``,
-    ``required_ports`` → ``None``), so the generator folds non-overridden
-    hooks away instead of paying a Python call per process per cycle.
-    """
-    if method in process.__dict__:
-        return True
-    return getattr(type(process), method) is not getattr(Process, method)
+    """Back-compat alias of :func:`repro.core.process.overrides_hook`."""
+    return overrides_hook(process, method)
 
 
 def _raise_unknown_ports(name: str, required, portset) -> None:
@@ -152,16 +166,21 @@ class _Block:
 
 
 def model_signature(
-    model: ElaboratedModel, instruments: InstrumentSet, stop_mode: int = STOP_PROCESS
+    model: ElaboratedModel,
+    instruments: InstrumentSet,
+    stop_mode: int = STOP_PROCESS,
+    steady: bool = False,
+    horizon: bool = False,
 ) -> Tuple:
     """The compilation cache key of one bound model + instrument selection.
 
     Two bindings of the same layout share compiled code iff they agree on
     the relay-chain shape, every element capacity, the wrapper flavour, the
-    instrument flags and the stop-condition mode (the loop only carries the
-    plumbing of the stop condition actually in use).  Everything else
-    (configuration label, the actual initial token values, the concrete stop
-    targets) is runtime data.
+    instrument flags, the stop-condition mode and the horizon / steady-state
+    specializations (the loop only carries the plumbing actually in use).
+    Everything else (configuration label, the actual initial token values,
+    the concrete stop targets, the horizon cycle count, the detection
+    window) is runtime data.
     """
     return (
         tuple(tuple(chain) for chain in model.chan_chain),
@@ -171,6 +190,8 @@ def model_signature(
         instruments.shell_stats,
         instruments.occupancy,
         stop_mode,
+        steady,
+        horizon,
     )
 
 
@@ -182,6 +203,8 @@ class _Generator:
         model: ElaboratedModel,
         instruments: InstrumentSet,
         stop_mode: int = STOP_PROCESS,
+        steady: bool = False,
+        horizon: bool = False,
     ) -> None:
         self.model = model
         self.layout = model.layout
@@ -191,10 +214,8 @@ class _Generator:
         self.tracing = instruments.trace
         self.stats = instruments.shell_stats
         self.occ = instruments.occupancy
-        # Integer occupancy counters replace len() latches whenever the
-        # occupancy instrument (whose sampling points are tied to the real
-        # deque lengths) is off.
-        self.int_occ = not self.occ
+        self.horizon = horizon
+        self.steady = steady and not instruments.trace
         layout = self.layout
         self.n_procs = len(layout.processes)
         self.n_chans = len(layout.chan_names)
@@ -218,26 +239,33 @@ class _Generator:
         for src, dst in self.hops:
             self.latched.add(src)
             self.latched.add(dst)
+        # Elements carrying an integer occupancy counter.  The guards only
+        # need the latched set; the occupancy instrument samples its maxima
+        # from the counters and the steady-state snapshot reads every
+        # element, so both widen the set to all queues.
+        if self.occ or self.steady:
+            self.counted: Set[int] = set(range(self.n_queues))
+        else:
+            self.counted = set(self.latched)
         # Owner (consuming process) of every shell input FIFO.
         self.queue_owner: Dict[int, int] = {}
         for p, qids in enumerate(layout.in_qids):
             for qid in qids:
                 self.queue_owner[qid] = p
-        # Back-pressure reads that need a top-of-cycle latched copy even
-        # under integer counters: the element is a shell FIFO whose owner
-        # runs at or before the producer, so the owner's pops (WP1 consumes,
-        # WP2 also discards before its own back-pressure check) precede the
-        # read.  A relay station or a later-running owner cannot be touched
-        # before the read, so those use the counter directly.
+        # Back-pressure reads that need a top-of-cycle latched copy: the
+        # element is a shell FIFO whose owner runs at or before the producer,
+        # so the owner's pops (WP1 consumes, WP2 also discards before its own
+        # back-pressure check) precede the read.  A relay station or a
+        # later-running owner cannot be touched before the read, so those
+        # use the counter directly.
         self.guard_copy: Set[int] = set()
-        if self.int_occ:
-            for p in range(self.n_procs):
-                for qid in model.out_first[p]:
-                    owner = self.queue_owner.get(qid)
-                    if owner is None:
-                        continue
-                    if owner < p or (owner == p and self.relaxed):
-                        self.guard_copy.add(qid)
+        for p in range(self.n_procs):
+            for qid in model.out_first[p]:
+                owner = self.queue_owner.get(qid)
+                if owner is None:
+                    continue
+                if owner < p or (owner == p and self.relaxed):
+                    self.guard_copy.add(qid)
         self.deferred_cids = sorted(
             {
                 cid
@@ -248,10 +276,9 @@ class _Generator:
             }
         )
         # Deferred launches wait in one pending-slot local per channel (no
-        # tuple, no list churn); the occupancy variant keeps the ordered
-        # launch list so maxima are sampled exactly like the fast kernel.
-        self.pending_slots = self.int_occ and bool(self.deferred_cids)
-        self.any_deferred = bool(self.deferred_cids) and not self.pending_slots
+        # tuple, no list churn); the occupancy variant samples the counter
+        # right after each commit.
+        self.pending_slots = bool(self.deferred_cids)
         # Queues needing pre-bound popleft / append methods.
         self.pops_used: Set[int] = set(self.queue_owner)
         self.appends_used: Set[int] = set(layout.chan_dest_qid)
@@ -259,6 +286,20 @@ class _Generator:
             self.pops_used.add(src)
             self.appends_used.add(dst)
         self.appends_used.update(model.chan_first)
+        # Steady-state snapshot plan (processes to sample, tag offsets, the
+        # per-FIFO pop counters a jump must advance).
+        if self.steady:
+            dynamic = dynamic_signature_indices(model)
+            assert dynamic is not None, "steady codegen on an unsupported model"
+            self.ss_sig_procs = dynamic
+            self.ss_done_procs = [p for p in dynamic if self.done_ovr[p]]
+            self.ss_offsets = channel_offset_pairs(model) if self.relaxed else []
+            self.ss_g_queues = [
+                qid
+                for p in range(self.n_procs)
+                if self.relaxed and self.req_ovr[p]
+                for qid in layout.in_qids[p]
+            ]
         self.w = _Writer()
 
     # -- expression helpers -----------------------------------------------------
@@ -268,8 +309,6 @@ class _Generator:
 
     def _bp_expr(self, qid: int) -> str:
         """Start-of-cycle occupancy of *qid* as read by a back-pressure guard."""
-        if not self.int_occ:
-            return f"l{qid}"
         return f"l{qid}" if qid in self.guard_copy else f"n{qid}"
 
     def _deferred(self, p: int, cid: int) -> bool:
@@ -279,7 +318,8 @@ class _Generator:
         live later this cycle: relay stations are only read through the
         latched snapshot, and a shell FIFO is only read by its owning shell,
         which already executed when ``owner <= p``.  Occupancy instrumentation
-        defers everything so maxima are sampled exactly like the fast kernel.
+        defers everything so maxima are sampled exactly like the fast kernel
+        (after every commit of the cycle, never against a transient value).
         """
         if self.occ:
             return True
@@ -290,13 +330,19 @@ class _Generator:
     def _emit_push(self, qid: int, value_expr: str) -> None:
         """Append *value_expr* to queue *qid*, maintaining its counter."""
         self.w.emit(f"q{qid}_ap({value_expr})")
-        if self.int_occ and qid in self.latched:
+        if qid in self.counted:
             self.w.emit(f"n{qid} += 1")
 
     def _emit_pop_count(self, qid: int) -> None:
         """Counter maintenance for a pop from queue *qid* (pop emitted by caller)."""
-        if self.int_occ and qid in self.latched:
+        if qid in self.counted:
             self.w.emit(f"n{qid} -= 1")
+
+    def _emit_occ_sample(self, qid: int) -> None:
+        """Fold the counter of *qid* into the occupancy maxima."""
+        self.w.emit(f"if n{qid} > mo[{qid}]:")
+        with _Block(self.w):
+            self.w.emit(f"mo[{qid}] = n{qid}")
 
     def generate(self) -> str:
         w = self.w
@@ -304,12 +350,11 @@ class _Generator:
         layout = self.layout
         w.emit(
             f"def {ENTRY_POINT}(procs, fir, label, max_cycles, deadlock_limit, "
-            "extra_cycles, stop_mode, stop_arg):"
+            "extra_cycles, stop_mode, stop_arg, horizon, ss_window):"
         )
         w.push()
 
         # -- prologue: hoist process methods, build run state ----------------
-        w.emit("_len = len")
         for p in range(self.n_procs):
             w.emit(f"p{p} = procs[{p}]")
             w.emit(f"p{p}_fire = p{p}.fire")
@@ -328,11 +373,8 @@ class _Generator:
                 w.emit(f"q{q}_pop = q{q}.popleft")
             if q in self.appends_used:
                 w.emit(f"q{q}_ap = q{q}.append")
-            if q in self.latched:
-                if self.int_occ:
-                    w.emit(f"n{q} = 0")
-                else:
-                    w.emit(f"q{q}_n = q{q}.__len__")
+            if q in self.counted:
+                w.emit(f"n{q} = 0")
         for p in range(self.n_procs):
             w.emit(f"f{p} = 0")
         if self.relaxed:
@@ -363,33 +405,39 @@ class _Generator:
         if self.pending_slots:
             for cid in self.deferred_cids:
                 w.emit(f"d{cid} = _NP")
-        elif self.any_deferred:
-            w.emit("launches = []")
-            w.emit("_lap = launches.append")
-        if self.occ:
-            w.emit("occ_pending = []")
-            w.emit("_oap = occ_pending.append")
         w.emit("cycles = 0")
         w.emit("idle = 0")
         w.emit("halted = False")
         w.emit("drain = None")
+        if self.horizon:
+            w.emit("_bound = horizon if horizon < max_cycles else max_cycles")
+        else:
+            w.emit("_bound = max_cycles")
+        if self.steady:
+            # Steady-state detector state: 1 = searching, 2 = measuring one
+            # concrete period, 0 = off.
+            w.emit("_ss = 1")
+            w.emit("_ss_seen = {}")
+            w.emit("_ss_p = 0")
+            w.emit("_ss_w = 0")
+            w.emit("_ss_end = -1")
+            w.emit("_extrap = False")
+            for p in self.ss_sig_procs:
+                w.emit(f"p{p}_ss = p{p}.schedule_state")
         if self.stop_mode == STOP_PROCESS:
             w.emit("_stop_done = procs[stop_arg].is_done")
 
         # -- main loop --------------------------------------------------------
-        w.emit("while cycles < max_cycles:")
+        w.emit("while cycles < _bound:")
         w.push()
-        if self.int_occ:
-            # Phase 1: forwarding decisions against start-of-cycle counters,
-            # plus latched copies for the back-pressure reads that need them.
-            for i, (src, dst) in enumerate(self.hops):
-                w.emit(f"h{i} = n{src} and n{dst} < {model.queue_caps[dst]}")
-            for q in sorted(self.guard_copy):
-                w.emit(f"l{q} = n{q}")
-        else:
-            # Phase 1: latch the occupancies any decision reads.
-            for q in sorted(self.latched):
-                w.emit(f"l{q} = q{q}_n()")
+        if self.steady:
+            self._steady_block()
+        # Phase 1: forwarding decisions against start-of-cycle counters,
+        # plus latched copies for the back-pressure reads that need them.
+        for i, (src, dst) in enumerate(self.hops):
+            w.emit(f"h{i} = n{src} and n{dst} < {model.queue_caps[dst]}")
+        for q in sorted(self.guard_copy):
+            w.emit(f"l{q} = n{q}")
         w.emit("fired_any = False")
         if self.tracing:
             w.emit(f"_e = [VOID] * {self.n_chans}")
@@ -398,49 +446,31 @@ class _Generator:
         for p in range(self.n_procs):
             self._shell(p)
 
-        # Phase 3: commit relay-station moves, then deferred launches.
-        if self.int_occ:
+        # Phase 3: commit relay-station moves, then deferred launches.  The
+        # occupancy maxima are sampled from the counters once every commit
+        # that can touch the element has been applied, so each sample equals
+        # the end-of-commit-phase occupancy — exactly the value the fast
+        # kernel's deferred sampling records.
+        for i, (src, dst) in enumerate(self.hops):
+            w.emit(f"if h{i}:")
+            with _Block(w):
+                w.emit(f"q{dst}_ap(q{src}_pop())")
+                w.emit(f"n{src} -= 1")
+                w.emit(f"n{dst} += 1")
+        if self.occ:
             for i, (src, dst) in enumerate(self.hops):
                 w.emit(f"if h{i}:")
                 with _Block(w):
-                    w.emit(f"q{dst}_ap(q{src}_pop())")
-                    w.emit(f"n{src} -= 1")
-                    w.emit(f"n{dst} += 1")
-        else:
-            for src, dst in self.hops:
-                w.emit(f"if l{src} and l{dst} < {model.queue_caps[dst]}:")
-                with _Block(w):
-                    w.emit(f"q{dst}_ap(q{src}_pop())")
-                    if self.occ:
-                        w.emit(f"_oap((q{dst}, {dst}))")
-        if self.occ:
-            w.emit("for _q, _qi, _it in launches:")
-            with _Block(w):
-                w.emit("_q.append(_it)")
-                w.emit("_ln = _len(_q)")
-                w.emit("if _ln > mo[_qi]:")
-                with _Block(w):
-                    w.emit("mo[_qi] = _ln")
-            w.emit("launches.clear()")
-            w.emit("for _q, _qi in occ_pending:")
-            with _Block(w):
-                w.emit("_ln = _len(_q)")
-                w.emit("if _ln > mo[_qi]:")
-                with _Block(w):
-                    w.emit("mo[_qi] = _ln")
-            w.emit("occ_pending.clear()")
-        elif self.pending_slots:
+                    self._emit_occ_sample(dst)
+        if self.pending_slots:
             for cid in self.deferred_cids:
                 qid = model.chan_first[cid]
                 w.emit(f"if d{cid} is not _NP:")
                 with _Block(w):
                     self._emit_push(qid, f"d{cid}")
+                    if self.occ:
+                        self._emit_occ_sample(qid)
                     w.emit(f"d{cid} = _NP")
-        elif self.any_deferred:
-            w.emit("for _q, _it in launches:")
-            with _Block(w):
-                w.emit("_q.append(_it)")
-            w.emit("launches.clear()")
 
         if self.tracing:
             w.emit("for _cl, _cv in zip(chan_items, _e):")
@@ -484,6 +514,8 @@ class _Generator:
             with _Block(w):
                 w.emit("halted = True")
                 w.emit("drain = extra_cycles")
+                if self.steady:
+                    w.emit("_ss = 0  # at most extra_cycles left: nothing to skip")
         w.emit("if drain is not None:")
         with _Block(w):
             w.emit("if drain == 0:")
@@ -493,10 +525,20 @@ class _Generator:
         w.pop()  # while
         w.emit("else:")
         with _Block(w):
-            w.emit(
-                "raise SimulationError('simulation did not terminate within "
-                "%d cycles (configuration %r)' % (max_cycles, label))"
-            )
+            if self.horizon:
+                w.emit("if cycles < horizon:")
+                with _Block(w):
+                    w.emit(
+                        "raise SimulationError('simulation did not terminate "
+                        "within %d cycles (configuration %r)' % "
+                        "(max_cycles, label))"
+                    )
+                w.emit("halted = True  # reaching the horizon is a normal halt")
+            else:
+                w.emit(
+                    "raise SimulationError('simulation did not terminate within "
+                    "%d cycles (configuration %r)' % (max_cycles, label))"
+                )
 
         # -- epilogue ----------------------------------------------------------
         for p in range(self.n_procs):
@@ -508,9 +550,97 @@ class _Generator:
             else "None"
         )
         occ_out = "mo" if self.occ else "None"
-        w.emit(f"return (cycles, halted, {trace_out}, {stats_out}, {occ_out})")
+        if self.steady:
+            ss_out = "_ss_p, _ss_w, _extrap"
+        else:
+            ss_out = "0, 0, False"
+        w.emit(
+            f"return (cycles, halted, {trace_out}, {stats_out}, {occ_out}, "
+            f"{ss_out})"
+        )
         w.pop()
         return w.source()
+
+    # -- steady-state detection ------------------------------------------------
+    def _steady_block(self) -> None:
+        """Snapshot / measure / jump logic at the top of every cycle.
+
+        Mirrors the fast kernel's interpreted detector: the snapshot is one
+        tuple of integers already held in locals (plus the handful of
+        dynamic ``schedule_state()`` samples), so the searching phase costs
+        one tuple build and one dict probe per cycle and allocates nothing
+        else.
+        """
+        w = self.w
+        parts = [f"n{q}" for q in range(self.n_queues)]
+        parts += [f"f{s} - f{d}" for s, d in self.ss_offsets]
+        parts += [f"p{p}_ss()" for p in self.ss_sig_procs]
+        parts += [self._done_expr(p) for p in self.ss_done_procs]
+        key = ", ".join(parts) if parts else ""
+        fs = ", ".join(f"f{p}" for p in range(self.n_procs))
+        w.emit("if _ss == 1:")
+        with _Block(w):
+            w.emit(f"_sk = ({key}{',' if len(parts) == 1 else ''})")
+            w.emit("_pv = _ss_seen.get(_sk)")
+            w.emit("if _pv is None:")
+            with _Block(w):
+                w.emit("_ss_seen[_sk] = cycles")
+                w.emit("if cycles >= ss_window:")
+                with _Block(w):
+                    w.emit("_ss = 0")
+                    w.emit("_ss_seen = None")
+            w.emit("else:")
+            with _Block(w):
+                w.emit("_ss = 2")
+                w.emit("_ss_w = _pv")
+                w.emit("_ss_p = cycles - _pv")
+                w.emit("_ss_end = cycles + _ss_p")
+                w.emit("_ss_seen = None")
+                w.emit(f"_ss_bf = ({fs}{',' if self.n_procs == 1 else ''})")
+                if self.ss_g_queues:
+                    gs = ", ".join(f"g{q}" for q in self.ss_g_queues)
+                    trail = "," if len(self.ss_g_queues) == 1 else ""
+                    w.emit(f"_ss_bg = ({gs}{trail})")
+                if self.stats:
+                    w.emit(
+                        "_ss_bs = ([*st_missing], [*st_blocked], [*st_done], "
+                        "[*st_disc], [dict(_x) for _x in st_dp], "
+                        "[dict(_x) for _x in st_mp])"
+                    )
+        w.emit("elif _ss == 2 and cycles == _ss_end:")
+        with _Block(w):
+            w.emit("_ss = 0")
+            deltas = ", ".join(
+                f"f{p} - _ss_bf[{p}]" for p in range(self.n_procs)
+            )
+            w.emit(f"_df = [{deltas}]")
+            w.emit(
+                "_skip = _ss_skip(cycles, _ss_p, _bound, stop_mode, stop_arg, "
+                "fir, _df)"
+            )
+            # A period with zero firings must not be skipped: the deadlock
+            # counter (not part of the snapshot) keeps advancing through it.
+            w.emit("if _skip > 0 and any(_df):")
+            with _Block(w):
+                w.emit("cycles += _skip * _ss_p")
+                for p in range(self.n_procs):
+                    w.emit(f"if _df[{p}]:")
+                    with _Block(w):
+                        w.emit(f"f{p} += _skip * _df[{p}]")
+                        w.emit(f"p{p}.firings = f{p}")
+                        if self.stop_mode == STOP_TARGET:
+                            w.emit(f"fir[{p}] = f{p}")
+                for index, q in enumerate(self.ss_g_queues):
+                    w.emit(f"g{q} += _skip * (g{q} - _ss_bg[{index}])")
+                if self.stats:
+                    w.emit(
+                        "_ss_sj(_skip, _ss_bs, st_missing, st_blocked, "
+                        "st_done, st_disc, st_dp, st_mp)"
+                    )
+                w.emit("_extrap = True")
+                w.emit("if cycles >= _bound:")
+                with _Block(w):
+                    w.emit("continue  # loop-condition re-check: horizon/timeout")
 
     # -- shells ----------------------------------------------------------------
     def _shell(self, p: int) -> None:
@@ -759,12 +889,7 @@ class _Generator:
                 if self.tracing:
                     w.emit(f"_e[{cid}] = _tok")
                 if self._deferred(p, cid):
-                    if self.occ:
-                        w.emit(f"_lap((q{qid}, {qid}, _v))")
-                    elif self.pending_slots:
-                        w.emit(f"d{cid} = _v")
-                    else:
-                        w.emit(f"_lap((q{qid}, _v))")
+                    w.emit(f"d{cid} = _v")
                 else:
                     self._emit_push(qid, "_v")
         w.emit("fired_any = True")
@@ -774,9 +899,11 @@ def generate_run_source(
     model: ElaboratedModel,
     instruments: InstrumentSet,
     stop_mode: int = STOP_PROCESS,
+    steady: bool = False,
+    horizon: bool = False,
 ) -> str:
     """Emit the source of the specialized run function for *model*."""
-    return _Generator(model, instruments, stop_mode).generate()
+    return _Generator(model, instruments, stop_mode, steady, horizon).generate()
 
 
 def _base_namespace(model: ElaboratedModel) -> dict:
@@ -792,6 +919,8 @@ def _base_namespace(model: ElaboratedModel) -> dict:
         "SimulationError": SimulationError,
         "_mismatch": _raise_output_mismatch,
         "_unknown": _raise_unknown_ports,
+        "_ss_skip": periods_to_skip,
+        "_ss_sj": stats_jump,
         "CHAN_INIT": list(layout.chan_initial),
         "_NP": object(),  # unique "no pending token" sentinel
     }
@@ -805,6 +934,8 @@ def compiled_run_fn(
     model: ElaboratedModel,
     instruments: InstrumentSet,
     stop_mode: int = STOP_PROCESS,
+    steady: bool = False,
+    horizon: bool = False,
 ) -> Callable:
     """The compiled run function for *model*, generated and cached on demand.
 
@@ -817,10 +948,10 @@ def compiled_run_fn(
     if cache is None:
         cache = {}
         setattr(layout, _CACHE_ATTR, cache)
-    key = model_signature(model, instruments, stop_mode)
+    key = model_signature(model, instruments, stop_mode, steady, horizon)
     fn = cache.get(key)
     if fn is None:
-        source = generate_run_source(model, instruments, stop_mode)
+        source = generate_run_source(model, instruments, stop_mode, steady, horizon)
         code = compile(source, f"<lid-codegen:{model.netlist.name}>", "exec")
         namespace = _base_namespace(model)
         exec(code, namespace)

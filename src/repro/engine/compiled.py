@@ -7,9 +7,17 @@ code is cached on the netlist layout keyed by the configuration signature,
 so repeated runs — and batch evaluations of same-shaped configurations —
 pay the generation cost a single time.
 
+Steady-state period detection (see :mod:`repro.engine.steady_state`) is
+compiled straight into the generated loop whenever the run is eligible: the
+per-cycle snapshot is one tuple of integers the loop already maintains, and
+the analytic jump over the detected period's repetitions happens inside the
+generated frame.
+
 Semantics are pinned to the reference/fast kernels by the property suite in
 ``tests/test_engine.py``: cycles, firings, traces, stall statistics and
-occupancies are cycle-for-cycle identical.
+occupancies are cycle-for-cycle identical (extrapolated runs included — the
+hypothesis suite in ``tests/test_steady_state.py`` pins extrapolated counts
+to full simulation).
 
 One deliberate exception: the generic ``on_cycle`` observer (a per-cycle
 Python callback) is served by delegating the run to the fast kernel — a
@@ -26,6 +34,7 @@ from .codegen import STOP_ANY_DONE, STOP_PROCESS, STOP_TARGET, compiled_run_fn
 from .instrumentation import InstrumentSet, trace_from_lists
 from .kernel import RunControls, SimKernel
 from .result import LidResult
+from .steady_state import detection_plan
 
 
 class CompiledKernel(SimKernel):
@@ -60,16 +69,28 @@ class CompiledKernel(SimKernel):
             stop_mode = STOP_ANY_DONE
             stop_arg = None
 
-        run_fn = compiled_run_fn(model, instruments, stop_mode)
-        cycles, halted, chan_items, stats, maxocc = run_fn(
-            layout.processes,
-            fir,
-            model.configuration_label,
-            controls.max_cycles,
-            controls.deadlock_limit,
-            controls.extra_cycles,
-            stop_mode,
-            stop_arg,
+        plan = detection_plan(
+            model, instruments, controls.steady_state,
+            controls.steady_state_window, controls.on_cycle,
+        )
+        run_fn = compiled_run_fn(
+            model, instruments, stop_mode,
+            steady=plan is not None,
+            horizon=controls.horizon is not None,
+        )
+        cycles, halted, chan_items, stats, maxocc, period, warmup, extrapolated = (
+            run_fn(
+                layout.processes,
+                fir,
+                model.configuration_label,
+                controls.max_cycles,
+                controls.deadlock_limit,
+                controls.extra_cycles,
+                stop_mode,
+                stop_arg,
+                controls.horizon if controls.horizon is not None else 0,
+                plan.window if plan is not None else 0,
+            )
         )
 
         firings = {proc_names[p]: fir[p] for p in range(n_procs)}
@@ -109,4 +130,7 @@ class CompiledKernel(SimKernel):
             rs_counts=dict(model.rs_counts),
             shell_stats=shell_stats,
             max_queue_occupancy=max_occupancy,
+            period=period or None,
+            warmup_cycles=warmup if period else None,
+            extrapolated=extrapolated,
         )

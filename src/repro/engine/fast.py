@@ -25,6 +25,15 @@ construction: every decision is made against start-of-cycle state, shells
 fire, then relay-station moves and producer launches commit.  The property
 suite in ``tests/test_engine.py`` pins equality of cycles, firings, traces,
 stall statistics and occupancies across kernels.
+
+When a run is eligible (see :mod:`repro.engine.steady_state` and DESIGN.md
+§4), the kernel additionally runs the steady-state detector: the
+top-of-cycle state is canonicalised into a snapshot key, the first
+recurrence yields the period, one more period is simulated concretely to
+measure per-period deltas, and the remaining whole periods are skipped
+analytically — cycles, firings, stall statistics and queued token tags all
+advance to exactly the values full simulation would have produced
+(``tests/test_steady_state.py`` pins this).
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from ..core.traces import SystemTrace
 from .instrumentation import InstrumentSet, trace_from_lists
 from .kernel import RunControls, SimKernel
 from .result import LidResult
+from .steady_state import detection_plan, periods_to_skip, stats_jump
 
 
 class FastKernel(SimKernel):
@@ -166,15 +176,124 @@ class FastKernel(SimKernel):
         on_cycle = controls.on_cycle
 
         max_cycles = controls.max_cycles
+        horizon = controls.horizon
+        bound = controls.loop_bound()
         deadlock_limit = controls.deadlock_limit
         cycles = 0
         idle_streak = 0
         halted = False
         drain_remaining: Optional[int] = None
 
-        while cycles < max_cycles:
+        # -- steady-state detection ---------------------------------------------
+        # Snapshot plan (None when detection is off or unsound for this run);
+        # see repro.engine.steady_state and DESIGN.md §4.  ss_phase: 0 = off,
+        # 1 = searching for a recurrence, 2 = measuring one concrete period.
+        plan = detection_plan(
+            model, instruments, controls.steady_state,
+            controls.steady_state_window, on_cycle,
+        )
+        ss_phase = 1 if plan is not None else 0
+        ss_period: Optional[int] = None
+        ss_warmup: Optional[int] = None
+        ss_end = -1
+        extrapolated = False
+        if ss_phase:
+            ss_seen: Optional[Dict[tuple, int]] = {}
+            ss_window = plan.window
+            ss_sig_fns = [fn for _, fn in plan.sig_fns]
+            ss_done_procs = [procs[p] for p in plan.done_procs]
+            ss_offsets = plan.offset_pairs
+            ss_stop_mode = 1 if target_list is not None else 0
+            # Producer process of every storage element (for the tag rewrite
+            # applied when whole periods are skipped).
+            chan_src = [0] * n_chans
+            for p, entries in enumerate(layout.out_ports):
+                for _port, cids in entries:
+                    for cid in cids:
+                        chan_src[cid] = p
+            queue_src: Dict[int, int] = {}
+            for cid, chain in enumerate(model.chan_chain):
+                for qid in chain:
+                    queue_src[qid] = chan_src[cid]
+
+        while cycles < bound:
             # Phase 1: latch occupancies (registered back-pressure).
             latched = list(map(len, queues))
+
+            # Steady-state detection: the top-of-cycle state (all tokens
+            # committed, nothing in flight) is canonicalised into a snapshot
+            # key; the first recurrence yields the period, one more period is
+            # simulated concretely to measure per-period deltas, and the
+            # remaining whole periods are then skipped analytically.
+            if ss_phase:
+                if ss_phase == 1:
+                    ss_key = (
+                        tuple(latched),
+                        tuple(fir[s] - fir[d] for s, d in ss_offsets),
+                        tuple(fn() for fn in ss_sig_fns),
+                        tuple(p.is_done() for p in ss_done_procs),
+                    )
+                    prev = ss_seen.get(ss_key)
+                    if prev is None:
+                        ss_seen[ss_key] = cycles
+                        if cycles >= ss_window:
+                            ss_phase = 0
+                            ss_seen = None
+                    else:
+                        ss_warmup = prev
+                        ss_period = cycles - prev
+                        ss_end = cycles + ss_period
+                        ss_phase = 2
+                        ss_seen = None
+                        ss_base_fir = fir.copy()
+                        if track_stats:
+                            ss_base_stats = (
+                                st_missing.copy(), st_blocked.copy(),
+                                st_done.copy(), st_discarded.copy(),
+                                [dict(d) for d in st_discard_port],
+                                [dict(d) for d in st_missing_port],
+                            )
+                elif cycles == ss_end:
+                    ss_phase = 0
+                    deltas = [fir[p] - ss_base_fir[p] for p in range(n_procs)]
+                    skip = periods_to_skip(
+                        cycles, ss_period, bound, ss_stop_mode,
+                        target_list or (), fir, deltas,
+                    )
+                    # A period with zero firings must not be skipped: the
+                    # deadlock counter (not part of the snapshot) keeps
+                    # advancing through it.
+                    if skip > 0 and any(deltas):
+                        cycles += skip * ss_period
+                        for p in range(n_procs):
+                            jump = skip * deltas[p]
+                            if jump:
+                                fir[p] += jump
+                                procs[p].firings = fir[p]
+                        # Queued token tags advance by the producer's skipped
+                        # firings, exactly as full simulation would have
+                        # stamped them.
+                        for qid, queue in enumerate(queues):
+                            src = queue_src.get(qid)
+                            if src is None or not queue:
+                                continue
+                            jump = skip * deltas[src]
+                            if jump:
+                                for i in range(len(queue)):
+                                    value, tag = queue[i]
+                                    queue[i] = (value, tag + jump)
+                        if track_stats:
+                            stats_jump(
+                                skip, ss_base_stats, st_missing, st_blocked,
+                                st_done, st_discarded, st_discard_port,
+                                st_missing_port,
+                            )
+                        extrapolated = True
+                        if cycles >= bound:
+                            # Loop condition re-check routes into the while-
+                            # else (horizon halt or timeout), as full
+                            # simulation would.
+                            continue
 
             # WP2 stale-token discarding is folded into each shell's own scan
             # below: a shell's discards only touch its own input FIFOs, which
@@ -364,15 +483,19 @@ class FastKernel(SimKernel):
                 if stop:
                     halted = True
                     drain_remaining = controls.extra_cycles
+                    ss_phase = 0  # at most extra_cycles left: nothing to skip
             if drain_remaining is not None:
                 if drain_remaining == 0:
                     break
                 drain_remaining -= 1
         else:
-            raise SimulationError(
-                f"simulation did not terminate within {max_cycles} cycles "
-                f"(configuration {model.configuration_label!r})"
-            )
+            if horizon is not None and cycles >= horizon:
+                halted = True  # reaching the horizon is a normal halt
+            else:
+                raise SimulationError(
+                    f"simulation did not terminate within {max_cycles} cycles "
+                    f"(configuration {model.configuration_label!r})"
+                )
 
         # -- result assembly ---------------------------------------------------
         firings = {proc_names[p]: fir[p] for p in range(n_procs)}
@@ -411,6 +534,9 @@ class FastKernel(SimKernel):
             rs_counts=dict(model.rs_counts),
             shell_stats=shell_stats,
             max_queue_occupancy=max_occupancy,
+            period=ss_period,
+            warmup_cycles=ss_warmup,
+            extrapolated=extrapolated,
         )
 
 

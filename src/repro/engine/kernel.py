@@ -56,6 +56,19 @@ class RunControls:
     extra_cycles: int = 0
     deadlock_limit: int = 10_000
     on_cycle: Optional[Callable[[int, Dict[str, bool]], None]] = None
+    #: Run exactly this many cycles unless a stop condition fires earlier;
+    #: reaching the horizon is a normal halt (``halted=True``), not a
+    #: timeout.  The asymptotic-throughput objective runs use it, and it is
+    #: the mode steady-state extrapolation accelerates the most.
+    horizon: Optional[int] = None
+    #: Steady-state period detection switch.  ``None`` consults the
+    #: ``REPRO_STEADY_STATE`` environment variable, then the default (on);
+    #: explicit True/False always wins (see
+    #: :func:`repro.engine.steady_state.resolve_steady_state`).
+    steady_state: Optional[bool] = None
+    #: Cycles to search for a state recurrence before disarming the detector
+    #: (bounds its memory).  ``None`` uses the module default; 0 disables.
+    steady_state_window: Optional[int] = None
 
     def validate(self, model: ElaboratedModel) -> None:
         """Reject stop conditions referencing unknown processes."""
@@ -70,6 +83,14 @@ class RunControls:
                 raise SimulationError(
                     f"target_firings references unknown processes {sorted(unknown)}"
                 )
+        if self.horizon is not None and self.horizon < 1:
+            raise SimulationError(f"horizon must be >= 1, got {self.horizon}")
+
+    def loop_bound(self) -> int:
+        """The cycle count the run loop may reach (horizon caps max_cycles)."""
+        if self.horizon is not None and self.horizon < self.max_cycles:
+            return self.horizon
+        return self.max_cycles
 
 
 class SimKernel(ABC):

@@ -122,7 +122,9 @@ class ReferenceKernel(SimKernel):
         for pipeline in self.pipelines.values():
             all_queues.extend(pipeline.relay_stations)
 
-        while cycles < controls.max_cycles:
+        horizon = controls.horizon
+        bound = controls.loop_bound()
+        while cycles < bound:
             # Phase 1: latch occupancies (registered back-pressure).
             for queue in all_queues:
                 queue.latch()
@@ -200,10 +202,13 @@ class ReferenceKernel(SimKernel):
                     break
                 drain_remaining -= 1
         else:
-            raise SimulationError(
-                f"simulation did not terminate within {controls.max_cycles} cycles "
-                f"(configuration {model.configuration_label!r})"
-            )
+            if horizon is not None and cycles >= horizon:
+                halted = True  # reaching the horizon is a normal halt
+            else:
+                raise SimulationError(
+                    f"simulation did not terminate within {controls.max_cycles} "
+                    f"cycles (configuration {model.configuration_label!r})"
+                )
 
         firings = {
             name: process.firings for name, process in netlist.processes.items()

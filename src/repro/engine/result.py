@@ -28,9 +28,27 @@ class LidResult:
     rs_counts: Dict[str, int]
     shell_stats: Dict[str, ShellStats] = field(default_factory=dict)
     max_queue_occupancy: Dict[str, int] = field(default_factory=dict)
+    #: Length of the detected steady-state period in cycles, when the kernel's
+    #: steady-state detector observed a state recurrence (None otherwise).
+    period: Optional[int] = None
+    #: Cycle at which the recurring state was first seen (the transient before
+    #: the periodic regime).  Only meaningful when :attr:`period` is set.
+    warmup_cycles: Optional[int] = None
+    #: True when part of the run was skipped and reconstructed analytically
+    #: from the detected period.  Extrapolated counts (cycles, firings, stall
+    #: statistics, occupancy maxima) are identical to full simulation; only
+    #: side effects inside process objects (e.g. values a sink recorded) stop
+    #: at the point the skip began.
+    extrapolated: bool = False
 
     def throughput(self, process: Optional[str] = None) -> float:
         """Valid firings per cycle for one process (or the system minimum).
+
+        In the steady state the system is periodic and this ratio converges
+        to the asymptotic throughput ``Δfirings / period`` — the quantity the
+        paper's relay-station insertion objective maximises.  Results marked
+        :attr:`extrapolated` carry the exact long-horizon counts (identical
+        to full simulation), so the ratio needs no correction.
 
         An empty ``firings`` mapping (a netlist with no processes, or results
         filtered down to nothing) yields 0.0 rather than raising.

@@ -22,6 +22,7 @@ from .sweeps import (
     SweepResult,
     clock_frequency_sweep,
     default_floorplan,
+    mixed_workload_sweep,
     queue_capacity_sweep,
     uniform_depth_sweep,
 )
@@ -48,5 +49,5 @@ __all__ = [
     "MulticycleStudyResult", "StyleResult", "run_multicycle_study",
     "AreaOverheadResult", "run_area_overhead", "reference_wrapper_overhead_percent",
     "SweepResult", "SweepPoint", "queue_capacity_sweep", "uniform_depth_sweep",
-    "clock_frequency_sweep", "default_floorplan",
+    "clock_frequency_sweep", "default_floorplan", "mixed_workload_sweep",
 ]

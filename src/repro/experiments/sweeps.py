@@ -11,22 +11,30 @@ Three sweeps support the design-choice discussion of this reproduction:
   floorplan fixes wire lengths, the target clock fixes relay-station counts,
   the simulator reports the throughput the wrapped system sustains, and the
   effective performance (clock × throughput) exposes the optimum operating
-  point.
+  point;
+* :func:`mixed_workload_sweep` — several workloads (sort + matmul) swept in
+  **one batch through one scheduler**: the multi-netlist
+  :class:`~repro.engine.batch.MultiNetlistRunner` serves every layout (both
+  wrapper flavours of every processor) from a single persistent worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import RSConfiguration
 from ..core.floorplan import Floorplan, row_pack, spread_floorplan
 from ..core.insertion import floorplan_insertion
 from ..core.timing import ClockPlan, WireModel
-from ..engine.batch import BatchRunner
+from ..engine.batch import BatchRunner, MultiNetlistRunner
 from ..cpu.machine import CaseStudyCpu, build_pipelined_cpu
 from ..cpu.topology import DEFAULT_BLOCK_SIZES_MM, LINK_CU_IC
-from ..cpu.workloads import Workload, make_extraction_sort
+from ..cpu.workloads import (
+    Workload,
+    make_extraction_sort,
+    make_matrix_multiply,
+)
 
 
 @dataclass
@@ -70,9 +78,10 @@ class SweepResult:
 class _SweepRunner:
     """Shared evaluation machinery of the sweeps.
 
-    One :class:`~repro.engine.batch.BatchRunner` per wrapper flavour, both
-    sharing the elaborated layout of the CPU netlist across every sweep
-    point; runs are uninstrumented (the sweeps only consume cycle counts).
+    One :class:`~repro.engine.batch.MultiNetlistRunner` holding both wrapper
+    flavours of the CPU netlist as two layouts, so a whole sweep — WP1 and
+    WP2 points together — is one batch on one persistent pool; runs are
+    uninstrumented (the sweeps only consume cycle counts).
     """
 
     def __init__(
@@ -80,8 +89,12 @@ class _SweepRunner:
     ) -> None:
         self.cpu = cpu
         self.workers = workers
-        self._wp1 = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel)
-        self._wp2 = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel)
+        self._multi = MultiNetlistRunner(
+            {
+                "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
+                "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
+            }
+        )
 
     def throughputs(
         self,
@@ -103,22 +116,21 @@ class _SweepRunner:
         items: Sequence,
         max_cycles: int = 5_000_000,
     ) -> List[Tuple[float, float]]:
-        """WP1/WP2 golden-relative throughputs of a whole sweep in two batches.
+        """WP1/WP2 golden-relative throughputs of a whole sweep in one batch.
 
         *items* are :class:`~repro.engine.batch.BatchRunner` batch items
         (configurations, optionally with per-item ``queue_capacity``
-        overrides); with ``workers > 1`` each wrapper's batch is sharded
-        across worker processes.
+        overrides); both wrapper flavours of every item go through one
+        tagged batch, sharded across worker processes when ``workers > 1``.
         """
         stop = self.cpu.control_unit.name
-        wp1 = self._wp1.run_many(
-            items, workers=self.workers, queue_capacity=4,
+        tagged = [("wp1", item) for item in items]
+        tagged += [("wp2", item) for item in items]
+        results = self._multi.run_many(
+            tagged, workers=self.workers, queue_capacity=4,
             stop_process=stop, max_cycles=max_cycles,
         )
-        wp2 = self._wp2.run_many(
-            items, workers=self.workers, queue_capacity=4,
-            stop_process=stop, max_cycles=max_cycles,
-        )
+        wp1, wp2 = results[: len(items)], results[len(items):]
         return [
             (golden_cycles / r1.cycles, golden_cycles / r2.cycles)
             for r1, r2 in zip(wp1, wp2)
@@ -239,3 +251,74 @@ def clock_frequency_sweep(
             )
         )
     return result
+
+
+def mixed_workload_sweep(
+    workloads: Optional[Mapping[str, Workload]] = None,
+    depths: Sequence[int] = (0, 1, 2, 3),
+    exclude: Sequence[str] = (LINK_CU_IC,),
+    kernel: Optional[str] = None,
+    workers: int = 1,
+    max_cycles: int = 5_000_000,
+) -> Dict[str, SweepResult]:
+    """Uniform-depth sweep of several workloads through **one** scheduler.
+
+    Every workload's processor contributes two layouts (WP1 and WP2) to a
+    single :class:`~repro.engine.batch.MultiNetlistRunner`; the whole sweep —
+    all workloads, both wrapper flavours, every depth — is one tagged batch
+    served by one persistent worker pool, so workers amortise their per-layout
+    compiled-function caches and steady-state period memory across the mix.
+    Returns one :class:`SweepResult` per workload name.
+    """
+    if workloads is None:
+        workloads = {
+            "extraction_sort": make_extraction_sort(length=10),
+            "matrix_multiply": make_matrix_multiply(size=3),
+        }
+    cpus = {name: build_pipelined_cpu(w.program) for name, w in workloads.items()}
+    golden = {
+        name: cpu.run_golden(record_trace=False).cycles
+        for name, cpu in cpus.items()
+    }
+    runners = {}
+    for name, cpu in cpus.items():
+        runners[f"{name}/wp1"] = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel)
+        runners[f"{name}/wp2"] = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel)
+    multi = MultiNetlistRunner(runners)
+
+    configurations = [
+        RSConfiguration.uniform(depth, exclude=exclude) for depth in depths
+    ]
+    items = [
+        (f"{name}/{flavour}", configuration)
+        for name in cpus
+        for flavour in ("wp1", "wp2")
+        for configuration in configurations
+    ]
+    stop = next(iter(cpus.values())).control_unit.name
+    results = multi.run_many(
+        items, workers=workers, queue_capacity=4,
+        stop_process=stop, max_cycles=max_cycles,
+    )
+
+    by_key: Dict[str, List] = {}
+    for (key, _), result in zip(items, results):
+        by_key.setdefault(key, []).append(result)
+    sweeps: Dict[str, SweepResult] = {}
+    for name, workload in workloads.items():
+        sweep = SweepResult(
+            name=f"Mixed-workload depth sweep — {workload.name}",
+            parameter_name="RS per link",
+        )
+        for depth, wp1, wp2 in zip(
+            depths, by_key[f"{name}/wp1"], by_key[f"{name}/wp2"]
+        ):
+            sweep.points.append(
+                SweepPoint(
+                    parameter=float(depth),
+                    wp1_throughput=golden[name] / wp1.cycles,
+                    wp2_throughput=golden[name] / wp2.cycles,
+                )
+            )
+        sweeps[name] = sweep
+    return sweeps

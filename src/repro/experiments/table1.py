@@ -199,14 +199,24 @@ def evaluate_rows(
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    horizon: Optional[int] = None,
 ) -> Table1Result:
     """Run golden + WP1 + WP2 for every configuration and collect the rows.
 
     Without equivalence checking the rows only need cycle counts, so both
-    wrapper flavours are evaluated through the sharded
-    :class:`~repro.engine.batch.BatchRunner` (one shared layout per flavour,
-    uninstrumented runs, ``workers`` processes); equivalence checking needs
-    full traces and keeps the per-row path.
+    wrapper flavours are evaluated through one sharded
+    :class:`~repro.engine.batch.MultiNetlistRunner` pool (one shared layout
+    per flavour, uninstrumented runs, ``workers`` processes); equivalence
+    checking needs full traces and keeps the per-row path.
+
+    With *horizon* each row runs at most that many cycles: rows whose
+    programs finish earlier report the usual golden-relative throughput,
+    rows cut at the horizon report the asymptotic system throughput
+    (minimum firings per cycle) — the long-horizon form of the paper's
+    RS-insertion objective.  The steady-state detector extrapolates such
+    runs wherever the netlist supports detection; the CPU's data-dependent
+    control hooks (CU halt, RF/DC oracles) disable it, so CPU rows simulate
+    the horizon in full (see DESIGN.md §4).
     """
     builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
     cpu = builder(workload.program)
@@ -221,7 +231,7 @@ def evaluate_rows(
             _evaluate_rows_batched(
                 cpu, configurations, golden,
                 max_cycles=max_cycles, kernel=kernel, workers=workers,
-                progress=progress,
+                progress=progress, horizon=horizon,
             )
         )
         return result
@@ -249,8 +259,9 @@ def _evaluate_rows_batched(
     kernel: Optional[str],
     workers: int,
     progress: Optional[Callable[[str], None]] = None,
+    horizon: Optional[int] = None,
 ) -> List[Table1Row]:
-    from ..engine.batch import BatchRunner
+    from ..engine.batch import BatchRunner, MultiNetlistRunner
 
     stop = cpu.control_unit.name
     if progress is not None:
@@ -258,12 +269,31 @@ def _evaluate_rows_batched(
             f"evaluating {len(configurations)} rows "
             f"(batched, workers={workers})"
         )
-    wp1_results = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel).run_many(
-        configurations, workers=workers, stop_process=stop, max_cycles=max_cycles
+    # Both wrapper flavours share one multi-netlist scheduler (and one worker
+    # pool): WP1 rows and WP2 rows interleave in a single tagged batch.
+    multi = MultiNetlistRunner(
+        {
+            "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
+            "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
+        }
     )
-    wp2_results = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel).run_many(
-        configurations, workers=workers, stop_process=stop, max_cycles=max_cycles
+    tagged = [("wp1", config) for config in configurations]
+    tagged += [("wp2", config) for config in configurations]
+    results = multi.run_many(
+        tagged, workers=workers, stop_process=stop, max_cycles=max_cycles,
+        horizon=horizon,
     )
+    wp1_results = results[: len(configurations)]
+    wp2_results = results[len(configurations):]
+
+    def row_throughput(summary) -> float:
+        if not summary.cycles:
+            return 0.0
+        if horizon is not None and summary.cycles >= horizon:
+            # Cut at the horizon: report the asymptotic system throughput.
+            return summary.throughput()
+        return golden.cycles / summary.cycles
+
     rows = []
     for index, (configuration, wp1, wp2) in enumerate(
         zip(configurations, wp1_results, wp2_results), start=1
@@ -279,8 +309,8 @@ def _evaluate_rows_batched(
                 golden_cycles=golden.cycles,
                 wp1_cycles=wp1.cycles,
                 wp2_cycles=wp2.cycles,
-                wp1_throughput=golden.cycles / wp1.cycles if wp1.cycles else 0.0,
-                wp2_throughput=golden.cycles / wp2.cycles if wp2.cycles else 0.0,
+                wp1_throughput=row_throughput(wp1),
+                wp2_throughput=row_throughput(wp2),
                 static_bound=bound,
                 equivalent=True,
             )
@@ -341,6 +371,7 @@ def run_table1_sort(
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    horizon: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate the Extraction Sort section of Table 1."""
     workload = make_extraction_sort(length=length, seed=seed)
@@ -354,6 +385,7 @@ def run_table1_sort(
         progress=progress,
         kernel=kernel,
         workers=workers,
+        horizon=horizon,
     )
 
 
@@ -365,6 +397,7 @@ def run_table1_matmul(
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    horizon: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate the Matrix Multiply section of Table 1."""
     workload = make_matrix_multiply(size=size, seed=seed)
@@ -378,6 +411,7 @@ def run_table1_matmul(
         progress=progress,
         kernel=kernel,
         workers=workers,
+        horizon=horizon,
     )
 
 
@@ -390,6 +424,7 @@ def run_table1(
     progress: Optional[Callable[[str], None]] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    horizon: Optional[int] = None,
 ) -> Dict[str, Table1Result]:
     """Regenerate both sections of Table 1 (keys: ``"sort"``, ``"matmul"``)."""
     return {
@@ -401,6 +436,7 @@ def run_table1(
             progress=progress,
             kernel=kernel,
             workers=workers,
+            horizon=horizon,
         ),
         "matmul": run_table1_matmul(
             size=matmul_size,
@@ -410,5 +446,6 @@ def run_table1(
             progress=progress,
             kernel=kernel,
             workers=workers,
+            horizon=horizon,
         ),
     }

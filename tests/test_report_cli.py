@@ -128,3 +128,37 @@ class TestKernelOption:
             assert main(["table1", "--sort-length", "3", "--kernel", kernel]) == 0
         out = capsys.readouterr().out
         assert "All 0 (ideal)" in out
+
+
+class TestSteadyStateOptions:
+    def test_parser_accepts_horizon_and_steady_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table1", "--horizon", "5000", "--no-steady-state"]
+        )
+        assert args.horizon == 5000 and args.no_steady_state
+        args = parser.parse_args(["sweep", "mixed", "--no-steady-state"])
+        assert args.kind == "mixed" and args.no_steady_state
+
+    def test_no_steady_state_sets_env(self, capsys, monkeypatch):
+        import os
+
+        # setenv (not delenv) so the write main() performs is rolled back
+        # at teardown even though the variable starts out absent.
+        monkeypatch.setenv("REPRO_STEADY_STATE", "")
+        assert main(
+            ["table1", "--sort-length", "3", "--no-steady-state"]
+        ) == 0
+        assert os.environ.get("REPRO_STEADY_STATE") == "0"
+        assert "All 0 (ideal)" in capsys.readouterr().out
+
+    def test_table1_horizon_runs(self, capsys):
+        assert main(["table1", "--sort-length", "3", "--horizon", "400"]) == 0
+        assert "All 0 (ideal)" in capsys.readouterr().out
+
+    def test_sweep_mixed_runs(self, capsys):
+        assert main(
+            ["sweep", "mixed", "--sort-length", "3", "--matmul-size", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Extraction Sort" in out and "Matrix Multiply" in out
