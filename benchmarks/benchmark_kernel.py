@@ -7,8 +7,10 @@ occupancy) and the uninstrumented objective mode used by the optimiser and
 the batch runner — and additionally measures how ``BatchRunner.run_many``
 scales when the same configuration batch is sharded across worker processes,
 the steady-state detector's speedup on long-horizon objective runs (10k and
-100k cycle horizons, enforced by ``check_perf_floor.py``) and the
-mixed-workload multi-netlist batch smoke.
+100k cycle horizons, enforced by ``check_perf_floor.py``), the
+looping-table1 CPU horizon measurement (certified ``schedule_state()``
+extrapolation vs full simulation, also enforced by ``check_perf_floor.py``)
+and the mixed-workload multi-netlist batch smoke.
 
 Every run **appends** a timestamped record to the ``BENCH_kernel.json``
 history at the repository root (a JSON list, oldest first), so the
@@ -48,6 +50,13 @@ MIN_STEADY_VS_REFERENCE = 25.0
 MIN_STEADY_VS_COMPILED = 10.0
 #: Horizons of the steady-state measurement: (reference-comparison, long).
 STEADY_HORIZONS = (10_000, 100_000)
+#: Looping-table1 floor: a certified-extrapolated CPU horizon row must beat
+#: the same row without detection by this factor (the PR 4 acceptance bar).
+MIN_CPU_STEADY_VS_FULL = 20.0
+#: Horizon of the looping-CPU measurement (big enough that the one-time
+#: detection cost — warmup plus two loop periods of snapshot keys — is well
+#: amortised; the speedup keeps growing linearly beyond it).
+CPU_STEADY_HORIZON = 300_000
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 KERNELS = ("reference", "fast", "compiled")
@@ -213,6 +222,64 @@ def _measure_steady_state():
     return entry
 
 
+def _measure_looped_cpu():
+    """Looping-table1 horizon rows: certified CPU extrapolation vs full runs.
+
+    The Table 1 workload in its looping form (``repeat=True``) under the
+    "All 1 (no CU-IC)" row, both wrapper flavours, on the compiled kernel:
+    the five CPU units' certified ``schedule_state()`` summaries let the
+    steady-state detector extrapolate the horizon-bounded run from one
+    detected loop period (DESIGN.md §5).  Counts are asserted identical to
+    the detection-disabled run before anything is timed into the record.
+    """
+    from repro.core import RSConfiguration
+    from repro.cpu import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+    from repro.engine import BatchRunner
+
+    workload = make_extraction_sort(
+        length=4 if QUICK else 8, seed=2005, repeat=True
+    )
+    cpu = build_pipelined_cpu(workload.program)
+    config = RSConfiguration.uniform(1, exclude=("CU-IC",))
+    horizon = CPU_STEADY_HORIZON // 2 if QUICK else CPU_STEADY_HORIZON
+    repeats = 2 if QUICK else 3
+    entry = {
+        "workload": workload.program.name,
+        "horizon": horizon,
+        "wrappers": {},
+    }
+    for relaxed, label in ((False, "WP1"), (True, "WP2")):
+        runner = BatchRunner(cpu.netlist, relaxed=relaxed, kernel="compiled")
+        controls = dict(
+            stop_process="CU", horizon=horizon, steady_state_window=horizon
+        )
+        extrapolated = runner.run(configuration=config, **controls)
+        full_result = runner.run(
+            configuration=config, steady_state=False, **controls
+        )
+        assert extrapolated.extrapolated and extrapolated.period is not None
+        assert extrapolated.cycles == full_result.cycles == horizon
+        assert extrapolated.firings == full_result.firings
+        steady = _best_of(
+            lambda: runner.run(configuration=config, **controls), repeats
+        )
+        full = _best_of(
+            lambda: runner.run(
+                configuration=config, steady_state=False, **controls
+            ),
+            repeats,
+        )
+        entry["wrappers"][label] = {
+            "steady_seconds": steady,
+            "full_seconds": full,
+            "steady_vs_full": full / steady,
+            "period": extrapolated.period,
+            "warmup_cycles": extrapolated.warmup_cycles,
+        }
+    return entry
+
+
 def _measure_multi_netlist_batch():
     """Mixed-workload batch smoke: sort + matmul layouts on one scheduler."""
     from repro.core import RSConfiguration
@@ -361,6 +428,17 @@ def test_steady_state_speedup(kernel_record):
         f"steady-state only {long['steady_vs_compiled']:.1f}x over the "
         f"compiled kernel at horizon {STEADY_HORIZONS[-1]}"
     )
+
+
+def test_looped_cpu_steady_speedup(kernel_record):
+    """Certified-extrapolated CPU horizon rows clear the looping-table1 floor."""
+    entry = _measure_looped_cpu()
+    kernel_record["looped_cpu"] = entry
+    for label, stats in entry["wrappers"].items():
+        assert stats["steady_vs_full"] >= MIN_CPU_STEADY_VS_FULL, (
+            f"looped-CPU extrapolation only {stats['steady_vs_full']:.1f}x over "
+            f"the full horizon run on {label}"
+        )
 
 
 def test_multi_netlist_batch_smoke(kernel_record):

@@ -9,12 +9,16 @@ Reads the newest record of the ``BENCH_kernel.json`` history (produced by
   extrapolation must beat the reference kernel by ``--steady-floor`` at the
   short measurement horizon and the compiled kernel without detection by
   ``--steady-compiled-floor`` at the long horizon;
+* the looping-table1 CPU floor regresses: a certified-extrapolated CPU
+  horizon row must beat the same row without detection by
+  ``--cpu-steady-floor`` on every wrapper flavour;
 * the mixed-workload multi-netlist batch smoke is missing from the record.
 
 CI runs this after the quick benchmark so hot-path regressions are caught
 at PR time::
 
-    python benchmarks/check_perf_floor.py --floor 6 --steady-floor 25
+    python benchmarks/check_perf_floor.py --floor 6 --steady-floor 25 \
+        --cpu-steady-floor 20
 """
 
 from __future__ import annotations
@@ -45,6 +49,13 @@ def main(argv=None) -> int:
         help=(
             "minimum steady-state speedup over the compiled kernel without "
             "detection at the long horizon (default: 10)"
+        ),
+    )
+    parser.add_argument(
+        "--cpu-steady-floor", type=float, default=20.0,
+        help=(
+            "minimum certified-extrapolation speedup over the full run on "
+            "the looping-table1 CPU horizon rows (default: 20)"
         ),
     )
     parser.add_argument(
@@ -130,6 +141,32 @@ def main(argv=None) -> int:
             print(
                 f"perf floor FAILED: steady-state {vs_compiled:.1f}x < "
                 f"{args.steady_compiled_floor:.1f}x over compiled",
+                file=sys.stderr,
+            )
+            failed = True
+
+    looped = latest.get("looped_cpu")
+    if not looped:
+        print(
+            "perf floor FAILED: record carries no looping-CPU measurement",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        wrappers = looped.get("wrappers", {})
+        worst_wrapper, worst_cpu = min(
+            wrappers.items(), key=lambda item: item[1]["steady_vs_full"]
+        )
+        cpu_speedup = worst_cpu["steady_vs_full"]
+        print(
+            f"perf floor: looped-CPU extrapolation min {cpu_speedup:.1f}x "
+            f"over full ({worst_wrapper}, horizon {looped.get('horizon')}), "
+            f"floor {args.cpu_steady_floor:.1f}x"
+        )
+        if cpu_speedup < args.cpu_steady_floor:
+            print(
+                f"perf floor FAILED: looped-CPU extrapolation {cpu_speedup:.1f}x "
+                f"< {args.cpu_steady_floor:.1f}x on {worst_wrapper}",
                 file=sys.stderr,
             )
             failed = True

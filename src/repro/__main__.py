@@ -16,13 +16,14 @@ simulating commands (``table1``, ``multicycle``, ``sweep``) accept
 environment variable is consulted, and the fast array-based kernel is the
 final default.  ``table1`` and ``sweep`` also accept ``--shards N`` to
 evaluate their configuration batches on N worker processes, and
-``--no-steady-state`` to disable steady-state period detection (the flag
-sets ``REPRO_STEADY_STATE=0``, which explicit ``steady_state=`` arguments
-still override — mirroring the ``--kernel`` / ``REPRO_KERNEL`` pattern).
-``table1 --horizon N`` caps every row at N cycles: rows cut at the horizon
-report the asymptotic (steady-state extrapolated) throughput.  ``sweep
-mixed`` runs the sort and matmul workloads through one multi-netlist
-scheduler pool.
+``--no-steady-state`` to disable steady-state period detection (threaded
+through the run controls of every simulation the command starts; the
+``REPRO_STEADY_STATE`` environment variable is also set for the duration
+of the command — and restored afterwards — so spawned workers inherit the
+choice).  ``table1 --horizon N`` runs every row on the looping workload
+variant for exactly N cycles and reports the asymptotic (steady-state
+extrapolated) throughput.  ``sweep mixed`` runs the sort and matmul
+workloads through one multi-netlist scheduler pool.
 """
 
 from __future__ import annotations
@@ -83,10 +84,10 @@ def _add_table1(subparsers) -> None:
         default=None,
         metavar="N",
         help=(
-            "cap every row at N cycles; rows cut at the horizon report the "
-            "asymptotic throughput (steady-state extrapolated on netlists "
-            "whose processes support detection; the CPU's data-dependent "
-            "control runs full simulation)"
+            "run every row on the looping workload variant for exactly N "
+            "cycles and report the asymptotic throughput; the CPU units' "
+            "certified schedule summaries let the steady-state detector "
+            "extrapolate the rows bit-identically to full simulation"
         ),
     )
     _add_kernel_option(parser)
@@ -129,15 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _steady_state_flag(args) -> Optional[bool]:
+    """``--no-steady-state`` as an explicit RunControls argument (else None)."""
+    return False if getattr(args, "no_steady_state", False) else None
+
+
 def _run_table1(args) -> int:
     from .experiments import run_table1_matmul, run_table1_sort
     from .experiments.report import table1_to_csv, table1_to_json, table1_to_markdown
 
+    steady_state = _steady_state_flag(args)
     results = {
         "sort": run_table1_sort(
             length=args.sort_length, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
             workers=args.shards, horizon=args.horizon,
+            steady_state=steady_state,
         )
     }
     if args.matmul:
@@ -145,6 +153,7 @@ def _run_table1(args) -> int:
             size=args.matmul_size, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
             workers=args.shards, horizon=args.horizon,
+            steady_state=steady_state,
         )
     if args.format == "json":
         print(table1_to_json(results))
@@ -170,6 +179,7 @@ def _run_sweep(args) -> int:
     )
     from .experiments.report import sweep_to_csv, sweep_to_markdown
 
+    steady_state = _steady_state_flag(args)
     workload = make_extraction_sort(length=args.sort_length, seed=2005)
     if args.kind == "mixed":
         results = mixed_workload_sweep(
@@ -181,6 +191,7 @@ def _run_sweep(args) -> int:
             },
             kernel=args.kernel,
             workers=args.shards,
+            steady_state=steady_state,
         )
         for result in results.values():
             if args.format == "markdown":
@@ -193,15 +204,18 @@ def _run_sweep(args) -> int:
         return 0
     if args.kind == "fifo":
         result = queue_capacity_sweep(
-            workload=workload, kernel=args.kernel, workers=args.shards
+            workload=workload, kernel=args.kernel, workers=args.shards,
+            steady_state=steady_state,
         )
     elif args.kind == "depth":
         result = uniform_depth_sweep(
-            workload=workload, kernel=args.kernel, workers=args.shards
+            workload=workload, kernel=args.kernel, workers=args.shards,
+            steady_state=steady_state,
         )
     else:
         result = clock_frequency_sweep(
-            workload=workload, kernel=args.kernel, workers=args.shards
+            workload=workload, kernel=args.kernel, workers=args.shards,
+            steady_state=steady_state,
         )
     if args.format == "markdown":
         print(sweep_to_markdown(result))
@@ -212,13 +226,7 @@ def _run_sweep(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if getattr(args, "no_steady_state", False):
-        # The kernels consult REPRO_STEADY_STATE whenever no explicit
-        # steady_state argument is passed, so one environment write covers
-        # every layer the command touches (mirrors --kernel / REPRO_KERNEL).
-        os.environ["REPRO_STEADY_STATE"] = "0"
+def _dispatch(args) -> int:
     if args.command == "table1":
         return _run_table1(args)
     if args.command == "figure1":
@@ -245,6 +253,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         return _run_sweep(args)
     return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not getattr(args, "no_steady_state", False):
+        return _dispatch(args)
+    # --no-steady-state is threaded through RunControls (steady_state=False)
+    # by the command runners; the environment variable is additionally set
+    # for the duration of the command so layers that only consult the env —
+    # notably spawned worker processes — inherit the choice, and restored
+    # afterwards so nothing leaks into later in-process API calls.
+    env_var = "REPRO_STEADY_STATE"
+    previous = os.environ.get(env_var)
+    os.environ[env_var] = "0"
+    try:
+        return _dispatch(args)
+    finally:
+        if previous is None:
+            os.environ.pop(env_var, None)
+        else:
+            os.environ[env_var] = previous
 
 
 if __name__ == "__main__":

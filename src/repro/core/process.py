@@ -87,6 +87,20 @@ class Process(ABC):
     #: kernel) read the attribute instead of paying a method call on every
     #: cycle; ``is_done()`` itself must keep working regardless.
     done_attribute: Optional[str] = None
+    #: Declares that :meth:`schedule_state` captures the process' **complete**
+    #: behavioural state, not merely the value-independent control state the
+    #: base contract requires.  The promise: two instants with equal summaries
+    #: followed by identical input token sequences produce identical future
+    #: outputs (values included), ``is_done()`` and ``required_ports()``
+    #: answers — and every output value is hashable.  Such summaries are
+    #: *data-dependent* and therefore only sound under the **certified**
+    #: snapshot plan, which additionally keys the queued token values of every
+    #: channel and deep-verifies each candidate period before extrapolating
+    #: (see :func:`repro.engine.steady_state.certify_model` and DESIGN.md §5).
+    #: A process whose summary must fold large state into a digest (e.g. a
+    #: memory image) should override :meth:`schedule_verify_state` to expose
+    #: the exact state for that per-candidate verification.
+    schedule_complete: bool = False
 
     def __init__(self, name: str) -> None:
         if not name:
@@ -161,6 +175,32 @@ class Process(ABC):
         if overrides_hook(self, "is_done") or overrides_hook(self, "required_ports"):
             return None
         return SCHEDULE_INERT
+
+    def schedule_jump(self, firings: int) -> None:
+        """Shift internal absolute-tag bookkeeping after an analytic jump.
+
+        When steady-state extrapolation skips whole periods it advances
+        ``self.firings`` by *firings* without calling :meth:`fire`.  A
+        process that stores absolute firing counts inside its state (e.g.
+        pending-operation schedules keyed by due tag) must shift them by the
+        same amount here, so the state's relationship to ``self.firings`` —
+        which is all its behaviour may depend on — survives the jump and the
+        resumed concrete simulation continues exactly like full simulation.
+        The default is a no-op: state that never references the absolute
+        firing count (the common case) needs no adjustment.
+        """
+
+    def schedule_verify_state(self) -> Optional[Any]:
+        """Exact state backing a :attr:`schedule_complete` summary.
+
+        Certified steady-state detection (DESIGN.md §5) compares this value at
+        the two ends of a candidate period before trusting the extrapolation,
+        so a summary may compress large state into a digest without giving up
+        bit-exactness: override this to return the uncompressed state (it runs
+        twice per candidate, never per cycle).  The default — the summary
+        itself — is correct whenever :meth:`schedule_state` is already exact.
+        """
+        return self.schedule_state()
 
     # -- bookkeeping used by the simulators -----------------------------------
     def step(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:

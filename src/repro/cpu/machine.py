@@ -43,7 +43,13 @@ class CaseStudyCpu:
 
     @classmethod
     def build(cls, program: Program, pipelined: bool = True) -> "CaseStudyCpu":
-        """Instantiate the five blocks and wire them per Figure 1."""
+        """Instantiate the five blocks and wire them per Figure 1.
+
+        For horizon-bounded asymptotic-throughput runs, load
+        ``program.looped()`` — the endlessly repeating variant whose
+        periodic schedule steady-state detection can extrapolate
+        (DESIGN.md §5).
+        """
         control_unit = ControlUnit(pipelined=pipelined)
         instruction_cache = InstructionCache(program.instruction_words())
         register_file = RegisterFile()
@@ -91,10 +97,29 @@ class CaseStudyCpu:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         record_trace: bool = True,
         kernel: Optional[str] = None,
+        horizon: Optional[int] = None,
+        steady_state: Optional[bool] = None,
+        steady_state_window: Optional[int] = None,
     ) -> LidResult:
-        """Run one wire-pipelined configuration (WP1 when strict, WP2 when relaxed)."""
+        """Run one wire-pipelined configuration (WP1 when strict, WP2 when relaxed).
+
+        *horizon* caps the run at an exact cycle count (a normal halt, not a
+        timeout) — the long-horizon asymptotic-throughput mode.  On a looped
+        program (:meth:`~repro.cpu.program.Program.looped`) such runs are
+        steady-state extrapolated: the five units carry certified
+        ``schedule_state()`` summaries (DESIGN.md §5), so the kernels detect
+        the loop's period and skip the remaining iterations analytically
+        unless *steady_state* disables it.  *steady_state_window* bounds the
+        recurrence search; the default searches up to the horizon.
+        """
         rs_per_channel = max(self.rs_total(configuration, rs_counts), 1)
         drain_cycles = DRAIN_CYCLES + 4 * rs_per_channel if drain else 0
+        if horizon is not None and steady_state_window is None:
+            # One loop iteration of a CPU workload spans thousands of
+            # cycles; certified-mode snapshot hashing keeps the search
+            # memory at one int per cycle, so the horizon itself is a safe
+            # default window.
+            steady_state_window = horizon
         return run_lid(
             self.netlist,
             configuration=configuration,
@@ -106,6 +131,9 @@ class CaseStudyCpu:
             max_cycles=max_cycles,
             stop_process=self.control_unit.name,
             extra_cycles=drain_cycles,
+            horizon=horizon,
+            steady_state=steady_state,
+            steady_state_window=steady_state_window,
         )
 
     def rs_total(

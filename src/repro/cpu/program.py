@@ -83,6 +83,32 @@ class Program:
         )
         return header + "\n" + disassemble(self.instructions)
 
+    # -- looping --------------------------------------------------------------------
+    def looped(self) -> "Program":
+        """An endlessly repeating variant of this program.
+
+        Every ``HALT`` becomes an absolute jump back to address 0, so the
+        program re-enters its kernel forever instead of terminating.  From
+        the second iteration on the kernel runs over the data its first
+        iteration left behind, so the machine's trajectory — and with it the
+        whole system's firing schedule — becomes periodic: exactly the shape
+        long-horizon runs need for steady-state detection to fire on the
+        CPU netlists (see DESIGN.md §5).  Horizon-bounded runs are the
+        intended consumers; a looped program never reports done.
+        """
+        instructions = [
+            isa.jmp(0) if instruction.is_halt else instruction
+            for instruction in self.instructions
+        ]
+        return Program(
+            name=f"{self.name}-looped",
+            instructions=instructions,
+            data=dict(self.data),
+            imem_size=self.imem_size,
+            dmem_size=self.dmem_size,
+            symbols=dict(self.symbols),
+        )
+
     # -- constructors ---------------------------------------------------------------
     @classmethod
     def from_assembly(

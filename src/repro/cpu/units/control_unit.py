@@ -85,6 +85,11 @@ class ControlUnit(Process):
     input_ports = ("ic_cu", "alu_cu")
     output_ports = ("cu_ic", "cu_rf", "cu_alu", "cu_dc")
     done_attribute = "halted"
+    # The summary below captures the complete behavioural state (certified
+    # steady-state detection, DESIGN.md §5): the CU's control is
+    # data-dependent (branch outcomes steer the PC), so it is only sound
+    # under the value-inclusive snapshot plan.
+    schedule_complete = True
 
     #: Latency (in CU firings) between issuing a fetch request and receiving
     #: the corresponding instruction word back: request -> IC -> response.
@@ -151,6 +156,49 @@ class ControlUnit(Process):
         if fetch_due:
             return _REQUIRED_IC_ALU if branch_due else _REQUIRED_IC
         return _REQUIRED_ALU if branch_due else _REQUIRED_NONE
+
+    # -- steady-state summary -------------------------------------------------------
+    def schedule_state(self):
+        """Complete behavioural state, canonical in the firing counter.
+
+        Everything the next firings read is captured: PC, halt flag, the
+        fetch-slot pipeline (addresses are loop-relative facts that recur on
+        looping programs), the decoded instruction buffer, the pending branch
+        (resolution distance, not absolute tag), the live scoreboard entries
+        (expired ones can never gate an issue again) and the registered ALU
+        command.  Issue statistics are excluded: like every process-internal
+        counter they stop advancing at the skip point (the documented
+        ``extrapolated`` caveat) and never feed a decision.
+        """
+        tag = self.firings
+        wait = self.branch_wait
+        return (
+            self.pc,
+            self.halted,
+            tuple(self.fetch_slots),
+            tuple(self.ibuf),
+            None if wait is None else (wait.resolve_at - tag, wait.target),
+            tuple(
+                sorted(
+                    (register, ready - tag)
+                    for register, ready in self.scoreboard.items()
+                    if ready > tag
+                )
+            ),
+            0 if self.pipelined else max(self.busy_until - tag, 0),
+            self.alu_command_register,
+        )
+
+    def schedule_jump(self, firings: int) -> None:
+        """Shift the absolute-tag bookkeeping (see Process.schedule_jump)."""
+        if self.branch_wait is not None:
+            self.branch_wait.resolve_at += firings
+        if self.scoreboard:
+            self.scoreboard = {
+                register: ready + firings
+                for register, ready in self.scoreboard.items()
+            }
+        self.busy_until += firings
 
     # -- firing ---------------------------------------------------------------------
     def fire(self, inputs: Mapping[str, object]) -> Dict[str, object]:

@@ -23,6 +23,11 @@ class InstructionCache(Process):
 
     input_ports = ("cu_ic",)
     output_ports = ("ic_cu",)
+    # The instruction image is immutable during a run, so responses are a
+    # pure function of the request: the inert base summary is already
+    # complete, which lets the IC join a certified (value-inclusive)
+    # steady-state snapshot plan (DESIGN.md §5).
+    schedule_complete = True
 
     def __init__(self, words: Sequence[int], name: str = "IC") -> None:
         super().__init__(name)

@@ -31,6 +31,10 @@ class RegisterFile(Process):
 
     input_ports = ("cu_rf", "alu_rf", "dc_rf")
     output_ports = ("rf_alu", "rf_dc")
+    # Complete behavioural summary (certified steady-state detection,
+    # DESIGN.md §5): register values feed operand tokens, so the summary is
+    # data-dependent and sound only under the value-inclusive snapshot plan.
+    schedule_complete = True
 
     #: Firings between receiving a command and receiving the matching
     #: ALU / load writeback values.
@@ -64,6 +68,43 @@ class RegisterFile(Process):
         if firings in self.pending_mem_writeback:
             return _REQUIRED_CU_MEM
         return _REQUIRED_CU
+
+    # -- steady-state summary -------------------------------------------------------
+    def schedule_state(self):
+        """Complete behavioural state, canonical in the firing counter.
+
+        The sixteen register values plus both pending-writeback schedules
+        with their due tags made relative (entries are popped when due, so
+        every key is >= the current tag).  The read/write counters never
+        feed a decision and are excluded.
+        """
+        tag = self.firings
+        return (
+            tuple(self.registers),
+            tuple(
+                sorted(
+                    (due - tag, register)
+                    for due, register in self.pending_alu_writeback.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (due - tag, register)
+                    for due, register in self.pending_mem_writeback.items()
+                )
+            ),
+        )
+
+    def schedule_jump(self, firings: int) -> None:
+        """Shift the pending-writeback due tags (see Process.schedule_jump)."""
+        self.pending_alu_writeback = {
+            due + firings: register
+            for due, register in self.pending_alu_writeback.items()
+        }
+        self.pending_mem_writeback = {
+            due + firings: register
+            for due, register in self.pending_mem_writeback.items()
+        }
 
     # -- helpers -------------------------------------------------------------------
     def _write(self, register: int, value: int) -> None:

@@ -31,6 +31,31 @@ class Workload:
         """Static instruction count of the program."""
         return self.program.length
 
+    @property
+    def looping(self) -> bool:
+        """Whether this workload re-enters its kernel forever (``repeat``)."""
+        return bool(self.parameters.get("repeat"))
+
+    def looped(self) -> "Workload":
+        """The endlessly repeating variant of this workload.
+
+        The program's ``HALT`` becomes a jump back to the entry point (see
+        :meth:`repro.cpu.program.Program.looped`), which makes long-horizon
+        runs periodic and therefore steady-state extrapolable.  Both
+        benchmark kernels are idempotent over their own results (re-sorting
+        a sorted array, recomputing the same product), so the expected
+        memory contents still hold at any point after the first iteration.
+        """
+        if self.looping:
+            return self
+        return Workload(
+            name=self.name,
+            program=self.program.looped(),
+            expected_memory=dict(self.expected_memory),
+            description=f"{self.description} (looped)",
+            parameters={**self.parameters, "repeat": 1},
+        )
+
     def describe(self) -> str:
         params = ", ".join(f"{key}={value}" for key, value in sorted(self.parameters.items()))
         return f"{self.name} ({params}): {self.description}"

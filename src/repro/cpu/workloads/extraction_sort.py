@@ -56,6 +56,7 @@ def make_extraction_sort(
     seed: int = 2005,
     values: Optional[Sequence[int]] = None,
     base: int = ARRAY_BASE,
+    repeat: bool = False,
 ) -> Workload:
     """Build the extraction-sort workload.
 
@@ -70,6 +71,9 @@ def make_extraction_sort(
         Explicit input data (overrides the generated values).
     base:
         Base address of the array in data memory.
+    repeat:
+        Build the looping variant (the kernel re-enters forever instead of
+        halting; see :meth:`~repro.cpu.workloads.common.Workload.looped`).
     """
     data: List[int] = list(values) if values is not None else deterministic_values(length, seed)
     if len(data) != length:
@@ -82,10 +86,11 @@ def make_extraction_sort(
     expected: Dict[int, int] = {
         base + offset: value for offset, value in enumerate(sorted(data))
     }
-    return Workload(
+    workload = Workload(
         name="Extraction Sort",
         program=program,
         expected_memory=expected,
         description=f"selection sort of {length} words (data-dependent control flow)",
         parameters={"length": length, "seed": seed},
     )
+    return workload.looped() if repeat else workload

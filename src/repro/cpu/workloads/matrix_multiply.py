@@ -77,8 +77,13 @@ def make_matrix_multiply(
     a_base: int = 0,
     b_base: Optional[int] = None,
     c_base: Optional[int] = None,
+    repeat: bool = False,
 ) -> Workload:
-    """Build the matrix-multiply workload for *size* × *size* matrices."""
+    """Build the matrix-multiply workload for *size* × *size* matrices.
+
+    With ``repeat=True`` the kernel re-enters forever instead of halting
+    (see :meth:`~repro.cpu.workloads.common.Workload.looped`).
+    """
     elements = size * size
     if b_base is None:
         b_base = a_base + elements
@@ -100,10 +105,11 @@ def make_matrix_multiply(
         c_base + offset: value
         for offset, value in enumerate(reference_product(a, b, size))
     }
-    return Workload(
+    workload = Workload(
         name="Matrix Multiply",
         program=program,
         expected_memory=expected,
         description=f"{size}x{size} integer matrix product (regular control flow)",
         parameters={"size": size, "seed": seed},
     )
+    return workload.looped() if repeat else workload

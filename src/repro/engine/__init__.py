@@ -51,6 +51,7 @@ from .steady_state import (
     STEADY_STATE_ENV_VAR,
     DetectionPlan,
     PeriodMemory,
+    certify_model,
     detection_plan,
     resolve_steady_state,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "RunControls",
     "STEADY_STATE_ENV_VAR",
     "SimKernel",
+    "certify_model",
     "detection_plan",
     "elaborate",
     "generate_run_source",

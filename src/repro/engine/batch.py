@@ -288,6 +288,7 @@ class BatchRunner:
         if detection_plan(
             model, self.instruments, controls.steady_state,
             controls.steady_state_window, controls.on_cycle,
+            asymptotic=controls.asymptotic(),
         ) is not None:
             memory_key = PeriodMemory.key_for(model)
             default_window = (

@@ -104,8 +104,8 @@ from .elaboration import ElaboratedModel
 from .fast import _raise_output_mismatch
 from .instrumentation import InstrumentSet
 from .steady_state import (
+    certify_model,
     channel_offset_pairs,
-    dynamic_signature_indices,
     periods_to_skip,
     stats_jump,
 )
@@ -287,11 +287,21 @@ class _Generator:
             self.appends_used.add(dst)
         self.appends_used.update(model.chan_first)
         # Steady-state snapshot plan (processes to sample, tag offsets, the
-        # per-FIFO pop counters a jump must advance).
+        # per-FIFO pop counters a jump must advance; certified mode also
+        # keys queued token values and deep-verifies each candidate period).
         if self.steady:
-            dynamic = dynamic_signature_indices(model)
-            assert dynamic is not None, "steady codegen on an unsupported model"
+            certification = certify_model(model)
+            assert certification is not None, "steady codegen on an unsupported model"
+            dynamic, self.ss_certified = certification
             self.ss_sig_procs = dynamic
+            # Processes whose internal state stores absolute firing tags
+            # must shift it at the analytic jump (Process.schedule_jump);
+            # the no-op base hook is folded away.
+            self.ss_jump_procs = [
+                p
+                for p in range(self.n_procs)
+                if _overrides(layout.processes[p], "schedule_jump")
+            ]
             self.ss_done_procs = [p for p in dynamic if self.done_ovr[p]]
             self.ss_offsets = channel_offset_pairs(model) if self.relaxed else []
             self.ss_g_queues = [
@@ -424,6 +434,11 @@ class _Generator:
             w.emit("_extrap = False")
             for p in self.ss_sig_procs:
                 w.emit(f"p{p}_ss = p{p}.schedule_state")
+            if self.ss_certified:
+                for p in self.ss_sig_procs:
+                    w.emit(f"p{p}_vs = p{p}.schedule_verify_state")
+            for p in self.ss_jump_procs:
+                w.emit(f"p{p}_sj = p{p}.schedule_jump")
         if self.stop_mode == STOP_PROCESS:
             w.emit("_stop_done = procs[stop_arg].is_done")
 
@@ -562,29 +577,53 @@ class _Generator:
         return w.source()
 
     # -- steady-state detection ------------------------------------------------
+    def _key_expr(self) -> str:
+        """The canonical snapshot key as one tuple expression.
+
+        Plain mode: integers the loop already maintains plus the dynamic
+        ``schedule_state()`` samples.  Certified mode additionally keys the
+        queued token values of every storage element (the generated queues
+        hold raw values, so each is one ``tuple(q)`` call).
+        """
+        parts = [f"n{q}" for q in range(self.n_queues)]
+        parts += [f"f{s} - f{d}" for s, d in self.ss_offsets]
+        parts += [f"p{p}_ss()" for p in self.ss_sig_procs]
+        parts += [self._done_expr(p) for p in self.ss_done_procs]
+        if self.ss_certified:
+            parts += [f"tuple(q{q})" for q in range(self.n_queues)]
+        return f"({', '.join(parts)}{',' if len(parts) == 1 else ''})"
+
+    def _verify_expr(self) -> str:
+        """Deep-verification tuple: exact state behind every summary."""
+        parts = [f"p{p}_vs()" for p in self.ss_sig_procs]
+        return f"({', '.join(parts)}{',' if len(parts) == 1 else ''})"
+
     def _steady_block(self) -> None:
         """Snapshot / measure / jump logic at the top of every cycle.
 
         Mirrors the fast kernel's interpreted detector: the snapshot is one
         tuple of integers already held in locals (plus the handful of
-        dynamic ``schedule_state()`` samples), so the searching phase costs
-        one tuple build and one dict probe per cycle and allocates nothing
-        else.
+        dynamic ``schedule_state()`` samples and, under a certified plan,
+        the queue-value tuples), so the searching phase costs one tuple
+        build and one dict probe per cycle and allocates nothing else.
+        Certified plans store key *hashes* in the dictionary (one int per
+        searched cycle) and deep-verify each candidate period before the
+        jump; a failed verification resumes the search.
         """
         w = self.w
-        parts = [f"n{q}" for q in range(self.n_queues)]
-        parts += [f"f{s} - f{d}" for s, d in self.ss_offsets]
-        parts += [f"p{p}_ss()" for p in self.ss_sig_procs]
-        parts += [self._done_expr(p) for p in self.ss_done_procs]
-        key = ", ".join(parts) if parts else ""
+        certified = self.ss_certified
+        key = self._key_expr()
         fs = ", ".join(f"f{p}" for p in range(self.n_procs))
         w.emit("if _ss == 1:")
         with _Block(w):
-            w.emit(f"_sk = ({key}{',' if len(parts) == 1 else ''})")
-            w.emit("_pv = _ss_seen.get(_sk)")
+            w.emit(f"_sk = {key}")
+            if certified:
+                w.emit("_skh = hash(_sk)")
+            probe = "_skh" if certified else "_sk"
+            w.emit(f"_pv = _ss_seen.get({probe})")
             w.emit("if _pv is None:")
             with _Block(w):
-                w.emit("_ss_seen[_sk] = cycles")
+                w.emit(f"_ss_seen[{probe}] = cycles")
                 w.emit("if cycles >= ss_window:")
                 with _Block(w):
                     w.emit("_ss = 0")
@@ -596,6 +635,9 @@ class _Generator:
                 w.emit("_ss_p = cycles - _pv")
                 w.emit("_ss_end = cycles + _ss_p")
                 w.emit("_ss_seen = None")
+                if certified:
+                    w.emit("_ss_k0 = _sk")
+                    w.emit(f"_ss_v0 = {self._verify_expr()}")
                 w.emit(f"_ss_bf = ({fs}{',' if self.n_procs == 1 else ''})")
                 if self.ss_g_queues:
                     gs = ", ".join(f"g{q}" for q in self.ss_g_queues)
@@ -609,38 +651,62 @@ class _Generator:
                     )
         w.emit("elif _ss == 2 and cycles == _ss_end:")
         with _Block(w):
-            w.emit("_ss = 0")
-            deltas = ", ".join(
-                f"f{p} - _ss_bf[{p}]" for p in range(self.n_procs)
-            )
-            w.emit(f"_df = [{deltas}]")
-            w.emit(
-                "_skip = _ss_skip(cycles, _ss_p, _bound, stop_mode, stop_arg, "
-                "fir, _df)"
-            )
-            # A period with zero firings must not be skipped: the deadlock
-            # counter (not part of the snapshot) keeps advancing through it.
-            w.emit("if _skip > 0 and any(_df):")
-            with _Block(w):
-                w.emit("cycles += _skip * _ss_p")
-                for p in range(self.n_procs):
-                    w.emit(f"if _df[{p}]:")
-                    with _Block(w):
-                        w.emit(f"f{p} += _skip * _df[{p}]")
-                        w.emit(f"p{p}.firings = f{p}")
-                        if self.stop_mode == STOP_TARGET:
-                            w.emit(f"fir[{p}] = f{p}")
-                for index, q in enumerate(self.ss_g_queues):
-                    w.emit(f"g{q} += _skip * (g{q} - _ss_bg[{index}])")
-                if self.stats:
-                    w.emit(
-                        "_ss_sj(_skip, _ss_bs, st_missing, st_blocked, "
-                        "st_done, st_disc, st_dp, st_mp)"
-                    )
-                w.emit("_extrap = True")
-                w.emit("if cycles >= _bound:")
+            if certified:
+                w.emit(f"_sk = {key}")
+                w.emit(f"if _sk != _ss_k0 or {self._verify_expr()} != _ss_v0:")
                 with _Block(w):
-                    w.emit("continue  # loop-condition re-check: horizon/timeout")
+                    # False candidate (hash collision or digest coincidence):
+                    # the exact state did not recur over the measured period.
+                    # Resume searching — a truly periodic run re-candidates
+                    # within one more period.
+                    w.emit("_ss = 1")
+                    w.emit("_ss_seen = {hash(_sk): cycles}")
+                    w.emit("_ss_p = 0")
+                    w.emit("_ss_w = 0")
+                    w.emit("_ss_end = -1")
+                w.emit("else:")
+                with _Block(w):
+                    self._steady_jump()
+            else:
+                self._steady_jump()
+
+    def _steady_jump(self) -> None:
+        """The analytic jump over every whole period the run may skip."""
+        w = self.w
+        w.emit("_ss = 0")
+        deltas = ", ".join(
+            f"f{p} - _ss_bf[{p}]" for p in range(self.n_procs)
+        )
+        w.emit(f"_df = [{deltas}]")
+        w.emit(
+            "_skip = _ss_skip(cycles, _ss_p, _bound, stop_mode, stop_arg, "
+            "fir, _df)"
+        )
+        # A period with zero firings must not be skipped: the deadlock
+        # counter (not part of the snapshot) keeps advancing through it.
+        w.emit("if _skip > 0 and any(_df):")
+        with _Block(w):
+            w.emit("cycles += _skip * _ss_p")
+            for p in range(self.n_procs):
+                w.emit(f"if _df[{p}]:")
+                with _Block(w):
+                    w.emit(f"f{p} += _skip * _df[{p}]")
+                    w.emit(f"p{p}.firings = f{p}")
+                    if p in self.ss_jump_procs:
+                        w.emit(f"p{p}_sj(_skip * _df[{p}])")
+                    if self.stop_mode == STOP_TARGET:
+                        w.emit(f"fir[{p}] = f{p}")
+            for index, q in enumerate(self.ss_g_queues):
+                w.emit(f"g{q} += _skip * (g{q} - _ss_bg[{index}])")
+            if self.stats:
+                w.emit(
+                    "_ss_sj(_skip, _ss_bs, st_missing, st_blocked, "
+                    "st_done, st_disc, st_dp, st_mp)"
+                )
+            w.emit("_extrap = True")
+            w.emit("if cycles >= _bound:")
+            with _Block(w):
+                w.emit("continue  # loop-condition re-check: horizon/timeout")
 
     # -- shells ----------------------------------------------------------------
     def _shell(self, p: int) -> None:

@@ -72,6 +72,7 @@ class CompiledKernel(SimKernel):
         plan = detection_plan(
             model, instruments, controls.steady_state,
             controls.steady_state_window, controls.on_cycle,
+            asymptotic=controls.asymptotic(),
         )
         run_fn = compiled_run_fn(
             model, instruments, stop_mode,

@@ -51,12 +51,14 @@ class LidResult:
         to full simulation), so the ratio needs no correction.
 
         An empty ``firings`` mapping (a netlist with no processes, or results
-        filtered down to nothing) yields 0.0 rather than raising.
+        filtered down to nothing) yields 0.0 rather than raising, and so does
+        a *process* name absent from ``firings`` (unknown, or filtered out of
+        the result): a process with no recorded firings has throughput 0.0.
         """
         if self.cycles == 0:
             return 0.0
         if process is not None:
-            return self.firings[process] / self.cycles
+            return self.firings.get(process, 0) / self.cycles
         if not self.firings:
             return 0.0
         return min(count for count in self.firings.values()) / self.cycles

@@ -14,7 +14,10 @@ This module holds everything the kernels share:
 * the canonical snapshot *plan* — which queues, tag offsets, done flags and
   per-process :meth:`~repro.core.process.Process.schedule_state` samples make
   up the per-cycle snapshot key, and when detection is sound at all
-  (:func:`detection_plan`);
+  (:func:`detection_plan`), including the **certified** value-inclusive mode
+  for netlists of :attr:`~repro.core.process.Process.schedule_complete`
+  processes whose control is data-dependent (:func:`certify_model`,
+  DESIGN.md §5);
 * the ``REPRO_STEADY_STATE`` environment override and its precedence rules
   (:func:`resolve_steady_state`, mirroring ``REPRO_KERNEL``);
 * the extrapolation arithmetic — how many whole periods a run may skip
@@ -32,7 +35,7 @@ the uninstrumented cycle loop.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.process import SCHEDULE_INERT, overrides_hook
@@ -86,9 +89,14 @@ class DetectionPlan:
     * the ``is_done()`` flag and the :meth:`~repro.core.process.Process.
       schedule_state` sample of every process whose control hooks can change.
 
-    Token values are deliberately absent: they never gate a firing, and the
-    ``schedule_state`` contract guarantees the sampled control state evolves
-    independently of them.
+    Token values are absent from the *plain* plan: they never gate a firing,
+    and the ``schedule_state`` contract guarantees the sampled control state
+    evolves independently of them.  Under the **certified** plan (every
+    process declares :attr:`~repro.core.process.Process.schedule_complete`,
+    so control *is* data-dependent) the snapshot additionally keys the queued
+    token values of every storage element, and a candidate period is only
+    trusted after :attr:`verify_fns` confirms the exact state recurred at
+    both ends of the measured period (see DESIGN.md §5).
     """
 
     #: ``(proc_index, bound schedule_state)`` for every dynamic process.
@@ -99,25 +107,60 @@ class DetectionPlan:
     offset_pairs: List[Tuple[int, int]]
     #: Cycles to search for a recurrence before disarming.
     window: int
+    #: Certified (value-inclusive) mode: queued token values join the key and
+    #: every candidate period is deep-verified before extrapolating.
+    certified: bool = False
+    #: ``(proc_index, bound schedule_verify_state)`` for the per-candidate
+    #: deep verification (certified mode only).
+    verify_fns: List[Tuple[int, Callable]] = field(default_factory=list)
 
 
-def dynamic_signature_indices(model: ElaboratedModel) -> Optional[List[int]]:
-    """Indices of processes the snapshot must sample, or None if unsupported.
+def certify_model(model: ElaboratedModel) -> Optional[Tuple[List[int], bool]]:
+    """Classify one elaborated netlist for steady-state detection.
 
-    A process is *dynamic* when its ``schedule_state()`` returns a real value
-    (to be re-sampled every cycle), *inert* when it returns
-    :data:`~repro.core.process.SCHEDULE_INERT`, and *unsupported* when it
-    returns ``None`` — one unsupported process disables detection for the
-    whole netlist (full simulation is always sound).
+    Returns ``(dynamic process indices, certified)`` or ``None`` when
+    detection must stay off.  A process is *dynamic* when its
+    ``schedule_state()`` returns a real value (re-sampled every cycle),
+    *inert* when it returns :data:`~repro.core.process.SCHEDULE_INERT`, and
+    *unsupported* when it returns ``None``.  The certification decision:
+
+    * **plain** (``certified=False``): every process honours the
+      value-independent base contract (no ``schedule_complete`` declaration
+      anywhere) — token values cannot gate the schedule and stay out of the
+      snapshot;
+    * **certified** (``certified=True``): every process declares
+      :attr:`~repro.core.process.Process.schedule_complete`, i.e. each
+      summary captures the complete behavioural state.  Then full-state
+      recurrence — summaries plus the queued token values the plan also
+      keys — implies true periodicity even though control is data-dependent;
+    * ``None``: some process returns ``None``, or complete and
+      value-independent summaries are mixed (a complete process' output
+      values may depend on state an incomplete neighbour does not expose, so
+      the combined snapshot would be unsound).  Full simulation is always
+      sound, so ``None`` simply disables detection.
     """
     dynamic: List[int] = []
+    any_complete = False
+    all_complete = True
     for index, process in enumerate(model.layout.processes):
         state = process.schedule_state()
         if state is None:
             return None
+        if process.schedule_complete:
+            any_complete = True
+        else:
+            all_complete = False
         if state is not SCHEDULE_INERT:
             dynamic.append(index)
-    return dynamic
+    if any_complete and not all_complete:
+        return None
+    return dynamic, any_complete
+
+
+def dynamic_signature_indices(model: ElaboratedModel) -> Optional[List[int]]:
+    """Back-compat view of :func:`certify_model`: the dynamic indices only."""
+    certification = certify_model(model)
+    return None if certification is None else certification[0]
 
 
 def channel_offset_pairs(model: ElaboratedModel) -> List[Tuple[int, int]]:
@@ -137,6 +180,7 @@ def detection_plan(
     steady_state: Optional[bool] = None,
     window: Optional[int] = None,
     on_cycle: Optional[object] = None,
+    asymptotic: bool = True,
 ) -> Optional[DetectionPlan]:
     """The snapshot plan for one run, or None when detection must stay off.
 
@@ -145,6 +189,14 @@ def detection_plan(
     (an extrapolated run cannot reproduce the skipped cycles' values — see
     DESIGN.md §4), when a per-cycle ``on_cycle`` observer is installed, or
     when any process cannot summarise its schedule-relevant state.
+
+    *asymptotic* tells the planner whether the run is bounded by a horizon
+    or firing targets (kernels pass ``RunControls.asymptotic()``).  Certified
+    plans only arm on such runs: a complete-state recurrence can never
+    precede a done-based stop (it would prove the program loops forever), so
+    on terminating programs the value-inclusive search would be pure
+    per-cycle overhead.  Plain plans are unaffected — their snapshots are a
+    few integers and done-mode recurrences still prove timeouts early.
     """
     if not resolve_steady_state(steady_state):
         return None
@@ -153,8 +205,11 @@ def detection_plan(
     effective_window = DEFAULT_DETECTION_WINDOW if window is None else window
     if effective_window <= 0:
         return None
-    dynamic = dynamic_signature_indices(model)
-    if dynamic is None:
+    certification = certify_model(model)
+    if certification is None:
+        return None
+    dynamic, certified = certification
+    if certified and not asymptotic:
         return None
     processes = model.layout.processes
     done_procs = [p for p in dynamic if overrides_hook(processes[p], "is_done")]
@@ -163,6 +218,12 @@ def detection_plan(
         done_procs=done_procs,
         offset_pairs=channel_offset_pairs(model) if model.relaxed else [],
         window=effective_window,
+        certified=certified,
+        verify_fns=(
+            [(p, processes[p].schedule_verify_state) for p in dynamic]
+            if certified
+            else []
+        ),
     )
 
 
@@ -294,6 +355,11 @@ class PeriodMemory:
             self._misses.pop(key, None)
             if scale > self._layout_scale:
                 self._layout_scale = scale
+            else:
+                # Decay toward recent observations: without this, one
+                # pathological warmup seen early in a batch would inflate the
+                # sibling windows of every later shape permanently.
+                self._layout_scale -= (self._layout_scale - scale) // 2
         elif key not in self._hits:
             previous = self._misses.get(key, 0)
             if cycles_searched > previous:
@@ -308,5 +374,7 @@ class PeriodMemory:
         if searched is not None and bound <= searched:
             return 0  # provably non-recurring within this run's bound
         if self._layout_scale:
-            return min(default, max(256, 8 * self._layout_scale))
+            # Searching past the run's own cycle bound buys nothing: cap the
+            # sibling window there as well as at the caller's default.
+            return min(default, bound, max(256, 8 * self._layout_scale))
         return default

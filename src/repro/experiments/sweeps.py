@@ -85,10 +85,15 @@ class _SweepRunner:
     """
 
     def __init__(
-        self, cpu: CaseStudyCpu, kernel: Optional[str] = None, workers: int = 1
+        self,
+        cpu: CaseStudyCpu,
+        kernel: Optional[str] = None,
+        workers: int = 1,
+        steady_state: Optional[bool] = None,
     ) -> None:
         self.cpu = cpu
         self.workers = workers
+        self.steady_state = steady_state
         self._multi = MultiNetlistRunner(
             {
                 "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
@@ -129,6 +134,7 @@ class _SweepRunner:
         results = self._multi.run_many(
             tagged, workers=self.workers, queue_capacity=4,
             stop_process=stop, max_cycles=max_cycles,
+            steady_state=self.steady_state,
         )
         wp1, wp2 = results[: len(items)], results[len(items):]
         return [
@@ -143,6 +149,7 @@ def queue_capacity_sweep(
     configuration: Optional[RSConfiguration] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    steady_state: Optional[bool] = None,
 ) -> SweepResult:
     """WP1/WP2 throughput versus wrapper input-FIFO depth."""
     if workload is None:
@@ -151,7 +158,7 @@ def queue_capacity_sweep(
         configuration = RSConfiguration.uniform(1, exclude=(LINK_CU_IC,))
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
     result = SweepResult(
         name=f"Wrapper FIFO depth sweep — {workload.name}",
         parameter_name="fifo depth",
@@ -172,13 +179,14 @@ def uniform_depth_sweep(
     exclude: Sequence[str] = (LINK_CU_IC,),
     kernel: Optional[str] = None,
     workers: int = 1,
+    steady_state: Optional[bool] = None,
 ) -> SweepResult:
     """Throughput versus uniform relay-station depth ("All k" scaling)."""
     if workload is None:
         workload = make_extraction_sort(length=10)
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
     result = SweepResult(
         name=f"Uniform pipelining depth sweep — {workload.name}",
         parameter_name="RS per link",
@@ -208,6 +216,7 @@ def clock_frequency_sweep(
     wire_model: Optional[WireModel] = None,
     kernel: Optional[str] = None,
     workers: int = 1,
+    steady_state: Optional[bool] = None,
 ) -> SweepResult:
     """The methodology flow: clock target → relay stations → sustained throughput.
 
@@ -222,7 +231,7 @@ def clock_frequency_sweep(
     model = wire_model if wire_model is not None else WireModel()
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers)
+    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
     result = SweepResult(
         name=f"Clock-frequency sweep — {workload.name}",
         parameter_name="clock (GHz)",
@@ -260,6 +269,7 @@ def mixed_workload_sweep(
     kernel: Optional[str] = None,
     workers: int = 1,
     max_cycles: int = 5_000_000,
+    steady_state: Optional[bool] = None,
 ) -> Dict[str, SweepResult]:
     """Uniform-depth sweep of several workloads through **one** scheduler.
 
@@ -298,7 +308,7 @@ def mixed_workload_sweep(
     stop = next(iter(cpus.values())).control_unit.name
     results = multi.run_many(
         items, workers=workers, queue_capacity=4,
-        stop_process=stop, max_cycles=max_cycles,
+        stop_process=stop, max_cycles=max_cycles, steady_state=steady_state,
     )
 
     by_key: Dict[str, List] = {}

@@ -200,6 +200,7 @@ def evaluate_rows(
     kernel: Optional[str] = None,
     workers: int = 1,
     horizon: Optional[int] = None,
+    steady_state: Optional[bool] = None,
 ) -> Table1Result:
     """Run golden + WP1 + WP2 for every configuration and collect the rows.
 
@@ -209,14 +210,16 @@ def evaluate_rows(
     per flavour, uninstrumented runs, ``workers`` processes); equivalence
     checking needs full traces and keeps the per-row path.
 
-    With *horizon* each row runs at most that many cycles: rows whose
-    programs finish earlier report the usual golden-relative throughput,
-    rows cut at the horizon report the asymptotic system throughput
-    (minimum firings per cycle) — the long-horizon form of the paper's
-    RS-insertion objective.  The steady-state detector extrapolates such
-    runs wherever the netlist supports detection; the CPU's data-dependent
-    control hooks (CU halt, RF/DC oracles) disable it, so CPU rows simulate
-    the horizon in full (see DESIGN.md §4).
+    With *horizon* each row runs the **looped** variant of the workload
+    (:meth:`~repro.cpu.workloads.common.Workload.looped`) for exactly that
+    many cycles and reports the asymptotic system throughput (minimum
+    firings per cycle) — the long-horizon form of the paper's RS-insertion
+    objective.  The five CPU units carry certified ``schedule_state()``
+    summaries, so the steady-state detector extrapolates these rows from one
+    detected loop period with counts bit-identical to full simulation
+    (DESIGN.md §5); *steady_state* forces the detector on/off (None
+    consults ``REPRO_STEADY_STATE``).  The golden reference still runs the
+    one-shot program (a looped golden run would never halt).
     """
     builder = build_pipelined_cpu if pipelined else build_multicycle_cpu
     cpu = builder(workload.program)
@@ -227,11 +230,17 @@ def evaluate_rows(
         golden_cycles=golden.cycles,
     )
     if not check_equivalence:
+        row_cpu = cpu
+        if horizon is not None and not workload.looping:
+            # Horizon rows measure asymptotic throughput: run the looping
+            # variant (the one-shot programs halt long before a meaningful
+            # horizon, and the loop is what makes the schedule periodic).
+            row_cpu = builder(workload.looped().program)
         result.rows.extend(
             _evaluate_rows_batched(
-                cpu, configurations, golden,
+                row_cpu, configurations, golden,
                 max_cycles=max_cycles, kernel=kernel, workers=workers,
-                progress=progress, horizon=horizon,
+                progress=progress, horizon=horizon, steady_state=steady_state,
             )
         )
         return result
@@ -260,6 +269,7 @@ def _evaluate_rows_batched(
     workers: int,
     progress: Optional[Callable[[str], None]] = None,
     horizon: Optional[int] = None,
+    steady_state: Optional[bool] = None,
 ) -> List[Table1Row]:
     from ..engine.batch import BatchRunner, MultiNetlistRunner
 
@@ -279,9 +289,13 @@ def _evaluate_rows_batched(
     )
     tagged = [("wp1", config) for config in configurations]
     tagged += [("wp2", config) for config in configurations]
+    # One CPU loop iteration spans thousands of cycles, so horizon rows let
+    # the detector search all the way to the horizon (certified-mode keys
+    # are hashed: one int of search memory per cycle).
     results = multi.run_many(
         tagged, workers=workers, stop_process=stop, max_cycles=max_cycles,
-        horizon=horizon,
+        horizon=horizon, steady_state=steady_state,
+        steady_state_window=horizon,
     )
     wp1_results = results[: len(configurations)]
     wp2_results = results[len(configurations):]
@@ -372,6 +386,7 @@ def run_table1_sort(
     kernel: Optional[str] = None,
     workers: int = 1,
     horizon: Optional[int] = None,
+    steady_state: Optional[bool] = None,
 ) -> Table1Result:
     """Regenerate the Extraction Sort section of Table 1."""
     workload = make_extraction_sort(length=length, seed=seed)
@@ -386,6 +401,7 @@ def run_table1_sort(
         kernel=kernel,
         workers=workers,
         horizon=horizon,
+        steady_state=steady_state,
     )
 
 
@@ -398,6 +414,7 @@ def run_table1_matmul(
     kernel: Optional[str] = None,
     workers: int = 1,
     horizon: Optional[int] = None,
+    steady_state: Optional[bool] = None,
 ) -> Table1Result:
     """Regenerate the Matrix Multiply section of Table 1."""
     workload = make_matrix_multiply(size=size, seed=seed)
@@ -412,6 +429,7 @@ def run_table1_matmul(
         kernel=kernel,
         workers=workers,
         horizon=horizon,
+        steady_state=steady_state,
     )
 
 
@@ -425,6 +443,7 @@ def run_table1(
     kernel: Optional[str] = None,
     workers: int = 1,
     horizon: Optional[int] = None,
+    steady_state: Optional[bool] = None,
 ) -> Dict[str, Table1Result]:
     """Regenerate both sections of Table 1 (keys: ``"sort"``, ``"matmul"``)."""
     return {
@@ -437,6 +456,7 @@ def run_table1(
             kernel=kernel,
             workers=workers,
             horizon=horizon,
+            steady_state=steady_state,
         ),
         "matmul": run_table1_matmul(
             size=matmul_size,
@@ -447,5 +467,6 @@ def run_table1(
             kernel=kernel,
             workers=workers,
             horizon=horizon,
+            steady_state=steady_state,
         ),
     }

@@ -343,3 +343,83 @@ class TestControlUnitBasics:
         assert cu.pc == 0
         assert cu.firings == 0
         assert not cu.is_done()
+
+
+class TestScheduleSummaries:
+    """Certified schedule_state summaries of the five units (DESIGN.md §5)."""
+
+    def test_all_units_declare_complete_summaries(self):
+        units = (
+            ControlUnit(),
+            InstructionCache([encode(isa.nop())]),
+            RegisterFile(),
+            Alu(),
+            DataCache([0] * 8),
+        )
+        for unit in units:
+            assert unit.schedule_complete
+            assert unit.schedule_state() is not None
+
+    def test_summaries_are_canonical_in_the_firing_counter(self):
+        """Shifting firings and absolute-tag state together changes nothing."""
+        rf = RegisterFile()
+        rf.registers[3] = 42
+        rf.pending_alu_writeback = {7: 3}
+        rf.pending_mem_writeback = {8: 4}
+        rf.firings = 5
+        before = rf.schedule_state()
+        rf.firings += 1000
+        rf.schedule_jump(1000)
+        assert rf.schedule_state() == before
+
+        dc = DataCache([0] * 8)
+        dc.pending_access = {6: "read"}
+        dc.pending_store_data = {5: 6}
+        dc.store_values = {6: 9}
+        dc.firings = 4
+        before = dc.schedule_state()
+        dc.firings += 250
+        dc.schedule_jump(250)
+        assert dc.schedule_state() == before
+
+        cu = ControlUnit()
+        cu.step({"ic_cu": None, "alu_cu": None})
+        cu.scoreboard = {3: cu.firings + 2}
+        before = cu.schedule_state()
+        cu.firings += 77
+        cu.schedule_jump(77)
+        assert cu.schedule_state() == before
+
+    def test_expired_scoreboard_entries_do_not_change_the_summary(self):
+        cu = ControlUnit()
+        cu.firings = 10
+        base = cu.schedule_state()
+        cu.scoreboard = {5: 3}  # ready tags <= firings can never gate issue
+        assert cu.schedule_state() == base
+
+    def test_data_cache_digest_tracks_memory_content(self):
+        dc = DataCache([0] * 8)
+        base = dc.schedule_state()[0]
+        dc.pending_access[dc.firings] = "write"
+        dc.store_values[dc.firings] = 5
+        dc.step({"cu_dc": None, "rf_dc": None, "alu_dc": MemAddress(address=2)})
+        changed = dc.schedule_state()[0]
+        assert changed != base
+        # Writing the original value back restores the digest exactly.
+        dc.pending_access[dc.firings] = "write"
+        dc.store_values[dc.firings] = 0
+        dc.step({"cu_dc": None, "rf_dc": None, "alu_dc": MemAddress(address=2)})
+        assert dc.schedule_state()[0] == base
+        # The verification state exposes the exact memory behind the digest.
+        memory, summary = dc.schedule_verify_state()
+        assert memory == tuple(dc.memory)
+        assert summary == dc.schedule_state()
+
+    def test_data_cache_digest_resets_with_memory(self):
+        dc = DataCache([1, 2, 3])
+        dc.pending_access[dc.firings] = "write"
+        dc.store_values[dc.firings] = 99
+        dc.step({"cu_dc": None, "rf_dc": None, "alu_dc": MemAddress(address=1)})
+        assert dc.schedule_state()[0] != 0
+        dc.reset()
+        assert dc.schedule_state()[0] == 0 and dc.memory == [1, 2, 3]

@@ -140,17 +140,28 @@ class TestSteadyStateOptions:
         args = parser.parse_args(["sweep", "mixed", "--no-steady-state"])
         assert args.kind == "mixed" and args.no_steady_state
 
-    def test_no_steady_state_sets_env(self, capsys, monkeypatch):
+    def test_no_steady_state_restores_absent_env(self, capsys, monkeypatch):
         import os
 
-        # setenv (not delenv) so the write main() performs is rolled back
-        # at teardown even though the variable starts out absent.
-        monkeypatch.setenv("REPRO_STEADY_STATE", "")
+        # Regression: --no-steady-state used to leak REPRO_STEADY_STATE=0
+        # into the process environment after the command returned, silently
+        # disabling detection for later in-process API calls.
+        monkeypatch.delenv("REPRO_STEADY_STATE", raising=False)
         assert main(
             ["table1", "--sort-length", "3", "--no-steady-state"]
         ) == 0
-        assert os.environ.get("REPRO_STEADY_STATE") == "0"
+        assert "REPRO_STEADY_STATE" not in os.environ
         assert "All 0 (ideal)" in capsys.readouterr().out
+
+    def test_no_steady_state_restores_previous_env(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_STEADY_STATE", "yes")
+        assert main(
+            ["table1", "--sort-length", "3", "--no-steady-state"]
+        ) == 0
+        assert os.environ["REPRO_STEADY_STATE"] == "yes"
+        capsys.readouterr()
 
     def test_table1_horizon_runs(self, capsys):
         assert main(["table1", "--sort-length", "3", "--horizon", "400"]) == 0

@@ -261,20 +261,229 @@ class TestExtrapolationEquivalence:
         )
         _assert_matches_full(full, got)
 
-    def test_case_study_cpu_is_unsupported_but_unchanged(self):
-        """Data-dependent control (the CPU) disables detection, not correctness."""
+    def test_case_study_cpu_is_certified(self):
+        """All five CPU units declare complete summaries -> certified plan."""
         cpu = build_pipelined_cpu(make_extraction_sort(length=5, seed=11).program)
         config = RSConfiguration.uniform(1, exclude=("CU-IC",))
         model = elaborate(
             cpu.netlist,
             rs_counts=config.per_channel(cpu.netlist),
         )
-        assert detection_plan(model, InstrumentSet.none(), True, None, None) is None
+        plan = detection_plan(model, InstrumentSet.none(), True, None, None)
+        assert plan is not None and plan.certified
+        assert plan.verify_fns and len(plan.verify_fns) == len(plan.sig_fns)
+        # Certified plans only arm on asymptotic runs (horizon / targets):
+        # a complete-state recurrence cannot precede a done-based stop.
+        assert (
+            detection_plan(
+                model, InstrumentSet.none(), True, None, None, asymptotic=False
+            )
+            is None
+        )
+
+    def test_one_shot_cpu_runs_stay_unextrapolated(self):
+        """Done-stopped (terminating) CPU runs never arm the detector."""
+        cpu = build_pipelined_cpu(make_extraction_sort(length=5, seed=11).program)
+        config = RSConfiguration.uniform(1, exclude=("CU-IC",))
         for kernel in DETECTING_KERNELS:
             full = cpu.run_wire_pipelined(
                 configuration=config, record_trace=False, kernel=kernel
             )
             assert full.period is None and not full.extrapolated
+
+
+# ---------------------------------------------------------------------------
+# Looping CPU workloads (certified detection, DESIGN.md §5)
+# ---------------------------------------------------------------------------
+
+def _assert_cpu_identical(full: LidResult, got: LidResult) -> None:
+    _assert_matches_full(full, got)
+    assert got.extrapolated and got.period is not None
+
+
+class TestLoopedCpuExtrapolation:
+    """`table1 --horizon` acceptance: looped CPU rows extrapolate exactly."""
+
+    CONFIG = staticmethod(
+        lambda: RSConfiguration.uniform(1, exclude=("CU-IC",))
+    )
+
+    @pytest.mark.parametrize("kernel", DETECTING_KERNELS)
+    @pytest.mark.parametrize("relaxed", [False, True])
+    @pytest.mark.parametrize("workload_kind", ["sort", "matmul"])
+    def test_extrapolated_equals_full_simulation(
+        self, kernel, relaxed, workload_kind
+    ):
+        from repro.cpu.workloads import make_matrix_multiply
+
+        if workload_kind == "sort":
+            workload = make_extraction_sort(length=6, seed=7, repeat=True)
+        else:
+            workload = make_matrix_multiply(size=2, seed=7, repeat=True)
+        cpu = build_pipelined_cpu(workload.program)
+        config = self.CONFIG()
+        full = cpu.run_wire_pipelined(
+            configuration=config, relaxed=relaxed, record_trace=False,
+            kernel=kernel, horizon=25_000, steady_state=False,
+        )
+        full_memory = list(cpu.data_cache.memory)
+        got = cpu.run_wire_pipelined(
+            configuration=config, relaxed=relaxed, record_trace=False,
+            kernel=kernel, horizon=25_000, steady_state=True,
+        )
+        _assert_cpu_identical(full, got)
+        # schedule_jump realigns the units' absolute-tag state, so even the
+        # architectural results (data memory) match full simulation exactly.
+        assert list(cpu.data_cache.memory) == full_memory
+        assert not cpu.check_memory(workload.expected_memory)
+
+    @pytest.mark.parametrize("kernel", DETECTING_KERNELS)
+    def test_target_firings_stop_mode(self, kernel):
+        workload = make_extraction_sort(length=5, seed=3, repeat=True)
+        cpu = build_pipelined_cpu(workload.program)
+        config = self.CONFIG()
+        kwargs = dict(
+            configuration=config, relaxed=True, record_trace=False,
+            kernel=kernel, target_firings={"CU": 12_000}, max_cycles=100_000,
+            steady_state_window=50_000,
+        )
+        full = run_lid(cpu.netlist, steady_state=False, **kwargs)
+        got = run_lid(cpu.netlist, steady_state=True, **kwargs)
+        _assert_cpu_identical(full, got)
+        assert got.firings["CU"] >= 12_000
+
+    def test_multicycle_control_style_extrapolates(self):
+        from repro.cpu import build_multicycle_cpu
+
+        workload = make_extraction_sort(length=5, seed=3, repeat=True)
+        cpu = build_multicycle_cpu(workload.program)
+        config = self.CONFIG()
+        full = cpu.run_wire_pipelined(
+            configuration=config, relaxed=True, record_trace=False,
+            horizon=30_000, steady_state=False,
+        )
+        got = cpu.run_wire_pipelined(
+            configuration=config, relaxed=True, record_trace=False,
+            horizon=30_000, steady_state=True,
+        )
+        _assert_cpu_identical(full, got)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_looped_cpu_extrapolates_exactly(self, data):
+        """Hypothesis: extrapolated == full across kernels and stop modes."""
+        from repro.cpu.workloads import make_matrix_multiply
+
+        if data.draw(st.booleans(), label="use_sort"):
+            workload = make_extraction_sort(
+                length=data.draw(st.integers(3, 5), label="length"),
+                seed=data.draw(st.integers(0, 99), label="seed"),
+                repeat=True,
+            )
+        else:
+            workload = make_matrix_multiply(
+                size=2,
+                seed=data.draw(st.integers(0, 99), label="seed"),
+                repeat=True,
+            )
+        cpu = build_pipelined_cpu(workload.program)
+        links = [name for name in cpu.netlist.link_names() if name != "CU-IC"]
+        assignment = {
+            link: data.draw(st.integers(0, 2), label=link) for link in links
+        }
+        config = RSConfiguration.from_mapping(assignment, label="candidate")
+        kwargs = dict(
+            configuration=config,
+            relaxed=data.draw(st.booleans(), label="relaxed"),
+            queue_capacity=data.draw(st.integers(2, 6), label="capacity"),
+            record_trace=False,
+            max_cycles=120_000,
+        )
+        if data.draw(st.booleans(), label="horizon_stop"):
+            kwargs["horizon"] = 15_000
+        else:
+            kwargs["target_firings"] = {"CU": 6_000}
+            kwargs["steady_state_window"] = 15_000
+        full = run_lid(cpu.netlist, steady_state=False, kernel="fast", **kwargs)
+        for kernel in DETECTING_KERNELS:
+            got = run_lid(
+                cpu.netlist, steady_state=True, kernel=kernel, **kwargs
+            )
+            _assert_matches_full(full, got)
+
+
+class TestLoopedWorkloads:
+    def test_program_looped_replaces_halt_with_jump(self):
+        workload = make_extraction_sort(length=4, seed=1)
+        looped = workload.program.looped()
+        assert looped.name.endswith("-looped")
+        assert len(looped.instructions) == len(workload.program.instructions)
+        assert not any(i.is_halt for i in looped.instructions)
+        jumps = [
+            (original, replaced)
+            for original, replaced in zip(
+                workload.program.instructions, looped.instructions
+            )
+            if original != replaced
+        ]
+        assert jumps, "the HALT must have been rewritten"
+        for original, replaced in jumps:
+            assert original.is_halt
+            assert replaced.is_jump and replaced.imm == 0
+
+    def test_workload_looped_is_idempotent_and_marked(self):
+        workload = make_extraction_sort(length=4, seed=1)
+        looped = workload.looped()
+        assert not workload.looping and looped.looping
+        assert looped.looped() is looped
+        assert looped.expected_memory == workload.expected_memory
+
+    def test_repeat_flag_builds_looping_workloads(self):
+        from repro.cpu.workloads import make_matrix_multiply
+
+        assert make_extraction_sort(length=4, repeat=True).looping
+        assert make_matrix_multiply(size=2, repeat=True).looping
+
+    def test_table1_horizon_rows_extrapolate_identically(self):
+        """Acceptance: horizon rows == full (detection-off) simulation."""
+        from repro.experiments.table1 import evaluate_rows
+
+        workload = make_extraction_sort(length=4, seed=2005)
+        configurations = [
+            RSConfiguration.ideal(),
+            RSConfiguration.uniform(1, exclude=("CU-IC",)),
+        ]
+        for kernel in DETECTING_KERNELS:
+            on = evaluate_rows(
+                workload, configurations, kernel=kernel, horizon=20_000,
+            )
+            off = evaluate_rows(
+                workload, configurations, kernel=kernel, horizon=20_000,
+                steady_state=False,
+            )
+            for row_on, row_off in zip(on.rows, off.rows):
+                assert row_on.wp1_cycles == row_off.wp1_cycles == 20_000
+                assert row_on.wp2_cycles == row_off.wp2_cycles == 20_000
+                assert row_on.wp1_throughput == row_off.wp1_throughput
+                assert row_on.wp2_throughput == row_off.wp2_throughput
+
+    def test_table1_horizon_rows_report_extrapolated_batches(self):
+        """Horizon rows actually run extrapolated (not merely identical)."""
+        from repro.engine import BatchRunner
+
+        workload = make_extraction_sort(length=4, seed=2005, repeat=True)
+        cpu = build_pipelined_cpu(workload.program)
+        runner = BatchRunner(cpu.netlist, relaxed=True, kernel="compiled")
+        [summary] = runner.run_many(
+            [RSConfiguration.uniform(1, exclude=("CU-IC",))],
+            stop_process="CU", horizon=20_000, steady_state_window=20_000,
+        )
+        assert summary.extrapolated and summary.period is not None
+        assert summary.cycles == 20_000
 
 
 # ---------------------------------------------------------------------------
@@ -311,6 +520,36 @@ class TestDetectionGating:
             InstrumentSet.none(),
         )
         assert not result.extrapolated and result.period is None
+
+    def test_mixed_complete_and_incomplete_is_unsupported(self):
+        """A complete summary next to a plain one disables detection.
+
+        The complete process' output values may depend on state its plain
+        neighbour does not expose, so neither snapshot mode is sound.
+        """
+        from repro.engine.steady_state import certify_model
+
+        class CompletePassthrough(PassthroughProcess):
+            schedule_complete = True
+
+        netlist = Netlist(
+            [CompletePassthrough("a"), PassthroughProcess("b")],
+            [
+                Channel("ab", "a", "out", "b", "in", initial=0),
+                Channel("ba", "b", "out", "a", "in", initial=1),
+            ],
+        )
+        model = elaborate(netlist)
+        assert certify_model(model) is None
+        assert detection_plan(model, InstrumentSet.none(), True, None, None) is None
+
+    def test_plain_netlists_classify_uncertified(self):
+        from repro.engine.steady_state import certify_model
+
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        model = elaborate(netlist, rs_counts=rs_counts)
+        dynamic, certified = certify_model(model)
+        assert not certified and dynamic == []
 
     def test_oracle_without_schedule_state_is_unsupported(self):
         process = FunctionProcess(
@@ -473,6 +712,23 @@ class TestResultFields:
         assert result.period is None
         assert result.warmup_cycles is None
         assert result.extrapolated is False
+
+    def test_throughput_of_unknown_process_is_zero(self):
+        """Regression: an unknown/filtered process name raised a KeyError."""
+        from repro.core.traces import SystemTrace
+
+        result = LidResult(
+            cycles=10,
+            firings={"p": 5},
+            trace=SystemTrace(()),
+            halted=True,
+            wrapper_kind="WP1",
+            configuration_label="legacy",
+            rs_counts={},
+        )
+        assert result.throughput("p") == 0.5
+        assert result.throughput("not-a-process") == 0.0
+        assert result.throughput("filtered-out") == 0.0
 
     def test_batch_result_carries_period(self):
         netlist, rs_counts = ring_netlist(3, rs_total=2)
@@ -699,3 +955,22 @@ class TestPeriodMemory:
         memory.observe(("shape",), None, None, 5_000)
         assert memory.window_for(("shape",), 4_000, 16_384) == 0
         assert memory.window_for(("shape",), 50_000, 16_384) == 16_384
+
+    def test_layout_scale_decays_toward_recent_observations(self):
+        """Regression: one pathological warmup inflated siblings forever."""
+        memory = PeriodMemory()
+        memory.observe(("pathological",), 10_000, 2_000, 50_000)
+        inflated = memory.window_for(("sibling",), 1_000_000, 1 << 20)
+        assert inflated == 8 * 12_000
+        for index in range(6):
+            memory.observe((f"shape{index}",), 10, 20, 1_000)
+        recovered = memory.window_for(("sibling",), 1_000_000, 1 << 20)
+        assert recovered < inflated
+        assert recovered <= 8 * 256  # converged near the recent scale
+
+    def test_sibling_window_capped_at_run_bound(self):
+        """Regression: sibling windows could exceed the run's cycle bound."""
+        memory = PeriodMemory()
+        memory.observe(("a",), 100, 500, 5_000)  # layout scale 600
+        assert memory.window_for(("b",), 100_000, 16_384) == 8 * 600
+        assert memory.window_for(("b",), 1_000, 16_384) == 1_000
