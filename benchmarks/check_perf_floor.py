@@ -12,13 +12,18 @@ Reads the newest record of the ``BENCH_kernel.json`` history (produced by
 * the looping-table1 CPU floor regresses: a certified-extrapolated CPU
   horizon row must beat the same row without detection by
   ``--cpu-steady-floor`` on every wrapper flavour;
-* the mixed-workload multi-netlist batch smoke is missing from the record.
+* the mixed-workload multi-netlist batch smoke is missing from the record;
+* with ``--cache-floor`` (reads the newest ``BENCH_service.json`` record,
+  produced by ``benchmark_service.py``): a warm-cache re-run of the 64-row
+  mixed sweep through the evaluation service must be at least that many
+  times faster than the cold run, and the cold run must have streamed its
+  first row before half its wall-clock.
 
 CI runs this after the quick benchmark so hot-path regressions are caught
 at PR time::
 
     python benchmarks/check_perf_floor.py --floor 6 --steady-floor 25 \
-        --cpu-steady-floor 20
+        --cpu-steady-floor 20 --cache-floor 50
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ import sys
 from pathlib import Path
 
 DEFAULT_RECORD = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+DEFAULT_SERVICE_RECORD = (
+    Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
 
 
 def main(argv=None) -> int:
@@ -61,6 +69,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--record", type=Path, default=DEFAULT_RECORD,
         help="path to the BENCH_kernel.json history",
+    )
+    parser.add_argument(
+        "--cache-floor", type=float, default=None, metavar="X",
+        help=(
+            "minimum warm-cache/cold speedup of the 64-row service sweep "
+            "(reads the BENCH_service.json history; omitted: not checked)"
+        ),
+    )
+    parser.add_argument(
+        "--service-record", type=Path, default=DEFAULT_SERVICE_RECORD,
+        help="path to the BENCH_service.json history",
     )
     args = parser.parse_args(argv)
 
@@ -185,7 +204,60 @@ def main(argv=None) -> int:
             f"serial {multi.get('serial_seconds', 0):.3f}s)"
         )
 
+    if args.cache_floor is not None:
+        failed |= _check_cache_floor(
+            args.service_record, args.cache_floor
+        )
+
     return 1 if failed else 0
+
+
+def _check_cache_floor(record_path: Path, floor: float) -> bool:
+    """Enforce the warm-cache sweep floor; returns True on failure."""
+    if not record_path.exists():
+        print(
+            f"perf floor FAILED: no service record at {record_path} "
+            "(run benchmarks/benchmark_service.py first)",
+            file=sys.stderr,
+        )
+        return True
+    history = json.loads(record_path.read_text())
+    if isinstance(history, dict):
+        history = [history]
+    latest = history[-1] if history else {}
+    sweep = latest.get("streamed_mixed_sweep")
+    if not sweep:
+        print(
+            "perf floor FAILED: newest service record carries no "
+            "streamed_mixed_sweep measurement",
+            file=sys.stderr,
+        )
+        return True
+    speedup = sweep.get("warm_speedup", 0.0)
+    fraction = sweep.get("first_row_fraction", 1.0)
+    print(
+        f"perf floor: warm-cache sweep {speedup:.1f}x over cold "
+        f"({sweep.get('rows')} rows, floor {floor:.1f}x), first row at "
+        f"{100 * fraction:.1f}% of the cold wall-clock "
+        f"[record {latest.get('timestamp', '?')}, quick={latest.get('quick')}]"
+    )
+    failed = False
+    if speedup < floor:
+        print(
+            f"perf floor FAILED: warm-cache sweep {speedup:.1f}x < "
+            f"{floor:.1f}x over cold",
+            file=sys.stderr,
+        )
+        failed = True
+    if fraction > 0.5:
+        print(
+            f"perf floor FAILED: first streamed row at {fraction:.2f} of "
+            "the cold wall-clock (needs <= 0.5: the cold run must stream "
+            "partial results)",
+            file=sys.stderr,
+        )
+        failed = True
+    return failed
 
 
 if __name__ == "__main__":

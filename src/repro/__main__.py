@@ -7,12 +7,14 @@ Commands
 ``multicycle`` print the multicycle-vs-pipelined WP2 gain comparison
 ``area``       print the wrapper area-overhead report
 ``sweep``      run one of the ablation sweeps (fifo / depth / clock / mixed)
+``submit``     submit an ad-hoc job set to the evaluation service and
+               stream results as they complete
 
 Every command accepts ``--format text|markdown|csv|json`` where it makes
 sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
-simulating commands (``table1``, ``multicycle``, ``sweep``) accept
-``--kernel reference|fast|compiled`` to select the simulation engine (see
-:mod:`repro.engine`); when the flag is omitted the ``REPRO_KERNEL``
+simulating commands (``table1``, ``multicycle``, ``sweep``, ``submit``)
+accept ``--kernel reference|fast|compiled`` to select the simulation engine
+(see :mod:`repro.engine`); when the flag is omitted the ``REPRO_KERNEL``
 environment variable is consulted, and the fast array-based kernel is the
 final default.  ``table1`` and ``sweep`` also accept ``--shards N`` to
 evaluate their configuration batches on N worker processes, and
@@ -24,6 +26,15 @@ choice).  ``table1 --horizon N`` runs every row on the looping workload
 variant for exactly N cycles and reports the asymptotic (steady-state
 extrapolated) throughput.  ``sweep mixed`` runs the sort and matmul
 workloads through one multi-netlist scheduler pool.
+
+Service integration (see :mod:`repro.service`): ``table1`` and ``sweep``
+accept ``--cache-dir PATH`` to route every row through the evaluation
+service with a persistent content-addressed result cache — re-running the
+same command is then served from disk instead of re-simulating.  ``sweep
+--stream`` prints each row to stderr the moment it completes (through the
+same service).  ``submit`` is the raw service front door: it builds a mixed
+WP1+WP2 job set over the chosen workloads and depths, streams completions
+through the async iterator, and reports cache/dedup statistics.
 """
 
 from __future__ import annotations
@@ -70,6 +81,26 @@ def _add_steady_state_option(parser) -> None:
     )
 
 
+def _add_cache_option(parser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "evaluate through the service with a persistent content-"
+            "addressed result cache at PATH (re-runs are served from disk)"
+        ),
+    )
+
+
+def _add_stream_option(parser) -> None:
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print each row to stderr the moment it completes",
+    )
+
+
 def _add_table1(subparsers) -> None:
     parser = subparsers.add_parser("table1", help="regenerate Table 1")
     parser.add_argument("--sort-length", type=int, default=16)
@@ -93,6 +124,7 @@ def _add_table1(subparsers) -> None:
     _add_kernel_option(parser)
     _add_shards_option(parser)
     _add_steady_state_option(parser)
+    _add_cache_option(parser)
 
 
 def _add_simple(subparsers, name: str, help_text: str) -> None:
@@ -108,6 +140,37 @@ def _add_sweep(subparsers) -> None:
     _add_kernel_option(parser)
     _add_shards_option(parser)
     _add_steady_state_option(parser)
+    _add_cache_option(parser)
+    _add_stream_option(parser)
+
+
+def _add_submit(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "submit",
+        help="submit a job set to the evaluation service and stream results",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="sort,matmul",
+        help="comma-separated workloads to evaluate (sort, matmul)",
+    )
+    parser.add_argument("--sort-length", type=int, default=10)
+    parser.add_argument("--matmul-size", type=int, default=3)
+    parser.add_argument(
+        "--depths",
+        default="0,1,2,3",
+        help="comma-separated uniform relay-station depths, one row each",
+    )
+    parser.add_argument("--queue-capacity", type=int, default=4)
+    parser.add_argument("--max-cycles", type=int, default=5_000_000)
+    parser.add_argument(
+        "--priority", type=int, default=0,
+        help="job priority (lower runs first)",
+    )
+    _add_kernel_option(parser)
+    _add_shards_option(parser)
+    _add_steady_state_option(parser)
+    _add_cache_option(parser)
 
 
 def _add_multicycle(subparsers) -> None:
@@ -127,7 +190,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_multicycle(subparsers)
     _add_simple(subparsers, "area", "wrapper area overhead report")
     _add_sweep(subparsers)
+    _add_submit(subparsers)
     return parser
+
+
+def _make_service(args):
+    """An :class:`EvaluationService` when the command asked for one (or None).
+
+    A service is engaged by ``--cache-dir`` (persistent result cache),
+    ``--stream`` (per-row completion lines), or the ``submit`` command
+    (always service-backed).  ``--shards`` becomes the service's worker
+    fan-out.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    stream = getattr(args, "stream", False)
+    if cache_dir is None and not stream and args.command != "submit":
+        return None
+    from .service import EvaluationService, ResultCache
+
+    cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
+    return EvaluationService(cache=cache, workers=getattr(args, "shards", 1))
+
+
+def _stream_printer(total=None):
+    """An ``on_result`` callback printing one stderr line per completed row."""
+    import itertools
+
+    counter = itertools.count(1)
+
+    def on_result(job) -> None:
+        result = job.result
+        origin = "cached" if job.cached else (
+            "deduped" if job.deduped else "simulated"
+        )
+        detail = (
+            f"cycles={result.cycles}" if result is not None else job.status.value
+        )
+        index = next(counter)
+        prefix = f"[{index}/{total}]" if total is not None else f"[{index}]"
+        print(
+            f"{prefix} {job.layout} · {job.label}: {detail} ({origin})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_result
 
 
 def _steady_state_flag(args) -> Optional[bool]:
@@ -135,7 +242,7 @@ def _steady_state_flag(args) -> Optional[bool]:
     return False if getattr(args, "no_steady_state", False) else None
 
 
-def _run_table1(args) -> int:
+def _run_table1(args, service=None) -> int:
     from .experiments import run_table1_matmul, run_table1_sort
     from .experiments.report import table1_to_csv, table1_to_json, table1_to_markdown
 
@@ -145,7 +252,7 @@ def _run_table1(args) -> int:
             length=args.sort_length, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
             workers=args.shards, horizon=args.horizon,
-            steady_state=steady_state,
+            steady_state=steady_state, service=service,
         )
     }
     if args.matmul:
@@ -153,7 +260,7 @@ def _run_table1(args) -> int:
             size=args.matmul_size, seed=args.seed,
             pipelined=not args.multicycle, kernel=args.kernel,
             workers=args.shards, horizon=args.horizon,
-            steady_state=steady_state,
+            steady_state=steady_state, service=service,
         )
     if args.format == "json":
         print(table1_to_json(results))
@@ -169,7 +276,7 @@ def _run_table1(args) -> int:
     return 0
 
 
-def _run_sweep(args) -> int:
+def _run_sweep(args, service=None) -> int:
     from .cpu.workloads import make_extraction_sort, make_matrix_multiply
     from .experiments import (
         clock_frequency_sweep,
@@ -180,6 +287,7 @@ def _run_sweep(args) -> int:
     from .experiments.report import sweep_to_csv, sweep_to_markdown
 
     steady_state = _steady_state_flag(args)
+    on_result = _stream_printer() if args.stream and service is not None else None
     workload = make_extraction_sort(length=args.sort_length, seed=2005)
     if args.kind == "mixed":
         results = mixed_workload_sweep(
@@ -192,6 +300,8 @@ def _run_sweep(args) -> int:
             kernel=args.kernel,
             workers=args.shards,
             steady_state=steady_state,
+            service=service,
+            on_result=on_result,
         )
         for result in results.values():
             if args.format == "markdown":
@@ -205,17 +315,17 @@ def _run_sweep(args) -> int:
     if args.kind == "fifo":
         result = queue_capacity_sweep(
             workload=workload, kernel=args.kernel, workers=args.shards,
-            steady_state=steady_state,
+            steady_state=steady_state, service=service, on_result=on_result,
         )
     elif args.kind == "depth":
         result = uniform_depth_sweep(
             workload=workload, kernel=args.kernel, workers=args.shards,
-            steady_state=steady_state,
+            steady_state=steady_state, service=service, on_result=on_result,
         )
     else:
         result = clock_frequency_sweep(
             workload=workload, kernel=args.kernel, workers=args.shards,
-            steady_state=steady_state,
+            steady_state=steady_state, service=service, on_result=on_result,
         )
     if args.format == "markdown":
         print(sweep_to_markdown(result))
@@ -226,33 +336,99 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_submit(args, service) -> int:
+    """Build a mixed WP1+WP2 job set and stream it through the service."""
+    import asyncio
+
+    from .core.config import RSConfiguration
+    from .cpu.machine import build_pipelined_cpu
+    from .cpu.topology import LINK_CU_IC
+    from .cpu.workloads import make_extraction_sort, make_matrix_multiply
+
+    steady_state = _steady_state_flag(args)
+    makers = {
+        "sort": lambda: make_extraction_sort(length=args.sort_length, seed=2005),
+        "matmul": lambda: make_matrix_multiply(size=args.matmul_size, seed=2005),
+    }
+    names = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    unknown = [name for name in names if name not in makers]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    depths = [int(depth) for depth in args.depths.split(",") if depth.strip()]
+    configurations = [
+        RSConfiguration.uniform(depth, exclude=(LINK_CU_IC,)) for depth in depths
+    ]
+
+    items = []
+    stop = None
+    for name in names:
+        cpu = build_pipelined_cpu(makers[name]().program)
+        stop = cpu.control_unit.name
+        for relaxed in (False, True):
+            layout = service.ensure_layout(
+                cpu.netlist, relaxed=relaxed, kernel=args.kernel
+            )
+            items.extend((layout, config) for config in configurations)
+
+    printer = _stream_printer(len(items))
+
+    async def drain() -> None:
+        async for job in service.stream(
+            items,
+            priority=args.priority,
+            queue_capacity=args.queue_capacity,
+            stop_process=stop,
+            max_cycles=args.max_cycles,
+            steady_state=steady_state,
+        ):
+            printer(job)
+
+    asyncio.run(drain())
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        f"{stats['submitted']} jobs: {stats['evaluated']} simulated, "
+        f"{cache['hits']} cache hits ({cache['disk_hits']} from disk), "
+        f"{stats['deduped']} deduplicated, {stats['failed']} failed"
+    )
+    return 0
+
+
 def _dispatch(args) -> int:
-    if args.command == "table1":
-        return _run_table1(args)
-    if args.command == "figure1":
-        from .experiments import run_figure1
+    service = _make_service(args)
+    try:
+        if args.command == "table1":
+            return _run_table1(args, service)
+        if args.command == "figure1":
+            from .experiments import run_figure1
 
-        print(run_figure1().format())
-        return 0
-    if args.command == "multicycle":
-        from .experiments import run_multicycle_study
+            print(run_figure1().format())
+            return 0
+        if args.command == "multicycle":
+            from .experiments import run_multicycle_study
 
-        print(run_multicycle_study(kernel=args.kernel).format())
-        return 0
-    if args.command == "area":
-        from .experiments import reference_wrapper_overhead_percent, run_area_overhead
+            print(run_multicycle_study(kernel=args.kernel).format())
+            return 0
+        if args.command == "area":
+            from .experiments import reference_wrapper_overhead_percent, run_area_overhead
 
-        print(
-            "reference wrapper overhead: "
-            f"WP1 {reference_wrapper_overhead_percent(relaxed=False):.3f} %, "
-            f"WP2 {reference_wrapper_overhead_percent(relaxed=True):.3f} % "
-            "of a 100 kgate IP"
-        )
-        print(run_area_overhead().format())
-        return 0
-    if args.command == "sweep":
-        return _run_sweep(args)
-    return 1
+            print(
+                "reference wrapper overhead: "
+                f"WP1 {reference_wrapper_overhead_percent(relaxed=False):.3f} %, "
+                f"WP2 {reference_wrapper_overhead_percent(relaxed=True):.3f} % "
+                "of a 100 kgate IP"
+            )
+            print(run_area_overhead().format())
+            return 0
+        if args.command == "sweep":
+            return _run_sweep(args, service)
+        if args.command == "submit":
+            return _run_submit(args, service)
+        return 1
+    finally:
+        if service is not None:
+            service.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -171,6 +171,8 @@ def simulated_throughput_objective(
     queue_capacity: Optional[int] = None,
     on_error: str = "raise",
     workers: int = 1,
+    service=None,
+    priority: int = 0,
     **run_kwargs,
 ) -> Objective:
     """Objective: the simulated throughput of *netlist* under each assignment.
@@ -195,17 +197,81 @@ def simulated_throughput_objective(
     supports it, and repeated evaluations warm-start from the periods the
     runner has already seen on this layout (see
     :mod:`repro.engine.steady_state`).
+
+    With *service* (an :class:`~repro.service.EvaluationService`) every
+    evaluation is submitted through the shared scheduler instead of a
+    private runner: candidates the search revisits (greedy re-probes,
+    annealing moves, restarts) are answered from the content-addressed
+    result cache, identical candidates submitted by concurrent searches
+    deduplicate in flight, and the pool/period-memory are shared with every
+    other consumer of the service.  *priority* orders this objective's jobs
+    against other submitters.  ``on_error="raise"`` still raises on
+    infeasible corners; ``"zero"`` scores them 0.0.
     """
     from ..engine.batch import BatchRunner
 
     kwargs = {}
     if queue_capacity is not None:
         kwargs["queue_capacity"] = queue_capacity
+    if service is not None:
+        return _service_objective(
+            service, netlist, relaxed=relaxed, golden_cycles=golden_cycles,
+            kernel=kernel, on_error=on_error, priority=priority,
+            runner_kwargs=kwargs, run_kwargs=run_kwargs,
+        )
     runner = BatchRunner(netlist, relaxed=relaxed, kernel=kernel, **kwargs)
     return runner.objective(
         golden_cycles=golden_cycles, on_error=on_error, workers=workers,
         **run_kwargs,
     )
+
+
+def _service_objective(
+    service,
+    netlist: Netlist,
+    relaxed: bool,
+    golden_cycles: Optional[int],
+    kernel: Optional[str],
+    on_error: str,
+    priority: int,
+    runner_kwargs: Mapping[str, object],
+    run_kwargs: Mapping[str, object],
+) -> Objective:
+    """The batch objective, routed through an evaluation service."""
+    layout = service.ensure_layout(
+        netlist, relaxed=relaxed, kernel=kernel, **runner_kwargs
+    )
+
+    def score(result) -> float:
+        if result is None or result.failed:
+            if on_error == "raise":
+                raise OptimizationError(
+                    "objective evaluation failed: "
+                    f"{'cancelled' if result is None else result.error}"
+                )
+            return 0.0
+        return result.throughput(golden_cycles)
+
+    def evaluate(assignment: Mapping[str, int]) -> float:
+        config = RSConfiguration.from_mapping(assignment, label="candidate")
+        jobset = service.submit(
+            [(layout, config)], priority=priority, **run_kwargs
+        )
+        return score(jobset.ordered_results()[0])
+
+    def evaluate_many(assignments: Sequence[Mapping[str, int]]) -> List[float]:
+        configs = [
+            RSConfiguration.from_mapping(assignment, label="candidate")
+            for assignment in assignments
+        ]
+        jobset = service.submit(
+            [(layout, config) for config in configs],
+            priority=priority, **run_kwargs,
+        )
+        return [score(result) for result in jobset.ordered_results()]
+
+    evaluate.many = evaluate_many
+    return evaluate
 
 
 # ---------------------------------------------------------------------------

@@ -74,6 +74,33 @@ class ShellStats:
             return 0.0
         return self.firings / self.cycles
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-serializable) dict form; inverse of :meth:`from_dict`."""
+        return {
+            "cycles": self.cycles,
+            "firings": self.firings,
+            "stalls_missing_input": self.stalls_missing_input,
+            "stalls_output_blocked": self.stalls_output_blocked,
+            "stalls_done": self.stalls_done,
+            "discarded_tokens": self.discarded_tokens,
+            "discarded_by_port": dict(self.discarded_by_port),
+            "missing_by_port": dict(self.missing_by_port),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShellStats":
+        """Rebuild the counters from their :meth:`to_dict` form."""
+        return cls(
+            cycles=data["cycles"],
+            firings=data["firings"],
+            stalls_missing_input=data["stalls_missing_input"],
+            stalls_output_blocked=data["stalls_output_blocked"],
+            stalls_done=data["stalls_done"],
+            discarded_tokens=data["discarded_tokens"],
+            discarded_by_port=dict(data["discarded_by_port"]),
+            missing_by_port=dict(data["missing_by_port"]),
+        )
+
 
 class Shell:
     """Common machinery of both wrapper flavours.

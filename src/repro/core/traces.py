@@ -95,6 +95,11 @@ class SystemTrace(Mapping[str, ChannelTrace]):
     def __getitem__(self, key: str) -> ChannelTrace:
         return self._traces[key]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SystemTrace):
+            return NotImplemented
+        return self._traces == other._traces
+
     def __iter__(self) -> Iterator[str]:
         return iter(self._traces)
 

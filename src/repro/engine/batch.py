@@ -38,6 +38,7 @@ machinery.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import pickle
@@ -135,6 +136,43 @@ class BatchResult:
             extrapolated=result.extrapolated,
         )
 
+    # -- canonical serialization -------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serializable dict form; inverse of :meth:`from_dict`.
+
+        The result cache of :mod:`repro.service` persists batch results in
+        this form; every field is a JSON scalar or a string-keyed mapping of
+        ints, so the round trip is loss-free.
+        """
+        return {
+            "label": self.label,
+            "cycles": self.cycles,
+            "firings": dict(self.firings),
+            "halted": self.halted,
+            "wrapper_kind": self.wrapper_kind,
+            "error": self.error,
+            "rs_total": self.rs_total,
+            "period": self.period,
+            "warmup_cycles": self.warmup_cycles,
+            "extrapolated": self.extrapolated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchResult":
+        """Rebuild a batch result from its :meth:`to_dict` form."""
+        return cls(
+            label=data["label"],
+            cycles=data["cycles"],
+            firings=dict(data["firings"]),
+            halted=data["halted"],
+            wrapper_kind=data["wrapper_kind"],
+            error=data["error"],
+            rs_total=data["rs_total"],
+            period=data["period"],
+            warmup_cycles=data["warmup_cycles"],
+            extrapolated=data["extrapolated"],
+        )
+
 
 # ---------------------------------------------------------------------------
 # Worker plumbing
@@ -216,7 +254,16 @@ class BatchRunner:
         rs_capacity: int = RelayStation.RS_CAPACITY,
         kernel: Optional[str] = None,
         instruments: Optional[InstrumentSet] = None,
+        period_memory: Optional[PeriodMemory] = None,
     ) -> None:
+        """*period_memory* lets several runners share one warm-start store.
+
+        The evaluation service (:mod:`repro.service`) passes a single
+        :class:`~repro.engine.steady_state.PeriodMemory` to every layout it
+        serves, so sibling shapes of one netlist family warm-start each
+        other's detection windows across jobs; omitted, the runner keeps a
+        private store (the historical behaviour).
+        """
         self.netlist = netlist
         self.relaxed = relaxed
         self.queue_capacity = queue_capacity
@@ -226,7 +273,33 @@ class BatchRunner:
             instruments if instruments is not None else InstrumentSet.none()
         )
         self._elaborator = Elaborator(netlist)
-        self._period_memory = PeriodMemory()
+        self._period_memory = (
+            period_memory if period_memory is not None else PeriodMemory()
+        )
+        self._serial_fallback_warned = False
+        self._netlist_digest: Optional[str] = None
+        self._netlist_digest_known = False
+
+    def netlist_digest(self) -> Optional[str]:
+        """Content digest of the netlist, or None when it cannot be pickled.
+
+        The sha256 of the pickled netlist identifies its *content* (processes
+        with their programs and initial state, channels, initial tokens) —
+        the part of a simulation's input the structural
+        :func:`~repro.engine.codegen.model_signature` does not cover.  The
+        result cache of :mod:`repro.service` builds its content-addressed
+        keys from it; closure-carrying netlists that cannot be pickled return
+        None and are simply not cacheable.  Computed once per runner.
+        """
+        if not self._netlist_digest_known:
+            self._netlist_digest_known = True
+            try:
+                self._netlist_digest = hashlib.sha256(
+                    pickle.dumps(self.netlist)
+                ).hexdigest()
+            except Exception:
+                self._netlist_digest = None
+        return self._netlist_digest
 
     # -- single evaluation --------------------------------------------------
     def run(
@@ -330,7 +403,8 @@ class BatchRunner:
         on_error: str = "raise",
         start_method: Optional[str] = None,
         queue_capacity: Optional[int] = None,
-        **controls: Any,
+        controls: Optional[RunControls] = None,
+        **control_kwargs: Any,
     ) -> List[BatchResult]:
         """Evaluate every configuration; optionally fan out across processes.
 
@@ -352,16 +426,21 @@ class BatchRunner:
         safe under both ``fork`` and ``spawn`` start methods (*start_method*
         forces one).  Unpicklable netlists fall back to fork inheritance
         where the platform has ``fork``; if parallelism is genuinely
-        unavailable a :class:`RuntimeWarning` is emitted and the batch runs
-        serially.  Worker runs never mutate this process' netlist.
+        unavailable a :class:`RuntimeWarning` naming the reason is emitted —
+        once per runner instance — and the batch runs serially.  Worker runs
+        never mutate this process' netlist.
+
+        Run controls may be passed as keyword arguments or, mutually
+        exclusively, as a prebuilt :class:`RunControls` via *controls* (the
+        evaluation service holds controls objects per job).
         """
         items = [
             ("_", self._normalise_item(entry, queue_capacity))
             for entry in configurations
         ]
         return _run_tagged(
-            {"_": self}, items, RunControls(**controls), on_error,
-            workers, shards, start_method,
+            {"_": self}, items, _resolve_controls(controls, control_kwargs),
+            on_error, workers, shards, start_method, owner=self,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -458,23 +537,31 @@ class MultiNetlistRunner:
         if not runners:
             raise SimulationError("MultiNetlistRunner needs at least one layout")
         self.runners: Dict[str, BatchRunner] = dict(runners)
+        self._serial_fallback_warned = False
 
     @classmethod
     def from_netlists(
         cls,
         netlists: Mapping[str, Netlist],
         per_layout: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        period_memory: Optional[PeriodMemory] = None,
         **defaults: Any,
     ) -> "MultiNetlistRunner":
         """Build one :class:`BatchRunner` per named netlist.
 
         *defaults* are passed to every runner; *per_layout* overrides them
-        for individual names (e.g. ``{"wp2": {"relaxed": True}}``).
+        for individual names (e.g. ``{"wp2": {"relaxed": True}}``).  With
+        *period_memory* every runner shares that single warm-start store, so
+        periods detected on one layout size the detection windows of sibling
+        shapes on every other (the evaluation service relies on this; see
+        :class:`~repro.engine.steady_state.PeriodMemory`).
         """
         per_layout = per_layout or {}
         runners = {}
         for name, netlist in netlists.items():
             kwargs = dict(defaults)
+            if period_memory is not None:
+                kwargs["period_memory"] = period_memory
             kwargs.update(per_layout.get(name, {}))
             runners[name] = BatchRunner(netlist, **kwargs)
         return cls(runners)
@@ -496,7 +583,8 @@ class MultiNetlistRunner:
         on_error: str = "raise",
         start_method: Optional[str] = None,
         queue_capacity: Optional[int] = None,
-        **controls: Any,
+        controls: Optional[RunControls] = None,
+        **control_kwargs: Any,
     ) -> List[BatchResult]:
         """Evaluate every tagged item; optionally fan out across processes.
 
@@ -506,21 +594,57 @@ class MultiNetlistRunner:
         *queue_capacity* overrides the runner defaults for the whole batch.
         Results preserve submission order, so heterogeneous batches
         interleave freely.  Remaining keyword arguments are
-        :class:`RunControls` fields shared by the whole batch.
+        :class:`RunControls` fields shared by the whole batch, or pass a
+        prebuilt object via *controls* (mutually exclusive).
         """
         normalised: List[_Tagged] = []
         for name, entry in items:
             runner = self.runner(name)
             normalised.append((name, runner._normalise_item(entry, queue_capacity)))
         return _run_tagged(
-            self.runners, normalised, RunControls(**controls), on_error,
-            workers, shards, start_method,
+            self.runners, normalised,
+            _resolve_controls(controls, control_kwargs), on_error,
+            workers, shards, start_method, owner=self,
         )
 
 
 # ---------------------------------------------------------------------------
 # Shared tagged-batch evaluation machinery
 # ---------------------------------------------------------------------------
+
+def _resolve_controls(
+    controls: Optional[RunControls], control_kwargs: Dict[str, Any]
+) -> RunControls:
+    """One batch's controls: a prebuilt object or keyword fields, not both."""
+    if controls is None:
+        return RunControls(**control_kwargs)
+    if control_kwargs:
+        raise SimulationError(
+            "pass run controls either as a RunControls object or as keyword "
+            f"arguments, not both (got controls= plus {sorted(control_kwargs)})"
+        )
+    return controls
+
+
+def _warn_serial_fallback(owner: Optional[object], reason: str) -> None:
+    """Emit the serial-fallback warning once per owning runner instance.
+
+    A long sweep calls ``run_many`` per batch; repeating the same warning on
+    every call drowns real signal, so the first fallback on a runner warns —
+    with the concrete *reason* parallelism is unavailable — and later
+    batches on the same instance stay quiet.
+    """
+    if owner is not None:
+        if getattr(owner, "_serial_fallback_warned", False):
+            return
+        owner._serial_fallback_warned = True
+    warnings.warn(
+        f"BatchRunner.run_many: parallel evaluation unavailable ({reason}); "
+        "evaluating serially (warned once per runner instance)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
 
 def _run_tagged(
     runners: Mapping[str, BatchRunner],
@@ -530,6 +654,7 @@ def _run_tagged(
     workers: int,
     shards: Optional[int],
     start_method: Optional[str],
+    owner: Optional[object] = None,
 ) -> List[BatchResult]:
     n_workers = min(workers, len(items))
     if n_workers <= 1:
@@ -542,23 +667,21 @@ def _run_tagged(
             return _run_pooled(
                 items, controls, on_error, n_workers, shards, method, payload
             )
-        warnings.warn(
-            "BatchRunner.run_many: no multiprocessing start method "
-            "available; evaluating serially",
-            RuntimeWarning,
-            stacklevel=3,
+        _warn_serial_fallback(
+            owner, "no multiprocessing start method available"
         )
         return _run_serial(runners, items, controls, on_error)
 
+    reason = (
+        "netlist not picklable (closure-based processes?)"
+        if payload is None
+        else "run controls not picklable (on_cycle callback?)"
+    )
     if _fork_available() and start_method in (None, "fork"):
         return _run_forked(runners, items, controls, on_error, n_workers)
 
-    warnings.warn(
-        "BatchRunner.run_many: parallel evaluation unavailable "
-        "(netlist or controls not picklable and fork not supported); "
-        "evaluating serially",
-        RuntimeWarning,
-        stacklevel=3,
+    _warn_serial_fallback(
+        owner, f"{reason} and the fork start method is not supported here"
     )
     return _run_serial(runners, items, controls, on_error)
 

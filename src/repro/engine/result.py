@@ -9,10 +9,39 @@ imports keep working.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.shell import ShellStats
+from ..core.tokens import VOID, Token, is_token
 from ..core.traces import SystemTrace
+
+
+def trace_to_lists(trace: SystemTrace) -> Dict[str, List[Any]]:
+    """Canonical list form of a trace: ``{channel: [[tag, value] | None]}``.
+
+    A valid :class:`~repro.core.tokens.Token` becomes the two-element list
+    ``[tag, value]``; the void symbol τ becomes ``None``.  Values are kept
+    as-is — JSON-compatibility is the caller's concern (uninstrumented runs,
+    the cached path, carry empty traces anyway).
+    """
+    return {
+        name: [
+            [item.tag, item.value] if is_token(item) else None
+            for item in channel.items
+        ]
+        for name, channel in trace.items()
+    }
+
+
+def trace_from_lists_canonical(data: Dict[str, List[Any]]) -> SystemTrace:
+    """Rebuild a :class:`SystemTrace` from :func:`trace_to_lists` output."""
+    trace = SystemTrace(data)
+    for name, items in data.items():
+        trace[name].items = [
+            VOID if item is None else Token(value=item[1], tag=item[0])
+            for item in items
+        ]
+    return trace
 
 
 @dataclass
@@ -66,3 +95,50 @@ class LidResult:
     def total_relay_stations(self) -> int:
         """Number of relay stations instantiated for this run."""
         return sum(self.rs_counts.values())
+
+    # -- canonical serialization -------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form of the result (see ``repro.service.cache``).
+
+        Every field round-trips through :meth:`from_dict`; the form is
+        JSON-serializable whenever the traced token values are (uninstrumented
+        runs — the batch and service paths — carry empty traces and are always
+        JSON-safe).
+        """
+        return {
+            "cycles": self.cycles,
+            "firings": dict(self.firings),
+            "trace": trace_to_lists(self.trace),
+            "halted": self.halted,
+            "wrapper_kind": self.wrapper_kind,
+            "configuration_label": self.configuration_label,
+            "rs_counts": dict(self.rs_counts),
+            "shell_stats": {
+                name: stats.to_dict() for name, stats in self.shell_stats.items()
+            },
+            "max_queue_occupancy": dict(self.max_queue_occupancy),
+            "period": self.period,
+            "warmup_cycles": self.warmup_cycles,
+            "extrapolated": self.extrapolated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LidResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            cycles=data["cycles"],
+            firings=dict(data["firings"]),
+            trace=trace_from_lists_canonical(data["trace"]),
+            halted=data["halted"],
+            wrapper_kind=data["wrapper_kind"],
+            configuration_label=data["configuration_label"],
+            rs_counts=dict(data["rs_counts"]),
+            shell_stats={
+                name: ShellStats.from_dict(stats)
+                for name, stats in data["shell_stats"].items()
+            },
+            max_queue_occupancy=dict(data["max_queue_occupancy"]),
+            period=data["period"],
+            warmup_cycles=data["warmup_cycles"],
+            extrapolated=data["extrapolated"],
+        )

@@ -16,6 +16,13 @@ Three sweeps support the design-choice discussion of this reproduction:
   **one batch through one scheduler**: the multi-netlist
   :class:`~repro.engine.batch.MultiNetlistRunner` serves every layout (both
   wrapper flavours of every processor) from a single persistent worker pool.
+
+Every sweep accepts ``service=`` (an
+:class:`~repro.service.EvaluationService`): the whole sweep is then submitted
+as one job set through the service's scheduler — rows stream back as they
+complete (``on_result`` fires per row), identical rows submitted by anyone
+else deduplicate in flight, and re-running a sweep is served from the
+content-addressed result cache instead of simulating again.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import RSConfiguration
+from ..core.exceptions import SimulationError
 from ..core.floorplan import Floorplan, row_pack, spread_floorplan
 from ..core.insertion import floorplan_insertion
 from ..core.timing import ClockPlan, WireModel
@@ -82,6 +90,14 @@ class _SweepRunner:
     flavours of the CPU netlist as two layouts, so a whole sweep — WP1 and
     WP2 points together — is one batch on one persistent pool; runs are
     uninstrumented (the sweeps only consume cycle counts).
+
+    With *service* the batch is submitted through an
+    :class:`~repro.service.EvaluationService` instead: both flavours are
+    registered as service layouts (content-addressed, so re-registration of
+    an equal netlist reuses them) and every row goes through the service's
+    dedup + result cache; *on_result* receives each completed
+    :class:`~repro.service.Job` as it lands, in completion order — the
+    streaming hook long sweeps surface to their callers.
     """
 
     def __init__(
@@ -90,16 +106,29 @@ class _SweepRunner:
         kernel: Optional[str] = None,
         workers: int = 1,
         steady_state: Optional[bool] = None,
+        service=None,
+        on_result=None,
     ) -> None:
         self.cpu = cpu
         self.workers = workers
         self.steady_state = steady_state
-        self._multi = MultiNetlistRunner(
-            {
-                "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
-                "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
-            }
-        )
+        self.service = service
+        self.on_result = on_result
+        if service is not None:
+            self._wp1 = service.ensure_layout(
+                cpu.netlist, relaxed=False, kernel=kernel
+            )
+            self._wp2 = service.ensure_layout(
+                cpu.netlist, relaxed=True, kernel=kernel
+            )
+            self._multi = None
+        else:
+            self._multi = MultiNetlistRunner(
+                {
+                    "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
+                    "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
+                }
+            )
 
     def throughputs(
         self,
@@ -129,13 +158,29 @@ class _SweepRunner:
         tagged batch, sharded across worker processes when ``workers > 1``.
         """
         stop = self.cpu.control_unit.name
-        tagged = [("wp1", item) for item in items]
-        tagged += [("wp2", item) for item in items]
-        results = self._multi.run_many(
-            tagged, workers=self.workers, queue_capacity=4,
-            stop_process=stop, max_cycles=max_cycles,
-            steady_state=self.steady_state,
-        )
+        if self.service is not None:
+            tagged = [(self._wp1, item) for item in items]
+            tagged += [(self._wp2, item) for item in items]
+            jobset = self.service.submit(
+                tagged, queue_capacity=4, on_result=self.on_result,
+                stop_process=stop, max_cycles=max_cycles,
+                steady_state=self.steady_state,
+            )
+            results = jobset.ordered_results()
+            for result in results:
+                if result is None or result.failed:
+                    raise SimulationError(
+                        "sweep row failed: "
+                        f"{'cancelled' if result is None else result.error}"
+                    )
+        else:
+            tagged = [("wp1", item) for item in items]
+            tagged += [("wp2", item) for item in items]
+            results = self._multi.run_many(
+                tagged, workers=self.workers, queue_capacity=4,
+                stop_process=stop, max_cycles=max_cycles,
+                steady_state=self.steady_state,
+            )
         wp1, wp2 = results[: len(items)], results[len(items):]
         return [
             (golden_cycles / r1.cycles, golden_cycles / r2.cycles)
@@ -150,6 +195,8 @@ def queue_capacity_sweep(
     kernel: Optional[str] = None,
     workers: int = 1,
     steady_state: Optional[bool] = None,
+    service=None,
+    on_result=None,
 ) -> SweepResult:
     """WP1/WP2 throughput versus wrapper input-FIFO depth."""
     if workload is None:
@@ -158,7 +205,10 @@ def queue_capacity_sweep(
         configuration = RSConfiguration.uniform(1, exclude=(LINK_CU_IC,))
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
+    runner = _SweepRunner(
+        cpu, kernel=kernel, workers=workers, steady_state=steady_state,
+        service=service, on_result=on_result,
+    )
     result = SweepResult(
         name=f"Wrapper FIFO depth sweep — {workload.name}",
         parameter_name="fifo depth",
@@ -180,13 +230,18 @@ def uniform_depth_sweep(
     kernel: Optional[str] = None,
     workers: int = 1,
     steady_state: Optional[bool] = None,
+    service=None,
+    on_result=None,
 ) -> SweepResult:
     """Throughput versus uniform relay-station depth ("All k" scaling)."""
     if workload is None:
         workload = make_extraction_sort(length=10)
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
+    runner = _SweepRunner(
+        cpu, kernel=kernel, workers=workers, steady_state=steady_state,
+        service=service, on_result=on_result,
+    )
     result = SweepResult(
         name=f"Uniform pipelining depth sweep — {workload.name}",
         parameter_name="RS per link",
@@ -217,6 +272,8 @@ def clock_frequency_sweep(
     kernel: Optional[str] = None,
     workers: int = 1,
     steady_state: Optional[bool] = None,
+    service=None,
+    on_result=None,
 ) -> SweepResult:
     """The methodology flow: clock target → relay stations → sustained throughput.
 
@@ -231,7 +288,10 @@ def clock_frequency_sweep(
     model = wire_model if wire_model is not None else WireModel()
     cpu = build_pipelined_cpu(workload.program)
     golden = cpu.run_golden(record_trace=False)
-    runner = _SweepRunner(cpu, kernel=kernel, workers=workers, steady_state=steady_state)
+    runner = _SweepRunner(
+        cpu, kernel=kernel, workers=workers, steady_state=steady_state,
+        service=service, on_result=on_result,
+    )
     result = SweepResult(
         name=f"Clock-frequency sweep — {workload.name}",
         parameter_name="clock (GHz)",
@@ -270,6 +330,10 @@ def mixed_workload_sweep(
     workers: int = 1,
     max_cycles: int = 5_000_000,
     steady_state: Optional[bool] = None,
+    configurations: Optional[Sequence[RSConfiguration]] = None,
+    queue_capacities: Sequence[int] = (4,),
+    service=None,
+    on_result=None,
 ) -> Dict[str, SweepResult]:
     """Uniform-depth sweep of several workloads through **one** scheduler.
 
@@ -279,6 +343,19 @@ def mixed_workload_sweep(
     served by one persistent worker pool, so workers amortise their per-layout
     compiled-function caches and steady-state period memory across the mix.
     Returns one :class:`SweepResult` per workload name.
+
+    *configurations* overrides the uniform-depth row list; *queue_capacities*
+    crosses every configuration with several wrapper FIFO depths (the
+    service benchmark uses both to build wide mixed batches).
+
+    With *service* the batch goes through an
+    :class:`~repro.service.EvaluationService` instead: rows stream back as
+    they complete (*on_result* fires per row with the
+    :class:`~repro.service.Job`), identical rows deduplicate against
+    anything else in flight, and re-running the sweep — same workloads,
+    depths and controls — is answered from the content-addressed result
+    cache without simulating (the layouts are content-addressed too, so a
+    freshly rebuilt equal netlist still hits).
     """
     if workloads is None:
         workloads = {
@@ -290,42 +367,86 @@ def mixed_workload_sweep(
         name: cpu.run_golden(record_trace=False).cycles
         for name, cpu in cpus.items()
     }
-    runners = {}
-    for name, cpu in cpus.items():
-        runners[f"{name}/wp1"] = BatchRunner(cpu.netlist, relaxed=False, kernel=kernel)
-        runners[f"{name}/wp2"] = BatchRunner(cpu.netlist, relaxed=True, kernel=kernel)
-    multi = MultiNetlistRunner(runners)
-
-    configurations = [
-        RSConfiguration.uniform(depth, exclude=exclude) for depth in depths
-    ]
-    items = [
-        (f"{name}/{flavour}", configuration)
-        for name in cpus
-        for flavour in ("wp1", "wp2")
-        for configuration in configurations
-    ]
+    default_rows = configurations is None
+    if configurations is None:
+        configurations = [
+            RSConfiguration.uniform(depth, exclude=exclude) for depth in depths
+        ]
     stop = next(iter(cpus.values())).control_unit.name
-    results = multi.run_many(
-        items, workers=workers, queue_capacity=4,
-        stop_process=stop, max_cycles=max_cycles, steady_state=steady_state,
-    )
+
+    if service is not None:
+        layout_names: Dict[str, str] = {}
+        for name, cpu in cpus.items():
+            layout_names[f"{name}/wp1"] = service.ensure_layout(
+                cpu.netlist, relaxed=False, kernel=kernel
+            )
+            layout_names[f"{name}/wp2"] = service.ensure_layout(
+                cpu.netlist, relaxed=True, kernel=kernel
+            )
+        items = [
+            (key, (configuration, {"queue_capacity": capacity}))
+            for key in layout_names
+            for configuration in configurations
+            for capacity in queue_capacities
+        ]
+        jobset = service.submit(
+            [(layout_names[key], item) for key, item in items],
+            tags=[key for key, _ in items],
+            on_result=on_result,
+            stop_process=stop, max_cycles=max_cycles,
+            steady_state=steady_state,
+        )
+        results = jobset.ordered_results()
+        for result in results:
+            if result is None or result.failed:
+                raise SimulationError(
+                    "mixed sweep row failed: "
+                    f"{'cancelled' if result is None else result.error}"
+                )
+    else:
+        runners = {}
+        for name, cpu in cpus.items():
+            runners[f"{name}/wp1"] = BatchRunner(
+                cpu.netlist, relaxed=False, kernel=kernel
+            )
+            runners[f"{name}/wp2"] = BatchRunner(
+                cpu.netlist, relaxed=True, kernel=kernel
+            )
+        multi = MultiNetlistRunner(runners)
+        items = [
+            (key, (configuration, {"queue_capacity": capacity}))
+            for key in runners
+            for configuration in configurations
+            for capacity in queue_capacities
+        ]
+        results = multi.run_many(
+            items, workers=workers,
+            stop_process=stop, max_cycles=max_cycles, steady_state=steady_state,
+        )
 
     by_key: Dict[str, List] = {}
     for (key, _), result in zip(items, results):
         by_key.setdefault(key, []).append(result)
+    # One row per (configuration, capacity) pair; the default single-capacity
+    # uniform sweep keeps the depth as the x parameter, custom row lists fall
+    # back to the row index.
+    n_rows = len(configurations) * len(queue_capacities)
+    if default_rows and len(queue_capacities) == 1:
+        parameters = [float(depth) for depth in depths]
+    else:
+        parameters = [float(i) for i in range(n_rows)]
     sweeps: Dict[str, SweepResult] = {}
     for name, workload in workloads.items():
         sweep = SweepResult(
             name=f"Mixed-workload depth sweep — {workload.name}",
             parameter_name="RS per link",
         )
-        for depth, wp1, wp2 in zip(
-            depths, by_key[f"{name}/wp1"], by_key[f"{name}/wp2"]
+        for parameter, wp1, wp2 in zip(
+            parameters, by_key[f"{name}/wp1"], by_key[f"{name}/wp2"]
         ):
             sweep.points.append(
                 SweepPoint(
-                    parameter=float(depth),
+                    parameter=parameter,
                     wp1_throughput=golden[name] / wp1.cycles,
                     wp2_throughput=golden[name] / wp2.cycles,
                 )

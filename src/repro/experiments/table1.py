@@ -17,12 +17,13 @@ interpretation, also documented in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import RSConfiguration
 from ..core.equivalence import n_equivalent
-from ..core.exceptions import EquivalenceError
+from ..core.exceptions import EquivalenceError, SimulationError
 from ..core.golden import GoldenResult
 from ..core.optimizer import SearchSpace, annealing_search, exhaustive_search
 from ..core.static_analysis import make_link_bound_evaluator, throughput_bound
@@ -201,6 +202,7 @@ def evaluate_rows(
     workers: int = 1,
     horizon: Optional[int] = None,
     steady_state: Optional[bool] = None,
+    service=None,
 ) -> Table1Result:
     """Run golden + WP1 + WP2 for every configuration and collect the rows.
 
@@ -209,6 +211,12 @@ def evaluate_rows(
     :class:`~repro.engine.batch.MultiNetlistRunner` pool (one shared layout
     per flavour, uninstrumented runs, ``workers`` processes); equivalence
     checking needs full traces and keeps the per-row path.
+
+    With *service* (an :class:`~repro.service.EvaluationService`) the rows
+    are submitted through its scheduler instead: completed rows stream to
+    *progress* as they land, and a re-run of the same table — same workload,
+    rows and controls — is served from the content-addressed result cache
+    without simulating anything.
 
     With *horizon* each row runs the **looped** variant of the workload
     (:meth:`~repro.cpu.workloads.common.Workload.looped`) for exactly that
@@ -241,6 +249,7 @@ def evaluate_rows(
                 row_cpu, configurations, golden,
                 max_cycles=max_cycles, kernel=kernel, workers=workers,
                 progress=progress, horizon=horizon, steady_state=steady_state,
+                service=service,
             )
         )
         return result
@@ -270,6 +279,7 @@ def _evaluate_rows_batched(
     progress: Optional[Callable[[str], None]] = None,
     horizon: Optional[int] = None,
     steady_state: Optional[bool] = None,
+    service=None,
 ) -> List[Table1Row]:
     from ..engine.batch import BatchRunner, MultiNetlistRunner
 
@@ -277,26 +287,54 @@ def _evaluate_rows_batched(
     if progress is not None:
         progress(
             f"evaluating {len(configurations)} rows "
-            f"(batched, workers={workers})"
+            f"(batched, workers={workers}"
+            f"{', via service' if service is not None else ''})"
         )
-    # Both wrapper flavours share one multi-netlist scheduler (and one worker
-    # pool): WP1 rows and WP2 rows interleave in a single tagged batch.
-    multi = MultiNetlistRunner(
-        {
-            "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
-            "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
-        }
-    )
-    tagged = [("wp1", config) for config in configurations]
-    tagged += [("wp2", config) for config in configurations]
     # One CPU loop iteration spans thousands of cycles, so horizon rows let
     # the detector search all the way to the horizon (certified-mode keys
     # are hashed: one int of search memory per cycle).
-    results = multi.run_many(
-        tagged, workers=workers, stop_process=stop, max_cycles=max_cycles,
-        horizon=horizon, steady_state=steady_state,
-        steady_state_window=horizon,
-    )
+    if service is not None:
+        wp1 = service.ensure_layout(cpu.netlist, relaxed=False, kernel=kernel)
+        wp2 = service.ensure_layout(cpu.netlist, relaxed=True, kernel=kernel)
+        tagged = [(wp1, config) for config in configurations]
+        tagged += [(wp2, config) for config in configurations]
+        on_result = None
+        if progress is not None:
+            done_count = itertools.count(1)
+            on_result = lambda job: progress(  # noqa: E731 - local observer
+                f"row done ({next(done_count)}/{len(tagged)}): "
+                f"{job.layout} {job.label}"
+                f"{' [cached]' if job.cached else ''}"
+            )
+        jobset = service.submit(
+            tagged, on_result=on_result,
+            stop_process=stop, max_cycles=max_cycles,
+            horizon=horizon, steady_state=steady_state,
+            steady_state_window=horizon,
+        )
+        results = jobset.ordered_results()
+        for result in results:
+            if result is None or result.failed:
+                raise SimulationError(
+                    "table1 row failed: "
+                    f"{'cancelled' if result is None else result.error}"
+                )
+    else:
+        # Both wrapper flavours share one multi-netlist scheduler (and one
+        # worker pool): WP1 and WP2 rows interleave in a single tagged batch.
+        multi = MultiNetlistRunner(
+            {
+                "wp1": BatchRunner(cpu.netlist, relaxed=False, kernel=kernel),
+                "wp2": BatchRunner(cpu.netlist, relaxed=True, kernel=kernel),
+            }
+        )
+        tagged = [("wp1", config) for config in configurations]
+        tagged += [("wp2", config) for config in configurations]
+        results = multi.run_many(
+            tagged, workers=workers, stop_process=stop, max_cycles=max_cycles,
+            horizon=horizon, steady_state=steady_state,
+            steady_state_window=horizon,
+        )
     wp1_results = results[: len(configurations)]
     wp2_results = results[len(configurations):]
 
@@ -387,6 +425,7 @@ def run_table1_sort(
     workers: int = 1,
     horizon: Optional[int] = None,
     steady_state: Optional[bool] = None,
+    service=None,
 ) -> Table1Result:
     """Regenerate the Extraction Sort section of Table 1."""
     workload = make_extraction_sort(length=length, seed=seed)
@@ -402,6 +441,7 @@ def run_table1_sort(
         workers=workers,
         horizon=horizon,
         steady_state=steady_state,
+        service=service,
     )
 
 
@@ -415,6 +455,7 @@ def run_table1_matmul(
     workers: int = 1,
     horizon: Optional[int] = None,
     steady_state: Optional[bool] = None,
+    service=None,
 ) -> Table1Result:
     """Regenerate the Matrix Multiply section of Table 1."""
     workload = make_matrix_multiply(size=size, seed=seed)
@@ -430,6 +471,7 @@ def run_table1_matmul(
         workers=workers,
         horizon=horizon,
         steady_state=steady_state,
+        service=service,
     )
 
 
@@ -444,6 +486,7 @@ def run_table1(
     workers: int = 1,
     horizon: Optional[int] = None,
     steady_state: Optional[bool] = None,
+    service=None,
 ) -> Dict[str, Table1Result]:
     """Regenerate both sections of Table 1 (keys: ``"sort"``, ``"matmul"``)."""
     return {
@@ -457,6 +500,7 @@ def run_table1(
             workers=workers,
             horizon=horizon,
             steady_state=steady_state,
+            service=service,
         ),
         "matmul": run_table1_matmul(
             size=matmul_size,
@@ -468,5 +512,6 @@ def run_table1(
             workers=workers,
             horizon=horizon,
             steady_state=steady_state,
+            service=service,
         ),
     }

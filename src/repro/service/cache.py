@@ -1,0 +1,273 @@
+"""Content-addressed result cache: never simulate the same configuration twice.
+
+Every kernel is a *deterministic* function: given one elaborated model (the
+netlist content, the relay-station binding, element capacities, the wrapper
+flavour) and one set of run controls, all three kernels produce bit-identical
+:class:`~repro.engine.result.LidResult` counts — the equivalence property
+suite and the steady-state extrapolation contract (DESIGN.md §4-§5) pin
+exactly this.  A result can therefore be addressed by the *content* of its
+inputs and replayed for free on any later request with the same address:
+
+``key = sha256(schema version,
+              netlist content digest,          # sha256 of the pickled netlist
+              kernel name,
+              wrapper flavour, queue capacity, RS capacity,
+              sorted per-channel relay-station counts,
+              run-controls signature)``        # stop condition, bounds, ...
+
+The netlist digest covers everything the structural
+:func:`~repro.engine.codegen.model_signature` deliberately leaves out
+(process programs, initial registers and memory, initial channel tokens); a
+netlist that cannot be pickled has no digest and is simply *uncacheable* —
+misses are always sound, only hits must be justified.  The configuration
+*label* is deliberately excluded (two rows asking for the same counts under
+different names share one simulation; the cached result is re-labelled per
+request), and the steady-state switches are *included*: counts would match
+either way, but the ``period``/``warmup_cycles``/``extrapolated`` metadata of
+the result would not, and a cache must return byte-identical answers.
+
+Two tiers: an in-memory LRU (:class:`ResultCache`), and an optional on-disk
+JSON tier (one ``<key>.json`` file per entry under *cache_dir*) that survives
+the process — repeated sweeps and re-runs of ``table1`` across CLI
+invocations are near-free.  Disk files store the canonical
+:meth:`~repro.engine.batch.BatchResult.to_dict` form, which is JSON-safe for
+every field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine.batch import BatchResult, BatchRunner, _Item
+from ..engine.elaboration import resolve_rs_counts
+from ..engine.kernel import RunControls
+from ..engine.steady_state import resolve_steady_state
+
+#: Bump when the key derivation or the serialized form changes incompatibly:
+#: old disk entries then miss (sound) instead of deserializing garbage.
+CACHE_SCHEMA_VERSION = 1
+
+
+def controls_signature(controls: RunControls) -> Optional[Tuple]:
+    """Canonical tuple of every result-relevant run-control field.
+
+    Returns None when the run is uncacheable: an ``on_cycle`` observer makes
+    the run's *purpose* its side effects, which a cache hit would skip.
+
+    ``steady_state`` enters the signature in *resolved* form (argument >
+    ``REPRO_STEADY_STATE`` env > default), so a cached entry answers exactly
+    the runs that would have produced byte-identical metadata.
+    """
+    if controls.on_cycle is not None:
+        return None
+    targets = (
+        None
+        if controls.target_firings is None
+        else tuple(sorted(controls.target_firings.items()))
+    )
+    return (
+        controls.max_cycles,
+        controls.stop_process,
+        targets,
+        controls.extra_cycles,
+        controls.deadlock_limit,
+        controls.horizon,
+        resolve_steady_state(controls.steady_state),
+        controls.steady_state_window,
+    )
+
+
+def result_key(
+    runner: BatchRunner,
+    item: _Item,
+    controls: RunControls,
+) -> Optional[str]:
+    """The content-address of one (runner, normalised item, controls) request.
+
+    None means "do not cache this": the netlist cannot be fingerprinted or
+    the controls carry an observer.  The sha256 runs over the ``repr`` of a
+    tuple of scalars, strings and nested tuples — canonical by construction.
+    """
+    digest = runner.netlist_digest()
+    if digest is None:
+        return None
+    controls_sig = controls_signature(controls)
+    if controls_sig is None:
+        return None
+    configuration, rs_counts, capacity = item
+    counts, _ = resolve_rs_counts(
+        runner.netlist, rs_counts=rs_counts, configuration=configuration
+    )
+    components = (
+        CACHE_SCHEMA_VERSION,
+        digest,
+        runner.kernel_name,
+        runner.relaxed,
+        runner.queue_capacity if capacity is None else capacity,
+        runner.rs_capacity,
+        tuple(sorted(counts.items())),
+        controls_sig,
+    )
+    return hashlib.sha256(repr(components).encode("utf-8")).hexdigest()
+
+
+def relabel(result: BatchResult, label: str) -> BatchResult:
+    """A copy of *result* carrying the requesting item's label.
+
+    Labels are excluded from the content address (they do not influence the
+    simulation), so a hit produced under another name is re-labelled before
+    being handed back — the submitter sees exactly the row it asked for.
+    """
+    if result.label == label:
+        return result
+    return replace(result, label=label)
+
+
+class ResultCache:
+    """Two-tier (memory LRU + optional disk JSON) store of batch results.
+
+    Thread-safe; the service consults it from submitter threads (hits at
+    submit time) and from the scheduler thread (stores after evaluation).
+    Statistics are exposed through :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65_536,
+        cache_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, BatchResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key, count=False) is not None
+
+    # -- lookup -------------------------------------------------------------
+    def get(
+        self,
+        key: Optional[str],
+        count: bool = True,
+        memory_only: bool = False,
+    ) -> Optional[BatchResult]:
+        """The cached result for *key*, consulting memory then disk.
+
+        *memory_only* skips the disk tier — the scheduler uses it for the
+        re-check it performs under its own lock, where disk I/O would stall
+        every other submitter (a miss there is not counted either: the
+        caller already probed both tiers).
+        """
+        if key is None:
+            return None
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                if count:
+                    self.hits += 1
+                return result
+        if memory_only:
+            return None
+        result = self._read_disk(key)
+        if result is not None:
+            with self._lock:
+                self._remember(key, result)
+                if count:
+                    self.hits += 1
+                    self.disk_hits += 1
+            return result
+        if count:
+            with self._lock:
+                self.misses += 1
+        return None
+
+    # -- store --------------------------------------------------------------
+    def put(self, key: Optional[str], result: BatchResult) -> None:
+        """Store *result* under *key* in both tiers (no-op for key=None)."""
+        if key is None:
+            return
+        with self._lock:
+            self._remember(key, result)
+        self._write_disk(key, result)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk entries are left in place)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_errors": self.disk_errors,
+                "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
+            }
+
+    # -- internals ----------------------------------------------------------
+    def _remember(self, key: str, result: BatchResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def _read_disk(self, key: str) -> Optional[BatchResult]:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self.disk_errors += 1
+            return None
+        if payload.get("version") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return BatchResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            self.disk_errors += 1
+            return None
+
+    def _write_disk(self, key: str, result: BatchResult) -> None:
+        if self.cache_dir is None:
+            return
+        payload = {"version": CACHE_SCHEMA_VERSION, "result": result.to_dict()}
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+        except (OSError, TypeError, ValueError):
+            self.disk_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,243 @@
+"""The job model of the evaluation service.
+
+A :class:`Job` wraps one tagged batch item — a sweep row, an optimiser
+candidate, a Table 1 row — together with everything the scheduler needs to
+multiplex it fairly onto the shared pool: a priority, a cancellation switch,
+the run controls it was submitted under, and the content-address its result
+is cached and deduplicated by.  A :class:`JobSet` groups the jobs of one
+``submit()`` call and is the streaming handle the submitter consumes results
+through: a thread-safe completion queue feeds both the synchronous
+:meth:`JobSet.results` generator and the asynchronous :meth:`JobSet.stream`
+iterator, in completion order, while :meth:`JobSet.ordered_results` waits for
+everything and preserves submission order (what the sweep tables need).
+
+Lifecycle: ``pending → running → done | failed``, with ``cancelled``
+reachable from ``pending`` only — a job that has started evaluating runs to
+completion (simulation kernels have no safe preemption point), so
+cancellation is a promise about *not starting* work, never about tearing it
+down half-way.  Every job reaches exactly one terminal state and is posted to
+its jobset's completion queue exactly once; that invariant is what lets the
+streaming iterators terminate after ``len(jobs)`` items without timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from ..engine.batch import BatchResult
+from ..engine.kernel import RunControls
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a job (terminal: DONE, FAILED, CANCELLED)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class Job:
+    """One evaluation request flowing through the service.
+
+    Attributes of interest to submitters:
+
+    * :attr:`result` — the :class:`~repro.engine.batch.BatchResult` once the
+      job is done (None while pending/cancelled; failed evaluations carry a
+      result whose ``error`` field is set, mirroring ``on_error="zero"``);
+    * :attr:`cached` / :attr:`deduped` — whether the result came from the
+      content-addressed cache or from piggybacking on an identical in-flight
+      job instead of a fresh simulation;
+    * :attr:`layout` / :attr:`label` / :attr:`tag` — where the row belongs
+      (tag is free-form submitter context, carried through untouched).
+    """
+
+    __slots__ = (
+        "job_id", "layout", "item", "label", "tag", "priority", "controls",
+        "key", "status", "result", "error", "cached", "deduped",
+        "_lock", "_event", "_jobset", "_callbacks", "_followers",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        layout: str,
+        item: Any,
+        label: str,
+        controls: RunControls,
+        priority: int = 0,
+        key: Optional[str] = None,
+        tag: Any = None,
+    ) -> None:
+        self.job_id = job_id
+        self.layout = layout
+        #: The normalised batch item (see ``BatchRunner._normalise_item``).
+        self.item = item
+        self.label = label
+        self.tag = tag
+        self.priority = priority
+        self.controls = controls
+        #: Content-address of the result (None: uncacheable, e.g. an
+        #: unpicklable netlist or an ``on_cycle`` observer).
+        self.key = key
+        self.status = JobStatus.PENDING
+        self.result: Optional[BatchResult] = None
+        self.error: Optional[str] = None
+        self.cached = False
+        self.deduped = False
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._jobset: Optional["JobSet"] = None
+        self._callbacks: List[Callable[["Job"], None]] = []
+        #: Identical in-flight jobs riding on this one's evaluation.
+        self._followers: List["Job"] = []
+
+    # -- submitter API ------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state (incl. cancelled)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._event.wait(timeout)
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started evaluating yet.
+
+        Returns True when this call performed the cancellation.  A running
+        job is never interrupted; a finished (or already cancelled) job is
+        left untouched and False is returned.
+        """
+        return self._finish(JobStatus.CANCELLED, allow_from=(JobStatus.PENDING,))
+
+    def throughput(self, golden_cycles: Optional[int] = None) -> float:
+        """Convenience: the result's throughput, 0.0 when absent."""
+        if self.result is None:
+            return 0.0
+        return self.result.throughput(golden_cycles)
+
+    # -- scheduler internals ------------------------------------------------
+    def _begin(self) -> bool:
+        """PENDING → RUNNING transition; False when no longer pending."""
+        with self._lock:
+            if self.status is not JobStatus.PENDING:
+                return False
+            self.status = JobStatus.RUNNING
+            return True
+
+    def _finish(
+        self,
+        status: JobStatus,
+        result: Optional[BatchResult] = None,
+        error: Optional[str] = None,
+        cached: bool = False,
+        allow_from: tuple = (JobStatus.PENDING, JobStatus.RUNNING),
+    ) -> bool:
+        """Move to a terminal state exactly once and notify everyone."""
+        with self._lock:
+            if self.status not in allow_from or self.status.terminal:
+                return False
+            self.status = status
+            self.result = result
+            self.error = error
+            self.cached = cached
+        self._event.set()
+        if self._jobset is not None:
+            self._jobset._completed.put(self)
+        for callback in self._callbacks:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - observer errors stay local
+                pass
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.job_id}, layout={self.layout!r}, "
+            f"label={self.label!r}, status={self.status.value})"
+        )
+
+
+class JobSet:
+    """The jobs of one ``submit()`` call, plus their completion stream."""
+
+    def __init__(self, jobs: Optional[List[Job]] = None) -> None:
+        self.jobs: List[Job] = []
+        self._completed: "queue.SimpleQueue[Job]" = queue.SimpleQueue()
+        for job in jobs or ():
+            self._add(job)
+
+    def _add(self, job: Job) -> None:
+        job._jobset = self
+        self.jobs.append(job)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @property
+    def done(self) -> bool:
+        return all(job.done for job in self.jobs)
+
+    def cancel(self) -> int:
+        """Cancel every not-yet-started job; returns how many were cancelled."""
+        return sum(1 for job in self.jobs if job.cancel())
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every job is terminal (True) or the timeout expires."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in self.jobs:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return self.done
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def results(self, timeout: Optional[float] = None):
+        """Yield jobs in **completion order** as they reach a terminal state.
+
+        This is the synchronous streaming interface: the generator returns
+        after ``len(self)`` jobs (cancelled ones included — check
+        ``job.status``).  *timeout* bounds the wait for each next completion;
+        expiry raises :class:`queue.Empty`.
+        """
+        for _ in range(len(self.jobs)):
+            yield self._completed.get(timeout=timeout)
+
+    async def stream(self):
+        """Async iterator over jobs in completion order.
+
+        ``async for job in jobset.stream(): ...`` — each wait for the next
+        completion runs in a worker thread (the scheduler is thread-based),
+        so the event loop stays responsive while simulations run.
+        """
+        for _ in range(len(self.jobs)):
+            yield await asyncio.to_thread(self._completed.get)
+
+    def ordered_results(
+        self, timeout: Optional[float] = None
+    ) -> List[Optional[BatchResult]]:
+        """Wait for everything, then return results in **submission order**.
+
+        Cancelled jobs contribute None; failed evaluations contribute their
+        error-carrying :class:`~repro.engine.batch.BatchResult` (throughput
+        0.0), mirroring the batch runner's ``on_error="zero"`` contract.
+        """
+        self.wait(timeout)
+        return [job.result for job in self.jobs]

@@ -1,0 +1,548 @@
+"""The evaluation service: many submitters, one pool, zero repeated work.
+
+:class:`EvaluationService` turns the batch engine into a long-lived,
+serveable subsystem.  Any number of concurrent submitters (sweep loops,
+optimiser strategies, Table 1 harnesses, CLI invocations) hand it tagged
+batch items; one scheduler thread multiplexes them — in priority order —
+onto a single persistent :class:`~repro.engine.batch.MultiNetlistRunner`
+whose layouts all share one
+:class:`~repro.engine.steady_state.PeriodMemory`, so steady-state periods
+detected for one job warm-start the detection windows of every sibling
+shape that follows.  Results come back three ways: the async iterator
+(``async for job in service.stream(items, ...)``), the synchronous
+completion-order generator (:meth:`JobSet.results`), and per-job completion
+callbacks (``submit(..., on_result=...)``).
+
+Three layers keep repeated work at zero:
+
+1. **result cache** — every request is content-addressed (see
+   :mod:`repro.service.cache`); a hit completes the job at submit time
+   without ever touching the scheduler;
+2. **in-flight dedup** — a request whose address matches a job that is
+   queued or running attaches to it as a *follower* and receives a copy of
+   the result when the primary completes: two optimiser strategies (or two
+   asyncio tasks) racing over the same candidate cost one simulation;
+3. **warm starts** — the shared period memory and the per-layout compiled
+   kernel caches of the underlying runners persist across jobs.
+
+Execution is chunked: the scheduler drains up to one *chunk* of jobs per
+step (respecting priorities), evaluates the chunk through the pool
+(``workers`` processes, fork- and spawn-safe — the batch layer's machinery),
+and completes the chunk's jobs before draining the next.  With serial
+workers the chunk size is 1, which is what makes long sweeps *stream*:
+row k is delivered while row k+1 simulates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import queue
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.exceptions import SimulationError
+from ..core.netlist import Netlist
+from ..engine.batch import (
+    BatchItem,
+    BatchRunner,
+    MultiNetlistRunner,
+    TaggedItem,
+)
+from ..engine.kernel import RunControls
+from ..engine.steady_state import PeriodMemory
+from .cache import ResultCache, relabel, result_key
+from .jobs import Job, JobSet, JobStatus
+
+#: Queue entry sorting: (priority, submission sequence) — lower runs first,
+#: FIFO within one priority level.  The sentinel sorts after everything, so
+#: `close()` drains gracefully.
+_SENTINEL_PRIORITY = math.inf
+
+
+class EvaluationService:
+    """Async streaming evaluation scheduler over one persistent runner pool.
+
+    Parameters
+    ----------
+    runners:
+        Initial layouts, ``{name: BatchRunner}`` (more can be registered
+        later through :meth:`add_layout` / :meth:`ensure_layout`).  May be
+        empty — the optimiser and sweep integrations register theirs on
+        first use.
+    cache:
+        The :class:`~repro.service.cache.ResultCache` to consult; None
+        builds a default in-memory cache (pass one with ``cache_dir`` for
+        the persistent disk tier).
+    workers / start_method:
+        Fan-out of each evaluated chunk, forwarded to
+        :meth:`~repro.engine.batch.MultiNetlistRunner.run_many` (fork- and
+        spawn-safe; serial when 1).
+    chunk_size:
+        Jobs evaluated per scheduler step.  None picks 1 for serial workers
+        (finest streaming granularity) and ``4 × workers`` otherwise.
+    autostart:
+        Start the scheduler thread on first submit (default).  Tests pass
+        False to stage jobs and observe dedup deterministically, then call
+        :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        runners: Optional[Mapping[str, BatchRunner]] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        period_memory: Optional[PeriodMemory] = None,
+        autostart: bool = True,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.period_memory = (
+            period_memory if period_memory is not None else PeriodMemory()
+        )
+        self.autostart = autostart
+        self._lock = threading.RLock()
+        self._runners: Dict[str, BatchRunner] = dict(runners or {})
+        self._multi: Optional[MultiNetlistRunner] = None
+        if self._runners:
+            self._multi = MultiNetlistRunner(self._runners)
+        self._queue: "queue.PriorityQueue[Tuple[float, int, Optional[Job]]]" = (
+            queue.PriorityQueue()
+        )
+        self._inflight: Dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # Counters (under self._lock).
+        self.submitted = 0
+        self.evaluated = 0
+        self.deduped = 0
+        self.cancelled = 0
+        self.failed = 0
+
+    # -- layout registry ----------------------------------------------------
+    def add_layout(self, name: str, runner: BatchRunner) -> str:
+        """Register a prebuilt runner under *name* (error on conflicts)."""
+        with self._lock:
+            existing = self._runners.get(name)
+            if existing is not None:
+                if existing is runner:
+                    return name
+                raise SimulationError(
+                    f"layout {name!r} is already registered with a different "
+                    "runner"
+                )
+            self._register(name, runner)
+        return name
+
+    def ensure_layout(
+        self,
+        netlist: Netlist,
+        *,
+        name: Optional[str] = None,
+        relaxed: bool = False,
+        kernel: Optional[str] = None,
+        **runner_kwargs: Any,
+    ) -> str:
+        """Register (or find) a layout for *netlist* and return its name.
+
+        Without *name* a deterministic one is derived from the netlist's
+        content digest and the runner parameters, so repeated calls with an
+        equal netlist — even a freshly rebuilt copy — resolve to the same
+        layout and therefore the same caches.  With *name*, a registered
+        layout is reused only when its netlist content matches; a mismatch
+        is an error (silently swapping netlists under one name would poison
+        every consumer grouping results by layout).
+
+        The created runner always joins the service's shared
+        :class:`~repro.engine.steady_state.PeriodMemory`.
+        """
+        with self._lock:
+            probe = BatchRunner(
+                netlist,
+                relaxed=relaxed,
+                kernel=kernel,
+                period_memory=self.period_memory,
+                **runner_kwargs,
+            )
+            digest = probe.netlist_digest() or f"id{id(netlist):x}"
+            if name is None:
+                name = (
+                    f"nl-{digest[:12]}-{'wp2' if relaxed else 'wp1'}"
+                    f"-{probe.kernel_name}-q{probe.queue_capacity}"
+                    f"-r{probe.rs_capacity}"
+                )
+            existing = self._runners.get(name)
+            if existing is not None:
+                # Undigestable (unpicklable) netlists have no content
+                # address, so only object identity can prove equality —
+                # None == None must NOT alias two different netlists.
+                same_netlist = (
+                    existing.netlist is netlist
+                    or (
+                        existing.netlist_digest() is not None
+                        and existing.netlist_digest() == probe.netlist_digest()
+                    )
+                )
+                if (
+                    same_netlist
+                    and existing.relaxed == relaxed
+                    and existing.kernel_name == probe.kernel_name
+                    and existing.queue_capacity == probe.queue_capacity
+                    and existing.rs_capacity == probe.rs_capacity
+                ):
+                    return name
+                raise SimulationError(
+                    f"layout {name!r} is already registered with a different "
+                    "netlist or runner parameters"
+                )
+            self._register(name, probe)
+        return name
+
+    def _register(self, name: str, runner: BatchRunner) -> None:
+        self._runners[name] = runner
+        if self._multi is None:
+            self._multi = MultiNetlistRunner(self._runners)
+        else:
+            # The MultiNetlistRunner shares our dict; keep both views equal.
+            self._multi.runners[name] = runner
+
+    def runner(self, name: str) -> BatchRunner:
+        with self._lock:
+            try:
+                return self._runners[name]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown layout {name!r}; available: "
+                    f"{sorted(self._runners)}"
+                ) from None
+
+    @property
+    def layouts(self) -> List[str]:
+        with self._lock:
+            return sorted(self._runners)
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        items: Iterable[TaggedItem],
+        *,
+        priority: int = 0,
+        on_result=None,
+        tags: Optional[Sequence[Any]] = None,
+        queue_capacity: Optional[int] = None,
+        controls: Optional[RunControls] = None,
+        **control_kwargs: Any,
+    ) -> JobSet:
+        """Queue every ``(layout name, batch item)`` and return the handle.
+
+        Thread-safe; any number of submitters may call this concurrently.
+        *priority* orders jobs across all submitters (lower runs first,
+        FIFO within a level).  *on_result* is invoked — in the scheduler
+        thread — for each job reaching a terminal state; *tags* attaches
+        per-item submitter context (parallel to *items*).  Run controls
+        follow :meth:`~repro.engine.batch.MultiNetlistRunner.run_many`:
+        keyword fields or a prebuilt :class:`RunControls` object.
+
+        Jobs whose content-address hits the cache complete before this
+        method returns (``job.cached``, with *on_result* invoked in the
+        submitting thread); jobs matching a queued or running address
+        attach to it and complete with it (``job.deduped``).
+        """
+        if controls is None:
+            controls_obj = RunControls(**control_kwargs)
+        elif control_kwargs:
+            raise SimulationError(
+                "pass run controls either as a RunControls object or as "
+                f"keyword arguments, not both (got {sorted(control_kwargs)})"
+            )
+        else:
+            controls_obj = controls
+        item_list = list(items)
+        tag_list = list(tags) if tags is not None else [None] * len(item_list)
+        if len(tag_list) != len(item_list):
+            raise SimulationError(
+                f"tags ({len(tag_list)}) must parallel items ({len(item_list)})"
+            )
+        jobset = JobSet()
+        enqueued = False
+        for (layout, entry), tag in zip(item_list, tag_list):
+            # Normalisation, key derivation and the (possibly disk-backed)
+            # cache probe all run OUTSIDE the service lock: only the
+            # in-flight bookkeeping below needs atomicity, and completing a
+            # cache hit here may run user callbacks, which must never hold
+            # a lock the scheduler thread also takes.
+            runner = self.runner(layout)
+            norm = runner._normalise_item(entry, queue_capacity)
+            configuration = norm[0]
+            label = (
+                configuration.label
+                if configuration is not None
+                else "per-channel"
+            )
+            key = result_key(runner, norm, controls_obj)
+            job = Job(
+                job_id=next(self._job_ids),
+                layout=layout,
+                item=norm,
+                label=label,
+                controls=controls_obj,
+                priority=priority,
+                key=key,
+                tag=tag,
+            )
+            if on_result is not None:
+                job._callbacks.append(on_result)
+            jobset._add(job)
+            cached = self.cache.get(key) if key is not None else None
+            with self._lock:
+                if self._closed:
+                    raise SimulationError("EvaluationService is closed")
+                self.submitted += 1
+                if cached is None and key is not None:
+                    primary = self._inflight.get(key)
+                    if primary is not None:
+                        job.deduped = True
+                        primary._followers.append(job)
+                        self.deduped += 1
+                        continue
+                    # The scheduler publishes to the in-memory cache tier
+                    # before dropping an in-flight entry, so a re-check
+                    # here (memory only — no disk I/O under the lock)
+                    # closes the window between our probe and now.
+                    cached = self.cache.get(key, memory_only=True)
+                if cached is None:
+                    if key is not None:
+                        self._inflight[key] = job
+                    # Enqueue while still holding the lock: close() also
+                    # takes it, so a job is either queued before close()
+                    # drains, or the submit fails the closed check above —
+                    # never stranded in between.
+                    self._queue.put(
+                        (float(job.priority), next(self._seq), job)
+                    )
+                    enqueued = True
+            if cached is not None:
+                job._finish(
+                    JobStatus.DONE, result=relabel(cached, label), cached=True
+                )
+        if enqueued and self.autostart:
+            self.start()
+        return jobset
+
+    def stream(
+        self,
+        items: Iterable[TaggedItem],
+        *,
+        priority: int = 0,
+        queue_capacity: Optional[int] = None,
+        controls: Optional[RunControls] = None,
+        **control_kwargs: Any,
+    ):
+        """Submit and return the async completion iterator in one call.
+
+        ``async for job in service.stream(items, stop_process="CU"): ...``
+        yields each :class:`Job` as it reaches a terminal state; cache hits
+        arrive first (they are already complete), then evaluated chunks as
+        the pool delivers them.
+        """
+        jobset = self.submit(
+            items,
+            priority=priority,
+            queue_capacity=queue_capacity,
+            controls=controls,
+            **control_kwargs,
+        )
+        return jobset.stream()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent; no-op once closed)."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._loop,
+                    name="repro-evaluation-service",
+                    daemon=True,
+                )
+                self._thread.start()
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Drain outstanding jobs and stop the scheduler thread.
+
+        The shutdown sentinel sorts after every real priority, so queued
+        jobs are evaluated before the thread exits; with *cancel_pending*
+        they are cancelled instead (running chunks still finish — there is
+        no preemption point inside a simulation).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if cancel_pending:
+            drained: List[Job] = []
+            while True:
+                try:
+                    entry = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if entry[2] is not None:
+                    drained.append(entry[2])
+            for job in drained:
+                self._cancel_group(job)
+        if thread is not None and thread.is_alive():
+            self._queue.put((_SENTINEL_PRIORITY, next(self._seq), None))
+            thread.join()
+        else:
+            # Never started: nothing will drain the queue; cancel leftovers.
+            while True:
+                try:
+                    entry = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if entry[2] is not None:
+                    self._cancel_group(entry[2])
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters plus the cache's (see ``ResultCache.stats``)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "evaluated": self.evaluated,
+                "deduped": self.deduped,
+                "cancelled": self.cancelled,
+                "failed": self.failed,
+                "inflight": len(self._inflight),
+                "layouts": sorted(self._runners),
+                "cache": self.cache.stats(),
+            }
+
+    # -- scheduler internals ------------------------------------------------
+    def _chunk_limit(self) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return 1 if self.workers <= 1 else 4 * self.workers
+
+    def _loop(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry[2] is None:
+                break
+            chunk: List[Job] = [entry[2]]
+            limit = self._chunk_limit()
+            stop = False
+            while len(chunk) < limit:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt[2] is None:
+                    stop = True
+                    break
+                chunk.append(nxt[2])
+            try:
+                self._evaluate_chunk(chunk)
+            except Exception as exc:  # noqa: BLE001 - keep the service alive
+                for job in chunk:
+                    self._fail_group(job, f"{type(exc).__name__}: {exc}")
+            if stop:
+                break
+
+    def _group(self, job: Job) -> List[Job]:
+        with self._lock:
+            return [job] + list(job._followers)
+
+    def _cancel_group(self, job: Job) -> None:
+        for member in self._group(job):
+            if member.cancel():
+                with self._lock:
+                    self.cancelled += 1
+        with self._lock:
+            if job.key is not None and self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+
+    def _fail_group(self, job: Job, error: str) -> None:
+        with self._lock:
+            if job.key is not None and self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+            self.failed += 1
+        for member in self._group(job):
+            member._finish(JobStatus.FAILED, error=error)
+
+    def _evaluate_chunk(self, chunk: List[Job]) -> None:
+        # Controls may differ between jobs of one drain (concurrent
+        # submitters); evaluate per controls-group, preserving drain order.
+        by_controls: "Dict[int, Tuple[RunControls, List[Job]]]" = {}
+        for job in chunk:
+            group = by_controls.setdefault(id(job.controls), (job.controls, []))
+            group[1].append(job)
+        for controls, jobs in by_controls.values():
+            self._evaluate_batch(jobs, controls)
+
+    def _evaluate_batch(self, jobs: List[Job], controls: RunControls) -> None:
+        live: List[Job] = []
+        for job in jobs:
+            group = self._group(job)
+            started = [m for m in group if m._begin()]
+            if job not in started and all(m.status.terminal for m in group):
+                # Everyone cancelled before evaluation began: drop the work.
+                with self._lock:
+                    if job.key is not None and self._inflight.get(job.key) is job:
+                        del self._inflight[job.key]
+                continue
+            live.append(job)
+        if not live:
+            return
+        with self._lock:
+            multi = self._multi
+        if multi is None:  # pragma: no cover - layouts vanished underneath
+            for job in live:
+                self._fail_group(job, "no layouts registered")
+            return
+        tagged = [(job.layout, _denormalise(job.item)) for job in live]
+        results = multi.run_many(
+            tagged,
+            workers=self.workers,
+            on_error="zero",
+            start_method=self.start_method,
+            controls=controls,
+        )
+        for job, result in zip(live, results):
+            # Publish to the cache BEFORE dropping the in-flight entry: a
+            # concurrent submitter checks cache first, then in-flight, so
+            # this order leaves no window in which it would re-evaluate.
+            self.cache.put(job.key, result)
+            with self._lock:
+                if job.key is not None and self._inflight.get(job.key) is job:
+                    del self._inflight[job.key]
+                self.evaluated += 1
+                if result.failed:
+                    self.failed += 1
+            for member in self._group(job):
+                member._finish(
+                    JobStatus.DONE, result=relabel(result, member.label)
+                )
+
+
+def _denormalise(item) -> BatchItem:
+    """Normalised ``(config, rs_counts, capacity)`` back to a batch item."""
+    configuration, rs_counts, capacity = item
+    base: BatchItem = configuration if configuration is not None else rs_counts
+    if capacity is None:
+        return base
+    return (base, {"queue_capacity": capacity})
