@@ -9,8 +9,10 @@ scales when the same configuration batch is sharded across worker processes,
 the steady-state detector's speedup on long-horizon objective runs (10k and
 100k cycle horizons, enforced by ``check_perf_floor.py``), the
 looping-table1 CPU horizon measurement (certified ``schedule_state()``
-extrapolation vs full simulation, also enforced by ``check_perf_floor.py``)
-and the mixed-workload multi-netlist batch smoke.
+extrapolation vs full simulation, also enforced by ``check_perf_floor.py``),
+the lockstep structure-of-arrays sweep (one vectorised ``run_many`` over N
+same-layout lanes vs N scalar runs, enforced by ``check_perf_floor.py
+--lockstep-floor``) and the mixed-workload multi-netlist batch smoke.
 
 Every run **appends** a timestamped record to the ``BENCH_kernel.json``
 history at the repository root (a JSON list, oldest first), so the
@@ -49,7 +51,19 @@ MIN_COMPILED_VS_FAST = 1.3
 MIN_STEADY_VS_REFERENCE = 25.0
 MIN_STEADY_VS_COMPILED = 10.0
 #: Horizons of the steady-state measurement: (reference-comparison, long).
-STEADY_HORIZONS = (10_000, 100_000)
+#: Quick mode keeps only the short horizon — the 10k-cycle point already
+#: clears both CI floors by an order of magnitude, and the 100k-cycle full
+#: loop dominates the smoke run's wall-clock.
+STEADY_HORIZONS = (10_000,) if QUICK else (10_000, 100_000)
+#: Lockstep floors: one vectorised run_many over N same-layout lanes must
+#: beat N scalar reference runs by 50x and N scalar compiled runs by 5x at
+#: the largest lane count (the lockstep PR acceptance bar).  Smaller lane
+#: counts are recorded but not gated: NumPy dispatch overhead is amortised
+#: over the config axis, so the ratios grow with the lane count.
+MIN_LOCKSTEP_VS_REFERENCE = 50.0
+MIN_LOCKSTEP_VS_COMPILED = 5.0
+LOCKSTEP_LANES = (16, 64, 256)
+LOCKSTEP_HORIZON = 600 if QUICK else 2_000
 #: Looping-table1 floor: a certified-extrapolated CPU horizon row must beat
 #: the same row without detection by this factor (the PR 4 acceptance bar).
 MIN_CPU_STEADY_VS_FULL = 20.0
@@ -280,6 +294,81 @@ def _measure_looped_cpu():
     return entry
 
 
+def _measure_lockstep():
+    """Lockstep SoA sweeps vs per-lane scalar runs on the objective path.
+
+    The workload is the sweep the lockstep kernel was built for: N
+    same-layout ring configurations (per-lane varied relay-station vectors)
+    evaluated uninstrumented to a fixed horizon through
+    ``BatchRunner.run_many``.  Steady-state detection is disabled for every
+    kernel so the measurement isolates the cycle loops themselves — the
+    lockstep kernel never detects periods (DESIGN.md §7), and against an
+    extrapolating scalar kernel the ratio would mix two unrelated
+    optimisations.  The reference kernel is only timed on a small lane
+    sample (its per-lane cost is flat, so the N-lane total is ``per-lane x
+    N``); compiled and lockstep are timed on the full lane sets.
+    """
+    from repro.core import ring_netlist
+    from repro.engine import BatchRunner, InstrumentSet
+
+    netlist, _default = ring_netlist(6)
+    chans = list(netlist.channels)
+
+    def lane_configs(n):
+        return [
+            {chan: (i + j) % 3 for j, chan in enumerate(chans)}
+            for i in range(n)
+        ]
+
+    controls = dict(horizon=LOCKSTEP_HORIZON, steady_state=False)
+    runners = {
+        kernel: BatchRunner(
+            netlist, kernel=kernel, instruments=InstrumentSet.none()
+        )
+        for kernel in ("reference", "fast", "compiled", "lockstep")
+    }
+    # Correctness gate before anything is timed into the record: every
+    # lockstep lane bit-identical to the scalar fast kernel.
+    check = lane_configs(max(LOCKSTEP_LANES))
+    assert runners["lockstep"].run_many(check, **controls) == runners[
+        "fast"
+    ].run_many(check, **controls)
+
+    repeats = 2 if QUICK else 3
+    ref_sample = 4 if QUICK else 8
+    ref_per_lane = (
+        _best_of(
+            lambda: runners["reference"].run_many(
+                lane_configs(ref_sample), **controls
+            ),
+            repeats,
+        )
+        / ref_sample
+    )
+    entry = {
+        "netlist": "ring(6)",
+        "horizon": LOCKSTEP_HORIZON,
+        "reference_seconds_per_lane": ref_per_lane,
+        "lanes": {},
+    }
+    for n in LOCKSTEP_LANES:
+        configs = lane_configs(n)
+        lockstep = _best_of(
+            lambda: runners["lockstep"].run_many(configs, **controls), repeats
+        )
+        compiled = _best_of(
+            lambda: runners["compiled"].run_many(configs, **controls), repeats
+        )
+        entry["lanes"][str(n)] = {
+            "lockstep_seconds": lockstep,
+            "compiled_seconds": compiled,
+            "reference_seconds": ref_per_lane * n,
+            "lockstep_vs_compiled": compiled / lockstep,
+            "lockstep_vs_reference": ref_per_lane * n / lockstep,
+        }
+    return entry
+
+
 def _measure_multi_netlist_batch():
     """Mixed-workload batch smoke: sort + matmul layouts on one scheduler."""
     from repro.core import RSConfiguration
@@ -439,6 +528,23 @@ def test_looped_cpu_steady_speedup(kernel_record):
             f"looped-CPU extrapolation only {stats['steady_vs_full']:.1f}x over "
             f"the full horizon run on {label}"
         )
+
+
+def test_lockstep_speedup(kernel_record):
+    """Lockstep sweeps clear the 50x/5x floors at the largest lane count."""
+    pytest.importorskip("numpy")
+    entry = _measure_lockstep()
+    kernel_record["lockstep"] = entry
+    top = str(max(LOCKSTEP_LANES))
+    stats = entry["lanes"][top]
+    assert stats["lockstep_vs_reference"] >= MIN_LOCKSTEP_VS_REFERENCE, (
+        f"lockstep only {stats['lockstep_vs_reference']:.1f}x over "
+        f"per-lane reference runs at {top} lanes"
+    )
+    assert stats["lockstep_vs_compiled"] >= MIN_LOCKSTEP_VS_COMPILED, (
+        f"lockstep only {stats['lockstep_vs_compiled']:.1f}x over "
+        f"per-lane compiled runs at {top} lanes"
+    )
 
 
 def test_multi_netlist_batch_smoke(kernel_record):

@@ -12,6 +12,10 @@ Reads the newest record of the ``BENCH_kernel.json`` history (produced by
 * the looping-table1 CPU floor regresses: a certified-extrapolated CPU
   horizon row must beat the same row without detection by
   ``--cpu-steady-floor`` on every wrapper flavour;
+* with ``--lockstep-floor`` / ``--lockstep-compiled-floor``: the lockstep
+  structure-of-arrays sweep at the record's largest lane count must beat
+  per-lane reference runs by the former and per-lane compiled runs by the
+  latter (omitted: not checked — e.g. on a NumPy-free record);
 * the mixed-workload multi-netlist batch smoke is missing from the record;
 * with ``--cache-floor`` (reads the newest ``BENCH_service.json`` record,
   produced by ``benchmark_service.py``): a warm-cache re-run of the 64-row
@@ -23,7 +27,8 @@ CI runs this after the quick benchmark so hot-path regressions are caught
 at PR time::
 
     python benchmarks/check_perf_floor.py --floor 6 --steady-floor 25 \
-        --cpu-steady-floor 20 --cache-floor 50
+        --cpu-steady-floor 20 --lockstep-floor 50 \
+        --lockstep-compiled-floor 5 --cache-floor 50
 """
 
 from __future__ import annotations
@@ -64,6 +69,20 @@ def main(argv=None) -> int:
         help=(
             "minimum certified-extrapolation speedup over the full run on "
             "the looping-table1 CPU horizon rows (default: 20)"
+        ),
+    )
+    parser.add_argument(
+        "--lockstep-floor", type=float, default=None, metavar="X",
+        help=(
+            "minimum lockstep speedup over per-lane reference runs at the "
+            "largest benchmarked lane count (omitted: not checked)"
+        ),
+    )
+    parser.add_argument(
+        "--lockstep-compiled-floor", type=float, default=None, metavar="X",
+        help=(
+            "minimum lockstep speedup over per-lane compiled runs at the "
+            "largest benchmarked lane count (omitted: not checked)"
         ),
     )
     parser.add_argument(
@@ -190,6 +209,11 @@ def main(argv=None) -> int:
             )
             failed = True
 
+    if args.lockstep_floor is not None or args.lockstep_compiled_floor is not None:
+        failed |= _check_lockstep_floor(
+            latest, args.lockstep_floor, args.lockstep_compiled_floor
+        )
+
     if "multi_netlist" not in latest:
         print(
             "perf floor FAILED: record carries no multi-netlist batch smoke",
@@ -210,6 +234,49 @@ def main(argv=None) -> int:
         )
 
     return 1 if failed else 0
+
+
+def _check_lockstep_floor(latest, floor, compiled_floor) -> bool:
+    """Enforce the lockstep sweep floors; returns True on failure.
+
+    The floors apply at the largest lane count of the record's lockstep
+    measurement — NumPy dispatch overhead is amortised over the config
+    axis, so that is the ratio the lockstep kernel is accountable for.
+    """
+    lockstep = latest.get("lockstep")
+    if not lockstep or not lockstep.get("lanes"):
+        print(
+            "perf floor FAILED: record carries no lockstep measurement "
+            "(run benchmark_kernel.py with NumPy available)",
+            file=sys.stderr,
+        )
+        return True
+    top = max(lockstep["lanes"], key=int)
+    stats = lockstep["lanes"][top]
+    vs_reference = stats.get("lockstep_vs_reference", 0.0)
+    vs_compiled = stats.get("lockstep_vs_compiled", 0.0)
+    print(
+        f"perf floor: lockstep at {top} lanes {vs_reference:.1f}x over "
+        f"reference (floor {floor if floor is not None else '-'}), "
+        f"{vs_compiled:.1f}x over compiled "
+        f"(floor {compiled_floor if compiled_floor is not None else '-'})"
+    )
+    failed = False
+    if floor is not None and vs_reference < floor:
+        print(
+            f"perf floor FAILED: lockstep {vs_reference:.1f}x < {floor:.1f}x "
+            f"over reference at {top} lanes",
+            file=sys.stderr,
+        )
+        failed = True
+    if compiled_floor is not None and vs_compiled < compiled_floor:
+        print(
+            f"perf floor FAILED: lockstep {vs_compiled:.1f}x < "
+            f"{compiled_floor:.1f}x over compiled at {top} lanes",
+            file=sys.stderr,
+        )
+        failed = True
+    return failed
 
 
 def _check_cache_floor(record_path: Path, floor: float) -> bool:

@@ -13,7 +13,8 @@ Commands
 Every command accepts ``--format text|markdown|csv|json`` where it makes
 sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
 simulating commands (``table1``, ``multicycle``, ``sweep``, ``submit``)
-accept ``--kernel reference|fast|compiled`` to select the simulation engine
+accept ``--kernel reference|fast|compiled|lockstep`` to select the simulation
+engine
 (see :mod:`repro.engine`); when the flag is omitted the ``REPRO_KERNEL``
 environment variable is consulted, and the fast array-based kernel is the
 final default.  ``table1`` and ``sweep`` also accept ``--shards N`` to
@@ -48,11 +49,13 @@ from typing import List, Optional
 def _add_kernel_option(parser) -> None:
     parser.add_argument(
         "--kernel",
-        choices=("reference", "fast", "compiled"),
+        choices=("reference", "fast", "compiled", "lockstep"),
         default=None,
         help=(
             "simulation kernel; omitted -> $REPRO_KERNEL if set, "
-            "else the fast array-based kernel"
+            "else the fast array-based kernel; lockstep vectorises "
+            "same-layout configuration batches with NumPy (repro[fast]) "
+            "and falls back to fast where ineligible"
         ),
     )
 

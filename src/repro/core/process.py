@@ -25,6 +25,7 @@ like the strict WP1 wrapper for that firing.
 
 from __future__ import annotations
 
+import math as _math
 from abc import ABC, abstractmethod
 from typing import (
     Any,
@@ -149,6 +150,27 @@ class Process(ABC):
     def is_done(self) -> bool:
         """Whether this process reached a terminal state (e.g. executed HALT)."""
         return False
+
+    def done_threshold(self) -> Optional[float]:
+        """Firing count at which :meth:`is_done` flips, when it is expressible.
+
+        The lockstep kernel (:mod:`repro.engine.lockstep`) advances many
+        configurations with pure integer arithmetic and cannot call
+        :meth:`is_done` per lane per cycle.  A process whose done condition is
+        a pure function of its own firing count can instead declare the
+        threshold ``T`` such that ``is_done() == (self.firings >= T)`` at
+        every instant of every run:
+
+        * return an ``int`` threshold ``T`` (constant for the whole run);
+        * return ``math.inf`` to promise the process never reports done;
+        * return ``None`` (the default for processes overriding
+          :meth:`is_done`) when the condition is data-dependent or otherwise
+          inexpressible — netlists containing such a process fall back to the
+          scalar kernels, which is always safe.
+        """
+        if overrides_hook(self, "is_done"):
+            return None
+        return _math.inf
 
     # -- steady-state detection hook ------------------------------------------
     def schedule_state(self) -> Optional[Any]:
@@ -350,6 +372,11 @@ class CounterSource(Process):
         # function of the emission counter, which is therefore the complete
         # schedule-relevant state (monotone while live, frozen once done).
         return SCHEDULE_INERT if self._limit is None else self._next
+
+    def done_threshold(self) -> Optional[float]:
+        # ``_next`` always equals ``firings`` (both advance exactly on fire),
+        # so ``is_done() == (firings >= _limit)`` holds at every instant.
+        return _math.inf if self._limit is None else self._limit
 
 
 class SinkProcess(Process):

@@ -44,6 +44,7 @@ from .kernel import (
     make_kernel,
     resolve_kernel_name,
 )
+from .lockstep import LockstepKernel, lockstep_reason, run_lockstep_batch
 from .reference import ChannelPipeline, ReferenceKernel
 from .result import LidResult
 from .steady_state import (
@@ -70,6 +71,7 @@ __all__ = [
     "InstrumentSet",
     "KERNEL_ENV_VAR",
     "LidResult",
+    "LockstepKernel",
     "MultiNetlistRunner",
     "NetlistLayout",
     "PeriodMemory",
@@ -82,8 +84,10 @@ __all__ = [
     "elaborate",
     "generate_run_source",
     "kernel_registry",
+    "lockstep_reason",
     "make_kernel",
     "resolve_kernel_name",
     "resolve_rs_counts",
     "resolve_steady_state",
+    "run_lockstep_batch",
 ]

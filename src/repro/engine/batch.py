@@ -64,7 +64,7 @@ from ..core.shell import DEFAULT_QUEUE_CAPACITY
 from .elaboration import Elaborator
 from .instrumentation import InstrumentSet
 from .kernel import RunControls, make_kernel, resolve_kernel_name
-from .result import LidResult
+from .result import LidResult, coerce_native, native_int_map
 from .steady_state import (
     DEFAULT_DETECTION_WINDOW,
     PeriodMemory,
@@ -142,19 +142,21 @@ class BatchResult:
 
         The result cache of :mod:`repro.service` persists batch results in
         this form; every field is a JSON scalar or a string-keyed mapping of
-        ints, so the round trip is loss-free.
+        ints, so the round trip is loss-free.  NumPy scalars (results built
+        by callers slicing arrays) are coerced to native Python so the form
+        stays ``json.dump``-safe.
         """
         return {
             "label": self.label,
-            "cycles": self.cycles,
-            "firings": dict(self.firings),
-            "halted": self.halted,
+            "cycles": coerce_native(self.cycles),
+            "firings": native_int_map(self.firings),
+            "halted": coerce_native(self.halted),
             "wrapper_kind": self.wrapper_kind,
             "error": self.error,
-            "rs_total": self.rs_total,
-            "period": self.period,
-            "warmup_cycles": self.warmup_cycles,
-            "extrapolated": self.extrapolated,
+            "rs_total": coerce_native(self.rs_total),
+            "period": coerce_native(self.period),
+            "warmup_cycles": coerce_native(self.warmup_cycles),
+            "extrapolated": coerce_native(self.extrapolated),
         }
 
     @classmethod
@@ -214,16 +216,18 @@ def _pool_runner(name: str) -> "BatchRunner":
     return runner
 
 
+class _LazyRunnerMap:
+    """Read-only name → runner mapping over the pool's lazy runner store."""
+
+    def __getitem__(self, name: str) -> "BatchRunner":
+        return _pool_runner(name)
+
+
 def _pool_run_shard(
     shard: Tuple[List[_Tagged], RunControls, str]
 ) -> List[BatchResult]:
     items, controls, on_error = shard
-    return [
-        _pool_runner(name)._evaluate(
-            configuration, rs_counts, controls, on_error, queue_capacity=capacity
-        )
-        for name, (configuration, rs_counts, capacity) in items
-    ]
+    return _evaluate_shard(_LazyRunnerMap(), items, controls, on_error)
 
 
 # Legacy fork path: the runners are handed to workers through inherited
@@ -358,7 +362,17 @@ class BatchRunner:
         # observer, unsupported processes) must not record a "miss".
         memory_key = None
         window = 0
-        if detection_plan(
+        lockstep_eligible = False
+        if self.kernel_name == "lockstep":
+            from .lockstep import lockstep_reason
+
+            lockstep_eligible = (
+                lockstep_reason(model, controls, self.instruments) is None
+            )
+        # Eligible lockstep runs bypass steady-state detection entirely (see
+        # repro.engine.lockstep); they must not record detection "misses"
+        # into the period memory their scalar siblings warm-start from.
+        if not lockstep_eligible and detection_plan(
             model, self.instruments, controls.steady_state,
             controls.steady_state_window, controls.on_cycle,
             asymptotic=controls.asymptotic(),
@@ -393,6 +407,69 @@ class BatchRunner:
                 min(result.cycles, window),
             )
         return BatchResult.from_result(result)
+
+    def _evaluate_lockstep(
+        self,
+        norm_items: Sequence[_Item],
+        controls: RunControls,
+        on_error: str,
+    ) -> List[BatchResult]:
+        """Evaluate same-layout items through one vectorised lockstep run.
+
+        Every item is bound to a model first; if the layout/run combination
+        is lockstep-ineligible (see :func:`repro.engine.lockstep.lockstep_reason`)
+        the whole group falls back to the per-item scalar path, preserving
+        the period-memory warm-start machinery.  With ``on_error="raise"``
+        the first failing lane in submission order raises (the vectorised
+        run completes its sibling lanes first, but the surfaced exception is
+        the same one serial evaluation would have raised).
+        """
+        from .lockstep import lockstep_reason, run_lockstep_batch
+
+        models = [
+            self._elaborator.bind(
+                rs_counts=rs_counts,
+                configuration=configuration,
+                relaxed=self.relaxed,
+                queue_capacity=(
+                    self.queue_capacity if capacity is None else capacity
+                ),
+                rs_capacity=self.rs_capacity,
+            )
+            for configuration, rs_counts, capacity in norm_items
+        ]
+        if not models:
+            return []
+        # Eligibility depends on the shared layout's processes and the batch
+        # controls/instruments, not on per-lane RS counts or capacities, so
+        # one check covers the whole group.
+        if lockstep_reason(models[0], controls, self.instruments) is not None:
+            return [
+                self._evaluate(
+                    configuration, rs_counts, controls, on_error,
+                    queue_capacity=capacity,
+                )
+                for configuration, rs_counts, capacity in norm_items
+            ]
+        outcomes = run_lockstep_batch(models, controls, self.instruments)
+        results: List[BatchResult] = []
+        for model, outcome in zip(models, outcomes):
+            if isinstance(outcome, Exception):
+                if on_error == "raise":
+                    raise outcome
+                results.append(
+                    BatchResult(
+                        label=model.configuration_label,
+                        cycles=0,
+                        firings={},
+                        halted=False,
+                        wrapper_kind=model.wrapper_kind,
+                        error=f"{type(outcome).__name__}: {outcome}",
+                    )
+                )
+            else:
+                results.append(BatchResult.from_result(outcome))
+        return results
 
     # -- batch evaluation ---------------------------------------------------
     def run_many(
@@ -692,12 +769,50 @@ def _run_serial(
     controls: RunControls,
     on_error: str,
 ) -> List[BatchResult]:
-    return [
-        runners[name]._evaluate(
-            configuration, rs_counts, controls, on_error, queue_capacity=capacity
+    return _evaluate_shard(runners, items, controls, on_error)
+
+
+def _evaluate_shard(
+    runners: Mapping[str, BatchRunner],
+    items: Sequence[_Tagged],
+    controls: RunControls,
+    on_error: str,
+) -> List[BatchResult]:
+    """Evaluate one shard in this process, grouping lockstep-kernel items.
+
+    Items whose runner uses the lockstep kernel are collected per layout and
+    evaluated through one vectorised :func:`repro.engine.lockstep.run_lockstep_batch`
+    call (the sweep dimension becomes the vector axis); everything else keeps
+    the historical one-``_evaluate``-per-item path.  Results come back in
+    submission order either way.
+    """
+    lockstep_groups: Dict[str, List[int]] = {}
+    for index, (name, _item) in enumerate(items):
+        if runners[name].kernel_name == "lockstep":
+            lockstep_groups.setdefault(name, []).append(index)
+    if not lockstep_groups:
+        return [
+            runners[name]._evaluate(
+                configuration, rs_counts, controls, on_error,
+                queue_capacity=capacity,
+            )
+            for name, (configuration, rs_counts, capacity) in items
+        ]
+    results: List[Optional[BatchResult]] = [None] * len(items)
+    grouped = {index for indices in lockstep_groups.values() for index in indices}
+    for index, (name, (configuration, rs_counts, capacity)) in enumerate(items):
+        if index not in grouped:
+            results[index] = runners[name]._evaluate(
+                configuration, rs_counts, controls, on_error,
+                queue_capacity=capacity,
+            )
+    for name, indices in lockstep_groups.items():
+        batch = runners[name]._evaluate_lockstep(
+            [items[index][1] for index in indices], controls, on_error
         )
-        for name, (configuration, rs_counts, capacity) in items
-    ]
+        for index, result in zip(indices, batch):
+            results[index] = result
+    return results  # type: ignore[return-value]
 
 
 def _run_pooled(

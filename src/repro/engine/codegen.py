@@ -127,6 +127,27 @@ def _overrides(process: Process, method: str) -> bool:
     return overrides_hook(process, method)
 
 
+def resolve_stop(controls, proc_names):
+    """Resolve run controls to an integer-indexed ``(stop_mode, stop_arg)``.
+
+    ``stop_arg`` is ``[(proc_index, count), ...]`` for :data:`STOP_TARGET`,
+    the designated process index for :data:`STOP_PROCESS`, and ``None`` for
+    :data:`STOP_ANY_DONE`.  Shared by the compiled and lockstep kernels so
+    both stop conditions resolve against the same layout ordering.  The
+    *controls* argument is duck-typed (``target_firings`` / ``stop_process``
+    attributes) to keep this module import-light.
+    """
+    if controls.target_firings is not None:
+        index = {name: i for i, name in enumerate(proc_names)}
+        return STOP_TARGET, [
+            (index[name], count)
+            for name, count in controls.target_firings.items()
+        ]
+    if controls.stop_process is not None:
+        return STOP_PROCESS, proc_names.index(controls.stop_process)
+    return STOP_ANY_DONE, None
+
+
 def _raise_unknown_ports(name: str, required, portset) -> None:
     raise ProtocolError(
         f"oracle of process {name!r} required unknown ports "

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ..core.shell import ShellStats
 from ..core.traces import SystemTrace
-from .codegen import STOP_ANY_DONE, STOP_PROCESS, STOP_TARGET, compiled_run_fn
+from .codegen import compiled_run_fn, resolve_stop
 from .instrumentation import InstrumentSet, trace_from_lists
 from .kernel import RunControls, SimKernel
 from .result import LidResult
@@ -55,19 +55,7 @@ class CompiledKernel(SimKernel):
         n_procs = len(proc_names)
         fir = [0] * n_procs
 
-        if controls.target_firings is not None:
-            index = {name: i for i, name in enumerate(proc_names)}
-            stop_mode = STOP_TARGET
-            stop_arg = [
-                (index[name], count)
-                for name, count in controls.target_firings.items()
-            ]
-        elif controls.stop_process is not None:
-            stop_mode = STOP_PROCESS
-            stop_arg = proc_names.index(controls.stop_process)
-        else:
-            stop_mode = STOP_ANY_DONE
-            stop_arg = None
+        stop_mode, stop_arg = resolve_stop(controls, proc_names)
 
         plan = detection_plan(
             model, instruments, controls.steady_state,

@@ -94,6 +94,27 @@ class NetlistLayout:
     #: Per process: channel ids of every output channel (flattened).
     out_chans: List[List[int]]
 
+    def flat_inputs(self) -> List[Tuple[int, int, str]]:
+        """All (process index, queue id, port name) triples, in process order.
+
+        Ports of one process are contiguous, so a consumer can reduce over
+        per-process segments (``np.logical_or.reduceat`` in the lockstep
+        kernel) without re-deriving the grouping.
+        """
+        return [
+            (p, qid, port)
+            for p, (ports, qids) in enumerate(zip(self.in_ports, self.in_qids))
+            for port, qid in zip(ports, qids)
+        ]
+
+    def flat_outputs(self) -> List[Tuple[int, int]]:
+        """All (process index, channel id) output pairs, in process order.
+
+        Channels of one process are contiguous (same segment property as
+        :meth:`flat_inputs`, used for back-pressure reductions).
+        """
+        return [(p, cid) for p, chans in enumerate(self.out_chans) for cid in chans]
+
     @classmethod
     def build(cls, netlist: Netlist) -> "NetlistLayout":
         proc_names = list(netlist.processes)

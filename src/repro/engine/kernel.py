@@ -121,15 +121,23 @@ class SimKernel(ABC):
 
 
 def kernel_registry() -> Dict[str, Type[SimKernel]]:
-    """Name → kernel class for every available kernel."""
+    """Name → kernel class for every available kernel.
+
+    The lockstep kernel is always listed even when its optional NumPy
+    dependency is absent (the module imports without it); instantiating it
+    then raises a :class:`~repro.core.exceptions.SimulationError` naming the
+    ``repro[fast]`` extra instead of an ImportError.
+    """
     from .compiled import CompiledKernel
     from .fast import FastKernel
+    from .lockstep import LockstepKernel
     from .reference import ReferenceKernel
 
     return {
         ReferenceKernel.name: ReferenceKernel,
         FastKernel.name: FastKernel,
         CompiledKernel.name: CompiledKernel,
+        LockstepKernel.name: LockstepKernel,
     }
 
 

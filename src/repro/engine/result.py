@@ -16,6 +16,26 @@ from ..core.tokens import VOID, Token, is_token
 from ..core.traces import SystemTrace
 
 
+def coerce_native(value: Any) -> Any:
+    """Convert a NumPy scalar to its native Python equivalent, pass-through else.
+
+    Results assembled from NumPy arrays (the lockstep kernel's callers, or
+    user code slicing its own arrays) can carry ``np.int64``/``np.bool_``
+    scalars; ``json.dump`` rejects them, which would poison the disk cache
+    tier and the ``submit`` JSON output.  The check is duck-typed on the
+    type's module so this module never imports NumPy (an optional
+    dependency).
+    """
+    if type(value).__module__ == "numpy":
+        return value.item()
+    return value
+
+
+def native_int_map(mapping: Dict[str, Any]) -> Dict[str, int]:
+    """A plain dict copy of *mapping* with NumPy scalar values coerced."""
+    return {key: coerce_native(value) for key, value in mapping.items()}
+
+
 def trace_to_lists(trace: SystemTrace) -> Dict[str, List[Any]]:
     """Canonical list form of a trace: ``{channel: [[tag, value] | None]}``.
 
@@ -106,20 +126,20 @@ class LidResult:
         JSON-safe).
         """
         return {
-            "cycles": self.cycles,
-            "firings": dict(self.firings),
+            "cycles": coerce_native(self.cycles),
+            "firings": native_int_map(self.firings),
             "trace": trace_to_lists(self.trace),
-            "halted": self.halted,
+            "halted": coerce_native(self.halted),
             "wrapper_kind": self.wrapper_kind,
             "configuration_label": self.configuration_label,
-            "rs_counts": dict(self.rs_counts),
+            "rs_counts": native_int_map(self.rs_counts),
             "shell_stats": {
                 name: stats.to_dict() for name, stats in self.shell_stats.items()
             },
-            "max_queue_occupancy": dict(self.max_queue_occupancy),
-            "period": self.period,
-            "warmup_cycles": self.warmup_cycles,
-            "extrapolated": self.extrapolated,
+            "max_queue_occupancy": native_int_map(self.max_queue_occupancy),
+            "period": coerce_native(self.period),
+            "warmup_cycles": coerce_native(self.warmup_cycles),
+            "extrapolated": coerce_native(self.extrapolated),
         }
 
     @classmethod

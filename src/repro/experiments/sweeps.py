@@ -23,6 +23,12 @@ as one job set through the service's scheduler — rows stream back as they
 complete (``on_result`` fires per row), identical rows submitted by anyone
 else deduplicate in flight, and re-running a sweep is served from the
 content-addressed result cache instead of simulating again.
+
+Every sweep also accepts ``kernel=`` (CLI ``--kernel``). Passing
+``"lockstep"`` opts the sweep into the structure-of-arrays kernel: the batch
+layer groups same-layout rows and advances them together, one masked vector
+step per cycle (DESIGN.md §7); rows a vector step cannot represent fall back
+to the scalar fast kernel per item automatically.
 """
 
 from __future__ import annotations

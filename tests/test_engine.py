@@ -223,7 +223,7 @@ class TestKernelSelection:
             run_lid(netlist, rs_counts=rs_counts, kernel="warp", max_cycles=10)
 
     def test_registry_names(self):
-        assert set(kernel_registry()) == {"reference", "fast", "compiled"}
+        assert set(kernel_registry()) == {"reference", "fast", "compiled", "lockstep"}
 
     def test_reference_facade_exposes_object_view(self):
         netlist, rs_counts = ring_netlist(2, rs_total=1)
