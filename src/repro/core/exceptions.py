@@ -43,6 +43,36 @@ class DeadlockError(SimulationError):
     """The latency-insensitive system made no progress for too many cycles."""
 
 
+class WorkerCrashError(SimulationError):
+    """A pool worker died while evaluating a shard (killed, OOM, segfault).
+
+    Raised by the supervised batch pool (``repro.engine.supervised_pool``)
+    when a worker process terminates without delivering its shard's results
+    and the shard's retry/bisection budget is exhausted under
+    ``on_error="raise"``; under ``on_error="zero"`` the poisoned item is
+    quarantined as a per-item error row carrying this name instead.
+    """
+
+
+class ShardTimeoutError(SimulationError):
+    """A shard exceeded ``RunControls.shard_timeout`` wall-clock seconds.
+
+    The supervised pool kills the worker holding the shard (a hung
+    simulation never returns on its own), respawns it, and retries the
+    shard; this error surfaces only when the retry budget is exhausted.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A deterministic injected fault (``repro.engine.faults``) fired.
+
+    Deliberately *not* a :class:`SimulationError`: the batch layer converts
+    simulation errors into per-item error rows before the supervision layer
+    ever sees them, and injected hard faults exist precisely to exercise the
+    supervision layer's retry/bisection/quarantine machinery.
+    """
+
+
 class AssemblerError(ReproError):
     """An assembly program could not be parsed or encoded."""
 

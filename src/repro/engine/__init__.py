@@ -25,8 +25,14 @@ the periods it has already seen), and
 :class:`repro.engine.batch.MultiNetlistRunner` schedules tagged batches
 over several layouts through one persistent worker pool; the optimiser's
 simulated objectives, the experiment sweeps and the Table 1 harness run
-through them.  :class:`repro.core.simulator.LidSimulator` remains the
-backwards-compatible facade over this package.
+through them.  The pool is *supervised*
+(:mod:`repro.engine.supervised_pool`): worker death, hung shards and
+poisoned items are recovered from — respawn, retry with backoff, bisect,
+quarantine — and reported via :class:`~repro.engine.result.SupervisionStats`;
+:mod:`repro.engine.faults` injects those failures deterministically so the
+recovery paths are tested, not hoped for (DESIGN.md §8).
+:class:`repro.core.simulator.LidSimulator` remains the backwards-compatible
+facade over this package.
 """
 
 from .batch import BatchResult, BatchRunner, MultiNetlistRunner
@@ -34,6 +40,7 @@ from .codegen import generate_run_source
 from .compiled import CompiledKernel
 from .elaboration import ElaboratedModel, Elaborator, NetlistLayout, elaborate, resolve_rs_counts
 from .fast import FastKernel
+from .faults import FAULTS_ENV_VAR, FaultPlan, FaultSpec
 from .instrumentation import InstrumentSet
 from .kernel import (
     DEFAULT_KERNEL,
@@ -46,7 +53,7 @@ from .kernel import (
 )
 from .lockstep import LockstepKernel, lockstep_reason, run_lockstep_batch
 from .reference import ChannelPipeline, ReferenceKernel
-from .result import LidResult
+from .result import LidResult, SupervisionStats
 from .steady_state import (
     DEFAULT_DETECTION_WINDOW,
     STEADY_STATE_ENV_VAR,
@@ -56,6 +63,7 @@ from .steady_state import (
     detection_plan,
     resolve_steady_state,
 )
+from .supervised_pool import SupervisedPool
 
 __all__ = [
     "BatchResult",
@@ -67,7 +75,10 @@ __all__ = [
     "DetectionPlan",
     "ElaboratedModel",
     "Elaborator",
+    "FAULTS_ENV_VAR",
     "FastKernel",
+    "FaultPlan",
+    "FaultSpec",
     "InstrumentSet",
     "KERNEL_ENV_VAR",
     "LidResult",
@@ -79,6 +90,8 @@ __all__ = [
     "RunControls",
     "STEADY_STATE_ENV_VAR",
     "SimKernel",
+    "SupervisedPool",
+    "SupervisionStats",
     "certify_model",
     "detection_plan",
     "elaborate",

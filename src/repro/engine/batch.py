@@ -15,12 +15,18 @@ needed.  :class:`BatchRunner` serves that shape directly:
   remembers the periods observed per binding shape and sizes the detection
   window of sibling configurations from them — and disarms detection for
   shapes a previous equally-bounded run proved non-recurring;
-* :meth:`run_many` fans out across a **persistent worker pool**: the
-  configurations are chunked into shards, each worker builds its runner(s)
-  exactly once from a pickled work spec and then evaluates shard after
-  shard, streaming :class:`BatchResult` lists back as they complete.
-  Because workers are seeded by pickle rather than by inherited memory, the
-  fan-out works under both the ``fork`` and ``spawn`` start methods;
+* :meth:`run_many` fans out across a **supervised worker pool** (see
+  :mod:`repro.engine.supervised_pool`): the configurations are chunked
+  into shards, each worker builds its runner(s) exactly once from a
+  pickled work spec and then evaluates shard after shard.  The supervisor
+  detects worker death and respawns the pool, requeues lost shards,
+  enforces ``RunControls.shard_timeout`` on hung simulations, retries
+  failed shards with capped exponential backoff, and bisects repeatedly
+  failing shards down to the poisoned item, which is quarantined as a
+  per-item error row while its siblings still return real results;
+  recovery counters accumulate on :attr:`BatchRunner.supervision`.
+  Because workers are seeded by pickle rather than by inherited memory,
+  the fan-out works under both the ``fork`` and ``spawn`` start methods;
   netlists that cannot be pickled (e.g. closure-based processes) fall back
   to the legacy fork-inheritance path where available, and to serial
   evaluation (with a :class:`RuntimeWarning`) only when parallelism is
@@ -61,10 +67,11 @@ from ..core.exceptions import DeadlockError, SimulationError
 from ..core.netlist import Netlist
 from ..core.relay_station import RelayStation
 from ..core.shell import DEFAULT_QUEUE_CAPACITY
-from .elaboration import Elaborator
+from .elaboration import Elaborator, resolve_rs_counts
+from .faults import active_plan, maybe_fault_item
 from .instrumentation import InstrumentSet
 from .kernel import RunControls, make_kernel, resolve_kernel_name
-from .result import LidResult, coerce_native, native_int_map
+from .result import LidResult, SupervisionStats, coerce_native, native_int_map
 from .steady_state import (
     DEFAULT_DETECTION_WINDOW,
     PeriodMemory,
@@ -107,6 +114,10 @@ class BatchResult:
     #: True when part of the run was reconstructed analytically from the
     #: detected period (counts are identical to full simulation).
     extrapolated: bool = False
+    #: Evaluation attempts the supervised pool spent on this item's shard
+    #: (1 = first try succeeded; quarantined items report their full retry
+    #: history).  Serial evaluation always reports 1.
+    attempts: int = 1
 
     @property
     def failed(self) -> bool:
@@ -157,6 +168,7 @@ class BatchResult:
             "period": coerce_native(self.period),
             "warmup_cycles": coerce_native(self.warmup_cycles),
             "extrapolated": coerce_native(self.extrapolated),
+            "attempts": coerce_native(self.attempts),
         }
 
     @classmethod
@@ -173,6 +185,7 @@ class BatchResult:
             period=data["period"],
             warmup_cycles=data["warmup_cycles"],
             extrapolated=data["extrapolated"],
+            attempts=data.get("attempts", 1),
         )
 
 
@@ -221,13 +234,6 @@ class _LazyRunnerMap:
 
     def __getitem__(self, name: str) -> "BatchRunner":
         return _pool_runner(name)
-
-
-def _pool_run_shard(
-    shard: Tuple[List[_Tagged], RunControls, str]
-) -> List[BatchResult]:
-    items, controls, on_error = shard
-    return _evaluate_shard(_LazyRunnerMap(), items, controls, on_error)
 
 
 # Legacy fork path: the runners are handed to workers through inherited
@@ -283,6 +289,10 @@ class BatchRunner:
         self._serial_fallback_warned = False
         self._netlist_digest: Optional[str] = None
         self._netlist_digest_known = False
+        #: Cumulative recovery counters of every pooled ``run_many`` on this
+        #: runner (respawns/retries/timeouts/bisections/quarantines); see
+        #: :class:`~repro.engine.result.SupervisionStats`.
+        self.supervision = SupervisionStats()
 
     def netlist_digest(self) -> Optional[str]:
         """Content digest of the netlist, or None when it cannot be pickled.
@@ -389,6 +399,11 @@ class BatchRunner:
             if window != default_window:
                 controls = replace(controls, steady_state_window=window)
         try:
+            # Fault-injection hook (no-op without an active FaultPlan): a
+            # matching "raise" fault with simulation=True lands in the
+            # except clause below like any simulator error; hard faults
+            # escape to the supervision layer.
+            maybe_fault_item(model.configuration_label)
             result = kernel.run(controls, self.instruments)
         except (DeadlockError, SimulationError) as exc:
             if on_error == "raise":
@@ -451,6 +466,11 @@ class BatchRunner:
                 )
                 for configuration, rs_counts, capacity in norm_items
             ]
+        for model in models:
+            # Item-level fault hook parity with the scalar path: a poisoned
+            # lane fails the whole vectorised call, which the supervision
+            # layer then bisects down to the lane.
+            maybe_fault_item(model.configuration_label)
         outcomes = run_lockstep_batch(models, controls, self.instruments)
         results: List[BatchResult] = []
         for model, outcome in zip(models, outcomes):
@@ -615,6 +635,10 @@ class MultiNetlistRunner:
             raise SimulationError("MultiNetlistRunner needs at least one layout")
         self.runners: Dict[str, BatchRunner] = dict(runners)
         self._serial_fallback_warned = False
+        #: Cumulative recovery counters of every pooled ``run_many`` call
+        #: (see :class:`~repro.engine.result.SupervisionStats`); the
+        #: evaluation service surfaces these through ``stats()``.
+        self.supervision = SupervisionStats()
 
     @classmethod
     def from_netlists(
@@ -703,21 +727,32 @@ def _resolve_controls(
     return controls
 
 
-def _warn_serial_fallback(owner: Optional[object], reason: str) -> None:
+def _warn_serial_fallback(
+    owner: Optional[object],
+    reason: str,
+    stats: Optional[SupervisionStats] = None,
+) -> None:
     """Emit the serial-fallback warning once per owning runner instance.
 
     A long sweep calls ``run_many`` per batch; repeating the same warning on
     every call drowns real signal, so the first fallback on a runner warns —
     with the concrete *reason* parallelism is unavailable — and later
     batches on the same instance stay quiet.
+
+    With *stats*, the supervision history that preceded the fallback is
+    appended, so an operator can tell "parallelism was never available"
+    apart from "the pool kept dying and supervision gave up".
     """
     if owner is not None:
         if getattr(owner, "_serial_fallback_warned", False):
             return
         owner._serial_fallback_warned = True
+    detail = ""
+    if stats is not None and stats.eventful:
+        detail = f" [supervision before fallback: {stats.summary()}]"
     warnings.warn(
         f"BatchRunner.run_many: parallel evaluation unavailable ({reason}); "
-        "evaluating serially (warned once per runner instance)",
+        f"evaluating serially (warned once per runner instance){detail}",
         RuntimeWarning,
         stacklevel=4,
     )
@@ -742,7 +777,8 @@ def _run_tagged(
         method = start_method or _default_start_method()
         if method is not None:
             return _run_pooled(
-                items, controls, on_error, n_workers, shards, method, payload
+                runners, items, controls, on_error, n_workers, shards,
+                method, payload, owner,
             )
         _warn_serial_fallback(
             owner, "no multiprocessing start method available"
@@ -816,6 +852,7 @@ def _evaluate_shard(
 
 
 def _run_pooled(
+    runners: Mapping[str, BatchRunner],
     items: List[_Tagged],
     controls: RunControls,
     on_error: str,
@@ -823,22 +860,86 @@ def _run_pooled(
     shards: Optional[int],
     method: str,
     payload: bytes,
+    owner: Optional[object] = None,
 ) -> List[BatchResult]:
+    """Fan the shards out across the supervised pool (crash/timeout safe).
+
+    Worker death respawns the pool and requeues the lost shard; repeated
+    shard failure bisects down to the poisoned item, which is quarantined
+    as a per-item error row (``on_error="zero"``) or raised
+    (``on_error="raise"``).  If the pool gives up entirely (respawn budget
+    exhausted — every dispatch was dying), the remaining items are
+    finished serially in this process and the fallback warning carries the
+    supervision history.  Recovery counters accumulate on
+    ``owner.supervision``.
+    """
+    from .supervised_pool import SupervisedPool, _QuarantinedItem
+
     shard_lists = _chunk(items, _shard_count(len(items), n_workers, shards))
-    context = multiprocessing.get_context(method)
-    results: List[BatchResult] = []
-    with context.Pool(
-        processes=min(n_workers, len(shard_lists)),
-        initializer=_pool_initializer,
-        initargs=(payload,),
-    ) as pool:
-        # imap streams shard results back in order as they complete.
-        for shard_results in pool.imap(
-            _pool_run_shard,
-            [(shard, controls, on_error) for shard in shard_lists],
-        ):
-            results.extend(shard_results)
-    return results
+    plan = active_plan()
+    pool = SupervisedPool(
+        payload,
+        method,
+        min(n_workers, len(shard_lists)),
+        controls,
+        on_error,
+        fault_json=plan.to_json() if plan else None,
+    )
+    slots = pool.run(shard_lists)
+    stats = pool.stats
+    results: List[Optional[BatchResult]] = [None] * len(items)
+    unfinished: List[int] = []
+    for index, slot in enumerate(slots):
+        if isinstance(slot, _QuarantinedItem):
+            results[index] = _quarantine_row(runners, items[index], slot)
+        elif slot is None:
+            unfinished.append(index)
+        else:
+            results[index] = slot
+    if unfinished:
+        stats.serial_fallback_items += len(unfinished)
+        _warn_serial_fallback(
+            owner,
+            f"worker pool kept failing; finishing {len(unfinished)} "
+            "items serially",
+            stats,
+        )
+        for index in unfinished:
+            name, (configuration, rs_counts, capacity) = items[index]
+            results[index] = runners[name]._evaluate(
+                configuration, rs_counts, controls, on_error,
+                queue_capacity=capacity,
+            )
+    if owner is not None and hasattr(owner, "supervision"):
+        owner.supervision.merge(stats)
+    return results  # type: ignore[return-value]
+
+
+def _quarantine_row(
+    runners: Mapping[str, BatchRunner],
+    tagged: _Tagged,
+    marker: "Any",
+) -> BatchResult:
+    """Per-item error row for a quarantined item (``on_error="zero"`` shape)."""
+    name, (configuration, rs_counts, capacity) = tagged
+    runner = runners[name]
+    try:
+        _, label = resolve_rs_counts(
+            runner.netlist, rs_counts=rs_counts, configuration=configuration
+        )
+    except Exception:  # noqa: BLE001 - labelling must never mask the error
+        label = (
+            configuration.label if configuration is not None else "per-channel"
+        )
+    return BatchResult(
+        label=label,
+        cycles=0,
+        firings={},
+        halted=False,
+        wrapper_kind="WP2" if runner.relaxed else "WP1",
+        error=marker.error,
+        attempts=marker.attempts,
+    )
 
 
 def _run_forked(

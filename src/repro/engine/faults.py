@@ -1,0 +1,288 @@
+"""Deterministic fault injection: every recovery path is a test, not a hope.
+
+The supervision layer (``repro.engine.supervised_pool``) recovers from
+worker crashes, hung simulations, poisoned items and corrupted cache files.
+None of those occur naturally in CI, so this module makes them occur *on
+demand and deterministically*: a :class:`FaultPlan` is a tuple of
+:class:`FaultSpec` records, each naming an exact trigger site (a shard
+index, a configuration label, a cache key) and an exact attempt number.
+Matching is pure equality — no clocks, no randomness — so a chaos test that
+passes once passes always, and a recovery path exercised under ``fork`` is
+exercised identically under ``spawn``.
+
+Activation, in precedence order:
+
+1. **programmatic** — ``faults.install(plan)`` in the driving process; the
+   batch layer serializes the installed plan into the supervised pool's
+   worker bootstrap, so it reaches every worker under both start methods;
+2. **environment** — ``REPRO_FAULTS`` holding the JSON form (see
+   :meth:`FaultPlan.to_json`); workers read it themselves on first use
+   (spawned children inherit the environment), which is what the CI chaos
+   smoke uses.
+
+Fault kinds:
+
+``crash``
+    The worker process exits immediately (``os._exit``), simulating a
+    segfault/OOM kill.  Fires **only inside pool workers** — in the driving
+    process (serial evaluation, serial fallback) it is a no-op, because the
+    event it models is the death of a *worker*.
+``hang``
+    Sleep for ``seconds``, simulating a wedged simulation; pair with
+    ``RunControls.shard_timeout`` to exercise the watchdog.
+``raise``
+    Raise from inside the evaluation of a matching item: a hard
+    :class:`~repro.core.exceptions.FaultInjectionError` by default (drives
+    retry → bisection → quarantine), or a plain
+    :class:`~repro.core.exceptions.SimulationError` with ``simulation=true``
+    (absorbed by the batch layer's ordinary ``on_error`` handling).
+``corrupt-cache``
+    Overwrite the on-disk cache entry just written for a matching key with
+    garbage bytes, exercising the checksum/quarantine path of
+    :class:`repro.service.cache.ResultCache`.
+
+Shard-level specs (``shard`` set, or neither ``shard`` nor ``label`` set —
+a wildcard) fire when a worker picks up the shard; item-level specs
+(``label`` set) fire as the matching configuration is evaluated.  The
+``attempt`` selector counts per-shard retries (``0`` = first attempt only,
+``None`` = every attempt); sub-shards created by bisection inherit the
+original shard index with the attempt counter reset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..core.exceptions import FaultInjectionError, SimulationError
+
+#: Environment variable holding the JSON form of a :class:`FaultPlan`.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status of a ``crash`` fault — distinctive, so a supervisor log line
+#: showing it is unambiguous about who killed the worker.
+CRASH_EXIT_CODE = 73
+
+_VALID_KINDS = frozenset({"crash", "hang", "raise", "corrupt-cache"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: a kind, a trigger site, an attempt filter."""
+
+    kind: str
+    #: Original shard index to match (None: any shard, for shard-level specs).
+    shard: Optional[int] = None
+    #: Configuration label to match (set ⇒ the spec is item-level).
+    label: Optional[str] = None
+    #: Per-shard attempt to fire on (None: every attempt; 0: first only).
+    attempt: Optional[int] = None
+    #: ``hang`` duration in seconds.
+    seconds: float = 1.0
+    #: ``raise`` flavour: True raises SimulationError (absorbed by the batch
+    #: layer's ``on_error``), False raises the hard FaultInjectionError.
+    simulation: bool = False
+    #: ``corrupt-cache``: key prefix to match (None or "any": every key).
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid: {sorted(_VALID_KINDS)}"
+            )
+
+    # -- matching -----------------------------------------------------------
+    def _attempt_matches(self, attempt: int) -> bool:
+        return self.attempt is None or self.attempt == attempt
+
+    def matches_shard(self, shard: Optional[int], attempt: int) -> bool:
+        """Shard-level trigger: label-free specs, exact or wildcard index."""
+        if self.label is not None or self.kind == "corrupt-cache":
+            return False
+        if self.shard is not None and self.shard != shard:
+            return False
+        return self._attempt_matches(attempt)
+
+    def matches_item(self, label: Optional[str], attempt: int) -> bool:
+        """Item-level trigger: the spec names this configuration label."""
+        if self.label is None or self.label != label:
+            return False
+        return self._attempt_matches(attempt)
+
+    def matches_key(self, key: str) -> bool:
+        if self.kind != "corrupt-cache":
+            return False
+        if self.key is None or self.key == "any":
+            return True
+        return key.startswith(self.key)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        for name in ("shard", "label", "attempt", "key"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        if self.kind == "hang":
+            data["seconds"] = self.seconds
+        if self.simulation:
+            data["simulation"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {
+            "kind", "shard", "label", "attempt", "seconds", "simulation", "key",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec fields {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, serializable set of deterministic faults."""
+
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(faults=tuple(specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([spec.to_dict() for spec in self.faults])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise SimulationError(f"invalid fault plan JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise SimulationError(
+                "a fault plan is a JSON list of fault objects, got "
+                f"{type(raw).__name__}"
+            )
+        try:
+            return cls(faults=tuple(FaultSpec.from_dict(item) for item in raw))
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(f"invalid fault spec: {exc}") from exc
+
+    # -- firing -------------------------------------------------------------
+    def on_shard_start(
+        self, shard: Optional[int], attempt: int, in_worker: bool
+    ) -> None:
+        """Fire shard-level faults as a worker picks the shard up."""
+        for spec in self.faults:
+            if spec.matches_shard(shard, attempt):
+                _fire(spec, f"shard {shard} attempt {attempt}", in_worker)
+
+    def on_item(self, label: Optional[str], attempt: int, in_worker: bool) -> None:
+        """Fire item-level faults as a matching configuration is evaluated."""
+        for spec in self.faults:
+            if spec.matches_item(label, attempt):
+                _fire(spec, f"item {label!r} attempt {attempt}", in_worker)
+
+    def corrupts_key(self, key: str) -> bool:
+        return any(spec.matches_key(key) for spec in self.faults)
+
+
+def _fire(spec: FaultSpec, site: str, in_worker: bool) -> None:
+    if spec.kind == "crash":
+        if in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        return  # crash models *worker* death; meaningless in the driver
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "raise":
+        if spec.simulation:
+            raise SimulationError(f"injected simulation fault at {site}")
+        raise FaultInjectionError(f"injected hard fault at {site}")
+
+
+# ---------------------------------------------------------------------------
+# Process-wide activation state
+# ---------------------------------------------------------------------------
+
+_INSTALLED: Optional[FaultPlan] = None
+#: (raw env string, parsed plan) — reparsed only when the raw value changes.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+#: True in supervised-pool worker processes (crash faults fire only there).
+_IN_WORKER = False
+#: The shard/attempt a worker is currently evaluating (item-level matching).
+_CONTEXT: Dict[str, Any] = {"shard": None, "attempt": 0}
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Activate *plan* in this process (None deactivates).
+
+    An installed plan takes precedence over ``REPRO_FAULTS`` and is shipped
+    to pool workers by the supervised pool's bootstrap.
+    """
+    global _INSTALLED
+    _INSTALLED = plan
+
+
+def uninstall() -> None:
+    install(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in effect: installed first, else parsed from the environment."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    raw = os.environ.get(FAULTS_ENV_VAR, "").strip() or None
+    if raw is None:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.from_json(raw))
+    return _ENV_CACHE[1]
+
+
+def mark_worker() -> None:
+    """Declare this process a supervised-pool worker (enables crash faults)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def set_shard_context(shard: Optional[int], attempt: int) -> None:
+    """Record the shard a worker is serving, for item-level attempt matching."""
+    _CONTEXT["shard"] = shard
+    _CONTEXT["attempt"] = attempt
+
+
+def maybe_fault_shard(shard: Optional[int], attempt: int) -> None:
+    plan = active_plan()
+    if plan is not None:
+        plan.on_shard_start(shard, attempt, _IN_WORKER)
+
+
+def maybe_fault_item(label: Optional[str]) -> None:
+    """Hook called per evaluated configuration (hot path: one None check)."""
+    plan = _INSTALLED
+    if plan is None:
+        plan = active_plan()
+        if plan is None:
+            return
+    plan.on_item(label, _CONTEXT["attempt"], _IN_WORKER)
+
+
+def should_corrupt(key: str) -> bool:
+    plan = active_plan()
+    return plan is not None and plan.corrupts_key(key)
+
+
+def corrupt_file(path: "Path | str") -> None:
+    """Overwrite *path* with bytes no JSON parser will accept."""
+    Path(path).write_bytes(b"\x00corrupted-by-fault-injection\x00")

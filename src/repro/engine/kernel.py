@@ -69,6 +69,19 @@ class RunControls:
     #: Cycles to search for a state recurrence before disarming the detector
     #: (bounds its memory).  ``None`` uses the module default; 0 disables.
     steady_state_window: Optional[int] = None
+    #: Wall-clock budget in seconds for one shard of a pooled batch run.
+    #: A shard still running past it has its worker killed and is retried
+    #: (safe: workers never mutate driver state — DESIGN.md §8).  ``None``
+    #: disables the watchdog; serial runs are never interrupted.  This and
+    #: the two knobs below steer the supervised pool only — they can never
+    #: change simulation results and are excluded from the result-cache
+    #: signature (see ``repro.service.cache.controls_signature``).
+    shard_timeout: Optional[float] = None
+    #: Times a failed shard is re-dispatched before bisection/quarantine.
+    max_shard_retries: int = 2
+    #: Base of the capped exponential retry backoff, seconds
+    #: (``retry_backoff * 2^(attempt-1)``, capped at 1s).
+    retry_backoff: float = 0.05
 
     def validate(self, model: ElaboratedModel) -> None:
         """Reject stop conditions referencing unknown processes."""
@@ -85,6 +98,18 @@ class RunControls:
                 )
         if self.horizon is not None and self.horizon < 1:
             raise SimulationError(f"horizon must be >= 1, got {self.horizon}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise SimulationError(
+                f"shard_timeout must be > 0 seconds, got {self.shard_timeout}"
+            )
+        if self.max_shard_retries < 0:
+            raise SimulationError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise SimulationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
 
     def loop_bound(self) -> int:
         """The cycle count the run loop may reach (horizon caps max_cycles)."""

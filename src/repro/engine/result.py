@@ -65,6 +65,75 @@ def trace_from_lists_canonical(data: Dict[str, List[Any]]) -> SystemTrace:
 
 
 @dataclass
+class SupervisionStats:
+    """Recovery counters of one (or many, merged) supervised batch runs.
+
+    Produced by :class:`repro.engine.supervised_pool.SupervisedPool` and
+    accumulated on :class:`~repro.engine.batch.BatchRunner` /
+    :class:`~repro.engine.batch.MultiNetlistRunner` across every pooled
+    ``run_many`` call; :meth:`repro.service.scheduler.EvaluationService.stats`
+    surfaces the merged record.  All-zero means every shard succeeded on its
+    first attempt with no worker loss — the common case.
+    """
+
+    #: Worker processes respawned after dying (crash or timeout kill).
+    respawns: int = 0
+    #: Shards re-dispatched after a failed attempt (backoff applied).
+    retries: int = 0
+    #: Shards whose worker was killed for exceeding ``shard_timeout``.
+    timeouts: int = 0
+    #: Failed multi-item shards split in half to isolate a poisoned item.
+    bisections: int = 0
+    #: Single items that exhausted every retry and became per-item error rows.
+    quarantined: int = 0
+    #: Items completed serially in the driver after the pool gave up.
+    serial_fallback_items: int = 0
+
+    def merge(self, other: "SupervisionStats") -> "SupervisionStats":
+        """Accumulate *other* into self (returns self for chaining)."""
+        self.respawns += other.respawns
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.bisections += other.bisections
+        self.quarantined += other.quarantined
+        self.serial_fallback_items += other.serial_fallback_items
+        return self
+
+    @property
+    def eventful(self) -> bool:
+        """True when any recovery action was taken."""
+        return any(
+            (
+                self.respawns, self.retries, self.timeouts,
+                self.bisections, self.quarantined, self.serial_fallback_items,
+            )
+        )
+
+    def summary(self) -> str:
+        """Compact human-readable form for warnings and logs."""
+        return (
+            f"{self.respawns} respawns, {self.retries} retries, "
+            f"{self.timeouts} timeouts, {self.bisections} bisections, "
+            f"{self.quarantined} quarantined, "
+            f"{self.serial_fallback_items} serial-fallback items"
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "bisections": self.bisections,
+            "quarantined": self.quarantined,
+            "serial_fallback_items": self.serial_fallback_items,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "SupervisionStats":
+        return cls(**data)
+
+
+@dataclass
 class LidResult:
     """Outcome of a latency-insensitive simulation run."""
 

@@ -1,0 +1,500 @@
+"""A supervised worker pool: crash containment, watchdogs, retry, quarantine.
+
+``multiprocessing.Pool`` gives the batch layer fan-out but no fault
+tolerance: a worker that dies mid-task silently loses the task (the
+``imap`` stream never completes), a hung simulation stalls the pool
+forever, and the only recovery is to abort the whole batch.  This module
+replaces it with an explicitly supervised pool built from raw
+``multiprocessing.Process`` workers, one duplex pipe each, so the
+supervisor always knows *which* worker holds *which* shard:
+
+* **crash containment** — a worker that exits (segfault, OOM kill,
+  injected ``crash`` fault) is detected the moment its pipe closes or its
+  liveness poll fails; the worker is respawned and the shard it held is
+  requeued;
+* **watchdog** — with ``RunControls.shard_timeout`` set, a shard that
+  exceeds its wall-clock budget gets its worker killed (a wedged
+  simulation never returns on its own) and is requeued.  Timed-out shards
+  are *safe* to retry: workers only ever mutate their own rebuilt runner
+  state, never the driver's, so a killed attempt leaves no partial effects
+  behind (DESIGN.md §8);
+* **retry with capped exponential backoff** — a failed shard is
+  re-dispatched up to ``RunControls.max_shard_retries`` times, waiting
+  ``retry_backoff · 2^(attempt-1)`` seconds (capped) between attempts;
+* **bisection quarantine** — a shard that keeps failing is split in half
+  (each half with a fresh retry budget); recursing isolates the poisoned
+  item, which becomes a per-item error row (the ``on_error="zero"`` row
+  shape) while every sibling item still returns its real result.  Under
+  ``on_error="raise"`` the isolated failure is raised instead;
+* **give-up discipline** — respawns are budgeted; a pool that keeps dying
+  stops burning processes, returns what it has, and leaves the remaining
+  items to the caller's serial fallback (which warns with the supervision
+  stats, so "parallelism unavailable" and "pool kept dying" read
+  differently).
+
+Results are deterministic: every shard lands in its submission-order slot
+regardless of retry order, and a fault-free supervised run is bit-identical
+to a serial run (property-tested in ``tests/test_supervision.py``).
+
+The supervisor runs in the calling thread — ``run()`` is synchronous, like
+the pool it replaces — and multiplexes dispatch, completion, liveness and
+deadlines over ``multiprocessing.connection.wait``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.exceptions import (
+    ShardTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+)
+from .faults import FaultPlan, install, mark_worker, maybe_fault_shard, set_shard_context
+from .result import SupervisionStats
+
+#: Ceiling on the exponential retry backoff, seconds.
+BACKOFF_CAP = 1.0
+
+#: Idle supervisor wake-up period, seconds (liveness polling floor; pipe
+#: events wake the supervisor immediately, this only bounds how late a
+#: silent worker death is noticed).
+POLL_INTERVAL = 0.05
+
+#: Respawn budget per pool: ``RESPAWN_BUDGET_PER_WORKER × workers + 2``.
+#: A pool that loses more workers than this is structurally broken (or
+#: every shard is poisoned); further respawns would burn processes without
+#: converging, so the pool gives up and the batch layer falls back to
+#: serial evaluation of whatever is left.
+RESPAWN_BUDGET_PER_WORKER = 2
+
+
+@dataclass
+class _Task:
+    """One (sub-)shard in flight through the supervisor."""
+
+    task_id: int
+    #: Original shard index (inherited by bisection children; what the
+    #: fault plan's shard-level specs match on).
+    shard_id: int
+    #: Index of this task's first item in the flat submission-order list.
+    start: int
+    items: List[Any]
+    #: Retry counter against ``max_shard_retries`` (reset by bisection).
+    attempt: int = 0
+    #: Total completed attempts over these items (survives bisection; the
+    #: per-item ``BatchResult.attempts`` stamp).
+    tries: int = 0
+    #: Monotonic time before which the task must not be dispatched (backoff).
+    ready: float = 0.0
+    #: Most recent failure, for the quarantine row / raised error.
+    last_error: str = ""
+
+
+def _worker_main(
+    conn,
+    payload: bytes,
+    fault_json: Optional[str],
+    controls,
+    on_error: str,
+) -> None:
+    """Worker process body: rebuild runners once, then serve shard tasks.
+
+    Messages in: ``(task_id, shard_id, attempt, items)`` or ``None`` (quit).
+    Messages out: ``(task_id, "ok", results)`` or
+    ``(task_id, "error", summary, pickled_exc | None, is_simulation_error)``.
+    """
+    # Imported here: batch imports this module at top level (the reverse
+    # import must be lazy), and by the time a worker runs, batch is loaded.
+    from .batch import _LazyRunnerMap, _evaluate_shard, _pool_initializer
+
+    _pool_initializer(payload)
+    mark_worker()
+    if fault_json is not None:
+        install(FaultPlan.from_json(fault_json))
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        task_id, shard_id, attempt, items = task
+        set_shard_context(shard_id, attempt)
+        try:
+            maybe_fault_shard(shard_id, attempt)
+            results = _evaluate_shard(_LazyRunnerMap(), items, controls, on_error)
+            message = (task_id, "ok", results)
+        except Exception as exc:  # noqa: BLE001 - shipped to the supervisor
+            try:
+                blob: Optional[bytes] = pickle.dumps(exc)
+            except Exception:  # noqa: BLE001 - unpicklable exception payload
+                blob = None
+            message = (
+                task_id,
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                blob,
+                isinstance(exc, SimulationError),
+            )
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    """One supervised worker process and its duplex pipe."""
+
+    __slots__ = ("conn", "process", "task", "deadline")
+
+    def __init__(self, ctx, payload, fault_json, controls, on_error) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, payload, fault_json, controls, on_error),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+
+    def dispatch(self, task: _Task, timeout: Optional[float]) -> bool:
+        """Hand *task* to the worker; False when the pipe is already dead."""
+        try:
+            self.conn.send((task.task_id, task.shard_id, task.attempt, task.items))
+        except (BrokenPipeError, OSError):
+            return False
+        self.task = task
+        self.deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        return True
+
+    def release_task(self) -> Optional[_Task]:
+        task, self.task, self.deadline = self.task, None, None
+        return task
+
+    def reap(self, kill: bool = False) -> None:
+        """Shut the worker down, escalating politely → terminate → kill."""
+        if self.process.is_alive() and not kill:
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=0.1 if kill else 2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stuck in the kernel
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        # Release the process object's pipes/fds promptly.
+        self.process.close()
+
+
+class SupervisedPool:
+    """Run sharded batch work with crash/timeout supervision.
+
+    One instance serves one ``run()`` call (the batch layer constructs it
+    per pooled batch); the interesting state it leaves behind is
+    :attr:`stats`.  Construction parameters come from the batch layer:
+    *payload* is the pickled runner rebuild spec every worker is seeded
+    with, *controls* carries the supervision knobs
+    (``shard_timeout`` / ``max_shard_retries`` / ``retry_backoff``), and
+    *fault_json* ships the driver's installed fault plan to the workers.
+    """
+
+    def __init__(
+        self,
+        payload: bytes,
+        method: str,
+        processes: int,
+        controls,
+        on_error: str,
+        fault_json: Optional[str] = None,
+    ) -> None:
+        if processes < 1:
+            raise SimulationError("SupervisedPool needs at least one worker")
+        self.payload = payload
+        self.method = method
+        self.processes = processes
+        self.controls = controls
+        self.on_error = on_error
+        self.fault_json = fault_json
+        self.shard_timeout: Optional[float] = controls.shard_timeout
+        self.max_shard_retries: int = controls.max_shard_retries
+        self.retry_backoff: float = controls.retry_backoff
+        self.max_respawns = RESPAWN_BUDGET_PER_WORKER * processes + 2
+        self.stats = SupervisionStats()
+        self._task_ids = itertools.count()
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self, shard_lists: Sequence[Sequence[Any]]
+    ) -> List[Optional[List[Any]]]:
+        """Evaluate every shard; returns per-item slots in submission order.
+
+        Each returned slot is either that item's result (possibly a
+        quarantine error row) or ``None`` when the pool gave up before the
+        item completed — the caller finishes ``None`` slots serially.
+        Raises the isolated failure instead of quarantining under
+        ``on_error="raise"``.
+        """
+        tasks: List[_Task] = []
+        start = 0
+        for shard_id, items in enumerate(shard_lists):
+            tasks.append(
+                _Task(
+                    task_id=next(self._task_ids),
+                    shard_id=shard_id,
+                    start=start,
+                    items=list(items),
+                )
+            )
+            start += len(items)
+        slots: List[Optional[Any]] = [None] * start
+        if not tasks:
+            return slots
+        outstanding: Dict[int, _Task] = {t.task_id: t for t in tasks}
+        pending: List[_Task] = list(tasks)
+        ctx = multiprocessing.get_context(self.method)
+        workers: List[_Worker] = [
+            self._spawn(ctx) for _ in range(min(self.processes, len(tasks)))
+        ]
+        try:
+            while outstanding:
+                now = time.monotonic()
+                self._dispatch_ready(workers, pending, now)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if not workers:
+                        break  # respawn budget exhausted, nobody left: give up
+                    if not pending:  # pragma: no cover - bookkeeping bug guard
+                        raise SimulationError(
+                            "supervised pool wedged: work outstanding but "
+                            "nothing pending or running"
+                        )
+                    # Everyone idle, all pending tasks in backoff: sleep to
+                    # the earliest ready time.
+                    wake = min(task.ready for task in pending)
+                    time.sleep(max(0.0, min(wake - now, BACKOFF_CAP)))
+                    continue
+                ready = _connection_wait(
+                    [w.conn for w in busy], timeout=self._wait_timeout(busy, pending, now)
+                )
+                by_conn = {w.conn: w for w in busy}
+                handled = set()
+                for conn in ready:
+                    worker = by_conn[conn]
+                    handled.add(id(worker))
+                    self._drain_worker(
+                        ctx, worker, workers, pending, outstanding, slots
+                    )
+                # Liveness + deadline sweep (idle workers included: a dead
+                # idle worker would otherwise linger and starve dispatch).
+                now = time.monotonic()
+                for worker in list(workers):
+                    if id(worker) in handled:
+                        continue
+                    if not worker.process.is_alive():
+                        self._worker_lost(
+                            ctx, worker, workers, pending, outstanding, slots,
+                            crashed=True,
+                        )
+                    elif (
+                        worker.task is not None
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        self.stats.timeouts += 1
+                        self._worker_lost(
+                            ctx, worker, workers, pending, outstanding, slots,
+                            crashed=False,
+                        )
+        finally:
+            for worker in workers:
+                worker.reap()
+        # Give-up path: unfinished slots stay None for the caller's serial
+        # fallback (outstanding is empty on every normal exit).
+        return slots
+
+    # -- supervisor internals ------------------------------------------------
+    def _spawn(self, ctx) -> _Worker:
+        return _Worker(
+            ctx, self.payload, self.fault_json, self.controls, self.on_error
+        )
+
+    def _respawn(self, ctx, workers: List[_Worker]) -> None:
+        """Replace a lost worker if the respawn budget allows it."""
+        self.stats.respawns += 1
+        if self.stats.respawns <= self.max_respawns:
+            workers.append(self._spawn(ctx))
+
+    def _dispatch_ready(
+        self, workers: List[_Worker], pending: List[_Task], now: float
+    ) -> None:
+        for worker in workers:
+            if worker.task is not None:
+                continue
+            task = self._pop_ready(pending, now)
+            if task is None:
+                return
+            if not worker.dispatch(task, self.shard_timeout):
+                # Pipe already broken: the death is handled by the liveness
+                # sweep; put the task back for someone else.
+                pending.append(task)
+
+    @staticmethod
+    def _pop_ready(pending: List[_Task], now: float) -> Optional[_Task]:
+        for index, task in enumerate(pending):
+            if task.ready <= now:
+                return pending.pop(index)
+        return None
+
+    def _wait_timeout(
+        self, busy: List[_Worker], pending: List[_Task], now: float
+    ) -> float:
+        timeout = POLL_INTERVAL
+        for worker in busy:
+            if worker.deadline is not None:
+                timeout = min(timeout, worker.deadline - now)
+        for task in pending:
+            if task.ready > now:
+                timeout = min(timeout, task.ready - now)
+        return max(0.0, timeout)
+
+    def _drain_worker(
+        self, ctx, worker, workers, pending, outstanding, slots
+    ) -> None:
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            self._worker_lost(
+                ctx, worker, workers, pending, outstanding, slots, crashed=True
+            )
+            return
+        task = worker.release_task()
+        if task is None:  # pragma: no cover - stray message after requeue
+            return
+        if message[1] == "ok":
+            results = message[2]
+            for result in results:
+                result.attempts = task.tries + 1
+            slots[task.start : task.start + len(results)] = results
+            outstanding.pop(task.task_id, None)
+            return
+        _, _, summary, blob, is_sim = message
+        self._task_failed(
+            task, pending, outstanding, slots,
+            summary=summary, blob=blob, deterministic=is_sim,
+        )
+
+    def _worker_lost(
+        self, ctx, worker, workers, pending, outstanding, slots, crashed: bool
+    ) -> None:
+        """A worker died (crashed=True) or was killed for a timeout."""
+        task = worker.release_task()
+        exitcode = worker.process.exitcode
+        workers.remove(worker)
+        worker.reap(kill=True)
+        self._respawn(ctx, workers)
+        if task is None:
+            return
+        if crashed:
+            summary = (
+                f"WorkerCrashError: worker died (exit code {exitcode}) while "
+                f"evaluating shard {task.shard_id} attempt {task.attempt}"
+            )
+        else:
+            summary = (
+                f"ShardTimeoutError: shard {task.shard_id} attempt "
+                f"{task.attempt} exceeded shard_timeout="
+                f"{self.shard_timeout}s; worker killed"
+            )
+        self._task_failed(
+            task, pending, outstanding, slots,
+            summary=summary, blob=None, deterministic=False,
+        )
+
+    def _task_failed(
+        self, task, pending, outstanding, slots, *,
+        summary: str, blob: Optional[bytes], deterministic: bool,
+    ) -> None:
+        """Route a failed attempt: raise, retry with backoff, bisect, quarantine.
+
+        *deterministic* marks simulation errors that escaped the worker's
+        per-item handling: retrying them is pointless, so they skip straight
+        to bisection/quarantine (or re-raise under ``on_error="raise"``).
+        """
+        task.tries += 1
+        task.last_error = summary
+        if deterministic and self.on_error == "raise":
+            raise self._rebuild_error(summary, blob)
+        if not deterministic and task.attempt < self.max_shard_retries:
+            self.stats.retries += 1
+            task.attempt += 1
+            backoff = min(
+                BACKOFF_CAP, self.retry_backoff * (2 ** (task.attempt - 1))
+            )
+            task.ready = time.monotonic() + backoff
+            pending.append(task)
+            return
+        if len(task.items) > 1:
+            self.stats.bisections += 1
+            outstanding.pop(task.task_id, None)
+            mid = len(task.items) // 2
+            for offset, part in ((0, task.items[:mid]), (mid, task.items[mid:])):
+                child = _Task(
+                    task_id=next(self._task_ids),
+                    shard_id=task.shard_id,
+                    start=task.start + offset,
+                    items=part,
+                    tries=task.tries,
+                )
+                outstanding[child.task_id] = child
+                pending.append(child)
+            return
+        # A single item out of retries: quarantine (or surface the error).
+        if self.on_error == "raise":
+            raise self._rebuild_error(summary, blob)
+        self.stats.quarantined += 1
+        outstanding.pop(task.task_id, None)
+        slots[task.start] = _QuarantinedItem(
+            item=task.items[0], error=summary, attempts=task.tries
+        )
+
+    @staticmethod
+    def _rebuild_error(summary: str, blob: Optional[bytes]) -> Exception:
+        if blob is not None:
+            try:
+                return pickle.loads(blob)
+            except Exception:  # noqa: BLE001 - fall through to summary form
+                pass
+        if summary.startswith("ShardTimeoutError"):
+            return ShardTimeoutError(summary)
+        return WorkerCrashError(summary)
+
+
+@dataclass
+class _QuarantinedItem:
+    """Marker slot: the batch layer turns it into a per-item error row."""
+
+    item: Any
+    error: str
+    attempts: int

@@ -31,7 +31,12 @@ JSON tier (one ``<key>.json`` file per entry under *cache_dir*) that survives
 the process — repeated sweeps and re-runs of ``table1`` across CLI
 invocations are near-free.  Disk files store the canonical
 :meth:`~repro.engine.batch.BatchResult.to_dict` form, which is JSON-safe for
-every field.
+every field, wrapped with a sha256 **payload checksum**: a file that fails to
+parse, fails its checksum, or fails to deserialize is *quarantined* — renamed
+to ``<key>.corrupt`` so it can never be consulted again (and is preserved for
+post-mortem) — counted in :meth:`ResultCache.stats`, and treated as a plain
+miss.  Corruption is a recoverable event, never an exception: the worst a
+flipped bit can cost is one re-simulation.
 """
 
 from __future__ import annotations
@@ -47,12 +52,15 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..engine.batch import BatchResult, BatchRunner, _Item
 from ..engine.elaboration import resolve_rs_counts
+from ..engine.faults import corrupt_file, should_corrupt
 from ..engine.kernel import RunControls
 from ..engine.steady_state import resolve_steady_state
 
 #: Bump when the key derivation or the serialized form changes incompatibly:
 #: old disk entries then miss (sound) instead of deserializing garbage.
-CACHE_SCHEMA_VERSION = 1
+#: v2: payload checksum added to the disk form (v1 files miss cleanly — a
+#: version mismatch is compatibility, not corruption, and is not quarantined).
+CACHE_SCHEMA_VERSION = 2
 
 
 def controls_signature(controls: RunControls) -> Optional[Tuple]:
@@ -72,6 +80,9 @@ def controls_signature(controls: RunControls) -> Optional[Tuple]:
         if controls.target_firings is None
         else tuple(sorted(controls.target_firings.items()))
     )
+    # The supervision knobs (shard_timeout, max_shard_retries, retry_backoff)
+    # are deliberately absent: they steer *how* the pool recovers, never what
+    # a simulation computes, so results are shared across their settings.
     return (
         controls.max_cycles,
         controls.stop_process,
@@ -155,6 +166,7 @@ class ResultCache:
         self.misses = 0
         self.disk_hits = 0
         self.disk_errors = 0
+        self.corrupt_quarantined = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -223,6 +235,7 @@ class ResultCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "disk_errors": self.disk_errors,
+                "corrupt_quarantined": self.corrupt_quarantined,
                 "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
             }
 
@@ -237,29 +250,70 @@ class ResultCache:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.json"
 
+    @staticmethod
+    def _checksum(result_dict: Dict[str, Any]) -> str:
+        """sha256 over the canonical (sorted-keys) JSON form of the result."""
+        canonical = json.dumps(result_dict, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry out of the address space (``<key>.corrupt``).
+
+        The rename makes the corruption one-shot: the next lookup of the key
+        is a clean miss, re-simulation repopulates the entry, and the bad
+        bytes stay on disk for post-mortem instead of being retried forever.
+        """
+        self.corrupt_quarantined += 1
+        self.disk_errors += 1
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
     def _read_disk(self, key: str) -> Optional[BatchResult]:
         if self.cache_dir is None:
             return None
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
         except FileNotFoundError:
             return None
-        except (OSError, ValueError):
+        except OSError:
             self.disk_errors += 1
-            return None
-        if payload.get("version") != CACHE_SCHEMA_VERSION:
             return None
         try:
-            return BatchResult.from_dict(payload["result"])
-        except (KeyError, TypeError):
-            self.disk_errors += 1
+            payload = json.loads(text)
+        except ValueError:
+            self._quarantine(path, "unparseable JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "payload is not an object")
+            return None
+        if payload.get("version") != CACHE_SCHEMA_VERSION:
+            # Older schema, not damage: miss cleanly, leave the file alone.
+            return None
+        result_dict = payload.get("result")
+        if (
+            not isinstance(result_dict, dict)
+            or payload.get("checksum") != self._checksum(result_dict)
+        ):
+            self._quarantine(path, "checksum mismatch")
+            return None
+        try:
+            return BatchResult.from_dict(result_dict)
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "undeserializable result")
             return None
 
     def _write_disk(self, key: str, result: BatchResult) -> None:
         if self.cache_dir is None:
             return
-        payload = {"version": CACHE_SCHEMA_VERSION, "result": result.to_dict()}
+        result_dict = result.to_dict()
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "result": result_dict,
+            "checksum": self._checksum(result_dict),
+        }
         path = self._path(key)
         tmp = path.with_suffix(".tmp")
         try:
@@ -271,3 +325,6 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+            return
+        if should_corrupt(key):  # fault injection: exercise the quarantine path
+            corrupt_file(path)

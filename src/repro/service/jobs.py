@@ -15,9 +15,15 @@ Lifecycle: ``pending → running → done | failed``, with ``cancelled``
 reachable from ``pending`` only — a job that has started evaluating runs to
 completion (simulation kernels have no safe preemption point), so
 cancellation is a promise about *not starting* work, never about tearing it
-down half-way.  Every job reaches exactly one terminal state and is posted to
-its jobset's completion queue exactly once; that invariant is what lets the
-streaming iterators terminate after ``len(jobs)`` items without timeouts.
+down half-way.  A chunk evaluation that raises does not immediately doom its
+jobs: the scheduler moves each affected job back ``running → pending`` (see
+:meth:`Job._requeue`) and re-enqueues it, up to its ``max_job_attempts``
+budget; only exhaustion of that budget (or a close with work in flight)
+makes the failure terminal.  :attr:`Job.attempts` counts how many times the
+job actually began evaluating.  Every job reaches exactly one terminal state
+and is posted to its jobset's completion queue exactly once; that invariant
+is what lets the streaming iterators terminate after ``len(jobs)`` items
+without timeouts.
 """
 
 from __future__ import annotations
@@ -64,7 +70,7 @@ class Job:
 
     __slots__ = (
         "job_id", "layout", "item", "label", "tag", "priority", "controls",
-        "key", "status", "result", "error", "cached", "deduped",
+        "key", "status", "result", "error", "cached", "deduped", "attempts",
         "_lock", "_event", "_jobset", "_callbacks", "_followers",
     )
 
@@ -95,6 +101,9 @@ class Job:
         self.error: Optional[str] = None
         self.cached = False
         self.deduped = False
+        #: Times the job began evaluating (incremented by :meth:`_begin`);
+        #: bounded by the service's ``max_job_attempts``.
+        self.attempts = 0
         self._lock = threading.Lock()
         self._event = threading.Event()
         self._jobset: Optional["JobSet"] = None
@@ -134,6 +143,20 @@ class Job:
             if self.status is not JobStatus.PENDING:
                 return False
             self.status = JobStatus.RUNNING
+            self.attempts += 1
+            return True
+
+    def _requeue(self) -> bool:
+        """RUNNING → PENDING transition after a failed evaluation attempt.
+
+        False when the job is no longer running (e.g. already failed at
+        close); the caller must then not re-enqueue it.  The job becomes
+        cancellable again — pending is pending.
+        """
+        with self._lock:
+            if self.status is not JobStatus.RUNNING:
+                return False
+            self.status = JobStatus.PENDING
             return True
 
     def _finish(

@@ -31,6 +31,20 @@ step (respecting priorities), evaluates the chunk through the pool
 and completes the chunk's jobs before draining the next.  With serial
 workers the chunk size is 1, which is what makes long sweeps *stream*:
 row k is delivered while row k+1 simulates.
+
+The service is fault-tolerant end to end (DESIGN.md §8).  Per-item failures
+never surface here — the supervised pool under ``run_many`` quarantines them
+into error rows — but a chunk evaluation can still *raise* (give-up after
+respawn-budget exhaustion with serial fallback also failing, a corrupted
+work spec, resource exhaustion in the driver).  Such jobs are not doomed on
+first strike: each is re-enqueued until its ``max_job_attempts`` budget runs
+out, and only then fails terminally (``job.error`` carries the last
+message).  ``max_pending`` bounds the submission queue — ``submit()`` blocks
+(outside every lock) until room frees up, so a fast producer cannot race
+unbounded memory ahead of the pool.  ``close(cancel_pending=True)`` is also
+bounded: it joins the scheduler thread for ``join_timeout`` seconds and, if
+a wedged evaluation keeps the thread alive past that, *fails* the in-flight
+jobs rather than orphaning their submitters on a wait that never returns.
 """
 
 from __future__ import annotations
@@ -50,6 +64,7 @@ from ..engine.batch import (
     TaggedItem,
 )
 from ..engine.kernel import RunControls
+from ..engine.result import SupervisionStats
 from ..engine.steady_state import PeriodMemory
 from .cache import ResultCache, relabel, result_key
 from .jobs import Job, JobSet, JobStatus
@@ -85,6 +100,17 @@ class EvaluationService:
         Start the scheduler thread on first submit (default).  Tests pass
         False to stage jobs and observe dedup deterministically, then call
         :meth:`start`.
+    max_job_attempts:
+        Times one job may *begin* evaluating before a raising chunk makes
+        its failure terminal (default 2: one retry).  Per-item simulation
+        errors are not attempts — they come back as error rows, not raises.
+    max_pending:
+        Bound on jobs queued but not yet evaluated; ``submit()`` blocks
+        until room frees up.  None (default) leaves the queue unbounded.
+    join_timeout:
+        Seconds ``close(cancel_pending=True)`` waits for the scheduler
+        thread before declaring the in-flight chunk abandoned and failing
+        its jobs (an explicit ``close(timeout=...)`` overrides it).
     """
 
     def __init__(
@@ -97,7 +123,18 @@ class EvaluationService:
         start_method: Optional[str] = None,
         period_memory: Optional[PeriodMemory] = None,
         autostart: bool = True,
+        max_job_attempts: int = 2,
+        max_pending: Optional[int] = None,
+        join_timeout: float = 10.0,
     ) -> None:
+        if max_job_attempts < 1:
+            raise SimulationError(
+                f"max_job_attempts must be >= 1, got {max_job_attempts}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise SimulationError(
+                f"max_pending must be >= 1 (or None), got {max_pending}"
+            )
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
         self.chunk_size = chunk_size
@@ -106,15 +143,25 @@ class EvaluationService:
             period_memory if period_memory is not None else PeriodMemory()
         )
         self.autostart = autostart
+        self.max_job_attempts = max_job_attempts
+        self.join_timeout = join_timeout
+        #: Backpressure: one slot per queued-but-not-yet-drained job.
+        self._pending: Optional[threading.Semaphore] = (
+            threading.Semaphore(max_pending) if max_pending is not None else None
+        )
         self._lock = threading.RLock()
         self._runners: Dict[str, BatchRunner] = dict(runners or {})
         self._multi: Optional[MultiNetlistRunner] = None
         if self._runners:
             self._multi = MultiNetlistRunner(self._runners)
-        self._queue: "queue.PriorityQueue[Tuple[float, int, Optional[Job]]]" = (
-            queue.PriorityQueue()
-        )
+        # Entries: (priority, seq, job | None sentinel, holds-a-pending-slot).
+        self._queue: (
+            "queue.PriorityQueue[Tuple[float, int, Optional[Job], bool]]"
+        ) = queue.PriorityQueue()
         self._inflight: Dict[str, Job] = {}
+        #: The chunk the scheduler thread is currently evaluating (under
+        #: self._lock); close() fails these when the thread outlives its join.
+        self._current: List[Job] = []
         self._seq = itertools.count()
         self._job_ids = itertools.count(1)
         self._thread: Optional[threading.Thread] = None
@@ -125,6 +172,7 @@ class EvaluationService:
         self.deduped = 0
         self.cancelled = 0
         self.failed = 0
+        self.retried = 0
 
     # -- layout registry ----------------------------------------------------
     def add_layout(self, name: str, runner: BatchRunner) -> str:
@@ -301,33 +349,47 @@ class EvaluationService:
                 job._callbacks.append(on_result)
             jobset._add(job)
             cached = self.cache.get(key) if key is not None else None
-            with self._lock:
-                if self._closed:
-                    raise SimulationError("EvaluationService is closed")
-                self.submitted += 1
-                if cached is None and key is not None:
-                    primary = self._inflight.get(key)
-                    if primary is not None:
-                        job.deduped = True
-                        primary._followers.append(job)
-                        self.deduped += 1
-                        continue
-                    # The scheduler publishes to the in-memory cache tier
-                    # before dropping an in-flight entry, so a re-check
-                    # here (memory only — no disk I/O under the lock)
-                    # closes the window between our probe and now.
-                    cached = self.cache.get(key, memory_only=True)
-                if cached is None:
-                    if key is not None:
-                        self._inflight[key] = job
-                    # Enqueue while still holding the lock: close() also
-                    # takes it, so a job is either queued before close()
-                    # drains, or the submit fails the closed check above —
-                    # never stranded in between.
-                    self._queue.put(
-                        (float(job.priority), next(self._seq), job)
-                    )
-                    enqueued = True
+            holds_slot = False
+            if cached is None and self._pending is not None:
+                # Backpressure: block OUTSIDE every lock until the queue has
+                # room.  Acquiring under self._lock would deadlock against
+                # the scheduler thread, which needs the lock to complete
+                # jobs and the queue drain to free slots.
+                self._pending.acquire()
+                holds_slot = True
+            try:
+                with self._lock:
+                    if self._closed:
+                        raise SimulationError("EvaluationService is closed")
+                    self.submitted += 1
+                    if cached is None and key is not None:
+                        primary = self._inflight.get(key)
+                        if primary is not None:
+                            job.deduped = True
+                            primary._followers.append(job)
+                            self.deduped += 1
+                            continue  # the finally below frees the slot
+                        # The scheduler publishes to the in-memory cache tier
+                        # before dropping an in-flight entry, so a re-check
+                        # here (memory only — no disk I/O under the lock)
+                        # closes the window between our probe and now.
+                        cached = self.cache.get(key, memory_only=True)
+                    if cached is None:
+                        if key is not None:
+                            self._inflight[key] = job
+                        # Enqueue while still holding the lock: close() also
+                        # takes it, so a job is either queued before close()
+                        # drains, or the submit fails the closed check above —
+                        # never stranded in between.
+                        self._queue.put(
+                            (float(job.priority), next(self._seq), job,
+                             holds_slot)
+                        )
+                        holds_slot = False  # the queue entry owns it now
+                        enqueued = True
+            finally:
+                if holds_slot:
+                    self._pending.release()
             if cached is not None:
                 job._finish(
                     JobStatus.DONE, result=relabel(cached, label), cached=True
@@ -375,13 +437,25 @@ class EvaluationService:
                 )
                 self._thread.start()
 
-    def close(self, cancel_pending: bool = False) -> None:
+    def close(
+        self,
+        cancel_pending: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
         """Drain outstanding jobs and stop the scheduler thread.
 
         The shutdown sentinel sorts after every real priority, so queued
         jobs are evaluated before the thread exits; with *cancel_pending*
         they are cancelled instead (running chunks still finish — there is
         no preemption point inside a simulation).
+
+        The join is bounded when *cancel_pending* is set (by *timeout*, or
+        the service's ``join_timeout``): a chunk wedged in a hung
+        simulation would otherwise hold every ``job.wait()`` caller hostage
+        forever.  On expiry the in-flight jobs are **failed** — their
+        submitters unblock with ``status=FAILED`` and an explanatory error
+        — and the daemon thread is abandoned to die with the process.  An
+        explicit *timeout* bounds the join in the graceful mode too.
         """
         with self._lock:
             if self._closed:
@@ -389,28 +463,45 @@ class EvaluationService:
             self._closed = True
             thread = self._thread
         if cancel_pending:
-            drained: List[Job] = []
-            while True:
-                try:
-                    entry = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if entry[2] is not None:
-                    drained.append(entry[2])
-            for job in drained:
-                self._cancel_group(job)
+            self._drain_queue(cancel=True)
         if thread is not None and thread.is_alive():
-            self._queue.put((_SENTINEL_PRIORITY, next(self._seq), None))
-            thread.join()
+            self._queue.put(
+                (_SENTINEL_PRIORITY, next(self._seq), None, False)
+            )
+            join_for = timeout
+            if join_for is None and cancel_pending:
+                join_for = self.join_timeout
+            thread.join(join_for)
+            if thread.is_alive():
+                # The scheduler is wedged inside an evaluation (a hung
+                # simulation with no shard_timeout, a blocking on_cycle
+                # observer).  Fail the in-flight chunk so its submitters
+                # unblock instead of waiting on a join that never returns.
+                with self._lock:
+                    stuck = list(self._current)
+                for job in stuck:
+                    self._fail_group(
+                        job,
+                        "evaluation abandoned at close(): scheduler thread "
+                        f"still busy after {join_for:.1f}s",
+                    )
+                self._drain_queue(cancel=True)
         else:
             # Never started: nothing will drain the queue; cancel leftovers.
-            while True:
-                try:
-                    entry = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if entry[2] is not None:
-                    self._cancel_group(entry[2])
+            self._drain_queue(cancel=True)
+
+    def _drain_queue(self, cancel: bool) -> None:
+        """Empty the queue, freeing backpressure slots (cancelling jobs too)."""
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            _, _, job, holds_slot = entry
+            if holds_slot and self._pending is not None:
+                self._pending.release()
+            if job is not None and cancel:
+                self._cancel_group(job)
 
     def __enter__(self) -> "EvaluationService":
         return self
@@ -419,17 +510,31 @@ class EvaluationService:
         self.close()
 
     def stats(self) -> Dict[str, Any]:
-        """Service counters plus the cache's (see ``ResultCache.stats``)."""
+        """Service counters plus the cache's and the pool's supervision record.
+
+        ``supervision`` merges the recovery counters of every pooled
+        ``run_many`` the service has driven (see
+        :class:`~repro.engine.result.SupervisionStats`); all-zero means no
+        worker was ever lost.
+        """
         with self._lock:
+            supervision = (
+                self._multi.supervision
+                if self._multi is not None
+                else SupervisionStats()
+            )
             return {
                 "submitted": self.submitted,
                 "evaluated": self.evaluated,
                 "deduped": self.deduped,
                 "cancelled": self.cancelled,
                 "failed": self.failed,
+                "retried": self.retried,
                 "inflight": len(self._inflight),
+                "queue_depth": self._queue.qsize(),
                 "layouts": sorted(self._runners),
                 "cache": self.cache.stats(),
+                "supervision": supervision.to_dict(),
             }
 
     # -- scheduler internals ------------------------------------------------
@@ -438,9 +543,15 @@ class EvaluationService:
             return max(1, self.chunk_size)
         return 1 if self.workers <= 1 else 4 * self.workers
 
+    def _release_slot(self, entry: Tuple) -> None:
+        """Free the backpressure slot a popped queue entry was holding."""
+        if entry[3] and self._pending is not None:
+            self._pending.release()
+
     def _loop(self) -> None:
         while True:
             entry = self._queue.get()
+            self._release_slot(entry)
             if entry[2] is None:
                 break
             chunk: List[Job] = [entry[2]]
@@ -451,17 +562,46 @@ class EvaluationService:
                     nxt = self._queue.get_nowait()
                 except queue.Empty:
                     break
+                self._release_slot(nxt)
                 if nxt[2] is None:
                     stop = True
                     break
                 chunk.append(nxt[2])
+            with self._lock:
+                self._current = list(chunk)
             try:
                 self._evaluate_chunk(chunk)
             except Exception as exc:  # noqa: BLE001 - keep the service alive
+                message = f"{type(exc).__name__}: {exc}"
                 for job in chunk:
-                    self._fail_group(job, f"{type(exc).__name__}: {exc}")
+                    self._retry_or_fail(job, message)
+            finally:
+                with self._lock:
+                    self._current = []
             if stop:
                 break
+
+    def _retry_or_fail(self, job: Job, error: str) -> None:
+        """Route a job whose chunk evaluation raised: re-enqueue or doom it.
+
+        A job keeps its place in the retry game while the service is open
+        and its ``attempts`` budget has room; a job that close() already
+        failed (or a submitter cancelled) is terminal and left alone by
+        ``_fail_group``'s exactly-once semantics.
+        """
+        with self._lock:
+            closed = self._closed
+        if not closed and job.attempts < self.max_job_attempts:
+            # RUNNING → PENDING for jobs that began; jobs from a later
+            # controls-group of the chunk never began and are still PENDING.
+            if job._requeue() or job.status is JobStatus.PENDING:
+                with self._lock:
+                    self.retried += 1
+                self._queue.put(
+                    (float(job.priority), next(self._seq), job, False)
+                )
+                return
+        self._fail_group(job, error)
 
     def _group(self, job: Job) -> List[Job]:
         with self._lock:
