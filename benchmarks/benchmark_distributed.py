@@ -1,0 +1,167 @@
+"""Distributed evaluation benchmark: remote agents vs the single local pool.
+
+Runs a 64-row relay-station sweep through the coordinator with two
+worker-agent **processes** (real parallelism — in-process agent threads
+would share the GIL with the coordinator and prove nothing), and through
+a single-worker local :class:`SupervisedPool` with the same sharding, and
+asserts the rows are equivalent.  ``attempts`` is excluded from the
+comparison — retries are part of the distributed contract — but every
+simulated quantity (cycles, firings, halted, wrapper kind, error) must
+match exactly.
+
+The recorded ``scale_out_ratio`` (pool wall-clock over distributed
+wall-clock) is a **regression record, not a speedup claim**: at CI-sized
+workloads the fixed per-process cost — interpreter start, netlist
+transfer, runner compile — dominates both multi-process paths, so the
+ratio hovers near 1 and what the history actually tracks is protocol and
+supervision overhead.  No floor is asserted on it; the hard assertions
+are bit-equivalence, an even shard split across agents, and all-zero
+recovery counters on a healthy run.
+
+Every run appends a timestamped record to ``BENCH_distributed.json`` at
+the repository root (a JSON list, oldest first), mirroring the
+``BENCH_service.json`` convention.  Quick mode (``REPRO_BENCH_QUICK=1``)
+shrinks the workload but keeps the 64-row shape.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+
+N_ROWS = 64
+N_AGENTS = 2
+
+
+def _netlist():
+    from repro.cpu.machine import build_pipelined_cpu
+    from repro.cpu.workloads import make_extraction_sort
+
+    length = 4 if QUICK else 8
+    workload = make_extraction_sort(length=length, seed=2005)
+    return build_pipelined_cpu(workload.program).netlist
+
+
+def _configs():
+    from repro.core.config import RSConfiguration
+
+    return [
+        RSConfiguration.uniform(
+            1 + (index % 4), exclude=("CU-IC",), label=f"row-{index}"
+        )
+        for index in range(N_ROWS)
+    ]
+
+
+def _comparable(results):
+    """Row tuples without ``attempts`` (retries are legal in transit)."""
+    return [
+        (r.label, r.cycles, r.firings, r.halted, r.wrapper_kind, r.error)
+        for r in results
+    ]
+
+
+def _append_history(record) -> None:
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            existing = json.loads(RECORD_PATH.read_text())
+        except ValueError:
+            existing = []
+        if isinstance(existing, list):
+            history = existing
+        elif isinstance(existing, dict):
+            history = [existing]
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def distributed_record():
+    record = {
+        "benchmark": "distributed",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": QUICK,
+        "python": platform.python_version(),
+    }
+    yield record
+    _append_history(record)
+
+
+def test_two_agent_scale_out_matches_local_pool(distributed_record):
+    """64 rows through 2 agent processes == the same rows via 1 pool worker."""
+    from repro.distributed import Coordinator, agent_main
+    from repro.engine.batch import BatchRunner
+
+    netlist = _netlist()
+    configs = _configs()
+    runner = BatchRunner(netlist)
+
+    start = time.perf_counter()
+    pool_rows = runner.run_many(
+        configs,
+        workers=1,
+        shards=N_AGENTS * 4,
+        start_method="spawn",
+        stop_process="CU",
+    )
+    pool_seconds = time.perf_counter() - start
+
+    coordinator = Coordinator("127.0.0.1", 0)
+    ctx = multiprocessing.get_context("spawn")
+    agents = [
+        ctx.Process(
+            target=agent_main,
+            args=("127.0.0.1", coordinator.port, f"bench-{index}", 0.1),
+            daemon=True,
+        )
+        for index in range(N_AGENTS)
+    ]
+    try:
+        for agent in agents:
+            agent.start()
+        assert coordinator.wait_for_workers(N_AGENTS, timeout=60.0)
+        start = time.perf_counter()
+        distributed_rows = runner.run_many(
+            configs,
+            shards=N_AGENTS * 4,
+            coordinator=coordinator,
+            stop_process="CU",
+        )
+        distributed_seconds = time.perf_counter() - start
+        supervision = coordinator.supervision.to_dict()
+        workers = coordinator.worker_stats()
+    finally:
+        coordinator.close()
+        for agent in agents:
+            agent.join(timeout=10)
+            if agent.is_alive():
+                agent.terminate()
+
+    assert _comparable(distributed_rows) == _comparable(pool_rows)
+    assert supervision["quarantined"] == 0
+    assert supervision["serial_fallback_items"] == 0
+    assert sum(record["completed"] for record in workers.values()) == N_AGENTS * 4
+
+    distributed_record["two_agent_scale_out"] = {
+        "rows": N_ROWS,
+        "agents": N_AGENTS,
+        "pool_seconds": pool_seconds,
+        "distributed_seconds": distributed_seconds,
+        "scale_out_ratio": pool_seconds / distributed_seconds,
+        "per_worker_completed": {
+            worker_id: record["completed"]
+            for worker_id, record in workers.items()
+        },
+        "supervision": supervision,
+    }

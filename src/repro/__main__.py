@@ -36,6 +36,14 @@ same command is then served from disk instead of re-simulating.  ``sweep
 same service).  ``submit`` is the raw service front door: it builds a mixed
 WP1+WP2 job set over the chosen workloads and depths, streams completions
 through the async iterator, and reports cache/dedup statistics.
+
+Distributed evaluation (see :mod:`repro.distributed`): ``submit --serve
+[HOST:]PORT`` starts a coordinator and fans shards out to remote worker
+agents instead of a local process pool; ``--wait-workers N`` blocks until N
+agents have registered before submitting (otherwise a worker-free
+coordinator degrades to the local path).  ``worker --connect HOST:PORT``
+runs one such agent: it registers, pulls time-leased shards, heartbeats
+while evaluating, and survives coordinator restarts by re-registering.
 """
 
 from __future__ import annotations
@@ -174,6 +182,57 @@ def _add_submit(subparsers) -> None:
     _add_shards_option(parser)
     _add_steady_state_option(parser)
     _add_cache_option(parser)
+    parser.add_argument(
+        "--serve",
+        default=None,
+        metavar="[HOST:]PORT",
+        help=(
+            "start a distributed coordinator on this address and evaluate "
+            "through remote worker agents (start them with "
+            "'repro worker --connect HOST:PORT'); with no registered "
+            "workers the run degrades to the local pool"
+        ),
+    )
+    parser.add_argument(
+        "--wait-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="wait for N worker agents to register before submitting",
+    )
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="shard lease duration; a lease not renewed by heartbeats "
+        "within S seconds is requeued to another worker",
+    )
+
+
+def _add_worker(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "worker",
+        help="run a distributed evaluation worker agent",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to serve (see 'submit --serve')",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: worker-<host>-<pid>)",
+    )
+    parser.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="pause between reconnect attempts when the coordinator is away",
+    )
 
 
 def _add_multicycle(subparsers) -> None:
@@ -194,7 +253,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simple(subparsers, "area", "wrapper area overhead report")
     _add_sweep(subparsers)
     _add_submit(subparsers)
+    _add_worker(subparsers)
     return parser
+
+
+def _parse_address(text: str, default_host: str = "127.0.0.1"):
+    """``[HOST:]PORT`` -> ``(host, port)``."""
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"invalid address {text!r}: expected [HOST:]PORT")
+    return (host or default_host, port)
+
+
+def _make_coordinator(args):
+    """A listening :class:`Coordinator` when ``--serve`` asked for one."""
+    serve = getattr(args, "serve", None)
+    if serve is None:
+        return None
+    from .distributed import Coordinator
+
+    host, port = _parse_address(serve)
+    kwargs = {}
+    if getattr(args, "lease_seconds", None) is not None:
+        kwargs["lease_seconds"] = args.lease_seconds
+    coordinator = Coordinator(host, port, **kwargs)
+    wait = getattr(args, "wait_workers", 0)
+    if wait > 0:
+        print(
+            f"coordinator on {coordinator.address[0]}:{coordinator.address[1]}"
+            f" — waiting for {wait} worker(s)",
+            file=sys.stderr,
+            flush=True,
+        )
+        coordinator.wait_for_workers(wait)
+    return coordinator
 
 
 def _make_service(args):
@@ -203,7 +297,8 @@ def _make_service(args):
     A service is engaged by ``--cache-dir`` (persistent result cache),
     ``--stream`` (per-row completion lines), or the ``submit`` command
     (always service-backed).  ``--shards`` becomes the service's worker
-    fan-out.
+    fan-out; ``--serve`` attaches a distributed coordinator so shards run
+    on remote worker agents when any are registered.
     """
     cache_dir = getattr(args, "cache_dir", None)
     stream = getattr(args, "stream", False)
@@ -212,7 +307,11 @@ def _make_service(args):
     from .service import EvaluationService, ResultCache
 
     cache = ResultCache(cache_dir=cache_dir) if cache_dir else None
-    return EvaluationService(cache=cache, workers=getattr(args, "shards", 1))
+    return EvaluationService(
+        cache=cache,
+        workers=getattr(args, "shards", 1),
+        coordinator=_make_coordinator(args),
+    )
 
 
 def _stream_printer(total=None):
@@ -398,7 +497,26 @@ def _run_submit(args, service) -> int:
     return 0
 
 
+def _run_worker(args) -> int:
+    """Serve a coordinator as one distributed worker agent."""
+    from .distributed import agent_main
+
+    host, port = _parse_address(args.connect)
+    try:
+        agent_main(
+            host,
+            port,
+            worker_id=args.worker_id,
+            reconnect_delay=args.reconnect_delay,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _dispatch(args) -> int:
+    if args.command == "worker":
+        return _run_worker(args)
     service = _make_service(args)
     try:
         if args.command == "table1":
@@ -431,11 +549,24 @@ def _dispatch(args) -> int:
         return 1
     finally:
         if service is not None:
+            coordinator = getattr(service, "coordinator", None)
             service.close()
+            if coordinator is not None:
+                coordinator.close()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Fail fast — and readably — on a malformed REPRO_FAULTS plan instead
+    # of erroring deep inside the first sharded batch.
+    from .core.exceptions import SimulationError
+    from .engine import faults
+
+    try:
+        faults.validate_env()
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not getattr(args, "no_steady_state", False):
         return _dispatch(args)
     # --no-steady-state is threaded through RunControls (steady_state=False)

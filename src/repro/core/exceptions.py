@@ -63,6 +63,28 @@ class ShardTimeoutError(SimulationError):
     """
 
 
+class LeaseExpiredError(SimulationError):
+    """A remote worker's lease on a shard expired without heartbeat renewal.
+
+    The distributed coordinator (``repro.distributed.coordinator``) hands
+    shards out under time-bounded leases kept alive by worker heartbeats; a
+    dead, disconnected, or wedged worker stops renewing, the lease lapses,
+    and the shard is requeued.  This error surfaces only when the shard's
+    retry budget is exhausted under ``on_error="raise"``.
+    """
+
+
+class PayloadChecksumError(SimulationError):
+    """A framed protocol payload failed its end-to-end sha256 checksum.
+
+    Every message on the coordinator/worker socket protocol
+    (``repro.distributed.protocol``) carries the digest of its payload in
+    the frame header; a mismatch means the bytes were corrupted in flight.
+    The frame length is still trusted (it framed the bytes we just read), so
+    the receiver stays in sync and treats only this message as lost.
+    """
+
+
 class FaultInjectionError(ReproError):
     """A deterministic injected fault (``repro.engine.faults``) fired.
 

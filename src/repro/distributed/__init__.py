@@ -1,0 +1,22 @@
+"""Distributed batch evaluation: a coordinator and remote worker agents.
+
+The local supervised pool (:mod:`repro.engine.supervised_pool`) made one
+pool on one host survive crashes, hangs, and poisoned shards; this package
+extends the same supervision model across a network boundary, where
+disconnects, half-written payloads, and slow links are the common case:
+
+* :mod:`repro.distributed.protocol` — length-prefixed, sha256-checksummed
+  message framing over a plain TCP socket;
+* :mod:`repro.distributed.coordinator` — owns the shard queue, hands work
+  out under time-bounded leases renewed by heartbeats, and contains
+  failures with the shared retry/backoff/bisection/quarantine ladder;
+* :mod:`repro.distributed.worker` — the pull-based worker agent behind
+  ``python -m repro worker --connect HOST:PORT``.
+
+See DESIGN.md §9 for the protocol and its soundness argument.
+"""
+
+from .coordinator import Coordinator
+from .worker import WorkerAgent, agent_main
+
+__all__ = ["Coordinator", "WorkerAgent", "agent_main"]

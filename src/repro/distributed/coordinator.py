@@ -1,0 +1,674 @@
+"""The distributed coordinator: shard queue, leases, heartbeats, quarantine.
+
+The coordinator owns everything; workers own nothing.  Remote agents pull
+work (``request``), hold one shard at a time under a **time-bounded lease**
+renewed by heartbeats, and push back a result — they never mutate any
+coordinator state directly.  That asymmetry is what makes recovery sound:
+when a lease expires (dead worker, dropped link, wedged simulation — the
+coordinator cannot tell which, and does not need to), requeuing the shard
+is always safe, because evaluation is deterministic and a worker that
+finishes after losing its lease has produced a result the coordinator
+simply ignores (DESIGN.md §9).
+
+Failure containment reuses the exact ladder the local pool uses
+(:class:`repro.engine.supervised_pool.RetryLadder`): retry with capped
+backoff → bisection → per-item quarantine.  A poisoned item that kills
+three remote workers in a row therefore quarantines once, identically to
+one that kills three local processes.  On top of the per-shard ladder the
+coordinator quarantines *workers*: an agent whose connection keeps
+faulting (disconnects mid-shard, expired leases, corrupt payloads) stops
+receiving leases after ``worker_fault_limit`` strikes, with per-worker
+:class:`~repro.engine.result.SupervisionStats` kept for
+``EvaluationService.stats()["supervision"]["workers"]``.
+
+Results travel through the content-addressed
+:class:`~repro.service.cache.ResultCache` when coordinator and workers
+share a cache directory (the worker publishes by key, the coordinator
+reads), falling back to inline transfer otherwise; either way every frame
+is checksummed end-to-end by the protocol layer.
+
+Threading model (mirrors the supervised pool's single-supervisor shape):
+an accept thread plus one reader thread per connection do nothing but push
+events onto one queue; :meth:`Coordinator.run_batch` is the only consumer
+and the only place batch state (pending/outstanding/slots) is touched.
+Worker records are shared with the handshake path and guarded by one lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import PayloadChecksumError, SimulationError
+from ..engine.result import SupervisionStats
+from ..engine.supervised_pool import POLL_INTERVAL, RetryLadder, _Task
+from .protocol import recv_message, send_message
+
+#: Default lease duration, seconds.  Heartbeats arrive every quarter lease,
+#: so a lease expiry means ~4 consecutive missed heartbeats — comfortably a
+#: dead or wedged worker, not a scheduling hiccup.
+DEFAULT_LEASE_SECONDS = 5.0
+
+#: Transport faults (disconnect mid-shard, lease expiry, corrupt payload)
+#: a worker may cause before it stops receiving leases.
+DEFAULT_WORKER_FAULT_LIMIT = 3
+
+#: How long ``run_batch`` waits for a worker to (re)appear once nothing is
+#: connected and nothing is leased, before giving up and leaving the
+#: remaining slots to the caller's local fallback.
+DEFAULT_RECONNECT_GRACE = 1.0
+
+
+class _RemoteWorker:
+    """One known worker id: transport may come and go, history persists."""
+
+    __slots__ = (
+        "worker_id", "sock", "send_lock", "generation", "connected",
+        "quarantined", "faults", "stats", "completed", "task", "deadline",
+        "hard_deadline", "wants_work", "batch_id",
+    )
+
+    def __init__(self, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.sock: Optional[socket.socket] = None
+        self.send_lock = threading.Lock()
+        #: Bumped on every (re)registration; events from readers of older
+        #: connections are recognised as stale and ignored.
+        self.generation = 0
+        self.connected = False
+        self.quarantined = False
+        #: Transport faults attributed to this worker (strikes).
+        self.faults = 0
+        self.stats = SupervisionStats()
+        #: Shards this worker completed successfully.
+        self.completed = 0
+        self.task: Optional[_Task] = None
+        #: Lease deadline — pushed forward by every heartbeat.
+        self.deadline: Optional[float] = None
+        #: Watchdog deadline from ``RunControls.shard_timeout`` — heartbeats
+        #: cannot extend it (a wedged-but-heartbeating process model needs
+        #: the shard-level budget to still bite).
+        self.hard_deadline: Optional[float] = None
+        self.wants_work = False
+        #: Batch whose context ("batch" message) this connection has seen.
+        self.batch_id: Optional[int] = None
+
+    def release_task(self) -> Optional[_Task]:
+        task = self.task
+        self.task = None
+        self.deadline = None
+        self.hard_deadline = None
+        return task
+
+    def send(self, message: Any, *, corrupt: bool = False) -> bool:
+        """Send on the current transport; False when it is gone."""
+        sock = self.sock
+        if sock is None:
+            return False
+        try:
+            with self.send_lock:
+                send_message(sock, message, corrupt=corrupt)
+        except OSError:
+            return False
+        return True
+
+
+class _Batch:
+    """State of one ``run_batch`` call (only the run_batch thread mutates it)."""
+
+    __slots__ = (
+        "batch_id", "payload", "controls", "on_error", "fault_json",
+        "cache_dir", "ladder", "pending", "outstanding", "slots", "stats",
+    )
+
+    def __init__(
+        self, batch_id, payload, controls, on_error, fault_json, cache_dir,
+        ladder, pending, outstanding, slots, stats,
+    ) -> None:
+        self.batch_id = batch_id
+        self.payload = payload
+        self.controls = controls
+        self.on_error = on_error
+        self.fault_json = fault_json
+        self.cache_dir = cache_dir
+        self.ladder = ladder
+        self.pending = pending
+        self.outstanding = outstanding
+        self.slots = slots
+        self.stats = stats
+
+
+class Coordinator:
+    """Listens for worker agents and drives batches across them.
+
+    One coordinator serves many batches over its lifetime (the evaluation
+    service holds one for the whole session); :meth:`run_batch` calls are
+    serialised.  With no agents connected, :meth:`available_workers`
+    returns 0 and the batch layer never routes work here — degradation to
+    the local supervised pool is the caller's one-line check away.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        worker_fault_limit: int = DEFAULT_WORKER_FAULT_LIMIT,
+        reconnect_grace: float = DEFAULT_RECONNECT_GRACE,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise SimulationError("lease_seconds must be positive")
+        if worker_fault_limit < 1:
+            raise SimulationError("worker_fault_limit must be at least 1")
+        self.lease_seconds = float(lease_seconds)
+        self.worker_fault_limit = worker_fault_limit
+        self.reconnect_grace = float(reconnect_grace)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._cache = None
+        if self.cache_dir is not None:
+            from ..service.cache import ResultCache
+
+            self._cache = ResultCache(cache_dir=self.cache_dir)
+        self._server = socket.create_server((host, port), reuse_port=False)
+        self.host, self.port = self._server.getsockname()[:2]
+        self._events: "queue.SimpleQueue[Tuple]" = queue.SimpleQueue()
+        self._workers: Dict[str, _RemoteWorker] = {}
+        self._lock = threading.RLock()
+        self._batch_ids = itertools.count(1)
+        self._batch_lock = threading.Lock()
+        self._closed = False
+        #: Merged recovery counters across every batch this coordinator ran.
+        self.supervision = SupervisionStats()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- public surface ------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def available_workers(self) -> int:
+        """Connected, non-quarantined agents — what the batch layer gates on."""
+        with self._lock:
+            return sum(
+                1
+                for worker in self._workers.values()
+                if worker.connected and not worker.quarantined
+            )
+
+    def wait_for_workers(self, count: int, timeout: float = 10.0) -> bool:
+        """Block until *count* agents are available (False on timeout)."""
+        deadline = time.monotonic() + timeout
+        while self.available_workers() < count:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    def worker_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-worker supervision record, keyed by worker id."""
+        with self._lock:
+            return {
+                worker.worker_id: {
+                    "connected": worker.connected,
+                    "quarantined": worker.quarantined,
+                    "faults": worker.faults,
+                    "completed": worker.completed,
+                    "supervision": worker.stats.to_dict(),
+                }
+                for worker in self._workers.values()
+            }
+
+    def close(self) -> None:
+        """Shut down: tell agents to stop, close every transport."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        # shutdown() before close(): merely closing a listening socket does
+        # not wake a thread blocked in accept() on it, which would leave the
+        # accept loop alive to serve one more connection.
+        for action in (
+            lambda: self._server.shutdown(socket.SHUT_RDWR),
+            self._server.close,
+        ):
+            try:
+                action()
+            except OSError:
+                pass
+        for worker in workers:
+            worker.send(("shutdown",))
+            sock = worker.sock
+            if sock is not None:
+                self._close_socket(sock)
+            worker.connected = False
+            worker.sock = None
+
+    # -- connection plumbing -------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            threading.Thread(
+                target=self._handshake, args=(conn,), daemon=True
+            ).start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            message = recv_message(conn)
+        except Exception:  # noqa: BLE001 - bad first frame: not a worker
+            self._close_socket(conn)
+            return
+        if (
+            not isinstance(message, tuple)
+            or len(message) != 2
+            or message[0] != "register"
+            or not isinstance(message[1], str)
+        ):
+            self._close_socket(conn)
+            return
+        worker_id = message[1]
+        with self._lock:
+            if self._closed:
+                self._close_socket(conn)
+                return
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                worker = _RemoteWorker(worker_id)
+                self._workers[worker_id] = worker
+            # Idempotent re-registration: replace the transport, keep the
+            # history (fault strikes, quarantine, stats survive reconnects).
+            old_sock, lost_task = worker.sock, worker.release_task()
+            worker.generation += 1
+            worker.sock = conn
+            worker.connected = True
+            worker.wants_work = False
+            worker.batch_id = None  # a fresh connection must re-receive context
+            generation = worker.generation
+        if old_sock is not None:
+            self._close_socket(old_sock)
+        if lost_task is not None:
+            # The shard leased on the dead connection is gone with it.
+            self._events.put(("lost", worker, lost_task))
+        threading.Thread(
+            target=self._reader,
+            args=(worker, generation, conn),
+            name=f"repro-coordinator-read-{worker_id}",
+            daemon=True,
+        ).start()
+
+    def _reader(self, worker: _RemoteWorker, generation: int, conn) -> None:
+        while True:
+            try:
+                message = recv_message(conn)
+            except PayloadChecksumError:
+                self._events.put(("corrupt", worker, generation))
+                continue  # frame sync is intact: keep reading
+            except (EOFError, OSError):
+                self._events.put(("gone", worker, generation))
+                return
+            self._events.put(("message", worker, generation, message))
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        # shutdown() before close(): close() alone does not sever a
+        # connection whose fd another thread is blocked reading — the
+        # in-flight recv pins the file description, so the peer never
+        # sees FIN and the reader thread never wakes.
+        for action in (lambda: sock.shutdown(socket.SHUT_RDWR), sock.close):
+            try:
+                action()
+            except OSError:
+                pass
+
+    # -- batch driving -------------------------------------------------------
+    def run_batch(
+        self,
+        payload: bytes,
+        shard_lists: Sequence[Sequence[Any]],
+        controls,
+        on_error: str,
+        fault_json: Optional[str] = None,
+    ) -> Tuple[List[Optional[Any]], SupervisionStats]:
+        """Evaluate the shards across connected agents; same slot contract as
+        :meth:`SupervisedPool.run` — a ``None`` slot means the coordinator
+        gave up on that item (no workers left) and the caller finishes it
+        locally.  Returns ``(slots, stats)``.
+        """
+        if self._closed:
+            raise SimulationError("coordinator is closed")
+        with self._batch_lock:
+            stats = SupervisionStats()
+            ladder = RetryLadder(controls, on_error, stats)
+            tasks, slots = ladder.make_tasks(shard_lists)
+            try:
+                if tasks:
+                    batch = _Batch(
+                        batch_id=next(self._batch_ids),
+                        payload=payload,
+                        controls=controls,
+                        on_error=on_error,
+                        fault_json=fault_json,
+                        cache_dir=self.cache_dir,
+                        ladder=ladder,
+                        pending=list(tasks),
+                        outstanding={t.task_id: t for t in tasks},
+                        slots=slots,
+                        stats=stats,
+                    )
+                    self._drive(batch)
+            finally:
+                # Leftover leases (give-up, close, on_error="raise") are moot
+                # once the batch ends: late results are dropped by batch id.
+                with self._lock:
+                    for worker in self._workers.values():
+                        worker.release_task()
+                self.supervision.merge(stats)
+            return slots, stats
+
+    def _drive(self, batch: _Batch) -> None:
+        idle_since: Optional[float] = None
+        while batch.outstanding:
+            if self._closed:
+                return  # give up: remaining slots stay None
+            now = time.monotonic()
+            with self._lock:
+                self._sweep_deadlines(batch, now)
+                self._dispatch(batch, now)
+                leased = any(
+                    w.task is not None for w in self._workers.values()
+                )
+                available = any(
+                    w.connected and not w.quarantined
+                    for w in self._workers.values()
+                )
+            if not batch.outstanding:
+                return
+            if leased or available:
+                idle_since = None
+            elif idle_since is None:
+                idle_since = now
+            elif now - idle_since >= self.reconnect_grace:
+                return  # nobody to give work to: caller's local fallback
+            try:
+                event = self._events.get(timeout=self._wait_timeout(batch, now))
+            except queue.Empty:
+                continue
+            self._handle_event(batch, event)
+            while True:
+                try:
+                    event = self._events.get_nowait()
+                except queue.Empty:
+                    break
+                self._handle_event(batch, event)
+
+    def _wait_timeout(self, batch: _Batch, now: float) -> float:
+        timeout = POLL_INTERVAL
+        with self._lock:
+            for worker in self._workers.values():
+                for deadline in (worker.deadline, worker.hard_deadline):
+                    if deadline is not None:
+                        timeout = min(timeout, deadline - now)
+        for task in batch.pending:
+            if task.ready > now:
+                timeout = min(timeout, task.ready - now)
+        return max(0.0, timeout)
+
+    def _dispatch(self, batch: _Batch, now: float) -> None:
+        """Lease ready tasks to idle, willing, non-quarantined workers."""
+        for worker in self._workers.values():
+            if (
+                not worker.connected
+                or worker.quarantined
+                or not worker.wants_work
+                or worker.task is not None
+            ):
+                continue
+            task = RetryLadder.pop_ready(batch.pending, now)
+            if task is None:
+                return
+            if not self._send_lease(worker, batch, task, now):
+                batch.pending.append(task)  # the "gone" event handles the rest
+
+    def _send_lease(
+        self, worker: _RemoteWorker, batch: _Batch, task: _Task, now: float
+    ) -> bool:
+        if worker.batch_id != batch.batch_id:
+            ok = worker.send(
+                (
+                    "batch", batch.batch_id, batch.payload, batch.controls,
+                    batch.on_error, batch.fault_json, batch.cache_dir,
+                )
+            )
+            if not ok:
+                return False
+            worker.batch_id = batch.batch_id
+        ok = worker.send(
+            (
+                "lease", batch.batch_id, task.task_id, task.shard_id,
+                task.attempt, task.items, self.lease_seconds,
+            )
+        )
+        if not ok:
+            return False
+        worker.task = task
+        worker.wants_work = False
+        worker.deadline = now + self.lease_seconds
+        timeout = batch.controls.shard_timeout
+        worker.hard_deadline = None if timeout is None else now + timeout
+        return True
+
+    # -- event handling (run_batch thread only) ------------------------------
+    def _handle_event(self, batch: _Batch, event: Tuple) -> None:
+        kind = event[0]
+        if kind == "gone":
+            _, worker, generation = event
+            with self._lock:
+                if generation != worker.generation:
+                    return  # a newer connection already replaced this one
+                worker.connected = False
+                worker.sock = None
+                task = worker.release_task()
+            if task is not None:
+                self._worker_fault(worker, batch)
+                self._requeue(
+                    batch, task,
+                    f"WorkerCrashError: worker {worker.worker_id!r} "
+                    f"disconnected while holding shard {task.shard_id} "
+                    f"attempt {task.attempt}",
+                )
+        elif kind == "lost":
+            _, worker, task = event
+            self._worker_fault(worker, batch)
+            self._requeue(
+                batch, task,
+                f"WorkerCrashError: worker {worker.worker_id!r} reconnected "
+                f"while holding shard {task.shard_id} attempt {task.attempt}",
+            )
+        elif kind == "corrupt":
+            _, worker, generation = event
+            with self._lock:
+                if generation != worker.generation:
+                    return
+                task = worker.release_task()
+            batch.stats.corrupt_payloads += 1
+            worker.stats.corrupt_payloads += 1
+            self._worker_fault(worker, batch)
+            if task is not None:
+                self._requeue(
+                    batch, task,
+                    f"PayloadChecksumError: result frame from worker "
+                    f"{worker.worker_id!r} for shard {task.shard_id} attempt "
+                    f"{task.attempt} failed its checksum",
+                )
+        elif kind == "message":
+            _, worker, generation, message = event
+            with self._lock:
+                if generation != worker.generation or not isinstance(
+                    message, tuple
+                ):
+                    return
+            self._handle_message(batch, worker, message)
+
+    def _handle_message(
+        self, batch: _Batch, worker: _RemoteWorker, message: Tuple
+    ) -> None:
+        kind = message[0]
+        if kind == "request":
+            with self._lock:
+                worker.wants_work = True
+        elif kind == "heartbeat":
+            _, _worker_id, batch_id, task_id = message
+            with self._lock:
+                if (
+                    worker.task is not None
+                    and worker.task.task_id == task_id
+                    and batch_id == batch.batch_id
+                ):
+                    worker.deadline = time.monotonic() + self.lease_seconds
+        elif kind == "result":
+            _, _worker_id, batch_id, task_id, status, payload = message
+            with self._lock:
+                if worker.task is not None and worker.task.task_id == task_id:
+                    worker.release_task()
+            if batch_id != batch.batch_id:
+                return  # late result from an older batch: drop
+            task = batch.outstanding.get(task_id)
+            if task is None:
+                return  # lease already expired and the task moved on: drop
+            if task in batch.pending:
+                # Already requeued (e.g. expiry raced the result): the
+                # requeued copy is authoritative, drop the stale result.
+                return
+            if status == "ok":
+                self._complete(batch, worker, task, payload)
+            else:
+                summary, blob, is_sim = payload
+                batch.ladder.task_failed(
+                    task, batch.pending, batch.outstanding, batch.slots,
+                    summary=summary, blob=blob, deterministic=is_sim,
+                )
+
+    def _complete(
+        self, batch: _Batch, worker: _RemoteWorker, task: _Task, payload
+    ) -> None:
+        mode, data = payload
+        if mode == "cache":
+            results = self._fetch_cached(data)
+            if results is None:
+                # The cache dir turned out not to be shared (or entries were
+                # evicted between publish and read): degrade the whole batch
+                # to inline transfer and retry.  Resetting batch_id forces
+                # the revised context onto every worker before its next lease.
+                batch.cache_dir = None
+                with self._lock:
+                    for other in self._workers.values():
+                        other.batch_id = None
+                self._requeue(
+                    batch, task,
+                    f"WorkerCrashError: worker {worker.worker_id!r} published "
+                    f"shard {task.shard_id} by cache key but entries were "
+                    f"missing; falling back to inline transfer",
+                )
+                return
+        else:
+            results = data
+        if len(results) != len(task.items):
+            self._worker_fault(worker, batch)
+            self._requeue(
+                batch, task,
+                f"WorkerCrashError: worker {worker.worker_id!r} returned "
+                f"{len(results)} results for {len(task.items)} items",
+            )
+            return
+        for result in results:
+            result.attempts = task.tries + 1
+        batch.slots[task.start : task.start + len(results)] = results
+        batch.outstanding.pop(task.task_id, None)
+        with self._lock:
+            worker.completed += 1
+
+    def _fetch_cached(self, pairs) -> Optional[List[Any]]:
+        """Read worker-published results back out of the shared cache tier."""
+        if self._cache is None:
+            return None
+        results = []
+        for key, label in pairs:
+            cached = self._cache.get(key, count=False)
+            if cached is None:
+                return None
+            # Always copy: memory-tier objects are shared, and the attempts
+            # stamp below must not mutate another reader's result.
+            results.append(replace(cached, label=label))
+        return results
+
+    # -- failure attribution -------------------------------------------------
+    def _requeue(self, batch: _Batch, task: _Task, summary: str) -> None:
+        """A transport-level loss: never deterministic, always retryable.
+
+        Tasks from an earlier batch (stale events that straddled a batch
+        boundary) are simply dropped — they have no slot here.
+        """
+        if task.task_id not in batch.outstanding:
+            return
+        batch.ladder.task_failed(
+            task, batch.pending, batch.outstanding, batch.slots,
+            summary=summary, blob=None, deterministic=False,
+        )
+
+    def _worker_fault(self, worker: _RemoteWorker, batch: _Batch) -> None:
+        """One strike; at the limit the worker stops receiving leases."""
+        with self._lock:
+            worker.faults += 1
+            if (
+                not worker.quarantined
+                and worker.faults >= self.worker_fault_limit
+            ):
+                worker.quarantined = True
+                batch.stats.workers_quarantined += 1
+                worker.stats.workers_quarantined += 1
+
+    def _sweep_deadlines(self, batch: _Batch, now: float) -> None:
+        """Expire leases (no heartbeat) and hard shard-timeout budgets."""
+        for worker in self._workers.values():
+            task = worker.task
+            if task is None:
+                continue
+            if worker.hard_deadline is not None and now >= worker.hard_deadline:
+                worker.release_task()
+                batch.stats.timeouts += 1
+                worker.stats.timeouts += 1
+                self._worker_fault(worker, batch)
+                if task.task_id in batch.outstanding:
+                    self._requeue(
+                        batch, task,
+                        f"ShardTimeoutError: shard {task.shard_id} attempt "
+                        f"{task.attempt} on worker {worker.worker_id!r} "
+                        f"exceeded shard_timeout="
+                        f"{batch.controls.shard_timeout}s",
+                    )
+            elif worker.deadline is not None and now >= worker.deadline:
+                worker.release_task()
+                batch.stats.lease_expiries += 1
+                worker.stats.lease_expiries += 1
+                self._worker_fault(worker, batch)
+                if task.task_id in batch.outstanding:
+                    self._requeue(
+                        batch, task,
+                        f"LeaseExpiredError: worker {worker.worker_id!r} "
+                        f"lease on shard {task.shard_id} attempt "
+                        f"{task.attempt} expired without a heartbeat",
+                    )

@@ -1,0 +1,117 @@
+"""Length-prefixed, checksummed message framing for the distributed tier.
+
+Every message on the coordinator/worker socket is one frame::
+
+    +----------------+------------------+---------------------+
+    | length (4, BE) | sha256 digest 32 | pickled payload ... |
+    +----------------+------------------+---------------------+
+
+The digest covers the payload bytes as *sent*, end-to-end: a frame whose
+payload was corrupted anywhere between ``pickle.dumps`` on one side and
+``pickle.loads`` on the other fails the check before unpickling is even
+attempted.  Crucially the *length* prefix is still trusted — it framed the
+bytes that were just read — so a receiver that detects corruption stays in
+frame sync and keeps reading subsequent messages; only the corrupt message
+is lost (the coordinator requeues the shard it carried).
+
+Message vocabulary (plain tuples, first element the kind):
+
+worker → coordinator
+    ``("register", worker_id)`` — sent on every (re)connect; idempotent,
+    the coordinator keys workers by id so history (fault counts,
+    quarantine, stats) survives reconnects and coordinator restarts look
+    like ordinary reconnects to the worker.
+    ``("request", worker_id)`` — the worker is idle and wants a lease.
+    ``("heartbeat", worker_id, batch_id, task_id)`` — the lease is alive.
+    ``("result", worker_id, batch_id, task_id, status, payload)`` —
+    ``status`` is ``"ok"`` (payload: ``("inline", results)`` or
+    ``("cache", [(key, label), ...])``) or ``"error"`` (payload:
+    ``(summary, pickled_exc | None, is_simulation_error)``).
+
+coordinator → worker
+    ``("batch", batch_id, payload, controls, on_error, fault_json,
+    cache_dir)`` — per-batch context, sent once per worker per batch
+    before its first lease (and again after a reconnect).
+    ``("lease", batch_id, task_id, shard_id, attempt, items,
+    lease_seconds)`` — one shard to evaluate under a time-bounded lease.
+    ``("shutdown",)`` — the coordinator is closing; the agent exits its
+    serve loop (and, run via ``run_forever``, stops rather than
+    reconnecting).
+
+Transport faults are injected *here* (``corrupt=True`` flips payload bytes
+after the digest is computed), so the chaos suite drives the checksum path
+with real corrupted frames rather than mocks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import struct
+from typing import Any
+
+from ..core.exceptions import PayloadChecksumError
+
+#: Frame header: payload length (unsigned 32-bit BE) + sha256 digest.
+_HEADER = struct.Struct(">I32s")
+
+#: Upper bound on a single frame, bytes.  A frame claiming more than this
+#: is treated as a framing error (a corrupted *header* cannot be told apart
+#: from a genuine one, so the connection is dropped rather than resynced).
+MAX_FRAME_BYTES = 1 << 30
+
+
+def corrupt_payload_bytes(blob: bytes) -> bytes:
+    """Deterministically flip payload bits so the checksum cannot match."""
+    mutated = bytearray(blob)
+    mutated[0] ^= 0xFF
+    middle = len(mutated) // 2
+    if middle != 0:
+        mutated[middle] ^= 0xFF
+    return bytes(mutated)
+
+
+def send_message(sock: socket.socket, message: Any, *, corrupt: bool = False) -> None:
+    """Frame and send one message (``corrupt=True`` injects a payload fault).
+
+    Raises ``OSError`` (including ``BrokenPipeError``) when the transport is
+    gone; callers treat that exactly like a disconnect.
+    """
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).digest()
+    if corrupt:
+        blob = corrupt_payload_bytes(blob)
+    sock.sendall(_HEADER.pack(len(blob), digest) + blob)
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Read one frame: returns the unpickled message.
+
+    Raises ``EOFError`` on a cleanly closed connection, ``OSError`` on a
+    broken one, and :class:`~repro.core.exceptions.PayloadChecksumError`
+    when the payload fails its digest (the stream itself is still in sync —
+    the caller may keep reading).
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    length, digest = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise OSError(f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes")
+    blob = _recv_exact(sock, length)
+    if hashlib.sha256(blob).digest() != digest:
+        raise PayloadChecksumError(
+            f"protocol payload failed its sha256 checksum ({length} bytes)"
+        )
+    return pickle.loads(blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError("connection closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -211,21 +211,24 @@ def _pool_initializer(payload: bytes) -> None:
     _POOL_RUNNERS.clear()
 
 
+def _runner_from_spec(spec: Tuple) -> "BatchRunner":
+    """Rebuild one runner from its pickled work-spec tuple."""
+    netlist, relaxed, queue_capacity, rs_capacity, kernel_name, instruments = spec
+    return BatchRunner(
+        netlist,
+        relaxed=relaxed,
+        queue_capacity=queue_capacity,
+        rs_capacity=rs_capacity,
+        kernel=kernel_name,
+        instruments=instruments,
+    )
+
+
 def _pool_runner(name: str) -> "BatchRunner":
     runner = _POOL_RUNNERS.get(name)
     if runner is None:
         assert _POOL_SPECS is not None
-        netlist, relaxed, queue_capacity, rs_capacity, kernel_name, instruments = (
-            _POOL_SPECS[name]
-        )
-        runner = _POOL_RUNNERS[name] = BatchRunner(
-            netlist,
-            relaxed=relaxed,
-            queue_capacity=queue_capacity,
-            rs_capacity=rs_capacity,
-            kernel=kernel_name,
-            instruments=instruments,
-        )
+        runner = _POOL_RUNNERS[name] = _runner_from_spec(_POOL_SPECS[name])
     return runner
 
 
@@ -501,6 +504,7 @@ class BatchRunner:
         start_method: Optional[str] = None,
         queue_capacity: Optional[int] = None,
         controls: Optional[RunControls] = None,
+        coordinator: Optional[object] = None,
         **control_kwargs: Any,
     ) -> List[BatchResult]:
         """Evaluate every configuration; optionally fan out across processes.
@@ -538,6 +542,7 @@ class BatchRunner:
         return _run_tagged(
             {"_": self}, items, _resolve_controls(controls, control_kwargs),
             on_error, workers, shards, start_method, owner=self,
+            coordinator=coordinator,
         )
 
     # -- helpers -------------------------------------------------------------
@@ -685,6 +690,7 @@ class MultiNetlistRunner:
         start_method: Optional[str] = None,
         queue_capacity: Optional[int] = None,
         controls: Optional[RunControls] = None,
+        coordinator: Optional[object] = None,
         **control_kwargs: Any,
     ) -> List[BatchResult]:
         """Evaluate every tagged item; optionally fan out across processes.
@@ -706,6 +712,7 @@ class MultiNetlistRunner:
             self.runners, normalised,
             _resolve_controls(controls, control_kwargs), on_error,
             workers, shards, start_method, owner=self,
+            coordinator=coordinator,
         )
 
 
@@ -767,7 +774,25 @@ def _run_tagged(
     shards: Optional[int],
     start_method: Optional[str],
     owner: Optional[object] = None,
+    coordinator: Optional[object] = None,
 ) -> List[BatchResult]:
+    # Distributed tier first: with a coordinator that has live worker
+    # agents, shards go over the wire instead of to local processes.  The
+    # coordinator is duck-typed (available_workers / run_batch / cache_dir)
+    # so the engine layer never imports repro.distributed.  Zero connected
+    # agents, an unpicklable netlist, or observer-carrying controls all
+    # degrade to the local paths below.
+    if coordinator is not None and items:
+        payload = _spawn_payload(runners)
+        if (
+            payload is not None
+            and _controls_picklable(controls)
+            and coordinator.available_workers() > 0
+        ):
+            return _run_distributed(
+                runners, items, controls, on_error, shards, payload,
+                coordinator, owner,
+            )
     n_workers = min(workers, len(items))
     if n_workers <= 1:
         return _run_serial(runners, items, controls, on_error)
@@ -873,7 +898,7 @@ def _run_pooled(
     supervision history.  Recovery counters accumulate on
     ``owner.supervision``.
     """
-    from .supervised_pool import SupervisedPool, _QuarantinedItem
+    from .supervised_pool import SupervisedPool
 
     shard_lists = _chunk(items, _shard_count(len(items), n_workers, shards))
     plan = active_plan()
@@ -886,7 +911,60 @@ def _run_pooled(
         fault_json=plan.to_json() if plan else None,
     )
     slots = pool.run(shard_lists)
-    stats = pool.stats
+    return _finish_slots(
+        runners, items, controls, on_error, owner, slots, pool.stats,
+        "worker pool kept failing",
+    )
+
+
+def _run_distributed(
+    runners: Mapping[str, BatchRunner],
+    items: List[_Tagged],
+    controls: RunControls,
+    on_error: str,
+    shards: Optional[int],
+    payload: bytes,
+    coordinator: "Any",
+    owner: Optional[object] = None,
+) -> List[BatchResult]:
+    """Fan the shards out across remote worker agents under lease supervision.
+
+    Same failure semantics as :func:`_run_pooled` — the coordinator contains
+    shard failures with the identical retry/bisection/quarantine ladder —
+    plus the network layer's own recovery: expired leases and corrupted
+    payloads requeue the shard, repeatedly faulting agents are quarantined.
+    If every agent disappears mid-batch the coordinator gives up and the
+    remaining items are finished serially here, exactly like a local pool
+    that exhausted its respawn budget.
+    """
+    agents = max(1, coordinator.available_workers())
+    shard_lists = _chunk(items, _shard_count(len(items), agents, shards))
+    plan = active_plan()
+    slots, stats = coordinator.run_batch(
+        payload, shard_lists, controls, on_error,
+        fault_json=plan.to_json() if plan else None,
+    )
+    return _finish_slots(
+        runners, items, controls, on_error, owner, slots, stats,
+        "distributed workers unavailable or kept failing",
+    )
+
+
+def _finish_slots(
+    runners: Mapping[str, BatchRunner],
+    items: List[_Tagged],
+    controls: RunControls,
+    on_error: str,
+    owner: Optional[object],
+    slots: List[Optional[Any]],
+    stats: SupervisionStats,
+    giveup_reason: str,
+) -> List[BatchResult]:
+    """Turn supervisor slots into results: quarantine rows become error rows,
+    ``None`` slots (the supervisor gave up) are finished serially here, and
+    the supervision counters merge onto the owning runner."""
+    from .supervised_pool import _QuarantinedItem
+
     results: List[Optional[BatchResult]] = [None] * len(items)
     unfinished: List[int] = []
     for index, slot in enumerate(slots):
@@ -900,8 +978,7 @@ def _run_pooled(
         stats.serial_fallback_items += len(unfinished)
         _warn_serial_fallback(
             owner,
-            f"worker pool kept failing; finishing {len(unfinished)} "
-            "items serially",
+            f"{giveup_reason}; finishing {len(unfinished)} items serially",
             stats,
         )
         for index in unfinished:

@@ -41,12 +41,30 @@ Fault kinds:
     garbage bytes, exercising the checksum/quarantine path of
     :class:`repro.service.cache.ResultCache`.
 
+Network kinds (distributed tier, ``repro.distributed``; matched by worker
+id / shard index / attempt, no-ops on the local pool path):
+
+``disconnect``
+    The worker agent drops its coordinator connection as it picks up a
+    matching lease, then reconnects — exercising mid-shard disconnect
+    detection and requeue.
+``delay``
+    The worker sleeps ``seconds`` before sending a matching result,
+    simulating a slow link (pair with ``lease_seconds`` to exercise the
+    heartbeat keeping a slow-but-alive worker's lease fresh).
+``corrupt-payload``
+    The worker flips bits in the result frame's payload *after* computing
+    its checksum, so the coordinator detects the corruption end-to-end and
+    requeues the shard while staying in frame sync.
+
 Shard-level specs (``shard`` set, or neither ``shard`` nor ``label`` set —
 a wildcard) fire when a worker picks up the shard; item-level specs
 (``label`` set) fire as the matching configuration is evaluated.  The
 ``attempt`` selector counts per-shard retries (``0`` = first attempt only,
 ``None`` = every attempt); sub-shards created by bisection inherit the
-original shard index with the attempt counter reset.
+original shard index with the attempt counter reset.  The ``worker``
+selector names a distributed worker id (specs carrying it never fire on
+local pool workers, which have no identity).
 """
 
 from __future__ import annotations
@@ -67,7 +85,11 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: showing it is unambiguous about who killed the worker.
 CRASH_EXIT_CODE = 73
 
-_VALID_KINDS = frozenset({"crash", "hang", "raise", "corrupt-cache"})
+#: Kinds fired inside a worker's evaluation path (shard/item sites).
+_PROCESS_KINDS = frozenset({"crash", "hang", "raise"})
+#: Kinds fired at the distributed tier's transport sites.
+_NETWORK_KINDS = frozenset({"disconnect", "delay", "corrupt-payload"})
+_VALID_KINDS = _PROCESS_KINDS | _NETWORK_KINDS | frozenset({"corrupt-cache"})
 
 
 @dataclass(frozen=True)
@@ -88,6 +110,9 @@ class FaultSpec:
     simulation: bool = False
     #: ``corrupt-cache``: key prefix to match (None or "any": every key).
     key: Optional[str] = None
+    #: Distributed worker id to match (None: any worker).  Specs carrying a
+    #: worker id never fire on local pool workers (they have no identity).
+    worker: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
@@ -99,13 +124,28 @@ class FaultSpec:
     def _attempt_matches(self, attempt: int) -> bool:
         return self.attempt is None or self.attempt == attempt
 
-    def matches_shard(self, shard: Optional[int], attempt: int) -> bool:
-        """Shard-level trigger: label-free specs, exact or wildcard index."""
-        if self.label is not None or self.kind == "corrupt-cache":
+    def _worker_matches(self, worker: Optional[str]) -> bool:
+        return self.worker is None or self.worker == worker
+
+    def matches_shard(
+        self, shard: Optional[int], attempt: int, worker: Optional[str] = None
+    ) -> bool:
+        """Shard-level trigger: label-free process-kind specs, exact or wildcard."""
+        if self.label is not None or self.kind not in _PROCESS_KINDS:
             return False
         if self.shard is not None and self.shard != shard:
             return False
-        return self._attempt_matches(attempt)
+        return self._worker_matches(worker) and self._attempt_matches(attempt)
+
+    def matches_network(
+        self, kind: str, worker: Optional[str], shard: Optional[int], attempt: int
+    ) -> bool:
+        """Network trigger at one of the distributed tier's transport sites."""
+        if self.kind != kind:
+            return False
+        if self.shard is not None and self.shard != shard:
+            return False
+        return self._worker_matches(worker) and self._attempt_matches(attempt)
 
     def matches_item(self, label: Optional[str], attempt: int) -> bool:
         """Item-level trigger: the spec names this configuration label."""
@@ -123,11 +163,11 @@ class FaultSpec:
     # -- serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"kind": self.kind}
-        for name in ("shard", "label", "attempt", "key"):
+        for name in ("shard", "label", "attempt", "key", "worker"):
             value = getattr(self, name)
             if value is not None:
                 data[name] = value
-        if self.kind == "hang":
+        if self.kind in ("hang", "delay"):
             data["seconds"] = self.seconds
         if self.simulation:
             data["simulation"] = True
@@ -136,7 +176,8 @@ class FaultSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
         known = {
-            "kind", "shard", "label", "attempt", "seconds", "simulation", "key",
+            "kind", "shard", "label", "attempt", "seconds", "simulation",
+            "key", "worker",
         }
         unknown = set(data) - known
         if unknown:
@@ -172,10 +213,20 @@ class FaultPlan:
                 "a fault plan is a JSON list of fault objects, got "
                 f"{type(raw).__name__}"
             )
-        try:
-            return cls(faults=tuple(FaultSpec.from_dict(item) for item in raw))
-        except (TypeError, ValueError) as exc:
-            raise SimulationError(f"invalid fault spec: {exc}") from exc
+        specs = []
+        for index, item in enumerate(raw):
+            if not isinstance(item, dict):
+                raise SimulationError(
+                    f"invalid fault spec #{index}: expected an object, got "
+                    f"{type(item).__name__}"
+                )
+            try:
+                specs.append(FaultSpec.from_dict(item))
+            except (TypeError, ValueError) as exc:
+                raise SimulationError(
+                    f"invalid fault spec #{index}: {exc}"
+                ) from exc
+        return cls(faults=tuple(specs))
 
     # -- firing -------------------------------------------------------------
     def on_shard_start(
@@ -183,7 +234,7 @@ class FaultPlan:
     ) -> None:
         """Fire shard-level faults as a worker picks the shard up."""
         for spec in self.faults:
-            if spec.matches_shard(shard, attempt):
+            if spec.matches_shard(shard, attempt, _WORKER_IDENTITY):
                 _fire(spec, f"shard {shard} attempt {attempt}", in_worker)
 
     def on_item(self, label: Optional[str], attempt: int, in_worker: bool) -> None:
@@ -194,6 +245,32 @@ class FaultPlan:
 
     def corrupts_key(self, key: str) -> bool:
         return any(spec.matches_key(key) for spec in self.faults)
+
+    # -- network sites (distributed tier) -----------------------------------
+    def disconnects(
+        self, worker: Optional[str], shard: Optional[int], attempt: int
+    ) -> bool:
+        return any(
+            spec.matches_network("disconnect", worker, shard, attempt)
+            for spec in self.faults
+        )
+
+    def send_delay(
+        self, worker: Optional[str], shard: Optional[int], attempt: int
+    ) -> float:
+        return sum(
+            spec.seconds
+            for spec in self.faults
+            if spec.matches_network("delay", worker, shard, attempt)
+        )
+
+    def corrupts_payload(
+        self, worker: Optional[str], shard: Optional[int], attempt: int
+    ) -> bool:
+        return any(
+            spec.matches_network("corrupt-payload", worker, shard, attempt)
+            for spec in self.faults
+        )
 
 
 def _fire(spec: FaultSpec, site: str, in_worker: bool) -> None:
@@ -221,6 +298,9 @@ _ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
 _IN_WORKER = False
 #: The shard/attempt a worker is currently evaluating (item-level matching).
 _CONTEXT: Dict[str, Any] = {"shard": None, "attempt": 0}
+#: Distributed worker id of this process/agent (None on the local pool path,
+#: so specs with a ``worker`` selector never fire there).
+_WORKER_IDENTITY: Optional[str] = None
 
 
 def install(plan: Optional[FaultPlan]) -> None:
@@ -237,23 +317,53 @@ def uninstall() -> None:
     install(None)
 
 
-def active_plan() -> Optional[FaultPlan]:
-    """The plan in effect: installed first, else parsed from the environment."""
-    if _INSTALLED is not None:
-        return _INSTALLED
+def validate_env() -> Optional[FaultPlan]:
+    """Eagerly parse ``REPRO_FAULTS``, naming the env var in any error.
+
+    Called at process entry ("install time" for the environment activation
+    path: the CLI's ``main()``, pool construction, worker agent start) so a
+    malformed plan surfaces as one clear
+    :class:`~repro.core.exceptions.SimulationError` naming the variable and
+    the offending spec, instead of a deep traceback inside a worker the
+    first time a fault site is reached.  Returns the parsed plan (None when
+    the variable is unset/empty); the parse is cached until the raw value
+    changes.
+    """
     raw = os.environ.get(FAULTS_ENV_VAR, "").strip() or None
     if raw is None:
         return None
     global _ENV_CACHE
     if _ENV_CACHE[0] != raw:
-        _ENV_CACHE = (raw, FaultPlan.from_json(raw))
+        try:
+            _ENV_CACHE = (raw, FaultPlan.from_json(raw))
+        except SimulationError as exc:
+            raise SimulationError(
+                f"invalid {FAULTS_ENV_VAR} environment variable: {exc}"
+            ) from exc
     return _ENV_CACHE[1]
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in effect: installed first, else parsed from the environment."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return validate_env()
 
 
 def mark_worker() -> None:
     """Declare this process a supervised-pool worker (enables crash faults)."""
     global _IN_WORKER
     _IN_WORKER = True
+
+
+def set_worker_identity(worker_id: Optional[str]) -> None:
+    """Record this process's distributed worker id (worker-selector matching)."""
+    global _WORKER_IDENTITY
+    _WORKER_IDENTITY = worker_id
+
+
+def worker_identity() -> Optional[str]:
+    return _WORKER_IDENTITY
 
 
 def set_shard_context(shard: Optional[int], attempt: int) -> None:
@@ -266,6 +376,28 @@ def maybe_fault_shard(shard: Optional[int], attempt: int) -> None:
     plan = active_plan()
     if plan is not None:
         plan.on_shard_start(shard, attempt, _IN_WORKER)
+
+
+def should_disconnect(shard: Optional[int], attempt: int) -> bool:
+    """Network site: the worker agent is about to serve a lease."""
+    plan = active_plan()
+    return plan is not None and plan.disconnects(_WORKER_IDENTITY, shard, attempt)
+
+
+def send_delay(shard: Optional[int], attempt: int) -> float:
+    """Network site: seconds to sleep before sending a result (slow link)."""
+    plan = active_plan()
+    if plan is None:
+        return 0.0
+    return plan.send_delay(_WORKER_IDENTITY, shard, attempt)
+
+
+def should_corrupt_payload(shard: Optional[int], attempt: int) -> bool:
+    """Network site: flip result-frame payload bytes after checksumming."""
+    plan = active_plan()
+    return plan is not None and plan.corrupts_payload(
+        _WORKER_IDENTITY, shard, attempt
+    )
 
 
 def maybe_fault_item(label: Optional[str]) -> None:

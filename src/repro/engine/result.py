@@ -88,6 +88,14 @@ class SupervisionStats:
     quarantined: int = 0
     #: Items completed serially in the driver after the pool gave up.
     serial_fallback_items: int = 0
+    #: Remote-worker leases that expired without a heartbeat renewal
+    #: (distributed tier only; the shard was requeued).
+    lease_expiries: int = 0
+    #: Protocol messages dropped for failing their end-to-end checksum
+    #: (distributed tier only; the shard was requeued).
+    corrupt_payloads: int = 0
+    #: Remote workers quarantined for repeated faults (no further leases).
+    workers_quarantined: int = 0
 
     def merge(self, other: "SupervisionStats") -> "SupervisionStats":
         """Accumulate *other* into self (returns self for chaining)."""
@@ -97,6 +105,9 @@ class SupervisionStats:
         self.bisections += other.bisections
         self.quarantined += other.quarantined
         self.serial_fallback_items += other.serial_fallback_items
+        self.lease_expiries += other.lease_expiries
+        self.corrupt_payloads += other.corrupt_payloads
+        self.workers_quarantined += other.workers_quarantined
         return self
 
     @property
@@ -106,17 +117,26 @@ class SupervisionStats:
             (
                 self.respawns, self.retries, self.timeouts,
                 self.bisections, self.quarantined, self.serial_fallback_items,
+                self.lease_expiries, self.corrupt_payloads,
+                self.workers_quarantined,
             )
         )
 
     def summary(self) -> str:
         """Compact human-readable form for warnings and logs."""
-        return (
+        text = (
             f"{self.respawns} respawns, {self.retries} retries, "
             f"{self.timeouts} timeouts, {self.bisections} bisections, "
             f"{self.quarantined} quarantined, "
             f"{self.serial_fallback_items} serial-fallback items"
         )
+        if self.lease_expiries or self.corrupt_payloads or self.workers_quarantined:
+            text += (
+                f", {self.lease_expiries} lease expiries, "
+                f"{self.corrupt_payloads} corrupt payloads, "
+                f"{self.workers_quarantined} workers quarantined"
+            )
+        return text
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -126,6 +146,9 @@ class SupervisionStats:
             "bisections": self.bisections,
             "quarantined": self.quarantined,
             "serial_fallback_items": self.serial_fallback_items,
+            "lease_expiries": self.lease_expiries,
+            "corrupt_payloads": self.corrupt_payloads,
+            "workers_quarantined": self.workers_quarantined,
         }
 
     @classmethod

@@ -52,6 +52,7 @@ from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.exceptions import (
+    LeaseExpiredError,
     ShardTimeoutError,
     SimulationError,
     WorkerCrashError,
@@ -95,6 +96,117 @@ class _Task:
     ready: float = 0.0
     #: Most recent failure, for the quarantine row / raised error.
     last_error: str = ""
+
+
+def _rebuild_error(summary: str, blob: Optional[bytes]) -> Exception:
+    """Best-effort reconstruction of a worker-side failure for re-raising."""
+    if blob is not None:
+        try:
+            return pickle.loads(blob)
+        except Exception:  # noqa: BLE001 - fall through to summary form
+            pass
+    if summary.startswith("ShardTimeoutError"):
+        return ShardTimeoutError(summary)
+    if summary.startswith("LeaseExpiredError"):
+        return LeaseExpiredError(summary)
+    return WorkerCrashError(summary)
+
+
+class RetryLadder:
+    """The shared shard-failure policy: retry → backoff → bisect → quarantine.
+
+    Two supervisors contain failures with this ladder: the local
+    :class:`SupervisedPool` (pipes to child processes) and the distributed
+    coordinator (:mod:`repro.distributed.coordinator`, socket leases to
+    remote agents).  The ladder owns the *policy* and the task bookkeeping —
+    task ids, submission-order slots, backoff schedule, bisection,
+    quarantine rows — while each supervisor owns its transport and feeds
+    failures in through :meth:`task_failed`.  Keeping one implementation
+    guarantees a poisoned item behaves identically whether it kills a local
+    process or three remote workers in a row: same retry budget, same
+    bisection, exactly one quarantine row.
+    """
+
+    def __init__(self, controls, on_error: str, stats: SupervisionStats) -> None:
+        self.on_error = on_error
+        self.max_shard_retries: int = controls.max_shard_retries
+        self.retry_backoff: float = controls.retry_backoff
+        self.stats = stats
+        self._task_ids = itertools.count()
+
+    def make_tasks(
+        self, shard_lists: Sequence[Sequence[Any]]
+    ) -> "tuple[List[_Task], List[Optional[Any]]]":
+        """Build the task set and the flat submission-order result slots."""
+        tasks: List[_Task] = []
+        start = 0
+        for shard_id, items in enumerate(shard_lists):
+            tasks.append(
+                _Task(
+                    task_id=next(self._task_ids),
+                    shard_id=shard_id,
+                    start=start,
+                    items=list(items),
+                )
+            )
+            start += len(items)
+        return tasks, [None] * start
+
+    def backoff_for(self, attempt: int) -> float:
+        return min(BACKOFF_CAP, self.retry_backoff * (2 ** (attempt - 1)))
+
+    def task_failed(
+        self, task: _Task, pending: List[_Task], outstanding: Dict[int, _Task],
+        slots: List[Optional[Any]], *,
+        summary: str, blob: Optional[bytes], deterministic: bool,
+    ) -> None:
+        """Route a failed attempt: raise, retry with backoff, bisect, quarantine.
+
+        *deterministic* marks simulation errors that escaped the worker's
+        per-item handling: retrying them is pointless, so they skip straight
+        to bisection/quarantine (or re-raise under ``on_error="raise"``).
+        """
+        task.tries += 1
+        task.last_error = summary
+        if deterministic and self.on_error == "raise":
+            raise _rebuild_error(summary, blob)
+        if not deterministic and task.attempt < self.max_shard_retries:
+            self.stats.retries += 1
+            task.attempt += 1
+            task.ready = time.monotonic() + self.backoff_for(task.attempt)
+            pending.append(task)
+            return
+        if len(task.items) > 1:
+            self.stats.bisections += 1
+            outstanding.pop(task.task_id, None)
+            mid = len(task.items) // 2
+            for offset, part in ((0, task.items[:mid]), (mid, task.items[mid:])):
+                child = _Task(
+                    task_id=next(self._task_ids),
+                    shard_id=task.shard_id,
+                    start=task.start + offset,
+                    items=part,
+                    tries=task.tries,
+                )
+                outstanding[child.task_id] = child
+                pending.append(child)
+            return
+        # A single item out of retries: quarantine (or surface the error).
+        if self.on_error == "raise":
+            raise _rebuild_error(summary, blob)
+        self.stats.quarantined += 1
+        outstanding.pop(task.task_id, None)
+        slots[task.start] = _QuarantinedItem(
+            item=task.items[0], error=summary, attempts=task.tries
+        )
+
+    @staticmethod
+    def pop_ready(pending: List[_Task], now: float) -> Optional[_Task]:
+        """Pop the first task whose backoff has elapsed (None if all waiting)."""
+        for index, task in enumerate(pending):
+            if task.ready <= now:
+                return pending.pop(index)
+        return None
 
 
 def _worker_main(
@@ -238,11 +350,9 @@ class SupervisedPool:
         self.on_error = on_error
         self.fault_json = fault_json
         self.shard_timeout: Optional[float] = controls.shard_timeout
-        self.max_shard_retries: int = controls.max_shard_retries
-        self.retry_backoff: float = controls.retry_backoff
         self.max_respawns = RESPAWN_BUDGET_PER_WORKER * processes + 2
         self.stats = SupervisionStats()
-        self._task_ids = itertools.count()
+        self._ladder = RetryLadder(controls, on_error, self.stats)
 
     # -- public API ---------------------------------------------------------
     def run(
@@ -256,19 +366,7 @@ class SupervisedPool:
         Raises the isolated failure instead of quarantining under
         ``on_error="raise"``.
         """
-        tasks: List[_Task] = []
-        start = 0
-        for shard_id, items in enumerate(shard_lists):
-            tasks.append(
-                _Task(
-                    task_id=next(self._task_ids),
-                    shard_id=shard_id,
-                    start=start,
-                    items=list(items),
-                )
-            )
-            start += len(items)
-        slots: List[Optional[Any]] = [None] * start
+        tasks, slots = self._ladder.make_tasks(shard_lists)
         if not tasks:
             return slots
         outstanding: Dict[int, _Task] = {t.task_id: t for t in tasks}
@@ -362,10 +460,7 @@ class SupervisedPool:
 
     @staticmethod
     def _pop_ready(pending: List[_Task], now: float) -> Optional[_Task]:
-        for index, task in enumerate(pending):
-            if task.ready <= now:
-                return pending.pop(index)
-        return None
+        return RetryLadder.pop_ready(pending, now)
 
     def _wait_timeout(
         self, busy: List[_Worker], pending: List[_Task], now: float
@@ -436,59 +531,10 @@ class SupervisedPool:
         self, task, pending, outstanding, slots, *,
         summary: str, blob: Optional[bytes], deterministic: bool,
     ) -> None:
-        """Route a failed attempt: raise, retry with backoff, bisect, quarantine.
-
-        *deterministic* marks simulation errors that escaped the worker's
-        per-item handling: retrying them is pointless, so they skip straight
-        to bisection/quarantine (or re-raise under ``on_error="raise"``).
-        """
-        task.tries += 1
-        task.last_error = summary
-        if deterministic and self.on_error == "raise":
-            raise self._rebuild_error(summary, blob)
-        if not deterministic and task.attempt < self.max_shard_retries:
-            self.stats.retries += 1
-            task.attempt += 1
-            backoff = min(
-                BACKOFF_CAP, self.retry_backoff * (2 ** (task.attempt - 1))
-            )
-            task.ready = time.monotonic() + backoff
-            pending.append(task)
-            return
-        if len(task.items) > 1:
-            self.stats.bisections += 1
-            outstanding.pop(task.task_id, None)
-            mid = len(task.items) // 2
-            for offset, part in ((0, task.items[:mid]), (mid, task.items[mid:])):
-                child = _Task(
-                    task_id=next(self._task_ids),
-                    shard_id=task.shard_id,
-                    start=task.start + offset,
-                    items=part,
-                    tries=task.tries,
-                )
-                outstanding[child.task_id] = child
-                pending.append(child)
-            return
-        # A single item out of retries: quarantine (or surface the error).
-        if self.on_error == "raise":
-            raise self._rebuild_error(summary, blob)
-        self.stats.quarantined += 1
-        outstanding.pop(task.task_id, None)
-        slots[task.start] = _QuarantinedItem(
-            item=task.items[0], error=summary, attempts=task.tries
+        self._ladder.task_failed(
+            task, pending, outstanding, slots,
+            summary=summary, blob=blob, deterministic=deterministic,
         )
-
-    @staticmethod
-    def _rebuild_error(summary: str, blob: Optional[bytes]) -> Exception:
-        if blob is not None:
-            try:
-                return pickle.loads(blob)
-            except Exception:  # noqa: BLE001 - fall through to summary form
-                pass
-        if summary.startswith("ShardTimeoutError"):
-            return ShardTimeoutError(summary)
-        return WorkerCrashError(summary)
 
 
 @dataclass

@@ -153,10 +153,25 @@ class ResultCache:
         self,
         max_entries: int = 65_536,
         cache_dir: Optional[os.PathLike] = None,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
+        """*max_disk_bytes* bounds the disk tier (None: unbounded).
+
+        After every write, ``<key>.json`` entries are evicted least-recently-
+        used first — recency is the file mtime, which both writes and disk
+        hits refresh — until the tier fits the budget.  The budget is a hard
+        bound shared by every process pointing at the directory (the
+        cross-host transport tier of ``repro.distributed`` included): even a
+        single entry larger than the whole budget is evicted immediately.
+        An eviction is never an error — the evicted key simply misses and
+        re-simulates.
+        """
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be >= 1 (or None)")
         self.max_entries = max_entries
+        self.max_disk_bytes = max_disk_bytes
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -167,6 +182,7 @@ class ResultCache:
         self.disk_hits = 0
         self.disk_errors = 0
         self.corrupt_quarantined = 0
+        self.disk_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -236,6 +252,8 @@ class ResultCache:
                 "disk_hits": self.disk_hits,
                 "disk_errors": self.disk_errors,
                 "corrupt_quarantined": self.corrupt_quarantined,
+                "disk_evictions": self.disk_evictions,
+                "max_disk_bytes": self.max_disk_bytes,
                 "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
             }
 
@@ -300,10 +318,17 @@ class ResultCache:
             self._quarantine(path, "checksum mismatch")
             return None
         try:
-            return BatchResult.from_dict(result_dict)
+            result = BatchResult.from_dict(result_dict)
         except (KeyError, TypeError, ValueError):
             self._quarantine(path, "undeserializable result")
             return None
+        # Refresh recency for the LRU eviction order (mtime is the clock
+        # every process sharing the directory agrees on).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return result
 
     def _write_disk(self, key: str, result: BatchResult) -> None:
         if self.cache_dir is None:
@@ -328,3 +353,38 @@ class ResultCache:
             return
         if should_corrupt(key):  # fault injection: exercise the quarantine path
             corrupt_file(path)
+        self._evict_disk()
+
+    def _evict_disk(self) -> None:
+        """Evict ``<key>.json`` entries, oldest mtime first, to the budget."""
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return
+        entries = []
+        total = 0
+        try:
+            candidates = list(self.cache_dir.glob("*.json"))
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+            total += info.st_size
+        if total <= self.max_disk_bytes:
+            return
+        entries.sort(key=lambda entry: entry[0])
+        evicted = 0
+        for _mtime, size, path in entries:
+            if total <= self.max_disk_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.disk_evictions += evicted

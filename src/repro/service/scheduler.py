@@ -107,6 +107,13 @@ class EvaluationService:
     max_pending:
         Bound on jobs queued but not yet evaluated; ``submit()`` blocks
         until room frees up.  None (default) leaves the queue unbounded.
+    coordinator:
+        A :class:`repro.distributed.Coordinator` to fan chunks out across
+        remote worker agents.  With live agents connected, chunk evaluation
+        routes over the wire (lease/heartbeat supervision, same
+        retry/quarantine ladder); with none, the local pool path runs
+        untouched.  The service does not own the coordinator's lifecycle —
+        the creator closes it.
     join_timeout:
         Seconds ``close(cancel_pending=True)`` waits for the scheduler
         thread before declaring the in-flight chunk abandoned and failing
@@ -126,6 +133,7 @@ class EvaluationService:
         max_job_attempts: int = 2,
         max_pending: Optional[int] = None,
         join_timeout: float = 10.0,
+        coordinator: Optional[object] = None,
     ) -> None:
         if max_job_attempts < 1:
             raise SimulationError(
@@ -145,6 +153,7 @@ class EvaluationService:
         self.autostart = autostart
         self.max_job_attempts = max_job_attempts
         self.join_timeout = join_timeout
+        self.coordinator = coordinator
         #: Backpressure: one slot per queued-but-not-yet-drained job.
         self._pending: Optional[threading.Semaphore] = (
             threading.Semaphore(max_pending) if max_pending is not None else None
@@ -515,13 +524,21 @@ class EvaluationService:
         ``supervision`` merges the recovery counters of every pooled
         ``run_many`` the service has driven (see
         :class:`~repro.engine.result.SupervisionStats`); all-zero means no
-        worker was ever lost.
+        worker was ever lost.  With a coordinator attached,
+        ``supervision["workers"]`` breaks the record down per remote worker
+        id (connection state, quarantine, fault strikes, completed shards).
         """
         with self._lock:
             supervision = (
                 self._multi.supervision
                 if self._multi is not None
                 else SupervisionStats()
+            )
+            supervision_dict: Dict[str, Any] = supervision.to_dict()
+            supervision_dict["workers"] = (
+                self.coordinator.worker_stats()
+                if self.coordinator is not None
+                else {}
             )
             return {
                 "submitted": self.submitted,
@@ -534,7 +551,7 @@ class EvaluationService:
                 "queue_depth": self._queue.qsize(),
                 "layouts": sorted(self._runners),
                 "cache": self.cache.stats(),
-                "supervision": supervision.to_dict(),
+                "supervision": supervision_dict,
             }
 
     # -- scheduler internals ------------------------------------------------
@@ -661,6 +678,7 @@ class EvaluationService:
             on_error="zero",
             start_method=self.start_method,
             controls=controls,
+            coordinator=self.coordinator,
         )
         for job, result in zip(live, results):
             # Publish to the cache BEFORE dropping the in-flight entry: a

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import sys
 import threading
 import warnings
@@ -258,6 +259,63 @@ class TestResultCache:
         (tmp_path / "bad.json").write_text("{not json")
         assert cache.get("bad") is None
         assert cache.disk_errors == 1
+
+    def test_max_disk_bytes_validation(self):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            ResultCache(max_disk_bytes=0)
+
+    def _entry_size(self, tmp_path):
+        """On-disk size of one cache entry (identical for same-shape results)."""
+        probe = ResultCache(cache_dir=tmp_path)
+        probe.put("probe", self._result(cycles=999))
+        size = (tmp_path / "probe.json").stat().st_size
+        (tmp_path / "probe.json").unlink()
+        return size
+
+    def test_disk_lru_evicts_oldest_mtime_first(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        budget = 2 * size + size // 2  # room for two entries, not three
+        cache = ResultCache(cache_dir=tmp_path, max_disk_bytes=budget)
+        cache.put("k0", self._result(cycles=100))
+        cache.put("k1", self._result(cycles=101))
+        os.utime(tmp_path / "k1.json", (1, 1))  # k1 becomes the LRU entry
+        cache.put("k2", self._result(cycles=102))
+        assert not (tmp_path / "k1.json").exists()
+        assert (tmp_path / "k0.json").exists()
+        assert (tmp_path / "k2.json").exists()
+        assert cache.disk_evictions == 1
+        stats = cache.stats()
+        assert stats["disk_evictions"] == 1
+        assert stats["max_disk_bytes"] == budget
+        # Eviction is not an error: the key simply misses and re-simulates.
+        assert cache.disk_errors == 0
+        assert ResultCache(cache_dir=tmp_path).get("k1") is None
+
+    def test_disk_read_hit_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        seed = ResultCache(cache_dir=tmp_path)
+        seed.put("old", self._result(cycles=100))
+        seed.put("new", self._result(cycles=101))
+        os.utime(tmp_path / "old.json", (1, 1))
+        os.utime(tmp_path / "new.json", (2, 2))
+        # A disk hit touches the file: "old" becomes the most recent entry.
+        reader = ResultCache(cache_dir=tmp_path)
+        assert reader.get("old") is not None
+        cache = ResultCache(
+            cache_dir=tmp_path, max_disk_bytes=2 * size + size // 2
+        )
+        cache.put("k2", self._result(cycles=102))
+        assert (tmp_path / "old.json").exists()
+        assert not (tmp_path / "new.json").exists()
+
+    def test_entry_larger_than_budget_evicted_immediately(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, max_disk_bytes=1)
+        cache.put("big", self._result())
+        assert not (tmp_path / "big.json").exists()
+        assert cache.disk_evictions == 1
+        # The memory tier still serves it; only the disk copy is gone.
+        assert cache.get("big") is not None
+        assert ResultCache(cache_dir=tmp_path).get("big") is None
 
 
 # ---------------------------------------------------------------------------
@@ -552,6 +610,94 @@ class TestEvaluationService:
 # ---------------------------------------------------------------------------
 # Fork + spawn safety of the cached path
 # ---------------------------------------------------------------------------
+
+class TestBackpressureCancellation:
+    """``max_pending`` backpressure composed with cancellation and close.
+
+    The invariant under test: every path a queued job can leave the queue
+    by — evaluated, failed, cancelled, drained at close — releases its
+    backpressure slot, so a blocked submitter always eventually wakes.
+    """
+
+    def _blocked_submitter(self, service, layout, config, errors):
+        """Start a thread blocked in submit() on a full pending queue."""
+        jobsets = []
+
+        def run():
+            try:
+                jobsets.append(
+                    service.submit([(layout, config)], stop_process="CU")
+                )
+            except Exception as exc:  # noqa: BLE001 - asserted by callers
+                errors.append(exc)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(0.3)
+        assert thread.is_alive(), "submitter should be blocked on the slot"
+        return thread, jobsets
+
+    def test_cancelled_pending_job_releases_its_slot(self):
+        service, wp1, _ = _service_with_sort(autostart=False, max_pending=1)
+        first = service.submit([(wp1, _rows(2)[0])], stop_process="CU")
+        errors = []
+        thread, jobsets = self._blocked_submitter(
+            service, wp1, _rows(2)[1], errors
+        )
+        # Cancelling the queued job marks it terminal; its slot is freed
+        # when the scheduler dequeues it, so start() unblocks the submitter.
+        assert first.jobs[0].cancel()
+        service.start()
+        thread.join(30)
+        assert not thread.is_alive() and not errors
+        assert jobsets[0].wait(60)
+        assert first.jobs[0].status is JobStatus.CANCELLED
+        assert jobsets[0].jobs[0].status is JobStatus.DONE
+        assert service.evaluated == 1  # the cancelled row never ran
+        service.close()
+
+    def test_close_cancel_pending_unblocks_submitter(self):
+        service, wp1, _ = _service_with_sort(autostart=False, max_pending=1)
+        first = service.submit([(wp1, _rows(2)[0])], stop_process="CU")
+        errors = []
+        thread, jobsets = self._blocked_submitter(
+            service, wp1, _rows(2)[1], errors
+        )
+        # Draining the queue frees the slot; the woken submitter then sees
+        # the closed service and raises instead of stranding its job.
+        service.close(cancel_pending=True)
+        thread.join(30)
+        assert not thread.is_alive()
+        assert not jobsets
+        assert len(errors) == 1
+        assert isinstance(errors[0], SimulationError)
+        assert "closed" in str(errors[0])
+        assert first.jobs[0].status is JobStatus.CANCELLED
+
+    def test_failed_jobs_release_slots(self):
+        # A row that fails evaluation (WP1 deadlock corner) must not leak
+        # its slot: with max_pending=1, later submits would block forever.
+        netlist, rs_counts = ring_netlist(3, rs_total=2)
+        service = EvaluationService(max_pending=1)
+        layout = service.ensure_layout(netlist, queue_capacity=1)
+        failing = service.submit(
+            [(layout, {name: 0 for name in rs_counts})],
+            target_firings={"stage0": 10}, max_cycles=50, deadlock_limit=10,
+        )
+        followers = [
+            service.submit(
+                [(layout, rs_counts)], target_firings={"stage0": 10},
+                max_cycles=1000,
+            )
+            for _ in range(3)
+        ]
+        assert failing.wait(60)
+        assert failing.ordered_results()[0].failed
+        for jobset in followers:
+            assert jobset.wait(60)
+            assert not jobset.ordered_results()[0].failed
+        service.close()
+
 
 class TestServiceMultiprocessing:
     @pytest.mark.parametrize("method", ["fork", "spawn"])
