@@ -21,7 +21,12 @@ Reads the newest record of the ``BENCH_kernel.json`` history (produced by
   produced by ``benchmark_service.py``): a warm-cache re-run of the 64-row
   mixed sweep through the evaluation service must be at least that many
   times faster than the cold run, and the cold run must have streamed its
-  first row before half its wall-clock.
+  first row before half its wall-clock;
+* with ``--topology-floor`` (reads the newest ``BENCH_topology.json``
+  record, produced by ``benchmark_topology.py``): the fast kernel's speedup
+  over the reference kernel on the generated *chain* topology — the guard
+  that the topology-general index layouts did not tax the original
+  chain-shaped path.
 
 CI runs this after the quick benchmark so hot-path regressions are caught
 at PR time::
@@ -41,6 +46,9 @@ from pathlib import Path
 DEFAULT_RECORD = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 DEFAULT_SERVICE_RECORD = (
     Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
+DEFAULT_TOPOLOGY_RECORD = (
+    Path(__file__).resolve().parent.parent / "BENCH_topology.json"
 )
 
 
@@ -99,6 +107,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--service-record", type=Path, default=DEFAULT_SERVICE_RECORD,
         help="path to the BENCH_service.json history",
+    )
+    parser.add_argument(
+        "--topology-floor", type=float, default=None, metavar="X",
+        help=(
+            "minimum fast/reference speedup on the generated chain topology "
+            "(reads the BENCH_topology.json history; omitted: not checked)"
+        ),
+    )
+    parser.add_argument(
+        "--topology-record", type=Path, default=DEFAULT_TOPOLOGY_RECORD,
+        help="path to the BENCH_topology.json history",
     )
     args = parser.parse_args(argv)
 
@@ -233,6 +252,11 @@ def main(argv=None) -> int:
             args.service_record, args.cache_floor
         )
 
+    if args.topology_floor is not None:
+        failed |= _check_topology_floor(
+            args.topology_record, args.topology_floor
+        )
+
     return 1 if failed else 0
 
 
@@ -325,6 +349,44 @@ def _check_cache_floor(record_path: Path, floor: float) -> bool:
         )
         failed = True
     return failed
+
+
+def _check_topology_floor(record_path: Path, floor: float) -> bool:
+    """Enforce the generated-chain fast/reference floor; True on failure."""
+    if not record_path.exists():
+        print(
+            f"perf floor FAILED: no topology record at {record_path} "
+            "(run benchmarks/benchmark_topology.py first)",
+            file=sys.stderr,
+        )
+        return True
+    history = json.loads(record_path.read_text())
+    if isinstance(history, dict):
+        history = [history]
+    latest = history[-1] if history else {}
+    chain = latest.get("chain")
+    if not chain:
+        print(
+            "perf floor FAILED: newest topology record carries no chain "
+            "measurement",
+            file=sys.stderr,
+        )
+        return True
+    speedup = chain.get("fast_vs_reference", 0.0)
+    print(
+        f"perf floor: topology chain fast/reference {speedup:.1f}x "
+        f"({chain.get('stages')} stages, {chain.get('cycles')} cycles, "
+        f"floor {floor:.1f}x) "
+        f"[record {latest.get('timestamp', '?')}, quick={latest.get('quick')}]"
+    )
+    if speedup < floor:
+        print(
+            f"perf floor FAILED: chain-topology fast kernel {speedup:.1f}x < "
+            f"{floor:.1f}x over reference",
+            file=sys.stderr,
+        )
+        return True
+    return False
 
 
 if __name__ == "__main__":

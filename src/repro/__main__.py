@@ -7,6 +7,10 @@ Commands
 ``multicycle`` print the multicycle-vs-pipelined WP2 gain comparison
 ``area``       print the wrapper area-overhead report
 ``sweep``      run one of the ablation sweeps (fifo / depth / clock / mixed)
+``topology``   generate, describe or sweep a synthetic netlist topology
+               (``generate`` prints the graph, ``describe`` adds kernel and
+               steady-state eligibility, ``sweep`` runs the WP1/WP2 depth
+               sweep of :func:`repro.experiments.topology_sweep`)
 ``submit``     submit an ad-hoc job set to the evaluation service and
                stream results as they complete
 
@@ -235,6 +239,153 @@ def _add_worker(subparsers) -> None:
     )
 
 
+def _add_topology(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "topology",
+        help="generate, describe or sweep a synthetic netlist topology",
+    )
+    parser.add_argument(
+        "action",
+        choices=("generate", "describe", "sweep"),
+        help=(
+            "generate: build and print the netlist; describe: add kernel/"
+            "steady-state eligibility; sweep: WP1/WP2 throughput vs RS depth"
+        ),
+    )
+    parser.add_argument(
+        "kind",
+        nargs="?",
+        default="ring",
+        help="generator kind (chain, ring, dag, mesh, torus, marked, random)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="generator parameter, repeatable (e.g. --param stages=8)",
+    )
+    parser.add_argument(
+        "--depths",
+        default="0,1,2,3",
+        help="comma-separated extra RS per link, one sweep row each",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=4_000,
+        help="cycle horizon for free-running (non-terminating) topologies",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "markdown", "csv"), default="text"
+    )
+    _add_kernel_option(parser)
+    _add_shards_option(parser)
+    _add_steady_state_option(parser)
+    _add_cache_option(parser)
+    _add_stream_option(parser)
+
+
+def _parse_topology_params(pairs):
+    """``NAME=VALUE`` strings -> generator kwargs (ints/bools where they parse)."""
+    params = {}
+    for pair in pairs:
+        name, sep, text = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"invalid --param {pair!r}: expected NAME=VALUE")
+        if text.lower() in ("true", "false"):
+            value = text.lower() == "true"
+        else:
+            try:
+                if "," in text:
+                    value = tuple(
+                        int(part) for part in text.split(",") if part.strip()
+                    )
+                else:
+                    value = int(text)
+            except ValueError:
+                raise SystemExit(
+                    f"invalid --param {pair!r}: VALUE must be an int, bool "
+                    "or comma-separated ints"
+                )
+        params[name.replace("-", "_")] = value
+    return params
+
+
+def _run_topology(args, service=None) -> int:
+    from .core.exceptions import NetlistError
+    from .topology import make_topology
+
+    try:
+        topology = make_topology(args.kind, **_parse_topology_params(args.param))
+    except (NetlistError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action in ("generate", "describe"):
+        print(topology.describe())
+        if args.action == "describe":
+            print(_topology_eligibility(topology))
+        return 0
+
+    from .experiments import topology_sweep
+    from .experiments.report import sweep_to_csv, sweep_to_markdown
+
+    depths = [int(d) for d in args.depths.split(",") if d.strip()]
+    on_result = _stream_printer() if args.stream and service is not None else None
+    result = topology_sweep(
+        topology=topology,
+        depths=depths,
+        kernel=args.kernel,
+        workers=args.shards,
+        horizon=args.horizon,
+        steady_state=_steady_state_flag(args),
+        service=service,
+        on_result=on_result,
+    )
+    if args.format == "markdown":
+        print(sweep_to_markdown(result))
+    elif args.format == "csv":
+        print(sweep_to_csv(result), end="")
+    else:
+        print(result.format())
+    return 0
+
+
+def _topology_eligibility(topology) -> str:
+    """Kernel / steady-state eligibility report for one generated topology."""
+    from .engine.elaboration import elaborate
+    from .engine.instrumentation import InstrumentSet
+    from .engine.kernel import RunControls
+    from .engine.lockstep import lockstep_reason
+    from .engine.steady_state import certify_model
+
+    model = elaborate(topology.netlist, rs_counts=topology.rs_counts)
+    controls = RunControls(
+        max_cycles=1_000_000,
+        stop_process=topology.stop_process,
+        horizon=None if topology.stop_process is not None else 1_000_000,
+    )
+    reason = lockstep_reason(
+        model, controls, InstrumentSet(trace=False, shell_stats=False,
+                                       occupancy=False)
+    )
+    certification = certify_model(model)
+    if certification is None:
+        steady = "off (some process has an opaque schedule state)"
+    elif certification[1]:
+        steady = "certified (value-exact extrapolation)"
+    else:
+        steady = "plain (occupancy/firing-offset snapshots)"
+    lines = ["eligibility:"]
+    lines.append(
+        "  lockstep kernel: eligible" if reason is None
+        else f"  lockstep kernel: falls back to fast ({reason})"
+    )
+    lines.append(f"  steady-state detection: {steady}")
+    return "\n".join(lines)
+
+
 def _add_multicycle(subparsers) -> None:
     parser = subparsers.add_parser(
         "multicycle", help="multicycle vs pipelined WP2 gains"
@@ -252,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_multicycle(subparsers)
     _add_simple(subparsers, "area", "wrapper area overhead report")
     _add_sweep(subparsers)
+    _add_topology(subparsers)
     _add_submit(subparsers)
     _add_worker(subparsers)
     return parser
@@ -544,6 +696,8 @@ def _dispatch(args) -> int:
             return 0
         if args.command == "sweep":
             return _run_sweep(args, service)
+        if args.command == "topology":
+            return _run_topology(args, service)
         if args.command == "submit":
             return _run_submit(args, service)
         return 1

@@ -208,17 +208,48 @@ class Netlist:
             graph.add_edge(chan.source, chan.dest)
         return [list(cycle) for cycle in nx.simple_cycles(graph)]
 
+    #: Loops rendered by :meth:`describe` before eliding (dense cyclic shapes
+    #: such as tori have combinatorially many simple cycles).
+    DESCRIBE_LOOP_LIMIT = 12
+
     def describe(self) -> str:
-        """Multi-line human-readable summary of the netlist."""
+        """Multi-line summary rendering the graph as it is: adjacency + loops.
+
+        A netlist is an arbitrary directed (multi)graph, so the description
+        shows each process' successor set (with fan-out grouped per output
+        port) and enumerates the simple loops — it deliberately implies no
+        linear stage ordering.  Channel one-liners follow for the physical
+        details (ports, links, widths).
+        """
         lines = [f"netlist {self.name!r}: "
                  f"{len(self._processes)} processes, {len(self._channels)} channels"]
+        lines.append("  adjacency:")
         for name in self.process_names():
-            process = self._processes[name]
-            lines.append(
-                f"  {name}: in={list(process.input_ports)} out={list(process.output_ports)}"
+            outputs = self._outputs_of.get(name, {})
+            targets = [
+                f"{chan.dest}.{chan.dest_port}"
+                for port in sorted(outputs)
+                for chan in outputs[port]
+            ]
+            feeders = sorted(
+                {chan.source for chan in self._inputs_of.get(name, {}).values()}
             )
+            arrow = " -> " + ", ".join(targets) if targets else " (no outputs)"
+            origin = f" [from {', '.join(feeders)}]" if feeders else " [source]"
+            lines.append(f"    {name}{arrow}{origin}")
+        loops = sorted(self.simple_loops(), key=lambda loop: (len(loop), loop))
+        if loops:
+            lines.append(f"  loops ({len(loops)}):")
+            for loop in loops[: self.DESCRIBE_LOOP_LIMIT]:
+                lines.append("    " + " -> ".join([*loop, loop[0]]))
+            hidden = len(loops) - self.DESCRIBE_LOOP_LIMIT
+            if hidden > 0:
+                lines.append(f"    ... and {hidden} more")
+        else:
+            lines.append("  loops: none (acyclic)")
+        lines.append("  channels:")
         for name in self.channel_names():
-            lines.append("  " + self._channels[name].describe())
+            lines.append("    " + self._channels[name].describe())
         return "\n".join(lines)
 
     # -- lifecycle ----------------------------------------------------------------

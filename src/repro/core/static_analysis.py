@@ -368,3 +368,93 @@ def per_link_sensitivity(
         config = RSConfiguration.from_mapping(counts, label=f"{base_config.label} + {extra} {link}")
         sensitivities[link] = throughput_bound(netlist, configuration=config).bound
     return sensitivities
+
+
+# ---------------------------------------------------------------------------
+# Graph-shape metrics (topology generality)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """Shape facts of a netlist's process graph, independent of any run.
+
+    The topology generators attach these to every generated netlist, the
+    CLI renders them in ``topology describe``, and the engine's eligibility
+    reporting uses them to explain *why* a netlist is (in)eligible for a
+    given kernel from graph properties rather than from shape names.
+    """
+
+    n_processes: int
+    n_channels: int
+    #: True when the process graph has no directed cycle (no feedback loop).
+    is_dag: bool
+    #: Sizes of the strongly connected components, largest first.  A chain
+    #: is all ones; a ring is a single component covering every process.
+    scc_sizes: Tuple[int, ...]
+    #: Number of simple cycles of the process graph.
+    n_loops: int
+    #: Directed diameter when the graph is strongly connected, otherwise the
+    #: diameter of the undirected view when weakly connected, else ``None``.
+    diameter: Optional[int]
+    #: Longest directed path (in channels) when the graph is a DAG.
+    longest_path: Optional[int]
+    #: Processes with no input / no output channels.
+    sources: Tuple[str, ...]
+    sinks: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """Readable one-liner, e.g. ``12 procs, 17 chans, 3 loops, diam 4``."""
+        shape = "dag" if self.is_dag else f"cyclic (largest SCC {self.scc_sizes[0]})"
+        parts = [
+            f"{self.n_processes} procs",
+            f"{self.n_channels} chans",
+            shape,
+            f"{self.n_loops} loops",
+        ]
+        if self.diameter is not None:
+            parts.append(f"diam {self.diameter}")
+        if self.longest_path is not None:
+            parts.append(f"depth {self.longest_path}")
+        return ", ".join(parts)
+
+
+def graph_metrics(netlist: Netlist) -> GraphMetrics:
+    """Compute the :class:`GraphMetrics` of a netlist's process graph.
+
+    Parallel channels are collapsed for the shape questions (DAG-ness,
+    diameter, SCCs are properties of the simple digraph); the channel count
+    still reports the physical multigraph.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(netlist.processes)
+    for chan in netlist.channels.values():
+        graph.add_edge(chan.source, chan.dest)
+
+    is_dag = nx.is_directed_acyclic_graph(graph)
+    scc_sizes = tuple(
+        sorted((len(c) for c in nx.strongly_connected_components(graph)), reverse=True)
+    )
+    n_loops = sum(1 for _ in nx.simple_cycles(graph))
+
+    diameter: Optional[int] = None
+    if graph.number_of_nodes() > 0:
+        if nx.is_strongly_connected(graph):
+            diameter = nx.diameter(graph)
+        elif nx.is_weakly_connected(graph):
+            diameter = nx.diameter(graph.to_undirected())
+
+    longest_path = nx.dag_longest_path_length(graph) if is_dag else None
+
+    sources = tuple(sorted(n for n in graph if graph.in_degree(n) == 0))
+    sinks = tuple(sorted(n for n in graph if graph.out_degree(n) == 0))
+    return GraphMetrics(
+        n_processes=len(netlist.processes),
+        n_channels=len(netlist.channels),
+        is_dag=is_dag,
+        scc_sizes=scc_sizes,
+        n_loops=n_loops,
+        diameter=diameter,
+        longest_path=longest_path,
+        sources=sources,
+        sinks=sinks,
+    )

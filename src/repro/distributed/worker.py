@@ -21,16 +21,23 @@ heartbeating and keeps its lease.
 Results are published through the content-addressed result cache when the
 coordinator advertised a shared ``cache_dir`` (one ``put`` per item, the
 frame carries only ``(key, label)`` pairs), inline otherwise.
+
+Agents also keep a small cross-batch runner cache keyed by netlist content
+digest (:class:`_RunnerCache`): successive batches of a sweep re-ship the
+same netlists, and reusing the runner object carries its elaborated layouts,
+compiled kernel functions and steady-state period memory to the next lease
+instead of rebuilding them from the pickled spec every time.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import socket
 import threading
 import time
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..core.exceptions import SimulationError
 from ..engine import faults
@@ -44,6 +51,48 @@ MIN_HEARTBEAT_INTERVAL = 0.05
 DEFAULT_RECONNECT_DELAY = 0.25
 
 
+class _RunnerCache:
+    """Small LRU of runners keyed by netlist content digest + build options.
+
+    Agents serve many batches over their lifetime, and successive batches of
+    a sweep usually re-ship the very same netlists.  Runners accumulate the
+    expensive per-layout state as they evaluate — elaborated layouts,
+    compiled kernel functions, steady-state period memory — so keeping the
+    runner object alive across batches carries all of it to the next lease.
+    The key is the sha256 of the pickled netlist (the same content identity
+    :meth:`~repro.engine.batch.BatchRunner.netlist_digest` uses) plus the
+    scalar build options of the work spec; a netlist that fails to pickle
+    has no content identity and is simply not cached.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self.maxsize = maxsize
+        self._entries: dict = {}  # insertion-ordered: oldest first
+
+    @staticmethod
+    def key(spec: Tuple) -> Optional[Tuple]:
+        try:
+            digest = hashlib.sha256(pickle.dumps(spec[0])).hexdigest()
+        except Exception:  # noqa: BLE001 - unpicklable netlist: not cacheable
+            return None
+        return (digest, *spec[1:])
+
+    def get(self, key: Tuple):
+        runner = self._entries.pop(key, None)
+        if runner is not None:
+            self._entries[key] = runner  # refresh recency
+        return runner
+
+    def put(self, key: Tuple, runner) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = runner
+        while len(self._entries) > self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class _AgentRunners:
     """Private name → runner map rebuilt lazily from the batch payload.
 
@@ -51,19 +100,37 @@ class _AgentRunners:
     store, but in-process agents (tests, benchmarks, local fan-out without
     extra processes) share one interpreter — and simulator state is not
     thread-safe, so every agent rebuilds its own runners from the pickled
-    work spec instead of touching the globals.
+    work spec instead of touching the globals.  A *shared* :class:`_RunnerCache`
+    (owned by the agent, surviving batch installs) lets equal specs reuse the
+    previous batch's runner instead of rebuilding.
     """
 
-    def __init__(self, payload: bytes) -> None:
+    def __init__(
+        self,
+        payload: bytes,
+        shared: Optional[_RunnerCache] = None,
+        on_build: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._specs = pickle.loads(payload)
         self._runners: dict = {}
+        self._shared = shared
+        self._on_build = on_build
 
     def __getitem__(self, name: str):
         from ..engine.batch import _runner_from_spec
 
         runner = self._runners.get(name)
         if runner is None:
-            runner = self._runners[name] = _runner_from_spec(self._specs[name])
+            spec = self._specs[name]
+            key = self._shared.key(spec) if self._shared is not None else None
+            runner = self._shared.get(key) if key is not None else None
+            if runner is None:
+                runner = _runner_from_spec(spec)
+                if self._on_build is not None:
+                    self._on_build()
+                if key is not None:
+                    self._shared.put(key, runner)
+            self._runners[name] = runner
         return runner
 
 
@@ -109,6 +176,11 @@ class WorkerAgent:
         self._batch: Optional[Tuple[int, Any, str]] = None
         self._runners: Optional[_AgentRunners] = None
         self._cache = None
+        #: Cross-batch runner reuse (see :class:`_RunnerCache`) and the
+        #: number of runner (re)builds it could not avoid — observable by
+        #: tests and by anyone instrumenting agent behaviour.
+        self._runner_cache = _RunnerCache()
+        self.runner_builds = 0
 
     # -- lifecycle -----------------------------------------------------------
     def stop(self) -> None:
@@ -171,7 +243,9 @@ class WorkerAgent:
 
     def _install_batch(self, message: Tuple) -> None:
         _, batch_id, payload, controls, on_error, fault_json, cache_dir = message
-        self._runners = _AgentRunners(payload)
+        self._runners = _AgentRunners(
+            payload, shared=self._runner_cache, on_build=self._count_build
+        )
         if fault_json is not None:
             faults.install(FaultPlan.from_json(fault_json))
         else:
@@ -182,6 +256,9 @@ class WorkerAgent:
 
             self._cache = ResultCache(cache_dir=cache_dir)
         self._batch = (batch_id, controls, on_error)
+
+    def _count_build(self) -> None:
+        self.runner_builds += 1
 
     def _serve_lease(self, message: Tuple) -> None:
         from ..engine.batch import _evaluate_shard

@@ -521,9 +521,15 @@ class _Generator:
             w.emit("idle += 1")
             w.emit("if idle >= deadlock_limit:")
             with _Block(w):
+                # The loop-closing channel hint is layout-static, so it is
+                # baked into the generated source as a literal suffix.
+                hint = self.model.layout.topology().deadlock_hint(
+                    self.model.layout.chan_names
+                ).replace("%", "%%").replace("'", "\\'")
                 w.emit(
                     "raise DeadlockError('no process fired for %d consecutive "
-                    "cycles (cycle %d, configuration %r)' % (idle, cycles, label))"
+                    f"cycles (cycle %d, configuration %r){hint}' "
+                    "% (idle, cycles, label))"
                 )
         # Process state is only mutated by firings, so the stop condition can
         # only change after a firing (or on the very first evaluation).

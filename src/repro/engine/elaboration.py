@@ -63,6 +63,45 @@ def resolve_rs_counts(
     return counts, label
 
 
+@dataclass(frozen=True)
+class LayoutTopology:
+    """SCC-aware graph profile of a layout, in the layout's integer indices.
+
+    The index layouts themselves are shape-free — every kernel addresses
+    processes, ports and storage elements through dense integers that never
+    assume a linear stage order.  This profile captures the *graph* facts a
+    consumer may want on top: a topological order over the SCC condensation
+    (processes of one SCC stay contiguous, condensation components in
+    dependency order), per-process SCC membership and pipeline level, and
+    the channels that close cycles.  Kernels use it for diagnostics (a
+    deadlock can only be sustained by a cycle), the CLI renders it, and
+    eligibility decisions quote it instead of guessing from shape names.
+    """
+
+    #: Process indices in SCC-condensation topological order.
+    order: Tuple[int, ...]
+    #: Per process: id of its SCC (ids numbered in condensation topo order).
+    scc_of: Tuple[int, ...]
+    #: Per SCC id: member count.
+    scc_sizes: Tuple[int, ...]
+    is_dag: bool
+    #: Per process: longest-path depth of its SCC in the condensation.
+    level: Tuple[int, ...]
+    #: Channel ids whose endpoints share a non-trivial SCC (loop-closing
+    #: edges; self-loops count).
+    cyclic_chan_ids: Tuple[int, ...]
+
+    def deadlock_hint(self, chan_names: Sequence[str]) -> str:
+        """Diagnostic suffix naming the only edges that can sustain a deadlock."""
+        if not self.cyclic_chan_ids:
+            return ""
+        names = ", ".join(chan_names[cid] for cid in self.cyclic_chan_ids[:8])
+        more = len(self.cyclic_chan_ids) - 8
+        if more > 0:
+            names += f" (+{more} more)"
+        return f"; cycle-closing channels to inspect: {names}"
+
+
 @dataclass
 class NetlistLayout:
     """Configuration-independent integer-indexed view of a netlist.
@@ -114,6 +153,62 @@ class NetlistLayout:
         :meth:`flat_inputs`, used for back-pressure reductions).
         """
         return [(p, cid) for p, chans in enumerate(self.out_chans) for cid in chans]
+
+    def topology(self) -> LayoutTopology:
+        """The layout's :class:`LayoutTopology`, computed once and cached."""
+        cached = getattr(self, "_topology_cache", None)
+        if cached is not None:
+            return cached
+        import networkx as nx
+
+        proc_index = {name: i for i, name in enumerate(self.proc_names)}
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(len(self.proc_names)))
+        edges = []
+        for cid, cname in enumerate(self.chan_names):
+            chan = self.netlist.channels[cname]
+            edges.append((proc_index[chan.source], proc_index[chan.dest], cid))
+        graph.add_edges_from((src, dst) for src, dst, _ in edges)
+
+        condensation = nx.condensation(graph)
+        comp_order = list(nx.topological_sort(condensation))
+        scc_id = [0] * len(self.proc_names)
+        scc_sizes: List[int] = []
+        order: List[int] = []
+        for new_id, comp in enumerate(comp_order):
+            members = sorted(condensation.nodes[comp]["members"])
+            scc_sizes.append(len(members))
+            for proc in members:
+                scc_id[proc] = new_id
+            order.extend(members)
+
+        comp_level = {comp: 0 for comp in comp_order}
+        for comp in comp_order:
+            for succ in condensation.successors(comp):
+                comp_level[succ] = max(comp_level[succ], comp_level[comp] + 1)
+        renumber = {comp: new_id for new_id, comp in enumerate(comp_order)}
+        level_of_scc = [0] * len(comp_order)
+        for comp, depth in comp_level.items():
+            level_of_scc[renumber[comp]] = depth
+
+        cyclic = tuple(
+            cid
+            for src, dst, cid in edges
+            if scc_id[src] == scc_id[dst]
+            and (scc_sizes[scc_id[src]] > 1 or src == dst)
+        )
+        profile = LayoutTopology(
+            order=tuple(order),
+            scc_of=tuple(scc_id),
+            scc_sizes=tuple(scc_sizes),
+            is_dag=all(size == 1 for size in scc_sizes) and not any(
+                src == dst for src, dst, _ in edges
+            ),
+            level=tuple(level_of_scc[scc_id[p]] for p in range(len(self.proc_names))),
+            cyclic_chan_ids=cyclic,
+        )
+        self._topology_cache = profile
+        return profile
 
     @classmethod
     def build(cls, netlist: Netlist) -> "NetlistLayout":

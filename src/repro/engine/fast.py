@@ -513,10 +513,13 @@ class FastKernel(SimKernel):
             else:
                 idle_streak += 1
                 if idle_streak >= deadlock_limit:
+                    # A sustained stall needs a dependency cycle; point at the
+                    # loop-closing channels of this (arbitrary-shape) netlist.
+                    hint = layout.topology().deadlock_hint(layout.chan_names)
                     raise DeadlockError(
                         f"no process fired for {idle_streak} consecutive cycles "
                         f"(cycle {cycles}, configuration "
-                        f"{model.configuration_label!r})"
+                        f"{model.configuration_label!r}){hint}"
                     )
 
             if drain_remaining is None:

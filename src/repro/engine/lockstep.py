@@ -475,10 +475,15 @@ def run_lockstep_batch(
             np.logical_and(lane_a, active, out=lane_a)
             if lane_a.any():
                 for lane in np.flatnonzero(lane_a):
+                    lane_layout = models[lane].layout
+                    hint = lane_layout.topology().deadlock_hint(
+                        lane_layout.chan_names
+                    )
                     errors[int(lane)] = DeadlockError(
                         f"no process fired for {int(idle_streak[lane])} "
                         f"consecutive cycles (cycle {cycle}, configuration "
                         f"{models[lane].configuration_label!r})"
+                        f"{hint}"
                     )
                 active &= ~lane_a
                 n_active = int(active.sum())

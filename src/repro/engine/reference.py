@@ -187,9 +187,13 @@ class ReferenceKernel(SimKernel):
             else:
                 idle_streak += 1
                 if idle_streak >= controls.deadlock_limit:
+                    hint = model.layout.topology().deadlock_hint(
+                        model.layout.chan_names
+                    )
                     raise DeadlockError(
                         f"no process fired for {idle_streak} consecutive cycles "
                         f"(cycle {cycles}, configuration {model.configuration_label!r})"
+                        f"{hint}"
                     )
 
             if drain_remaining is None and self._stop_condition(

@@ -24,6 +24,7 @@ from .sweeps import (
     default_floorplan,
     mixed_workload_sweep,
     queue_capacity_sweep,
+    topology_sweep,
     uniform_depth_sweep,
 )
 from .table1 import (
@@ -50,4 +51,5 @@ __all__ = [
     "AreaOverheadResult", "run_area_overhead", "reference_wrapper_overhead_percent",
     "SweepResult", "SweepPoint", "queue_capacity_sweep", "uniform_depth_sweep",
     "clock_frequency_sweep", "default_floorplan", "mixed_workload_sweep",
+    "topology_sweep",
 ]

@@ -15,7 +15,10 @@ Three sweeps support the design-choice discussion of this reproduction:
 * :func:`mixed_workload_sweep` — several workloads (sort + matmul) swept in
   **one batch through one scheduler**: the multi-netlist
   :class:`~repro.engine.batch.MultiNetlistRunner` serves every layout (both
-  wrapper flavours of every processor) from a single persistent worker pool.
+  wrapper flavours of every processor) from a single persistent worker pool;
+* :func:`topology_sweep` — the same WP1/WP2 depth sweep over a *generated*
+  topology (:mod:`repro.topology`): ring, mesh, random DAG, ... — the probe
+  process' firing rate against the static m/(m+n) bound.
 
 Every sweep accepts ``service=`` (an
 :class:`~repro.service.EvaluationService`): the whole sweep is then submitted
@@ -459,3 +462,102 @@ def mixed_workload_sweep(
             )
         sweeps[name] = sweep
     return sweeps
+
+
+def topology_sweep(
+    kind: str = "ring",
+    depths: Sequence[int] = (0, 1, 2, 3),
+    params: Optional[Mapping[str, object]] = None,
+    kernel: Optional[str] = None,
+    workers: int = 1,
+    horizon: int = 4_000,
+    max_cycles: int = 5_000_000,
+    steady_state: Optional[bool] = None,
+    service=None,
+    on_result=None,
+    topology=None,
+) -> SweepResult:
+    """WP1/WP2 sustained throughput of a generated topology versus RS depth.
+
+    Unlike the CPU sweeps there is no golden run to normalise against, so the
+    y axis is the probe process' firing rate (firings per cycle): on a
+    strongly-connected topology that is exactly the m/(m+n) loop throughput
+    the static analysis bounds, and each point's ``detail`` carries that
+    ``static_bound`` for comparison.  Terminating topologies (a source with a
+    token limit) run to their stop process; free-running ones run to
+    *horizon* cycles, where steady-state extrapolation makes long horizons
+    cheap.
+
+    *kind*/*params* name a generator from
+    :data:`repro.topology.TOPOLOGY_KINDS` (pass a prebuilt
+    :class:`~repro.topology.GeneratedTopology` via *topology* to skip
+    generation).  Both wrapper flavours of every depth go through one tagged
+    batch — one :class:`~repro.engine.batch.MultiNetlistRunner` pool, or one
+    :class:`~repro.service.EvaluationService` job set when *service* is
+    given (*on_result* streams completed jobs).
+    """
+    from ..core.static_analysis import throughput_bound
+    from ..topology import make_topology
+
+    if topology is None:
+        topology = make_topology(kind, **dict(params or {}))
+    netlist = topology.netlist
+    probe = topology.probe_process
+    stop = topology.stop_process
+    run_kwargs: Dict[str, object] = {"max_cycles": max_cycles}
+    if stop is not None:
+        run_kwargs["stop_process"] = stop
+    else:
+        run_kwargs["horizon"] = horizon
+
+    def merged(depth: int) -> Dict[str, int]:
+        counts = dict(topology.rs_counts)
+        for link in netlist.link_names():
+            for chan in netlist.channels_of_link(link):
+                counts[chan.name] = counts.get(chan.name, 0) + depth
+        return counts
+
+    rows = [merged(depth) for depth in depths]
+    if service is not None:
+        wp1 = service.ensure_layout(netlist, relaxed=False, kernel=kernel)
+        wp2 = service.ensure_layout(netlist, relaxed=True, kernel=kernel)
+        tagged = [(wp1, row) for row in rows] + [(wp2, row) for row in rows]
+        jobset = service.submit(
+            tagged, on_result=on_result, steady_state=steady_state,
+            **run_kwargs,
+        )
+        results = jobset.ordered_results()
+        for result in results:
+            if result is None or result.failed:
+                raise SimulationError(
+                    "topology sweep row failed: "
+                    f"{'cancelled' if result is None else result.error}"
+                )
+    else:
+        multi = MultiNetlistRunner(
+            {
+                "wp1": BatchRunner(netlist, relaxed=False, kernel=kernel),
+                "wp2": BatchRunner(netlist, relaxed=True, kernel=kernel),
+            }
+        )
+        tagged = [("wp1", row) for row in rows] + [("wp2", row) for row in rows]
+        results = multi.run_many(
+            tagged, workers=workers, steady_state=steady_state, **run_kwargs,
+        )
+
+    sweep = SweepResult(
+        name=f"Topology depth sweep — {topology.info.name}",
+        parameter_name="extra RS per link",
+    )
+    n = len(rows)
+    for depth, row, r1, r2 in zip(depths, rows, results[:n], results[n:]):
+        bound = throughput_bound(netlist, row).bound
+        sweep.points.append(
+            SweepPoint(
+                parameter=float(depth),
+                wp1_throughput=r1.firings[probe] / r1.cycles,
+                wp2_throughput=r2.firings[probe] / r2.cycles,
+                detail={"static_bound": float(bound)},
+            )
+        )
+    return sweep

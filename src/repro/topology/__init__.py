@@ -1,0 +1,53 @@
+"""Netlist topology zoo: generators for arbitrary marked-graph shapes.
+
+The paper's latency-insensitive theory is stated for arbitrary marked
+graphs, not for the linear CPU relay chain the case study happens to use.
+This package turns that generality into an everyday tool: each generator
+returns a :class:`GeneratedTopology` — a ready-to-elaborate
+:class:`~repro.core.netlist.Netlist`, a relay-station assignment, and a
+:class:`TopologyInfo` record of the graph-theoretic facts the rest of the
+stack consumes (DAG-ness, SCC structure, diameter, loop throughput bounds).
+
+Shapes provided:
+
+* :func:`chain_topology` — the classic source → stages → sink relay chain;
+* :func:`ring_topology` — a single loop exposing the ``m/(m+n)`` bound;
+* :func:`dag_topology` — fan-out from one split port to parallel branches,
+  fan-in at a combiner (exercises output-port fan-out and multi-input
+  processes);
+* :func:`mesh_topology` — a 2D NoC-style mesh (acyclic) or torus (every
+  node on many loops) with nearest-neighbour channels;
+* :func:`marked_graph_topology` — several loops of chosen lengths sharing
+  one hub process, the minimal "loops interact" cyclic marked graph;
+* :func:`random_topology` — a seeded generator mixing all of the above
+  ingredients (random fan-out, optional back-edges, optional WP2 oracles).
+
+:func:`make_topology` dispatches on a kind name and powers the CLI
+``topology`` subcommand.
+"""
+
+from .generators import (
+    TOPOLOGY_KINDS,
+    GeneratedTopology,
+    TopologyInfo,
+    chain_topology,
+    dag_topology,
+    make_topology,
+    marked_graph_topology,
+    mesh_topology,
+    random_topology,
+    ring_topology,
+)
+
+__all__ = [
+    "GeneratedTopology",
+    "TopologyInfo",
+    "TOPOLOGY_KINDS",
+    "chain_topology",
+    "ring_topology",
+    "dag_topology",
+    "mesh_topology",
+    "marked_graph_topology",
+    "random_topology",
+    "make_topology",
+]

@@ -1,0 +1,25 @@
+"""Workload zoo: algorithm workloads mapped onto latency-insensitive shells.
+
+The CPU case study (:mod:`repro.cpu.workloads`) exercises one pipelined
+processor; this package holds workloads whose *netlist shape itself* is the
+experiment.  The first family is graph analytics in the partitioned
+processing-element style of FPGA graph frameworks: vertices are sharded
+over PEs, PEs sit on a message ring of latency-insensitive channels, and
+relay stations pipeline the ring without changing any computed answer.
+"""
+
+from .graph import (
+    GraphWorkload,
+    bfs_reference,
+    make_bfs_workload,
+    make_pagerank_workload,
+    pagerank_reference,
+)
+
+__all__ = [
+    "GraphWorkload",
+    "make_bfs_workload",
+    "make_pagerank_workload",
+    "bfs_reference",
+    "pagerank_reference",
+]

@@ -1,0 +1,457 @@
+"""Graph-algorithm workloads on latency-insensitive processing elements.
+
+Vertices are sharded round-robin over ``n_pe`` processing elements; the PEs
+form a unidirectional message ring of ordinary LID channels, so relay
+stations can pipeline the ring arbitrarily and — by the latency-insensitive
+equivalence argument — every computed answer stays bit-identical while only
+the cycle count changes.  Two algorithm styles are provided:
+
+* **BFS** (:func:`make_bfs_workload`) — label-correcting breadth-first
+  levels.  Messages ``(dest_pe, vertex, level)`` hop around the ring; a PE
+  delivers what it owns (updating a level when the new one is smaller and
+  re-expanding), forwards the rest, and quiesces when no messages remain
+  in flight.  Message-driven and data-dependent: the shape runs under any
+  scalar kernel and is the zoo's fallback-parity exercise.
+
+* **PageRank** (:func:`make_pagerank_workload`) — synchronous power
+  iterations carried by one contribution bundle per PE circulating the
+  full ring.  A PE that receives its own bundle back has necessarily seen
+  every other PE's bundle, so the round closes without any global barrier.
+  All arithmetic is integer (scaled masses, floor division), making the
+  result exactly reproducible by :func:`pagerank_reference`.  The done
+  condition is a pure function of the firing count (``n_rounds`` times
+  around the ring), so the workload declares ``done_threshold`` and is
+  **lockstep-eligible** — the SoA kernel can sweep relay-station
+  configurations of a PageRank ring vectorially.
+
+Both builders return a :class:`GraphWorkload`; after a local (in-process)
+run, :meth:`GraphWorkload.gather` merges the per-PE states back into one
+answer for comparison against the pure references.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.channel import Channel
+from ..core.exceptions import NetlistError
+from ..core.netlist import Netlist
+from ..core.process import Process
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+#: PageRank damping as an integer fraction (85/100) and the default mass scale.
+DAMPING_NUM = 85
+DAMPING_DEN = 100
+DEFAULT_SCALE = 10**6
+
+#: Bundle origin marking an idle (post-convergence) PageRank token.
+_IDLE = -1
+
+
+def _adjacency(edges: Iterable[Edge]) -> Dict[Vertex, List[Vertex]]:
+    """Directed adjacency over the sorted vertex universe of *edges*."""
+    adj: Dict[Vertex, List[Vertex]] = {}
+    for u, v in edges:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, [])
+    return {v: sorted(adj[v]) for v in sorted(adj)}
+
+
+def _partition(vertices: List[Vertex], n_pe: int) -> Dict[Vertex, int]:
+    """Round-robin vertex → PE assignment over the sorted vertex list."""
+    return {v: index % n_pe for index, v in enumerate(vertices)}
+
+
+# ---------------------------------------------------------------------------
+# BFS processing element
+# ---------------------------------------------------------------------------
+
+class BfsPe(Process):
+    """One BFS shard: owns a vertex subset, corrects levels, routes the rest.
+
+    Each firing consumes one message bundle from the ring predecessor and
+    emits one to the successor.  Locally addressed messages are applied with
+    label correction (smaller level wins, re-expanding on improvement);
+    foreign messages are forwarded unchanged.  The PE never reports done —
+    quiescence shows up as empty bundles circulating, which the steady-state
+    detector recognises as a period-1 recurrence.
+
+    The levels dict *is* the answer, so the PE declares
+    :attr:`~repro.core.process.Process.schedule_complete` and summarises its
+    full behavioural state: detection then runs under the **certified**
+    plan (snapshots include queued token values, candidate periods are
+    deep-verified) and an extrapolated run leaves bit-identical final
+    levels behind — value-exact steady-state on a cyclic non-chain
+    topology.  Vertices must be orderable for the canonical summary.
+    """
+
+    schedule_complete = True
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        owner: Mapping[Vertex, int],
+        adjacency: Mapping[Vertex, List[Vertex]],
+        root: Vertex,
+    ) -> None:
+        super().__init__(name)
+        self.input_ports = ("in",)
+        self.output_ports = ("out",)
+        self.index = index
+        self._owner = dict(owner)
+        self._adj = {
+            v: tuple(neighbors)
+            for v, neighbors in adjacency.items()
+            if self._owner[v] == index
+        }
+        self._root = root
+        self.levels: Dict[Vertex, int] = {}
+        self._outbox: List[Tuple[int, Vertex, int]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        super().reset()
+        self.levels = {}
+        self._outbox = []
+        if self._owner.get(self._root) == self.index:
+            self._ingest(self._root, 0)
+
+    def _ingest(self, vertex: Vertex, level: int) -> None:
+        """Label-correcting local delivery with breadth-order expansion."""
+        worklist = deque([(vertex, level)])
+        while worklist:
+            v, lvl = worklist.popleft()
+            known = self.levels.get(v)
+            if known is not None and known <= lvl:
+                continue
+            self.levels[v] = lvl
+            for neighbor in self._adj.get(v, ()):
+                dest = self._owner[neighbor]
+                if dest == self.index:
+                    worklist.append((neighbor, lvl + 1))
+                else:
+                    self._outbox.append((dest, neighbor, lvl + 1))
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        bundle = inputs["in"] or ()
+        forwards: List[Tuple[int, Vertex, int]] = []
+        for dest, vertex, level in bundle:
+            if dest == self.index:
+                self._ingest(vertex, level)
+            else:
+                forwards.append((dest, vertex, level))
+        out = tuple(self._outbox + forwards)
+        self._outbox = []
+        return {"out": out}
+
+    def schedule_state(self) -> Optional[Any]:
+        # Complete behavioural state: levels decide every future expansion,
+        # the outbox is the only other carry-over between firings.
+        return (tuple(sorted(self.levels.items())), tuple(self._outbox))
+
+
+# ---------------------------------------------------------------------------
+# PageRank processing element
+# ---------------------------------------------------------------------------
+
+class PageRankPe(Process):
+    """One PageRank shard driven by full-ring contribution bundles.
+
+    Protocol: each PE launches one bundle ``(origin, payload)`` per round;
+    the payload lists integer contributions to *foreign* vertices (local
+    ones are accumulated at launch).  A passing PE strips out entries for
+    its own vertices and forwards the remainder.  When a PE's own bundle
+    returns it has seen every foreign bundle of the round, so it folds the
+    accumulator into new masses and launches the next round — ``n_rounds``
+    rounds take exactly ``n_rounds * n_pe`` firings, which is the declared
+    :meth:`done_threshold` (lockstep eligibility) and the whole basis of
+    :meth:`is_done`/:meth:`schedule_state` (scalar steady-state soundness).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        n_pe: int,
+        owner: Mapping[Vertex, int],
+        adjacency: Mapping[Vertex, List[Vertex]],
+        n_rounds: int,
+        scale: int = DEFAULT_SCALE,
+    ) -> None:
+        super().__init__(name)
+        self.input_ports = ("in",)
+        self.output_ports = ("out",)
+        self.index = index
+        self.n_pe = n_pe
+        self._owner = dict(owner)
+        self._adj = {
+            v: tuple(neighbors)
+            for v, neighbors in adjacency.items()
+            if self._owner[v] == index
+        }
+        self.n_rounds = int(n_rounds)
+        self.scale = int(scale)
+        self._done_at = self.n_rounds * self.n_pe
+        self.mass: Dict[Vertex, int] = {}
+        self._acc: Dict[Vertex, int] = {}
+        self._rounds_done = 0
+        self.reset()
+
+    # -- round machinery -----------------------------------------------------
+    def _base_share(self) -> int:
+        return self.scale * (DAMPING_DEN - DAMPING_NUM) // DAMPING_DEN
+
+    def _launch(self) -> Tuple[int, Tuple[Tuple[Vertex, int], ...]]:
+        """Distribute this round's local contributions; bundle the foreign ones."""
+        payload: Dict[Vertex, int] = {}
+        for v in self._adj:
+            neighbors = self._adj[v]
+            share = self.mass[v] * DAMPING_NUM // (DAMPING_DEN * len(neighbors))
+            for neighbor in neighbors:
+                if self._owner[neighbor] == self.index:
+                    self._acc[neighbor] = self._acc.get(neighbor, 0) + share
+                else:
+                    payload[neighbor] = payload.get(neighbor, 0) + share
+        return (self.index, tuple(sorted(payload.items())))
+
+    def initial_bundle(self) -> Tuple[int, Tuple[Tuple[Vertex, int], ...]]:
+        """The round-0 bundle, used as the ring channel's reset token."""
+        return self._initial_bundle
+
+    def reset(self) -> None:
+        super().reset()
+        self.mass = {v: self.scale for v in self._adj}
+        self._acc = {}
+        self._rounds_done = 0
+        self._initial_bundle = self._launch()
+
+    def fire(self, inputs: Mapping[str, Any]) -> Dict[str, Any]:
+        origin, payload = inputs["in"]
+        if origin == self.index:
+            # Own bundle back: every foreign bundle of the round has passed
+            # through this PE, so the accumulator is complete.
+            base = self._base_share()
+            self.mass = {v: base + self._acc.get(v, 0) for v in self.mass}
+            self._acc = {}
+            self._rounds_done += 1
+            if self._rounds_done < self.n_rounds:
+                return {"out": self._launch()}
+            return {"out": (_IDLE, ())}
+        if origin == _IDLE:
+            return {"out": (_IDLE, ())}
+        keep: List[Tuple[Vertex, int]] = []
+        for vertex, amount in payload:
+            if self._owner[vertex] == self.index:
+                self._acc[vertex] = self._acc.get(vertex, 0) + amount
+            else:
+                keep.append((vertex, amount))
+        return {"out": (origin, tuple(keep))}
+
+    # -- engine hooks --------------------------------------------------------
+    def is_done(self) -> bool:
+        return self.firings >= self._done_at
+
+    def done_threshold(self) -> Optional[float]:
+        # ``is_done`` is a pure function of the firing count by construction
+        # (one round == one full ring traversal == n_pe firings).
+        return self._done_at
+
+    def schedule_state(self) -> Optional[Any]:
+        # All schedule-relevant state is the distance to the done threshold.
+        return min(self.firings, self._done_at)
+
+
+# ---------------------------------------------------------------------------
+# Workload packaging
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GraphWorkload:
+    """A graph algorithm mapped onto a PE ring, ready to elaborate."""
+
+    name: str
+    algorithm: str
+    netlist: Netlist
+    rs_counts: Dict[str, int]
+    n_pe: int
+    owner: Dict[Vertex, int]
+    #: Process whose ``is_done`` ends a run (PageRank); ``None`` for
+    #: quiescence-style workloads (BFS), which run under a ``horizon``.
+    stop_process: Optional[str]
+    #: Generous cycle budget under which the workload is guaranteed to have
+    #: converged (used as the default ``horizon``).
+    max_cycles_hint: int
+
+    def pe_names(self) -> List[str]:
+        return [f"pe{index}" for index in range(self.n_pe)]
+
+    def gather(self) -> Dict[Vertex, int]:
+        """Merge the per-PE answers after an in-process run.
+
+        Only meaningful after a **local** scalar-kernel run (pooled and
+        lockstep evaluation never mutate the caller's process objects).
+        """
+        merged: Dict[Vertex, int] = {}
+        for pe_name in self.pe_names():
+            pe = self.netlist.process(pe_name)
+            merged.update(pe.levels if self.algorithm == "bfs" else pe.mass)
+        return merged
+
+
+def _ring_channels(
+    n_pe: int,
+    rs_per_hop: int,
+    initial_of: Mapping[int, Any],
+) -> Tuple[List[Channel], Dict[str, int]]:
+    channels: List[Channel] = []
+    rs_counts: Dict[str, int] = {}
+    for index in range(n_pe):
+        nxt = (index + 1) % n_pe
+        chan = Channel(
+            name=f"ring{index}_{nxt}",
+            source=f"pe{index}",
+            source_port="out",
+            dest=f"pe{nxt}",
+            dest_port="in",
+            initial=initial_of[index],
+            link="ring" if n_pe > 1 else f"ring{index}",
+        )
+        channels.append(chan)
+        rs_counts[chan.name] = int(rs_per_hop)
+    return channels, rs_counts
+
+
+def make_bfs_workload(
+    edges: Iterable[Edge],
+    root: Vertex,
+    n_pe: int = 3,
+    rs_per_hop: int = 1,
+    name: Optional[str] = None,
+) -> GraphWorkload:
+    """Shard a directed graph's BFS over a PE ring."""
+    adjacency = _adjacency(edges)
+    if root not in adjacency:
+        raise NetlistError(f"root {root!r} is not a vertex of the graph")
+    if n_pe < 1:
+        raise NetlistError("need at least one processing element")
+    vertices = sorted(adjacency)
+    owner = _partition(vertices, n_pe)
+    processes = [
+        BfsPe(f"pe{index}", index, owner, adjacency, root) for index in range(n_pe)
+    ]
+    channels, rs_counts = _ring_channels(
+        n_pe, rs_per_hop, {index: () for index in range(n_pe)}
+    )
+    n_edges = sum(len(neighbors) for neighbors in adjacency.values())
+    # Every edge relaxation travels at most one full ring (n_pe hops, each
+    # hop crossing its relay stations); double it and pad for warmup.
+    hint = 16 + 2 * max(1, n_edges) * (n_pe + rs_per_hop * n_pe + 2)
+    return GraphWorkload(
+        name=name or f"bfs-{len(vertices)}v-{n_pe}pe",
+        algorithm="bfs",
+        netlist=Netlist(
+            processes, channels, name=name or f"bfs-{len(vertices)}v-{n_pe}pe"
+        ),
+        rs_counts=rs_counts,
+        n_pe=n_pe,
+        owner=owner,
+        stop_process=None,
+        max_cycles_hint=hint,
+    )
+
+
+def make_pagerank_workload(
+    edges: Iterable[Edge],
+    n_pe: int = 3,
+    n_rounds: int = 8,
+    rs_per_hop: int = 1,
+    scale: int = DEFAULT_SCALE,
+    name: Optional[str] = None,
+) -> GraphWorkload:
+    """Shard integer-arithmetic PageRank over a PE ring.
+
+    Dangling vertices (no out-neighbours) are given a self-loop so every
+    vertex redistributes its mass — the same normalisation
+    :func:`pagerank_reference` applies, keeping the two bit-identical.
+    """
+    if n_pe < 1:
+        raise NetlistError("need at least one processing element")
+    if n_rounds < 1:
+        raise NetlistError("need at least one round")
+    adjacency = _normalised_adjacency(edges)
+    vertices = sorted(adjacency)
+    owner = _partition(vertices, n_pe)
+    processes = [
+        PageRankPe(f"pe{index}", index, n_pe, owner, adjacency, n_rounds, scale)
+        for index in range(n_pe)
+    ]
+    channels, rs_counts = _ring_channels(
+        n_pe,
+        rs_per_hop,
+        {index: processes[index].initial_bundle() for index in range(n_pe)},
+    )
+    hint = 16 + 2 * n_rounds * n_pe * (1 + rs_per_hop + 2)
+    return GraphWorkload(
+        name=name or f"pagerank-{len(vertices)}v-{n_pe}pe",
+        algorithm="pagerank",
+        netlist=Netlist(
+            processes, channels, name=name or f"pagerank-{len(vertices)}v-{n_pe}pe"
+        ),
+        rs_counts=rs_counts,
+        n_pe=n_pe,
+        owner=owner,
+        stop_process="pe0",
+        max_cycles_hint=hint,
+    )
+
+
+def _normalised_adjacency(edges: Iterable[Edge]) -> Dict[Vertex, List[Vertex]]:
+    adjacency = _adjacency(edges)
+    for v, neighbors in adjacency.items():
+        if not neighbors:
+            adjacency[v] = [v]
+    return adjacency
+
+
+# ---------------------------------------------------------------------------
+# Pure references
+# ---------------------------------------------------------------------------
+
+def bfs_reference(edges: Iterable[Edge], root: Vertex) -> Dict[Vertex, int]:
+    """Directed BFS levels from *root* (only reachable vertices appear)."""
+    adjacency = _adjacency(edges)
+    if root not in adjacency:
+        raise NetlistError(f"root {root!r} is not a vertex of the graph")
+    levels = {root: 0}
+    frontier = deque([root])
+    while frontier:
+        v = frontier.popleft()
+        for neighbor in adjacency[v]:
+            if neighbor not in levels:
+                levels[neighbor] = levels[v] + 1
+                frontier.append(neighbor)
+    return levels
+
+
+def pagerank_reference(
+    edges: Iterable[Edge],
+    n_rounds: int = 8,
+    scale: int = DEFAULT_SCALE,
+) -> Dict[Vertex, int]:
+    """Integer PageRank, identical arithmetic to the PE ring."""
+    adjacency = _normalised_adjacency(edges)
+    mass = {v: int(scale) for v in adjacency}
+    base = int(scale) * (DAMPING_DEN - DAMPING_NUM) // DAMPING_DEN
+    for _ in range(int(n_rounds)):
+        acc = {v: 0 for v in adjacency}
+        for v, neighbors in adjacency.items():
+            share = mass[v] * DAMPING_NUM // (DAMPING_DEN * len(neighbors))
+            for neighbor in neighbors:
+                acc[neighbor] += share
+        mass = {v: base + acc[v] for v in adjacency}
+    return mass

@@ -594,6 +594,52 @@ class TestSubprocessAgents:
 
 
 # ---------------------------------------------------------------------------
+# Cross-batch runner reuse on the agent
+# ---------------------------------------------------------------------------
+
+class TestAgentRunnerCache:
+    def test_same_netlist_reuses_runner_across_batches(self, netlist, baseline):
+        """Two batches shipping the same netlist build its runner once."""
+        coordinator = Coordinator("127.0.0.1", 0)
+        agents = _Agents(coordinator, 1, prefix="cache")
+        try:
+            assert coordinator.wait_for_workers(1)
+            runner = BatchRunner(netlist)
+            for _ in range(2):
+                results = runner.run_many(
+                    _configs(8), shards=2, coordinator=coordinator,
+                    stop_process="CU", **FAST,
+                )
+                assert _strip_attempts(results) == _strip_attempts(baseline)
+            [agent] = agents.agents
+            assert agent.runner_builds == 1
+        finally:
+            agents.stop()
+            coordinator.close()
+
+    def test_different_netlist_builds_a_fresh_runner(self, netlist):
+        """A batch over different content misses the cache and builds anew."""
+        coordinator = Coordinator("127.0.0.1", 0)
+        agents = _Agents(coordinator, 1, prefix="cache2")
+        try:
+            assert coordinator.wait_for_workers(1)
+            BatchRunner(netlist).run_many(
+                _configs(4), shards=2, coordinator=coordinator,
+                stop_process="CU", **FAST,
+            )
+            other = _sort_netlist(length=5, seed=4)
+            BatchRunner(other).run_many(
+                _configs(4), shards=2, coordinator=coordinator,
+                stop_process="CU", **FAST,
+            )
+            [agent] = agents.agents
+            assert agent.runner_builds == 2
+        finally:
+            agents.stop()
+            coordinator.close()
+
+
+# ---------------------------------------------------------------------------
 # Service integration and environment validation
 # ---------------------------------------------------------------------------
 

@@ -165,6 +165,48 @@ def _assert_identical(a: LidResult, b: LidResult) -> None:
         assert list(a.trace[name].items) == list(b.trace[name].items), name
 
 
+@st.composite
+def generated_topologies(draw):
+    """Random parameterisations of the :mod:`repro.topology` generator zoo."""
+    kind = draw(st.sampled_from(("ring", "dag", "mesh", "torus", "marked", "random")))
+    if kind == "ring":
+        params = {
+            "stages": draw(st.integers(min_value=2, max_value=5)),
+            "rs_total": draw(st.integers(min_value=0, max_value=4)),
+        }
+    elif kind == "dag":
+        params = {
+            "width": draw(st.integers(min_value=1, max_value=3)),
+            "depth": draw(st.integers(min_value=1, max_value=2)),
+            "source_limit": 10,
+        }
+    elif kind in ("mesh", "torus"):
+        params = {
+            "rows": draw(st.integers(min_value=2, max_value=3)),
+            "cols": draw(st.integers(min_value=2, max_value=3)),
+        }
+        if kind == "mesh":
+            params["source_limit"] = 10
+    elif kind == "marked":
+        params = {
+            "loop_lengths": tuple(
+                draw(st.lists(st.integers(min_value=1, max_value=4),
+                              min_size=1, max_size=3))
+            ),
+        }
+    else:
+        params = {
+            "seed": draw(st.integers(min_value=0, max_value=2**16)),
+            "n_processes": draw(st.integers(min_value=2, max_value=6)),
+            "extra_channels": draw(st.integers(min_value=0, max_value=3)),
+            "allow_cycles": draw(st.booleans()),
+            "with_oracles": draw(st.booleans()),
+        }
+    relaxed = draw(st.booleans())
+    queue_capacity = draw(st.integers(min_value=1, max_value=4))
+    return kind, params, relaxed, queue_capacity
+
+
 class TestKernelEquivalence:
     @given(data=random_netlists())
     @settings(
@@ -181,6 +223,52 @@ class TestKernelEquivalence:
             assert kind_ref == kind, kernel
             if ref is not None:
                 _assert_identical(ref, result)
+
+    @given(data=generated_topologies())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_generated_topologies(self, data):
+        """Full cross-kernel agreement on the topology generator zoo.
+
+        Scalar kernels must stay bit-identical on every shape the zoo can
+        produce (rings, fan-out DAGs, meshes, tori, marked graphs, seeded
+        random graphs with WP2 oracles), and a lockstep batch over the same
+        rows must match the fast kernel item for item — by taking the vector
+        path where the shape is eligible and falling back where it is not.
+        """
+        from repro.topology import make_topology
+
+        kind, params, relaxed, queue_capacity = data
+        topology = make_topology(kind, **params)
+        netlist, rs_counts = topology.netlist, topology.rs_counts
+        kind_ref, ref = _run(netlist, rs_counts, relaxed, queue_capacity, "reference")
+        for kernel in OPTIMISED_KERNELS:
+            outcome, result = _run(netlist, rs_counts, relaxed, queue_capacity, kernel)
+            assert kind_ref == outcome, kernel
+            if ref is not None:
+                _assert_identical(ref, result)
+        rows = [
+            dict(rs_counts),
+            {name: count + 1 for name, count in rs_counts.items()},
+        ]
+        outcomes = {}
+        for kernel in ("fast", "lockstep"):
+            runner = BatchRunner(
+                netlist, relaxed=relaxed,
+                queue_capacity=queue_capacity, kernel=kernel,
+            )
+            results = runner.run_many(
+                rows, on_error="zero",
+                target_firings={netlist.process_names()[0]: 25},
+                max_cycles=4_000, deadlock_limit=200,
+            )
+            outcomes[kernel] = [
+                (r.failed, r.error, r.cycles, r.firings) for r in results
+            ]
+        assert outcomes["fast"] == outcomes["lockstep"]
 
     @pytest.mark.parametrize("stages,rs_total", [(1, 0), (2, 1), (3, 4), (5, 2)])
     @pytest.mark.parametrize("relaxed", [False, True])
