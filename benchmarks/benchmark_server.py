@@ -1,0 +1,171 @@
+"""Serving-tier benchmark: the network daemon end to end, cold vs warm.
+
+Drives a real :class:`repro.server.ReproServer` on a loopback socket with
+the thin stdlib client and measures what the HTTP layer adds on top of the
+in-process service (compare ``BENCH_service.json``):
+
+* **cold streaming** — a 64-row mixed submission, every row simulated,
+  rows consumed over SSE as they complete; records total wall-clock and
+  time-to-first-streamed-row (the acceptance evidence that results stream
+  before the batch finishes);
+* **warm end-to-end latency** — the identical submission again, answered
+  entirely from the content-addressed cache: this is the pure serving
+  overhead (HTTP + JSON + admission) once simulation cost is gone, so the
+  recorded ``warm_seconds`` is the daemon's per-sweep floor;
+* **binary frames** — the same warm fetch over the checksummed-frame
+  encoding, for the SSE-vs-frames overhead comparison.
+
+Every run appends a timestamped record to ``BENCH_server.json`` at the
+repository root (a JSON list, oldest first), mirroring the
+``BENCH_service.json`` convention.  Quick mode (``REPRO_BENCH_QUICK=1``)
+shrinks the workload sizes but keeps the 64-row shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+#: The warm pass answers from cache: it must beat the cold pass by a wide
+#: margin even with the whole HTTP layer in between (measured: hundreds).
+MIN_WARM_SPEEDUP = 10.0
+#: The first streamed row must land in well under half the cold wall-clock.
+MAX_FIRST_ROW_FRACTION = 0.5
+
+N_DEPTHS = 16  # x 2 workloads x 2 wrappers = 64 rows
+
+
+def _bodies():
+    sort_length = 6 if QUICK else 10
+    matmul_size = 2 if QUICK else 3
+    common = {
+        "wrappers": ["wp1", "wp2"],
+        "configurations": list(range(N_DEPTHS)),
+    }
+    return [
+        {"spec": {"kind": "workload", "workload": "sort",
+                  "length": sort_length, "seed": 2005}, **common},
+        {"spec": {"kind": "workload", "workload": "matmul",
+                  "size": matmul_size, "seed": 2005}, **common},
+    ]
+
+
+def _append_history(record) -> None:
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            existing = json.loads(RECORD_PATH.read_text())
+        except ValueError:
+            existing = []
+        if isinstance(existing, list):
+            history = existing
+        elif isinstance(existing, dict):
+            history = [existing]
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def server_record():
+    record = {
+        "benchmark": "server",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": QUICK,
+        "python": platform.python_version(),
+    }
+    yield record
+    _append_history(record)
+
+
+def _run_sweep(client, bodies, binary=False):
+    """Submit + stream every body; returns (rows, total_s, first_row_s)."""
+    start = time.perf_counter()
+    replies = [client.submit(body) for body in bodies]
+    first_row = None
+    rows = []
+    for reply in replies:
+        for event in client.stream(reply["job_set_id"], binary=binary):
+            if first_row is None:
+                first_row = time.perf_counter() - start
+            rows.append((event["layout"], event["label"], event["result"]))
+    return sorted(rows), time.perf_counter() - start, first_row
+
+
+def test_server_cold_stream_and_warm_latency(server_record):
+    """64 mixed rows over the wire: cold streams early, warm is cache-fast."""
+    from repro.server import ReproServer, ServerClient
+
+    bodies = _bodies()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-server-") as cache:
+        with ReproServer(port=0, cache_dir=cache) as server:
+            client = ServerClient(*server.address)
+
+            cold_rows, cold, first_row = _run_sweep(client, bodies)
+            assert len(cold_rows) == 64
+
+            warm_rows, warm, _ = _run_sweep(client, bodies)
+            assert warm_rows == cold_rows  # bit-identical from the cache
+
+            frame_rows, framed, _ = _run_sweep(client, bodies, binary=True)
+            assert frame_rows == cold_rows
+
+            stats_page = client.metrics()
+            assert "repro_service_cache_hit_rate" in stats_page
+
+    warm_speedup = cold / warm
+    first_fraction = first_row / cold
+    server_record["mixed_sweep_over_http"] = {
+        "rows": len(cold_rows),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_speedup": warm_speedup,
+        "warm_frames_seconds": framed,
+        "first_row_seconds": first_row,
+        "first_row_fraction": first_fraction,
+        "rows_per_second_warm": len(cold_rows) / warm,
+    }
+
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm serving pass only {warm_speedup:.1f}x faster than cold "
+        f"(floor {MIN_WARM_SPEEDUP:.0f}x)"
+    )
+    assert first_fraction <= MAX_FIRST_ROW_FRACTION, (
+        f"first streamed row landed at {first_fraction:.2f} of the cold "
+        f"wall-clock (need <= {MAX_FIRST_ROW_FRACTION})"
+    )
+
+
+def test_server_restart_warm_replay(server_record):
+    """A replacement daemon on the same cache dir replays without simulating."""
+    from repro.server import ReproServer, ServerClient
+
+    bodies = _bodies()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-server-") as cache:
+        with ReproServer(port=0, cache_dir=cache) as first:
+            rows_before, _, _ = _run_sweep(
+                ServerClient(*first.address), bodies
+            )
+        start = time.perf_counter()
+        with ReproServer(port=0, cache_dir=cache) as second:
+            rows_after, replay, _ = _run_sweep(
+                ServerClient(*second.address), bodies
+            )
+            evaluated = second.service.stats()["evaluated"]
+        restart_total = time.perf_counter() - start
+    assert rows_after == rows_before
+    assert evaluated == 0  # every row came from the disk tier
+    server_record["restart_replay"] = {
+        "rows": len(rows_after),
+        "replay_seconds": replay,
+        "restart_plus_replay_seconds": restart_total,
+    }

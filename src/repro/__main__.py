@@ -12,7 +12,11 @@ Commands
                steady-state eligibility, ``sweep`` runs the WP1/WP2 depth
                sweep of :func:`repro.experiments.topology_sweep`)
 ``submit``     submit an ad-hoc job set to the evaluation service and
-               stream results as they complete
+               stream results as they complete (``--connect HOST:PORT``
+               sends the same sweep to a running daemon instead)
+``serve``      run the network daemon: one long-lived evaluation service
+               behind an HTTP API with per-tenant quotas and weighted
+               fair scheduling (see :mod:`repro.server`)
 
 Every command accepts ``--format text|markdown|csv|json`` where it makes
 sense; the default is the plain-text layout used in EXPERIMENTS.md.  The
@@ -48,6 +52,21 @@ agents have registered before submitting (otherwise a worker-free
 coordinator degrades to the local path).  ``worker --connect HOST:PORT``
 runs one such agent: it registers, pulls time-leased shards, heartbeats
 while evaluating, and survives coordinator restarts by re-registering.
+
+Network serving (see :mod:`repro.server`): ``serve --port P`` runs the
+multi-tenant daemon — submissions over HTTP, rows streamed back over SSE
+or checksummed binary frames, ``/metrics`` for Prometheus, ``/status``
+for humans.  Tenancy comes from the ``REPRO_SERVER_TOKENS`` environment
+variable (JSON list of ``{"token", "name", "priority", "max_pending",
+"weight"}`` objects; unset means open access); ``REPRO_SERVER_PORT`` and
+``REPRO_SERVER_MAX_PENDING`` provide flag defaults.  All three are
+validated eagerly at startup with errors naming the offending variable.
+SIGTERM/SIGINT drain gracefully: new submissions get 503 while admitted
+work finishes streaming.  ``serve --coordinator-port Q`` additionally
+listens for ``repro worker`` agents and evaluates on them.  On the client
+side, ``submit --connect HOST:PORT [--token T]`` runs the usual mixed
+WP1+WP2 sweep through a daemon instead of an in-process service —
+bit-identical rows, shared cache.
 """
 
 from __future__ import annotations
@@ -212,6 +231,93 @@ def _add_submit(subparsers) -> None:
         help="shard lease duration; a lease not renewed by heartbeats "
         "within S seconds is requeued to another worker",
     )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "submit to a running 'repro serve' daemon instead of an "
+            "in-process service; rows stream back over the network and "
+            "land bit-identically"
+        ),
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "API token for --connect (default: $REPRO_SERVER_TOKEN); "
+            "unnecessary against an open daemon"
+        ),
+    )
+    parser.add_argument(
+        "--binary",
+        action="store_true",
+        help=(
+            "with --connect, stream results as checksummed binary frames "
+            "instead of SSE"
+        ),
+    )
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the network daemon over one shared evaluation service",
+        description=(
+            "Run the repro daemon: accept job submissions over HTTP, "
+            "evaluate them through one shared EvaluationService (one "
+            "scheduler, one content-addressed cache, one warm period "
+            "memory) and stream rows back as they complete.  Tenancy "
+            "is configured via REPRO_SERVER_TOKENS; SIGTERM/SIGINT "
+            "drain gracefully (503 to new submissions, admitted work "
+            "finishes)."
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help=(
+            "TCP port (default: $REPRO_SERVER_PORT if set, else an "
+            "ephemeral port, announced on stderr)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes of the underlying service pool",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "global blocking backpressure of the service queue (default: "
+            "$REPRO_SERVER_MAX_PENDING if set, else unbounded); per-tenant "
+            "rejecting quotas come from REPRO_SERVER_TOKENS"
+        ),
+    )
+    parser.add_argument(
+        "--coordinator-port",
+        type=int,
+        default=None,
+        metavar="Q",
+        help=(
+            "also listen for distributed worker agents on this port "
+            "(start them with 'repro worker --connect HOST:Q')"
+        ),
+    )
+    _add_cache_option(parser)
 
 
 def _add_worker(subparsers) -> None:
@@ -405,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep(subparsers)
     _add_topology(subparsers)
     _add_submit(subparsers)
+    _add_serve(subparsers)
     _add_worker(subparsers)
     return parser
 
@@ -649,6 +756,151 @@ def _run_submit(args, service) -> int:
     return 0
 
 
+def _run_submit_remote(args) -> int:
+    """The ``submit --connect`` path: same sweep, sent to a daemon."""
+    from .server.client import ServerClient
+
+    token = args.token or os.environ.get("REPRO_SERVER_TOKEN") or None
+    client = ServerClient.connect(args.connect, token=token)
+    names = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ("sort", "matmul")]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    depths = [int(depth) for depth in args.depths.split(",") if depth.strip()]
+    controls = {"max_cycles": args.max_cycles}
+    if _steady_state_flag(args) is False:
+        controls["steady_state"] = False
+
+    submissions = []
+    for name in names:
+        spec = (
+            {"kind": "workload", "workload": "sort",
+             "length": args.sort_length, "seed": 2005}
+            if name == "sort"
+            else {"kind": "workload", "workload": "matmul",
+                  "size": args.matmul_size, "seed": 2005}
+        )
+        reply = client.submit({
+            "spec": spec,
+            "wrappers": ["wp1", "wp2"],
+            "configurations": depths,
+            "queue_capacity": args.queue_capacity,
+            "kernel": args.kernel,
+            "controls": controls,
+        })
+        submissions.append(reply)
+    total = sum(reply["jobs"] for reply in submissions)
+    printer = _stream_printer(total)
+    failed = 0
+    for reply in submissions:
+        for event in client.stream(reply["job_set_id"], binary=args.binary):
+            printer(_RemoteRow(event))
+            if event["status"] != "done":
+                failed += 1
+    print(
+        f"{total} jobs streamed from {args.connect} "
+        f"({len(submissions)} job set(s), {failed} not done)"
+    )
+    return 0 if failed == 0 else 1
+
+
+class _RemoteRow:
+    """Adapt a streamed row event to the duck type _stream_printer expects."""
+
+    def __init__(self, event) -> None:
+        from .engine.batch import BatchResult
+        from .service import JobStatus
+
+        self.layout = event["layout"]
+        self.label = event["label"]
+        self.cached = event["cached"]
+        self.deduped = event["deduped"]
+        self.status = JobStatus(event["status"])
+        self.result = (
+            None if event["result"] is None
+            else BatchResult.from_dict(event["result"])
+        )
+
+
+def _run_serve(args) -> int:
+    """Run the network daemon until SIGTERM/SIGINT drains it."""
+    import signal
+    import threading
+
+    from .core.exceptions import SimulationError
+    from .server import ReproServer, validate_server_env
+
+    try:
+        env = validate_server_env()
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = args.port if args.port is not None else (env["port"] or 0)
+    max_pending = (
+        args.max_pending if args.max_pending is not None
+        else env["max_pending"]
+    )
+    coordinator = None
+    if args.coordinator_port is not None:
+        from .distributed import Coordinator
+
+        coordinator = Coordinator(args.host, args.coordinator_port)
+    try:
+        server = ReproServer(
+            args.host,
+            port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            max_pending=max_pending,
+            tenants=env["tenants"],
+            coordinator=coordinator,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{port}: {exc}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+
+    def drain(signum, frame) -> None:
+        # First signal: stop admitting (503) and let the main thread run
+        # the graceful close; a second signal falls through to the default
+        # handler (the process dies hard).
+        server.begin_drain()
+        stop.set()
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    server.start()
+    host, bound = server.address
+    mode = "open access" if server.registry.open_access else (
+        f"{len(server.registry.tenants)} tenant token(s)"
+    )
+    print(
+        f"repro.server listening on {host}:{bound} ({mode})",
+        file=sys.stderr,
+        flush=True,
+    )
+    if coordinator is not None:
+        chost, cport = coordinator.address
+        print(
+            f"coordinator for worker agents on {chost}:{cport}",
+            file=sys.stderr,
+            flush=True,
+        )
+    stop.wait()
+    print(
+        "draining: new submissions get 503, admitted work finishes…",
+        file=sys.stderr,
+        flush=True,
+    )
+    server.close()
+    print("repro.server stopped", file=sys.stderr, flush=True)
+    return 0
+
+
 def _run_worker(args) -> int:
     """Serve a coordinator as one distributed worker agent."""
     from .distributed import agent_main
@@ -669,6 +921,17 @@ def _run_worker(args) -> int:
 def _dispatch(args) -> int:
     if args.command == "worker":
         return _run_worker(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit" and args.connect is not None:
+        if args.serve is not None:
+            print(
+                "--connect (remote daemon) and --serve (local coordinator) "
+                "are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_submit_remote(args)
     service = _make_service(args)
     try:
         if args.command == "table1":

@@ -49,7 +49,7 @@ import hashlib
 import pickle
 import socket
 import struct
-from typing import Any
+from typing import Any, Callable
 
 from ..core.exceptions import PayloadChecksumError
 
@@ -62,6 +62,10 @@ _HEADER = struct.Struct(">I32s")
 MAX_FRAME_BYTES = 1 << 30
 
 
+#: Size of the frame header in bytes (`read_frame` callers need it).
+FRAME_HEADER_SIZE = _HEADER.size
+
+
 def corrupt_payload_bytes(blob: bytes) -> bytes:
     """Deterministically flip payload bits so the checksum cannot match."""
     mutated = bytearray(blob)
@@ -72,6 +76,44 @@ def corrupt_payload_bytes(blob: bytes) -> bytes:
     return bytes(mutated)
 
 
+def frame_bytes(blob: bytes, *, corrupt: bool = False) -> bytes:
+    """One wire frame around *blob*: header (length + sha256) + payload.
+
+    This is the transport-agnostic half of the protocol — the coordinator
+    socket and the serving tier's binary result streaming
+    (:mod:`repro.server.encoding`) both ship frames built here, so a payload
+    corrupted anywhere between the two ends fails its digest identically on
+    both paths.  ``corrupt=True`` injects a payload fault *after* the digest
+    is computed (the chaos suite's ``corrupt-payload`` kind).
+    """
+    digest = hashlib.sha256(blob).digest()
+    if corrupt:
+        blob = corrupt_payload_bytes(blob)
+    return _HEADER.pack(len(blob), digest) + blob
+
+
+def read_frame(read_exact: "Callable[[int], bytes]") -> bytes:
+    """Read one frame through *read_exact* and return the verified payload.
+
+    *read_exact(n)* must return exactly n bytes or raise ``EOFError`` — the
+    socket path wraps :func:`_recv_exact`, the HTTP client wraps a buffered
+    response stream.  Raises ``OSError`` on an over-length frame (a corrupted
+    header cannot be resynced) and
+    :class:`~repro.core.exceptions.PayloadChecksumError` on a payload digest
+    mismatch (the stream itself is still in frame sync).
+    """
+    header = read_exact(FRAME_HEADER_SIZE)
+    length, digest = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise OSError(f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes")
+    blob = read_exact(length)
+    if hashlib.sha256(blob).digest() != digest:
+        raise PayloadChecksumError(
+            f"protocol payload failed its sha256 checksum ({length} bytes)"
+        )
+    return blob
+
+
 def send_message(sock: socket.socket, message: Any, *, corrupt: bool = False) -> None:
     """Frame and send one message (``corrupt=True`` injects a payload fault).
 
@@ -79,10 +121,7 @@ def send_message(sock: socket.socket, message: Any, *, corrupt: bool = False) ->
     gone; callers treat that exactly like a disconnect.
     """
     blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    digest = hashlib.sha256(blob).digest()
-    if corrupt:
-        blob = corrupt_payload_bytes(blob)
-    sock.sendall(_HEADER.pack(len(blob), digest) + blob)
+    sock.sendall(frame_bytes(blob, corrupt=corrupt))
 
 
 def recv_message(sock: socket.socket) -> Any:
@@ -93,16 +132,7 @@ def recv_message(sock: socket.socket) -> Any:
     when the payload fails its digest (the stream itself is still in sync —
     the caller may keep reading).
     """
-    header = _recv_exact(sock, _HEADER.size)
-    length, digest = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise OSError(f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes")
-    blob = _recv_exact(sock, length)
-    if hashlib.sha256(blob).digest() != digest:
-        raise PayloadChecksumError(
-            f"protocol payload failed its sha256 checksum ({length} bytes)"
-        )
-    return pickle.loads(blob)
+    return pickle.loads(read_frame(lambda count: _recv_exact(sock, count)))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:

@@ -57,6 +57,19 @@ id / shard index / attempt, no-ops on the local pool path):
     its checksum, so the coordinator detects the corruption end-to-end and
     requeues the shard while staying in frame sync.
 
+HTTP kinds (serving tier, ``repro.server``; the ``shard`` selector names a
+*streamed row index*, the ``attempt`` selector counts reconnects of one
+result stream — ``attempt=0`` hits only a client's first stream attempt, so
+a chaos test can kill the first connection and let the reconnect replay):
+
+``http-disconnect``
+    The daemon aborts a result-stream connection just before sending the
+    matching row, simulating a mid-stream client/network loss; the job set
+    keeps evaluating and a reconnecting client replays from its cursor.
+``http-delay``
+    The daemon sleeps ``seconds`` before sending the matching row,
+    simulating a slow consumer/link (exercises streamed-row timeouts).
+
 Shard-level specs (``shard`` set, or neither ``shard`` nor ``label`` set —
 a wildcard) fire when a worker picks up the shard; item-level specs
 (``label`` set) fire as the matching configuration is evaluated.  The
@@ -89,7 +102,11 @@ CRASH_EXIT_CODE = 73
 _PROCESS_KINDS = frozenset({"crash", "hang", "raise"})
 #: Kinds fired at the distributed tier's transport sites.
 _NETWORK_KINDS = frozenset({"disconnect", "delay", "corrupt-payload"})
-_VALID_KINDS = _PROCESS_KINDS | _NETWORK_KINDS | frozenset({"corrupt-cache"})
+#: Kinds fired at the serving tier's result-stream sites.
+_HTTP_KINDS = frozenset({"http-disconnect", "http-delay"})
+_VALID_KINDS = (
+    _PROCESS_KINDS | _NETWORK_KINDS | _HTTP_KINDS | frozenset({"corrupt-cache"})
+)
 
 
 @dataclass(frozen=True)
@@ -147,6 +164,18 @@ class FaultSpec:
             return False
         return self._worker_matches(worker) and self._attempt_matches(attempt)
 
+    def matches_http(self, kind: str, row: int, attempt: int) -> bool:
+        """HTTP trigger at a serving-tier result-stream site.
+
+        ``shard`` selects the streamed row index (None: every row) and
+        ``attempt`` the stream connection attempt (reconnects increment it).
+        """
+        if self.kind != kind:
+            return False
+        if self.shard is not None and self.shard != row:
+            return False
+        return self._attempt_matches(attempt)
+
     def matches_item(self, label: Optional[str], attempt: int) -> bool:
         """Item-level trigger: the spec names this configuration label."""
         if self.label is None or self.label != label:
@@ -167,7 +196,7 @@ class FaultSpec:
             value = getattr(self, name)
             if value is not None:
                 data[name] = value
-        if self.kind in ("hang", "delay"):
+        if self.kind in ("hang", "delay", "http-delay"):
             data["seconds"] = self.seconds
         if self.simulation:
             data["simulation"] = True
@@ -270,6 +299,20 @@ class FaultPlan:
         return any(
             spec.matches_network("corrupt-payload", worker, shard, attempt)
             for spec in self.faults
+        )
+
+    # -- HTTP sites (serving tier) -------------------------------------------
+    def http_disconnects(self, row: int, attempt: int) -> bool:
+        return any(
+            spec.matches_http("http-disconnect", row, attempt)
+            for spec in self.faults
+        )
+
+    def http_send_delay(self, row: int, attempt: int) -> float:
+        return sum(
+            spec.seconds
+            for spec in self.faults
+            if spec.matches_http("http-delay", row, attempt)
         )
 
 
@@ -398,6 +441,20 @@ def should_corrupt_payload(shard: Optional[int], attempt: int) -> bool:
     return plan is not None and plan.corrupts_payload(
         _WORKER_IDENTITY, shard, attempt
     )
+
+
+def should_http_disconnect(row: int, attempt: int) -> bool:
+    """HTTP site: the daemon is about to send streamed row *row*."""
+    plan = active_plan()
+    return plan is not None and plan.http_disconnects(row, attempt)
+
+
+def http_send_delay(row: int, attempt: int) -> float:
+    """HTTP site: seconds to sleep before sending streamed row *row*."""
+    plan = active_plan()
+    if plan is None:
+        return 0.0
+    return plan.http_send_delay(row, attempt)
 
 
 def maybe_fault_item(label: Optional[str]) -> None:

@@ -1,0 +1,226 @@
+"""Thin stdlib client of the repro daemon.
+
+:class:`ServerClient` speaks the HTTP API of :mod:`repro.server.app` with
+nothing beyond ``http.client`` — importable anywhere the repo runs, which
+is exactly the constraint the serving tier exists under.  It is what
+``repro submit --connect HOST:PORT`` drives, and what tests use to talk to
+a daemon across a real socket.
+
+The interesting method is :meth:`ServerClient.stream`: it follows a job
+set row by row and **transparently reconnects** on a snapped connection or
+a corrupted frame, resuming from its delivered-row cursor (the server
+replays from ``?from=K`` out of its per-job-set event log).  Combined with
+a daemon restart against the same ``--cache-dir``, that turns "the server
+died mid-sweep" into "the rows arrived a little later" — resubmission hits
+the warm disk cache and the stream replays to the end sentinel.
+
+>>> client = ServerClient("127.0.0.1", 8123, token="s3cret")
+>>> submitted = client.submit({
+...     "spec": {"kind": "workload", "workload": "sort", "length": 8},
+...     "configurations": [0, 1, 2, 3],
+... })
+>>> for event in client.stream(submitted["job_set_id"]):
+...     print(event["index"], event["label"], event["result"]["cycles"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import PayloadChecksumError, SimulationError
+from .encoding import FRAMES_CONTENT, JSON_CONTENT, iter_frames, iter_sse
+
+
+class ServerError(SimulationError):
+    """An HTTP error reply from the daemon (carries the status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+
+
+class ServerClient:
+    """One tenant's view of one repro daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        token: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.token = token
+        self.timeout = timeout
+
+    @classmethod
+    def connect(
+        cls, address: str, *, token: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> "ServerClient":
+        """Build a client from a ``HOST:PORT`` string (CLI ``--connect``)."""
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise SimulationError(
+                f"--connect expects HOST:PORT, got {address!r}"
+            )
+        return cls(host, int(port), token=token, timeout=timeout)
+
+    # -- plumbing -------------------------------------------------------------
+    def _headers(self, **extra: str) -> Dict[str, str]:
+        headers = {"Accept": JSON_CONTENT, **extra}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = self._headers()
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = JSON_CONTENT
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServerError(response.status, _error_text(raw))
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        finally:
+            conn.close()
+
+    # -- API surface -----------------------------------------------------------
+    def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a batch spec; returns ``{"job_set_id": ..., "jobs": N, ...}``."""
+        return self._request("POST", "/v1/jobs", body)
+
+    def fetch(
+        self, job_set_id: str, *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Blocking JSON fetch: all rows of the set, in submission order."""
+        wait = self.timeout if timeout is None else timeout
+        return self._request("GET", f"/v1/jobs/{job_set_id}?timeout={wait}")
+
+    def cancel(self, job_set_id: str) -> Dict[str, Any]:
+        """DELETE the set's not-yet-started jobs; frees quota immediately."""
+        return self._request("DELETE", f"/v1/jobs/{job_set_id}")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text of ``/metrics``."""
+        return self._text("/metrics")
+
+    def status(self) -> str:
+        """The plain-text admin page of ``/status``."""
+        return self._text("/status")
+
+    def healthy(self) -> bool:
+        """True when the daemon answers ``/healthz`` with 200 (not draining)."""
+        try:
+            self._request("GET", "/healthz")
+            return True
+        except (ServerError, OSError):
+            return False
+
+    def _text(self, path: str) -> str:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", path, headers=self._headers())
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServerError(response.status, _error_text(raw))
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    # -- streaming ---------------------------------------------------------------
+    def stream(
+        self,
+        job_set_id: str,
+        *,
+        binary: bool = False,
+        start: int = 0,
+        max_reconnects: int = 8,
+        reconnect_delay: float = 0.2,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield row events in completion order until the ``end`` sentinel.
+
+        Rides the daemon's replayable event log: every delivered row
+        advances a cursor, and a broken connection (or a frame that fails
+        its checksum) triggers a reconnect with ``?from=<cursor>`` — rows
+        are delivered exactly once to the caller no matter how many
+        connections it took.  *binary* selects the checksummed-frame
+        encoding over SSE.
+        """
+        cursor = start
+        reconnects = 0
+        while True:
+            try:
+                for event in self._stream_once(job_set_id, cursor, binary):
+                    if event.get("event") == "end":
+                        return
+                    cursor += 1
+                    yield event
+                # Stream ended without the sentinel: the connection died at
+                # a frame boundary.  Same recovery as mid-frame truncation.
+                raise EOFError("stream ended before the end sentinel")
+            except (
+                OSError, EOFError, HTTPException, PayloadChecksumError,
+            ) as exc:
+                # HTTPException covers IncompleteRead: a chunked stream
+                # snapped mid-chunk.  ServerError is SimulationError, not
+                # retried — a 4xx/5xx reply means the daemon answered.
+                reconnects += 1
+                if reconnects > max_reconnects:
+                    raise SimulationError(
+                        f"stream of {job_set_id} failed after "
+                        f"{max_reconnects} reconnects: {exc}"
+                    ) from exc
+                time.sleep(reconnect_delay)
+
+    def _stream_once(
+        self, job_set_id: str, cursor: int, binary: bool
+    ) -> Iterator[Dict[str, Any]]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            accept = FRAMES_CONTENT if binary else "text/event-stream"
+            conn.request(
+                "GET",
+                f"/v1/jobs/{job_set_id}/stream?from={cursor}",
+                headers=self._headers(Accept=accept),
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServerError(response.status, _error_text(response.read()))
+            decode = iter_frames if binary else iter_sse
+            for event in decode(response):
+                yield event
+        finally:
+            conn.close()
+
+    # -- conveniences ------------------------------------------------------------
+    def rows(
+        self, job_set_id: str, *, binary: bool = False
+    ) -> List[Dict[str, Any]]:
+        """All row events of a set, in submission order (streamed under
+        the hood, so reconnect recovery applies)."""
+        events = list(self.stream(job_set_id, binary=binary))
+        return sorted(events, key=lambda event: event["index"])
+
+
+def _error_text(raw: bytes) -> str:
+    try:
+        return json.loads(raw.decode("utf-8"))["error"]
+    except Exception:  # noqa: BLE001 - any malformed error body
+        return raw.decode("utf-8", "replace").strip() or "(no body)"

@@ -1,0 +1,75 @@
+"""Method + path-pattern routing for the daemon's request handler.
+
+``http.server`` hands the handler one opaque ``(command, path)`` pair; this
+module turns that into the usual routing table so :mod:`repro.server.app`
+reads as *endpoints*, not string surgery.  Patterns are anchored regexes
+with named groups (``/v1/jobs/(?P<job_set_id>[^/]+)``); resolution
+distinguishes "no such path" (404) from "path exists, method doesn't"
+(405, with the ``Allow`` set), which clients probing the API actually need.
+Each route carries a short ``name`` used as the ``handler`` label of the
+per-endpoint request counters ``/metrics`` exports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: an HTTP method, an anchored path regex, a handler."""
+
+    method: str
+    pattern: "re.Pattern[str]"
+    name: str
+    handler: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The outcome of matching one request against the table."""
+
+    route: Optional[Route]
+    #: Named groups of the path match (empty when unrouted).
+    params: Dict[str, str]
+    #: Methods that *would* have matched the path (405 candidates).
+    allowed: Tuple[str, ...]
+
+    @property
+    def method_not_allowed(self) -> bool:
+        return self.route is None and bool(self.allowed)
+
+
+class Router:
+    """An ordered routing table; first match wins."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(
+        self, method: str, pattern: str, name: str, handler: Callable[..., Any]
+    ) -> None:
+        self._routes.append(
+            Route(
+                method=method.upper(),
+                pattern=re.compile(f"^{pattern}$"),
+                name=name,
+                handler=handler,
+            )
+        )
+
+    def resolve(self, method: str, path: str) -> Resolution:
+        """Match one request; collects the 405 ``Allow`` set on the way."""
+        allowed = []
+        for route in self._routes:
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            if route.method == method.upper():
+                return Resolution(
+                    route=route, params=match.groupdict(), allowed=()
+                )
+            allowed.append(route.method)
+        return Resolution(route=None, params={}, allowed=tuple(dict.fromkeys(allowed)))

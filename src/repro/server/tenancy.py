@@ -1,0 +1,386 @@
+"""Multi-tenant identity, quotas and weighted fair admission for the daemon.
+
+The serving tier multiplexes many remote clients onto one
+:class:`~repro.service.EvaluationService`.  Each client authenticates with
+an API token that resolves to a :class:`Tenant` — a name, a priority band,
+a ``max_pending`` quota and a fair-share weight — and every job it submits
+is *admitted* through the :class:`TenantRegistry`, which enforces two
+distinct protections:
+
+* **quota** (per tenant, rejecting): a tenant may have at most
+  ``max_pending`` jobs admitted but not yet terminal; a submission that
+  would exceed it is rejected with :class:`QuotaError` (HTTP 429) instead
+  of queueing — one greedy client can be told to back off without slowing
+  anyone else down.  The service's own ``max_pending`` stays the *global*
+  blocking backstop underneath.
+* **weighted fair draining** (across tenants, ordering): within one
+  priority band, backlogged tenants drain in proportion to their weights.
+  Admission implements stride scheduling: tenant *t*'s virtual ``pass``
+  advances by ``1/weight`` per admitted job, each job's effective service
+  priority is ``priority_band * BAND + pass``, and an idle tenant re-enters
+  at the current virtual floor (the oldest still-pending pass among
+  backlogged tenants — the virtual time of the queue head) so it competes
+  fairly *from now*: neither queued behind another tenant's whole backlog,
+  nor cashing banked idleness in to jump ahead of it.
+  The service's priority queue orders by exactly this float, so fairness
+  needs no second queue — admission priced the jobs, the existing drain
+  does the rest.
+
+Configuration rides the ``REPRO_SERVER_TOKENS`` environment variable — a
+JSON list of tenant objects, mirroring the ``REPRO_FAULTS`` pattern::
+
+    REPRO_SERVER_TOKENS='[
+      {"token": "alice-secret", "name": "alice",
+       "priority": 0, "max_pending": 64, "weight": 2.0},
+      {"token": "bob-secret", "name": "bob"}
+    ]'
+
+:func:`validate_server_env` parses it eagerly at daemon startup (and the
+optional ``REPRO_SERVER_PORT`` / ``REPRO_SERVER_MAX_PENDING`` integers)
+with one actionable error naming the offending variable and field.  With
+no tokens configured the daemon runs **open**: every request maps to the
+``anonymous`` tenant with default priority, weight and no quota.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.exceptions import SimulationError
+
+#: Environment variable holding the JSON list of tenant records.
+TOKENS_ENV_VAR = "REPRO_SERVER_TOKENS"
+#: Optional integer defaults consulted by ``python -m repro serve``.
+PORT_ENV_VAR = "REPRO_SERVER_PORT"
+MAX_PENDING_ENV_VAR = "REPRO_SERVER_MAX_PENDING"
+
+#: Width of one priority band: tenants in band p strictly outrank band p+1
+#: regardless of accumulated pass values (a pass grows by 1/weight per job,
+#: so 2**20 jobs of backlog would be needed to cross bands).
+PRIORITY_BAND = float(1 << 20)
+
+#: Name (and implied identity) of the tenant serving unauthenticated
+#: requests when no tokens are configured.
+ANONYMOUS = "anonymous"
+
+
+class AuthError(SimulationError):
+    """The request carried no token, or one no tenant owns (HTTP 401/403)."""
+
+
+class QuotaError(SimulationError):
+    """Admission would exceed the tenant's ``max_pending`` quota (HTTP 429)."""
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One API-token-identified client of the daemon."""
+
+    name: str
+    token: str
+    #: Priority band forwarded to the service (lower runs first).
+    priority: int = 0
+    #: Jobs admitted but not yet terminal before submissions get 429
+    #: (None: unlimited).
+    max_pending: Optional[int] = None
+    #: Fair-share weight within the band (2.0 drains twice bob's 1.0).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("tenant name must be a non-empty string")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise SimulationError(
+                f"tenant {self.name!r}: max_pending must be >= 1 (or null), "
+                f"got {self.max_pending}"
+            )
+        if not self.weight > 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: weight must be > 0, got {self.weight}"
+            )
+
+
+@dataclass
+class _TenantState:
+    """Mutable per-tenant accounting (under the registry lock)."""
+
+    pending: int = 0
+    admitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    rows_served: int = 0
+    pass_value: float = 0.0
+    #: Pass of the tenant's oldest still-pending job: the virtual "now" of
+    #: its backlog head.  Advanced by one stride per released job (the
+    #: service drains lowest-pass first, so oldest-first is the right
+    #: approximation even though completions carry no pass).
+    oldest_pass: float = 0.0
+    #: Stride the backlog was priced with (1/weight at last admission).
+    stride: float = 1.0
+
+
+class TenantRegistry:
+    """Token → tenant resolution plus quota and fair-share accounting."""
+
+    def __init__(self, tenants: Optional[List[Tenant]] = None) -> None:
+        tenants = list(tenants or ())
+        by_token: Dict[str, Tenant] = {}
+        by_name: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            if not tenant.token:
+                raise SimulationError(
+                    f"tenant {tenant.name!r}: token must be a non-empty string"
+                )
+            if tenant.token in by_token:
+                raise SimulationError(
+                    f"tenant {tenant.name!r} reuses the token of "
+                    f"{by_token[tenant.token].name!r}"
+                )
+            if tenant.name in by_name:
+                raise SimulationError(f"duplicate tenant name {tenant.name!r}")
+            by_token[tenant.token] = tenant
+            by_name[tenant.name] = tenant
+        self._by_token = by_token
+        self._anonymous = (
+            None if by_token else Tenant(name=ANONYMOUS, token="")
+        )
+        self._lock = threading.Lock()
+        self._state: Dict[str, _TenantState] = {}
+        #: High-water mark of issued passes; the floor an all-idle registry
+        #: re-enters at, so a restarted backlog keeps monotonic priorities.
+        self._clock = 0.0
+
+    @property
+    def open_access(self) -> bool:
+        """True when no tokens are configured (every caller is anonymous)."""
+        return self._anonymous is not None
+
+    @property
+    def tenants(self) -> List[Tenant]:
+        if self._anonymous is not None:
+            return [self._anonymous]
+        return sorted(self._by_token.values(), key=lambda t: t.name)
+
+    # -- authentication -------------------------------------------------------
+    def authenticate(self, token: Optional[str]) -> Tenant:
+        """Resolve a bearer token to its tenant.
+
+        Open registries accept anything (including no token at all);
+        configured ones raise :class:`AuthError` on a missing or unknown
+        token — deliberately the same error either way, so tokens cannot be
+        probed apart from their absence.
+        """
+        if self._anonymous is not None:
+            return self._anonymous
+        if token is None or token not in self._by_token:
+            raise AuthError("missing or unknown API token")
+        return self._by_token[token]
+
+    # -- admission ------------------------------------------------------------
+    def admit(self, tenant: Tenant, count: int) -> List[float]:
+        """Admit *count* jobs for *tenant*: quota check + fair-share pricing.
+
+        Returns the effective service priority of each job (stride-spaced
+        floats inside the tenant's band).  Raises :class:`QuotaError` —
+        admitting nothing — when the tenant's ``max_pending`` budget cannot
+        fit the whole submission (all-or-nothing: a partially admitted job
+        set would stream a truncated sweep, which no caller wants).
+        """
+        if count < 1:
+            raise SimulationError(f"cannot admit {count} jobs")
+        with self._lock:
+            state = self._state.setdefault(tenant.name, _TenantState())
+            if (
+                tenant.max_pending is not None
+                and state.pending + count > tenant.max_pending
+            ):
+                state.rejected += count
+                raise QuotaError(
+                    f"tenant {tenant.name!r} has {state.pending} pending "
+                    f"job(s); admitting {count} more would exceed "
+                    f"max_pending={tenant.max_pending}"
+                )
+            base = max(state.pass_value, self._floor())
+            stride = 1.0 / tenant.weight
+            priorities = [
+                tenant.priority * PRIORITY_BAND + base + index * stride
+                for index in range(count)
+            ]
+            if state.pending == 0:
+                state.oldest_pass = base
+            state.stride = stride
+            state.pass_value = base + count * stride
+            state.pending += count
+            state.admitted += count
+            self._clock = max(self._clock, state.pass_value)
+            return priorities
+
+    def _floor(self) -> float:
+        """The virtual time an idle tenant re-enters at (under the lock).
+
+        The minimum *oldest pending* pass among backlogged tenants — the
+        virtual time of the queue head — so a newcomer competes with the
+        backlog from now on instead of queueing behind all of it (and,
+        symmetrically, cannot cash banked idleness in to jump ahead of it:
+        :meth:`admit` takes ``max(own pass, floor)``).
+        """
+        active = [
+            state.oldest_pass
+            for state in self._state.values()
+            if state.pending > 0
+        ]
+        return min(active) if active else self._clock
+
+    def release(self, tenant: Tenant, count: int = 1) -> None:
+        """A tenant job reached a terminal state — free its quota slot(s).
+
+        Cancellation goes through here exactly like completion (a cancelled
+        job is terminal), which is what lets a client DELETE a job set to
+        shed its own backpressure.
+        """
+        with self._lock:
+            state = self._state.setdefault(tenant.name, _TenantState())
+            state.pending = max(0, state.pending - count)
+            state.completed += count
+            state.oldest_pass = min(
+                state.oldest_pass + state.stride * count, state.pass_value
+            )
+
+    def served(self, tenant: Tenant, rows: int = 1) -> None:
+        """Count result rows delivered to *tenant* (streamed or fetched)."""
+        with self._lock:
+            state = self._state.setdefault(tenant.name, _TenantState())
+            state.rows_served += rows
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant counters for ``/metrics`` and ``/status``."""
+        with self._lock:
+            out: Dict[str, Dict[str, Any]] = {}
+            tenants = self.tenants
+            for tenant in tenants:
+                state = self._state.get(tenant.name, _TenantState())
+                out[tenant.name] = {
+                    "priority": tenant.priority,
+                    "weight": tenant.weight,
+                    "max_pending": tenant.max_pending,
+                    "pending": state.pending,
+                    "admitted": state.admitted,
+                    "completed": state.completed,
+                    "rejected": state.rejected,
+                    "rows_served": state.rows_served,
+                }
+            return out
+
+
+# ---------------------------------------------------------------------------
+# Environment validation (the REPRO_FAULTS pattern: eager, one clear error)
+# ---------------------------------------------------------------------------
+
+_TENANT_FIELDS = {"token", "name", "priority", "max_pending", "weight"}
+
+
+def _tenant_from_dict(index: int, data: Dict[str, Any]) -> Tenant:
+    unknown = set(data) - _TENANT_FIELDS
+    if unknown:
+        raise SimulationError(
+            f"tenant #{index}: unknown fields {sorted(unknown)} "
+            f"(valid: {sorted(_TENANT_FIELDS)})"
+        )
+    for name in ("token", "name"):
+        if not isinstance(data.get(name), str) or not data.get(name):
+            raise SimulationError(
+                f"tenant #{index}: {name!r} must be a non-empty string"
+            )
+    if not isinstance(data.get("priority", 0), int):
+        raise SimulationError(f"tenant #{index}: 'priority' must be an integer")
+    max_pending = data.get("max_pending")
+    if max_pending is not None and not isinstance(max_pending, int):
+        raise SimulationError(
+            f"tenant #{index}: 'max_pending' must be an integer or null"
+        )
+    weight = data.get("weight", 1.0)
+    if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+        raise SimulationError(f"tenant #{index}: 'weight' must be a number")
+    try:
+        return Tenant(
+            name=data["name"],
+            token=data["token"],
+            priority=data.get("priority", 0),
+            max_pending=max_pending,
+            weight=float(weight),
+        )
+    except SimulationError as exc:
+        raise SimulationError(f"tenant #{index}: {exc}") from exc
+
+
+def parse_tokens(text: str) -> List[Tenant]:
+    """Parse the ``REPRO_SERVER_TOKENS`` JSON form into tenants."""
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise SimulationError(f"invalid tenant JSON: {exc}") from exc
+    if not isinstance(raw, list):
+        raise SimulationError(
+            "expected a JSON list of tenant objects, got "
+            f"{type(raw).__name__}"
+        )
+    tenants = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise SimulationError(
+                f"tenant #{index}: expected an object, got "
+                f"{type(item).__name__}"
+            )
+        tenants.append(_tenant_from_dict(index, item))
+    return tenants
+
+
+def _env_int(name: str, minimum: int) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"invalid {name} environment variable: {raw!r} is not an integer"
+        ) from None
+    if value < minimum:
+        raise SimulationError(
+            f"invalid {name} environment variable: must be >= {minimum}, "
+            f"got {value}"
+        )
+    return value
+
+
+def validate_server_env() -> Dict[str, Any]:
+    """Eagerly validate every server environment variable.
+
+    Called at daemon startup (``python -m repro serve``) so a malformed
+    variable surfaces as one clear error *naming the variable* instead of a
+    traceback on the first authenticated request.  Returns the parsed
+    settings::
+
+        {"tenants": [Tenant, ...],      # [] when REPRO_SERVER_TOKENS unset
+         "port": int | None,            # REPRO_SERVER_PORT
+         "max_pending": int | None}     # REPRO_SERVER_MAX_PENDING
+    """
+    raw = os.environ.get(TOKENS_ENV_VAR, "").strip()
+    tenants: List[Tenant] = []
+    if raw:
+        try:
+            tenants = parse_tokens(raw)
+            TenantRegistry(tenants)  # surfaces duplicate tokens/names too
+        except SimulationError as exc:
+            raise SimulationError(
+                f"invalid {TOKENS_ENV_VAR} environment variable: {exc}"
+            ) from exc
+    return {
+        "tenants": tenants,
+        "port": _env_int(PORT_ENV_VAR, minimum=0),
+        "max_pending": _env_int(MAX_PENDING_ENV_VAR, minimum=1),
+    }

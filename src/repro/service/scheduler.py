@@ -527,6 +527,14 @@ class EvaluationService:
         worker was ever lost.  With a coordinator attached,
         ``supervision["workers"]`` breaks the record down per remote worker
         id (connection state, quarantine, fault strikes, completed shards).
+
+        The derived ratios are computed here, from the very counters this
+        snapshot carries — one consistent view under one lock — so exporters
+        (the serving tier's ``/metrics`` endpoint) never recompute them from
+        counters read at different instants:
+
+        * ``cache_hit_rate`` — cache hits over lookups (0.0 before any);
+        * ``dedup_rate`` — in-flight piggybacks over submitted jobs.
         """
         with self._lock:
             supervision = (
@@ -540,6 +548,8 @@ class EvaluationService:
                 if self.coordinator is not None
                 else {}
             )
+            cache_stats = self.cache.stats()
+            lookups = cache_stats["hits"] + cache_stats["misses"]
             return {
                 "submitted": self.submitted,
                 "evaluated": self.evaluated,
@@ -550,7 +560,13 @@ class EvaluationService:
                 "inflight": len(self._inflight),
                 "queue_depth": self._queue.qsize(),
                 "layouts": sorted(self._runners),
-                "cache": self.cache.stats(),
+                "cache": cache_stats,
+                "cache_hit_rate": (
+                    cache_stats["hits"] / lookups if lookups else 0.0
+                ),
+                "dedup_rate": (
+                    self.deduped / self.submitted if self.submitted else 0.0
+                ),
                 "supervision": supervision_dict,
             }
 

@@ -424,6 +424,28 @@ class TestEvaluationService:
         assert stats["deduped"] + stats["cache"]["hits"] == 5 * len(items)
         service.close()
 
+    def test_stats_derive_rates_in_one_snapshot(self):
+        service, wp1, _ = _service_with_sort()
+        with service:
+            stats = service.stats()
+            assert stats["cache_hit_rate"] == 0.0  # no lookups yet: not NaN
+            assert stats["dedup_rate"] == 0.0
+            configs = _rows(2)
+            service.submit(
+                [(wp1, c) for c in configs], stop_process="CU"
+            ).wait(60)
+            service.submit(
+                [(wp1, c) for c in configs], stop_process="CU"
+            ).wait(60)
+            stats = service.stats()
+            # 2 misses then 2 hits; the ratio is derived from the very
+            # counters the same snapshot carries.
+            assert stats["cache_hit_rate"] == pytest.approx(0.5)
+            cache = stats["cache"]
+            lookups = cache["hits"] + cache["misses"]
+            assert stats["cache_hit_rate"] == cache["hits"] / lookups
+            assert stats["dedup_rate"] == stats["deduped"] / stats["submitted"]
+
     def test_cancellation_semantics(self):
         service, wp1, _ = _service_with_sort(autostart=False)
         jobset = service.submit(
